@@ -1,0 +1,129 @@
+// Ablation — error propagation along the QT recurrence (§V-B).
+//
+// The paper traces reduced-precision inaccuracy to the iterative
+// streaming dot product: analysed as one long dot product, its rounding
+// error grows with the recurrence length (e ~ n * eps), so splitting the
+// reference range into tiles — each restarting from a fresh naive dot
+// product — bounds the error by the *tile* length.
+//
+// This bench measures exactly that: the mean |QT_fp16 - QT_fp64| along a
+// diagonal as a function of the number of streaming steps taken, with and
+// without restarts every T steps.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "mp/precalc.hpp"
+
+namespace {
+
+using namespace mpsim;
+using Fp64 = PrecisionTraits<PrecisionMode::FP64>;
+using Fp16 = PrecisionTraits<PrecisionMode::FP16>;
+
+/// Streams QT along the main diagonal of a random series pair in FP16,
+/// restarting with a naive dot product every `restart` steps (0 = never),
+/// and records the mean absolute error vs the FP64 stream at checkpoints.
+std::vector<double> diagonal_error(std::size_t steps, std::size_t m,
+                                   std::size_t restart,
+                                   const std::vector<std::size_t>& checkpoints,
+                                   std::uint64_t seed) {
+  Rng rng(seed);
+  const std::size_t len = steps + m;
+  std::vector<double> r(len), q(len);
+  for (std::size_t t = 0; t < len; ++t) {
+    // Pre-quantized samples so both precisions see identical data.
+    r[t] = double(float16{rng.normal(0.0, 1.0)});
+    q[t] = double(float16{rng.normal(0.0, 1.0)});
+  }
+  std::vector<float16> r16(len), q16(len);
+  for (std::size_t t = 0; t < len; ++t) {
+    r16[t] = float16{r[t]};
+    q16[t] = float16{q[t]};
+  }
+
+  const std::size_t nseg = steps + 1;
+  std::vector<double> mu_r(nseg), inv_r(nseg), df_r(nseg), dg_r(nseg);
+  std::vector<double> mu_q(nseg), inv_q(nseg), df_q(nseg), dg_q(nseg);
+  mp::precalc_dimension<Fp64>(r.data(), m, nseg, mu_r.data(), inv_r.data(),
+                              df_r.data(), dg_r.data());
+  mp::precalc_dimension<Fp64>(q.data(), m, nseg, mu_q.data(), inv_q.data(),
+                              df_q.data(), dg_q.data());
+  std::vector<float16> mu_r16(nseg), inv_r16(nseg), df_r16(nseg),
+      dg_r16(nseg);
+  std::vector<float16> mu_q16(nseg), inv_q16(nseg), df_q16(nseg),
+      dg_q16(nseg);
+  mp::precalc_dimension<Fp16>(r16.data(), m, nseg, mu_r16.data(),
+                              inv_r16.data(), df_r16.data(), dg_r16.data());
+  mp::precalc_dimension<Fp16>(q16.data(), m, nseg, mu_q16.data(),
+                              inv_q16.data(), df_q16.data(), dg_q16.data());
+
+  double qt64 = mp::centered_dot<Fp64>(r.data(), q.data(), m, mu_r[0],
+                                       mu_q[0]);
+  float16 qt16 = mp::centered_dot<Fp16>(r16.data(), q16.data(), m, mu_r16[0],
+                                        mu_q16[0]);
+  std::vector<double> errors;
+  double error_sum = 0.0;
+  std::size_t since_restart = 0;
+  std::size_t next_checkpoint = 0;
+  for (std::size_t i = 1; i <= steps; ++i) {
+    qt64 = qt64 + df_r[i] * dg_q[i] + dg_r[i] * df_q[i];
+    if (restart != 0 && ++since_restart >= restart) {
+      // Tile boundary: fresh naive dot in FP16 (the tiling scheme's
+      // error-propagation cut).
+      qt16 = mp::centered_dot<Fp16>(r16.data() + i, q16.data() + i, m,
+                                    mu_r16[i], mu_q16[i]);
+      since_restart = 0;
+    } else {
+      qt16 = qt16 + df_r16[i] * dg_q16[i] + dg_r16[i] * df_q16[i];
+    }
+    error_sum += std::fabs(double(qt16) - qt64);
+    if (next_checkpoint < checkpoints.size() &&
+        i == checkpoints[next_checkpoint]) {
+      errors.push_back(error_sum / double(i));
+      ++next_checkpoint;
+    }
+  }
+  return errors;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mpsim;
+  CliArgs args(argc, argv);
+  args.check_known({"scale", "quick"});
+  std::printf("=== Ablation: QT error propagation vs tile size ===\n"
+              "Mean |QT_fp16 - QT_fp64| after k streaming steps; restarts "
+              "model the tiling scheme's\nper-tile precalculation "
+              "(paper §V-B: e ~ n * eps).\n\n");
+
+  const std::size_t steps = 8192;
+  const std::size_t m = 64;
+  const std::vector<std::size_t> checkpoints{64, 256, 1024, 4096, 8192};
+
+  Table table({"restart every", "k=64", "k=256", "k=1024", "k=4096",
+               "k=8192"});
+  for (std::size_t restart : {0ul, 2048ul, 512ul, 128ul}) {
+    // Average across several seeds for stability.
+    std::vector<double> mean(checkpoints.size(), 0.0);
+    const int seeds = 5;
+    for (int s = 0; s < seeds; ++s) {
+      const auto e = diagonal_error(steps, m, restart, checkpoints,
+                                    900 + std::uint64_t(s));
+      for (std::size_t c = 0; c < e.size(); ++c) mean[c] += e[c];
+    }
+    std::vector<std::string> row{
+        restart == 0 ? "never (1 tile)" : std::to_string(restart)};
+    for (double e : mean) row.push_back(fmt_sci(e / seeds, 2));
+    table.add_row(row);
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("(window m=%zu; smaller restart interval = more tiles = "
+              "tighter error bound)\n",
+              m);
+  return 0;
+}

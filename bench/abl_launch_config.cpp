@@ -1,0 +1,59 @@
+// Ablation — kernel launch configuration tuning (§IV).
+//
+// The paper tunes grid/block sizes to the GPU: 64 x 2560 on V100 (163,840
+// threads = 80 SMs x 2048 residents) and 64 x 3456 on A100 (221,184
+// threads), stating "our experiments validate that these configurations
+// provide the best performance".  The simulator's occupancy model
+// reproduces the effect: under-sized launches keep SMs idle and sustain a
+// proportionally smaller share of the bandwidth roof.
+#include "gpusim/kernel.hpp"
+#include "support.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mpsim;
+  CliArgs args(argc, argv);
+  args.check_known({"scale", "quick"});
+  bench::banner("Ablation: launch configuration",
+                "Modelled dist_calc row time vs launch configuration "
+                "(n=65536 columns, d=64, FP64).\n"
+                "Paper (§IV): the hardware-matched configuration is "
+                "fastest; 163,840 threads on V100, 221,184 on A100.");
+
+  for (const auto& spec : {gpusim::v100(), gpusim::a100()}) {
+    const auto tuned = gpusim::LaunchConfig::tuned_for(spec);
+    Table table({"grid", "block", "threads", "occupancy", "dist_calc row",
+                 "vs tuned"});
+    gpusim::KernelCost base;
+    base.bytes_read = std::int64_t(65536) * 64 * 8;
+    base.bytes_written = base.bytes_read / 2;
+    base.flops = std::int64_t(65536) * 64 * 7;
+
+    const auto tuned_cost = [&] {
+      gpusim::KernelCost c = base;
+      c.occupancy = tuned.occupancy(spec);
+      return gpusim::modeled_seconds(spec, c);
+    }();
+
+    for (const gpusim::LaunchConfig config :
+         {gpusim::LaunchConfig{8, 256}, gpusim::LaunchConfig{32, 512},
+          gpusim::LaunchConfig{64, 1024}, tuned,
+          gpusim::LaunchConfig{256, 4096}}) {
+      gpusim::KernelCost cost = base;
+      cost.occupancy = config.occupancy(spec);
+      const double t = gpusim::modeled_seconds(spec, cost);
+      table.add_row({std::to_string(config.grid_size),
+                     std::to_string(config.block_size),
+                     std::to_string(config.total_threads()),
+                     fmt_pct(config.occupancy(spec), 0), fmt_sci(t),
+                     fmt_fixed(t / tuned_cost, 2) + "x"});
+    }
+    std::printf("%s (tuned: %lld x %lld = %lld threads):\n%s\n",
+                spec.name.c_str(), (long long)tuned.grid_size,
+                (long long)tuned.block_size, (long long)tuned.total_threads(),
+                table.to_string().c_str());
+  }
+  std::printf("Over-subscribing beyond the resident capacity neither helps "
+              "nor hurts (grid-stride loops absorb it);\nunder-subscribing "
+              "starves the memory system — the paper's tuning rationale.\n");
+  return 0;
+}

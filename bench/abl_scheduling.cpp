@@ -1,0 +1,51 @@
+// Ablation — tile-to-device assignment policy.
+//
+// The paper observes "inefficiencies when using odd numbers of GPUs"
+// because its static Round-robin assignment (Pseudocode 2) leaves some
+// devices one tile short when the tile count doesn't divide evenly, and
+// suggests more tiles as mitigation.  LPT (longest-processing-time-first)
+// greedy assignment is the classic alternative; this ablation compares
+// the two at the paper's DGX-1 scale across device counts and tile
+// counts.
+#include "support.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mpsim;
+  CliArgs args(argc, argv);
+  args.check_known({"scale", "quick"});
+  bench::banner("Ablation: tile assignment policy",
+                "Round-robin (paper, Pseudocode 2) vs LPT on a DGX-1 "
+                "(V100s), n=2^16, d=2^8, FP64, modelled.\n"
+                "Finding: with the planner's equal-sized tiles the two "
+                "policies coincide — the odd-GPU dips come\nfrom "
+                "ceil(T/G) quantisation, which only MORE TILES fix (the "
+                "paper's own mitigation, visible below);\nLPT matters "
+                "only for externally supplied uneven tilings (covered by "
+                "tests).");
+
+  const std::size_t n = 1 << 16;
+  Table table({"GPUs", "tiles", "round-robin [s]", "LPT [s]", "LPT gain"});
+  for (int tiles : {16, 64, 256}) {
+    for (int gpus : {2, 3, 4, 5, 6, 7, 8}) {
+      double t_rr = 0.0, t_lpt = 0.0;
+      for (const auto assignment :
+           {mp::TileAssignment::kRoundRobin, mp::TileAssignment::kLpt}) {
+        mp::ModelConfig config;
+        config.spec = gpusim::v100();
+        config.n_r = config.n_q = n;
+        config.dims = 1 << 8;
+        config.window = 1 << 6;
+        config.tiles = tiles;
+        config.devices = gpus;
+        config.assignment = assignment;
+        const double t = mp::model_matrix_profile(config).total_seconds();
+        (assignment == mp::TileAssignment::kRoundRobin ? t_rr : t_lpt) = t;
+      }
+      table.add_row({std::to_string(gpus), std::to_string(tiles),
+                     fmt_fixed(t_rr, 2), fmt_fixed(t_lpt, 2),
+                     fmt_pct(1.0 - t_lpt / t_rr, 1)});
+    }
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,133 @@
+// Fig. 4 — Kernel execution time of the (multi-tile, one-tile) A100
+// implementation, broken down by kernel, swept over the number of
+// subsequences n and the dimensionality d.
+//
+// Performance numbers at the paper's sizes come from the roofline model
+// (this machine executes GPU kernels in software); a scaled executed run
+// validates that the model's per-kernel *shares* match what the simulator
+// actually accounts.
+//
+// Paper reference (§V-C): execution time grows ~quadratically with n and
+// linearly with d; dist_calc dominates at small d, sort_&_incl_scan at
+// large d; total ~13 s at n=2^16, d=2^6 on one A100.
+#include <vector>
+
+#include "gpusim/utilization.hpp"
+#include "mp/kernels.hpp"
+#include "support.hpp"
+#include "tsdata/synthetic.hpp"
+
+namespace {
+
+using namespace mpsim;
+
+/// §V-C "Resource Utilization": build the paper-scale launch ledger from
+/// the cost descriptors and report per-kernel DRAM/compute/sync fractions.
+template <typename Traits>
+void print_utilization(const gpusim::MachineSpec& spec, std::size_t n,
+                       std::size_t d, std::size_t m, const char* label) {
+  gpusim::KernelLedger ledger;
+  auto record = [&](const char* name, gpusim::KernelCost cost) {
+    for (std::size_t i = 0; i < n; ++i) {
+      ledger.record(name, cost, gpusim::modeled_seconds(spec, cost));
+    }
+  };
+  record("dist_calc", mp::dist_calc_cost<Traits>(n, d));
+  auto sort = mp::sort_scan_cost<Traits>(n, d);
+  sort.barrier_rounds =
+      mp::sort_scan_barrier_rounds(d) *
+      spec.wave_count(std::int64_t(n) * std::int64_t(mp::next_pow2(d)));
+  record("sort_&_incl_scan", sort);
+  record("update_mat_prof", mp::update_cost<Traits>(n, d));
+  std::printf("%s (n=%zu, d=%zu, m=%zu):\n%s\n", label, n, d, m,
+              gpusim::utilization_report(ledger, spec).c_str());
+}
+
+void model_sweep_table(const char* title,
+                       const std::vector<std::pair<std::size_t, std::size_t>>&
+                           nd_pairs,
+                       std::size_t m) {
+  Table table({"n", "d", "precalc+others", "dist_calc", "sort_&_incl_scan",
+               "update_mat_prof", "total [s]"});
+  for (const auto& [n, d] : nd_pairs) {
+    mp::ModelConfig config;
+    config.spec = gpusim::a100();
+    config.n_r = config.n_q = n;
+    config.dims = d;
+    config.window = m;
+    config.mode = PrecisionMode::FP64;
+    const auto report = mp::model_matrix_profile(config);
+    auto kernel = [&](const char* name) {
+      const auto it = report.kernel_seconds.find(name);
+      return it == report.kernel_seconds.end() ? 0.0 : it->second;
+    };
+    const double others = kernel("precalculation") + kernel("memcpy_h2d") +
+                          kernel("memcpy_d2h") + report.merge_seconds;
+    table.add_row({std::to_string(n), std::to_string(d), fmt_fixed(others),
+                   fmt_fixed(kernel("dist_calc")),
+                   fmt_fixed(kernel("sort_&_incl_scan")),
+                   fmt_fixed(kernel("update_mat_prof")),
+                   fmt_fixed(report.total_seconds())});
+  }
+  std::printf("%s\n%s\n", title, table.to_string().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mpsim;
+  CliArgs args(argc, argv);
+  args.check_known({"scale", "quick"});
+  bench::banner("Figure 4",
+                "Kernel execution time breakdown on one A100 (FP64, one "
+                "tile), modelled at the paper's sizes.\n"
+                "Paper: quadratic in n, linear in d; dist_calc dominates "
+                "small d, sort_&_incl_scan dominates large d.");
+
+  // Paper sweep 1: n in 2^13..2^16 at d = 2^6, m = 2^6.
+  model_sweep_table("Sweep over n (d=64, m=64), modelled A100 seconds:",
+                    {{1 << 13, 64}, {1 << 14, 64}, {1 << 15, 64},
+                     {1 << 16, 64}},
+                    64);
+
+  // Paper sweep 2: d in 2^3..2^6 at n = 2^16.
+  model_sweep_table("Sweep over d (n=65536, m=64), modelled A100 seconds:",
+                    {{1 << 16, 8}, {1 << 16, 16}, {1 << 16, 32},
+                     {1 << 16, 64}},
+                    64);
+
+  // Executed validation at a scaled size: the simulator's ledger must
+  // attribute kernel shares consistently with the analytic model.
+  const std::size_t n = bench::scaled(args, 1024);
+  SyntheticSpec spec;
+  spec.segments = n;
+  spec.dims = 16;
+  spec.window = 32;
+  spec.injections_per_dim = 2;
+  const auto data = make_synthetic_dataset(spec);
+  mp::MatrixProfileConfig config;
+  config.window = 32;
+  const auto r = mp::compute_matrix_profile(data.reference, data.query,
+                                            config);
+  Table table({"kernel", "launches", "modeled A100 [s]", "host measured [s]"});
+  for (const auto& entry : r.breakdown) {
+    table.add_row({entry.name, std::to_string(entry.launches),
+                   fmt_sci(entry.modeled_seconds),
+                   fmt_sci(entry.measured_seconds)});
+  }
+  std::printf("Executed validation at n=%zu, d=16, m=32 (scaled):\n%s\n", n,
+              table.to_string().c_str());
+
+  // §V-C resource utilisation at paper scale (A100).
+  print_utilization<PrecisionTraits<PrecisionMode::FP64>>(
+      gpusim::a100(), 1 << 16, 1 << 6, 1 << 6, "FP64 utilization");
+  print_utilization<PrecisionTraits<PrecisionMode::FP32>>(
+      gpusim::a100(), 1 << 16, 1 << 6, 1 << 6, "FP32 utilization");
+  print_utilization<PrecisionTraits<PrecisionMode::FP16>>(
+      gpusim::a100(), 1 << 16, 1 << 6, 1 << 6, "FP16 utilization");
+  std::printf("Paper (§V-C): FP64 dist_calc/update >80%% DRAM; sort "
+              "synchronisation-bound; utilization fractions drop\nwith "
+              "reduced precision as the same sync floor spans less "
+              "traffic.\n");
+  return 0;
+}

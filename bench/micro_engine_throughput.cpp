@@ -1,0 +1,115 @@
+// Microbenchmarks (google-benchmark) of the simulator's hot paths:
+// per-entry host throughput of the three main kernels per precision mode,
+// and the software float16 conversion/arithmetic primitives.  These track
+// performance regressions of the simulation itself (they say nothing
+// about GPU performance — that is the roofline model's job).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "gpusim/kernel.hpp"
+#include "mp/kernels.hpp"
+#include "precision/modes.hpp"
+
+namespace {
+
+using namespace mpsim;
+using namespace mpsim::mp;
+
+template <typename Traits>
+void BM_DistCalcRow(benchmark::State& state) {
+  using ST = typename Traits::Storage;
+  const std::size_t w = 4096, d = 8, nr = 4096, m = 64;
+  Rng rng(1);
+  auto fill = [&](std::vector<ST>& v, double scale) {
+    for (auto& x : v) x = ST(rng.normal(0.0, scale));
+  };
+  std::vector<ST> qt_row(w * d), qt_col(nr * d), df_r(nr * d), dg_r(nr * d),
+      inv_r(nr * d), df_q(w * d), dg_q(w * d), inv_q(w * d), prev(w * d),
+      next(w * d), dist(w * d);
+  fill(qt_row, 1.0);
+  fill(qt_col, 1.0);
+  fill(df_r, 0.05);
+  fill(dg_r, 0.05);
+  fill(inv_r, 0.2);
+  fill(df_q, 0.05);
+  fill(dg_q, 0.05);
+  fill(inv_q, 0.2);
+  fill(prev, 1.0);
+
+  std::size_t i = 1;
+  for (auto _ : state) {
+    dist_calc_body<Traits>(0, std::int64_t(w * d), i, w, m, qt_row.data(),
+                           qt_col.data(), nr, df_r.data(), dg_r.data(),
+                           inv_r.data(), df_q.data(), dg_q.data(),
+                           inv_q.data(), prev.data(), next.data(),
+                           dist.data());
+    std::swap(prev, next);
+    i = i % (nr - 1) + 1;
+    benchmark::DoNotOptimize(dist.data());
+  }
+  state.SetItemsProcessed(std::int64_t(state.iterations()) *
+                          std::int64_t(w * d));
+}
+
+template <typename Traits>
+void BM_SortScanRow(benchmark::State& state) {
+  using ST = typename Traits::Storage;
+  const std::size_t w = 4096, d = 8;
+  Rng rng(2);
+  std::vector<ST> dist(w * d), scan(w * d);
+  for (auto& x : dist) x = ST(rng.uniform(0.0, 10.0));
+  for (auto _ : state) {
+    for (std::size_t j = 0; j < w; ++j) {
+      gpusim::GroupContext group{std::int64_t(j), std::int64_t(d)};
+      sort_scan_group_body<Traits>(group, w, d, dist.data(), scan.data());
+    }
+    benchmark::DoNotOptimize(scan.data());
+  }
+  state.SetItemsProcessed(std::int64_t(state.iterations()) *
+                          std::int64_t(w * d));
+}
+
+void BM_Float16Encode(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<double> values(4096);
+  for (auto& v : values) v = rng.normal(0.0, 100.0);
+  for (auto _ : state) {
+    std::uint32_t acc = 0;
+    for (const double v : values) acc += float16::encode(v);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(std::int64_t(state.iterations()) * 4096);
+}
+
+void BM_Float16Arithmetic(benchmark::State& state) {
+  Rng rng(4);
+  std::vector<float16> a(4096), b(4096);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = float16{rng.normal()};
+    b[i] = float16{rng.normal()};
+  }
+  for (auto _ : state) {
+    float16 acc{0.0};
+    for (std::size_t i = 0; i < a.size(); ++i) acc = acc + a[i] * b[i];
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(std::int64_t(state.iterations()) * 4096 * 2);
+}
+
+using F64 = PrecisionTraits<PrecisionMode::FP64>;
+using F32 = PrecisionTraits<PrecisionMode::FP32>;
+using F16 = PrecisionTraits<PrecisionMode::FP16>;
+
+}  // namespace
+
+BENCHMARK(BM_DistCalcRow<F64>);
+BENCHMARK(BM_DistCalcRow<F32>);
+BENCHMARK(BM_DistCalcRow<F16>);
+BENCHMARK(BM_SortScanRow<F64>);
+BENCHMARK(BM_SortScanRow<F16>);
+BENCHMARK(BM_Float16Encode);
+BENCHMARK(BM_Float16Arithmetic);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// Shared helpers for the figure-reproduction benches.
+//
+// Every bench binary follows the same contract:
+//   * runs with no arguments at a scaled-down default size (this machine
+//     executes GPU kernels in software, so the paper's n = 2^16..2^18 are
+//     not executable in reasonable time);
+//   * prints the same rows/series as the paper figure it regenerates,
+//     from *executed* computation for accuracy metrics and from the
+//     roofline model (mp/model.hpp) for paper-scale performance numbers;
+//   * accepts --scale=<f> to grow the executed problem and --quick to
+//     shrink it further for smoke runs.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "common/cli.hpp"
+#include "common/stopwatch.hpp"
+#include "common/table.hpp"
+#include "metrics/accuracy.hpp"
+#include "mp/cpu_reference.hpp"
+#include "mp/matrix_profile.hpp"
+#include "mp/model.hpp"
+#include "precision/modes.hpp"
+
+namespace mpsim::bench {
+
+/// Prints the standard bench banner.
+inline void banner(const char* figure, const char* description) {
+  std::printf("=== %s ===\n%s\n\n", figure, description);
+}
+
+/// Applies --scale and --quick to a base size.
+inline std::size_t scaled(const CliArgs& args, std::size_t base) {
+  double f = args.get_double("scale", 1.0);
+  if (args.get_bool("quick", false)) f *= 0.5;
+  const double v = double(base) * f;
+  return std::size_t(v < 4.0 ? 4.0 : v);
+}
+
+/// FP64 CPU reference for the accuracy metrics of a figure.
+inline mp::CpuReferenceResult cpu_reference(const TimeSeries& reference,
+                                            const TimeSeries& query,
+                                            std::size_t window) {
+  mp::CpuReferenceConfig config;
+  config.window = window;
+  return mp::compute_matrix_profile_cpu(reference, query, config);
+}
+
+/// Short labels used in every figure's mode column.
+inline const char* mode_label(PrecisionMode mode) {
+  switch (mode) {
+    case PrecisionMode::FP64:
+      return "FP64";
+    case PrecisionMode::FP32:
+      return "FP32";
+    case PrecisionMode::FP16:
+      return "FP16";
+    case PrecisionMode::Mixed:
+      return "Mixed";
+    case PrecisionMode::FP16C:
+      return "FP16C";
+    case PrecisionMode::BF16:
+      return "BF16";
+    case PrecisionMode::TF32:
+      return "TF32";
+  }
+  return "?";
+}
+
+}  // namespace mpsim::bench

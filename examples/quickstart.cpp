@@ -1,0 +1,60 @@
+// Quickstart: compute a multi-dimensional matrix profile on synthetic data
+// and print the best motif it finds.
+//
+//   $ ./quickstart
+//
+// Steps: generate a reference/query pair with embedded sine motifs, run
+// the (simulated-)GPU matrix profile in FP64 and in Mixed precision (FP16
+// storage + FP32 precalculation), and compare results and timings.
+#include <cstdio>
+
+#include "metrics/accuracy.hpp"
+#include "mp/matrix_profile.hpp"
+#include "tsdata/synthetic.hpp"
+
+int main() {
+  using namespace mpsim;
+
+  // 1. Data: 2048 segments, 8 dimensions, window 64, two embedded motif
+  //    pairs per dimension.
+  SyntheticSpec data_spec;
+  data_spec.segments = 2048;
+  data_spec.dims = 8;
+  data_spec.window = 64;
+  data_spec.injections_per_dim = 2;
+  const SyntheticDataset data = make_synthetic_dataset(data_spec);
+
+  // 2. Matrix profile in FP64 on one simulated A100 with 4 tiles.
+  mp::MatrixProfileConfig config;
+  config.window = data_spec.window;
+  config.mode = PrecisionMode::FP64;
+  config.tiles = 4;
+  config.machine = "A100";
+  const auto fp64 = mp::compute_matrix_profile(data.reference, data.query,
+                                               config);
+
+  // 3. Best 1-dimensional motif: the smallest entry of the k=0 profile.
+  std::size_t best_j = 0;
+  for (std::size_t j = 1; j < fp64.segments; ++j) {
+    if (fp64.at(j, 0) < fp64.at(best_j, 0)) best_j = j;
+  }
+  std::printf("best motif (FP64): query segment %zu matches reference "
+              "segment %lld (z-normalized distance %.4f)\n",
+              best_j, (long long)fp64.index_at(best_j, 0), fp64.at(best_j, 0));
+  const double recall_fp64 = metrics::embedded_motif_recall(
+      fp64.index, fp64.segments, data.injections, data_spec.window, 0.05);
+  std::printf("embedded-motif recall (FP64): %.1f%%\n", 100.0 * recall_fp64);
+
+  // 4. Same computation in Mixed precision — faster on a real GPU, and
+  //    still finds the motifs.
+  config.mode = PrecisionMode::Mixed;
+  const auto mixed = mp::compute_matrix_profile(data.reference, data.query,
+                                                config);
+  const double recall_mixed = metrics::embedded_motif_recall(
+      mixed.index, mixed.segments, data.injections, data_spec.window, 0.05);
+  std::printf("embedded-motif recall (Mixed): %.1f%%\n",
+              100.0 * recall_mixed);
+  std::printf("modeled A100 time: FP64 %.4f s, Mixed %.4f s\n",
+              fp64.modeled_total_seconds(), mixed.modeled_total_seconds());
+  return 0;
+}

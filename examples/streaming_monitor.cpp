@@ -1,0 +1,94 @@
+// Live monitoring with the streaming matrix profile: telemetry arrives
+// sample by sample, every completed segment is immediately matched
+// against a reference recording, and anomalies (discord-level distances)
+// are flagged on arrival — the deployment mode the paper's HPC and
+// turbine case studies point toward.
+//
+//   $ ./streaming_monitor [--window=64] [--threshold=4.0]
+#include <cmath>
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "common/rng.hpp"
+#include "mp/streaming.hpp"
+#include "tsdata/time_series.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mpsim;
+  CliArgs args(argc, argv);
+  args.check_known({"window", "threshold"});
+  const std::size_t window = std::size_t(args.get_int("window", 64));
+  const double threshold = args.get_double("threshold", 4.0);
+
+  // Reference: known-good operation — strongly structured periodic
+  // telemetry (each sensor oscillates at its own rate) with mild noise,
+  // so normal segments always find close matches.
+  const std::size_t dims = 4;
+  const std::size_t length = 1024 + window - 1;
+  Rng rng(77);
+  auto make_operation = [&](double phase) {
+    TimeSeries series(length, dims);
+    for (std::size_t k = 0; k < dims; ++k) {
+      const double period = 24.0 + 10.0 * double(k);
+      for (std::size_t t = 0; t < length; ++t) {
+        series.at(t, k) =
+            std::sin(6.28318530718 * (double(t) / period) + phase) +
+            rng.normal(0.0, 0.05);
+      }
+    }
+    return series;
+  };
+  const TimeSeries reference = make_operation(0.0);
+  mp::StreamingMatrixProfile monitor(reference, window);
+
+  // Live stream: the same kind of operation (other phase) with an
+  // anomalous flat-line fault spliced into every sensor.
+  TimeSeries live = make_operation(1.3);
+  const std::size_t anomaly_at = 700;
+  for (std::size_t t = 0; t < window; ++t) {
+    for (std::size_t k = 0; k < dims; ++k) {
+      live.at(anomaly_at + t, k) = 0.1 + rng.normal(0.0, 0.05);  // stuck
+    }
+  }
+
+  std::printf("streaming %zu samples (window %zu, alert threshold mean + "
+              "%.1f sigma)\n\n",
+              live.length(), window, threshold);
+  std::vector<double> sample(live.dims());
+  std::size_t alerts = 0;
+  // Adaptive baseline: running mean/variance of the full-dimensional
+  // profile distance (normal operation); alerts fire on outliers.
+  double mean = 0.0, m2 = 0.0;
+  std::size_t seen = 0;
+  const std::size_t warmup = 100;
+  for (std::size_t t = 0; t < live.length(); ++t) {
+    for (std::size_t k = 0; k < live.dims(); ++k) sample[k] = live.at(t, k);
+    const std::size_t before = monitor.segments();
+    monitor.append(sample);
+    if (monitor.segments() == before) continue;  // no new segment yet
+
+    const std::size_t j = monitor.segments() - 1;
+    // Alert on the full-dimensional profile: a segment whose best match
+    // across ALL sensors is still distant is anomalous everywhere.
+    const double dist = monitor.at(j, monitor.dims() - 1);
+    const double stddev = seen > 1 ? std::sqrt(m2 / double(seen - 1)) : 0.0;
+    if (seen >= warmup && dist > mean + threshold * stddev) {
+      ++alerts;
+      if (alerts <= 5) {
+        std::printf("ALERT at sample %zu: segment %zu has no good match "
+                    "(distance %.2f vs baseline %.2f +- %.2f)\n",
+                    t, j, dist, mean, stddev);
+      }
+    } else {
+      // Welford update with normal-looking segments only.
+      ++seen;
+      const double delta = dist - mean;
+      mean += delta / double(seen);
+      m2 += delta * (dist - mean);
+    }
+  }
+  std::printf("\n%zu alerts over %zu segments; anomaly was injected at "
+              "segment %zu\n",
+              alerts, monitor.segments(), anomaly_at);
+  return 0;
+}

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Full reproduction pipeline: configure, build, test, regenerate every
+# paper figure into results/.  Usage: scripts/reproduce.sh [build-dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD=${1:-build}
+cmake -B "$BUILD" -G Ninja
+cmake --build "$BUILD"
+
+ctest --test-dir "$BUILD" --output-on-failure
+
+mkdir -p results
+for bench in "$BUILD"/bench/*; do
+  [ -f "$bench" ] && [ -x "$bench" ] || continue
+  name=$(basename "$bench")
+  echo "=== $name ==="
+  "$bench" | tee "results/$name.txt"
+done
+
+echo "All figures regenerated under results/."

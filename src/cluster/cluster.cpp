@@ -1,0 +1,104 @@
+#include "cluster/cluster.hpp"
+
+#include <cmath>
+
+#include "gpusim/spec.hpp"
+#include "mp/model.hpp"
+
+namespace mpsim::cluster {
+namespace {
+
+/// Reduction rounds of a binomial tree over `nodes` ranks.
+int reduction_rounds(int nodes) {
+  int rounds = 0;
+  while ((1 << rounds) < nodes) ++rounds;
+  return rounds;
+}
+
+/// Bytes of one partial-profile message: the full (n_q * d) profile and
+/// index arrays (profile in binary64 after D2H conversion, index int64).
+std::int64_t message_bytes(std::size_t n_q, std::size_t dims) {
+  return std::int64_t(n_q * dims) * (8 + 8);
+}
+
+double network_seconds(const InterconnectSpec& net, std::int64_t bytes,
+                       int nodes) {
+  if (nodes <= 1) return 0.0;
+  const double per_round =
+      net.latency_us * 1e-6 + double(bytes) / (net.bandwidth_gbs * 1e9);
+  return double(reduction_rounds(nodes)) * per_round;
+}
+
+/// CPU merge cost of the reduction rounds (each round min-merges one full
+/// partial profile into the local one).
+double reduction_merge_seconds(std::size_t n_q, std::size_t dims,
+                               int nodes) {
+  if (nodes <= 1) return 0.0;
+  return double(reduction_rounds(nodes)) *
+         mp::model_merge_seconds(1, n_q, dims);
+}
+
+}  // namespace
+
+ClusterResult compute_matrix_profile_cluster(const TimeSeries& reference,
+                                             const TimeSeries& query,
+                                             const ClusterConfig& config) {
+  MPSIM_CHECK(config.nodes >= 1, "need at least one node");
+  MPSIM_CHECK(config.devices_per_node >= 1,
+              "need at least one device per node");
+
+  // Functional execution: the tile scheduler treats the cluster's GPUs as
+  // one flat device list (Round-robin over devices == Round-robin over
+  // nodes when devices are enumerated node-major), and min-merge is
+  // associative, so a single merge is equivalent to the hierarchical one.
+  mp::MatrixProfileConfig run;
+  run.window = config.window;
+  run.mode = config.mode;
+  run.tiles = config.tiles;
+  run.devices = config.nodes * config.devices_per_node;
+  run.machine = config.machine;
+  run.streams_per_device = config.streams_per_device;
+  run.workers = config.workers;
+
+  ClusterResult out;
+  out.result = mp::compute_matrix_profile(reference, query, run);
+
+  // Performance model on top of the executed run's accounting.
+  out.modeled_compute_seconds = out.result.modeled_device_seconds;
+  const std::size_t n_q = out.result.segments;
+  const std::size_t dims = out.result.dims;
+  out.modeled_merge_seconds =
+      out.result.modeled_merge_seconds / double(config.nodes) +
+      reduction_merge_seconds(n_q, dims, config.nodes);
+  out.modeled_network_seconds = network_seconds(
+      config.interconnect, message_bytes(n_q, dims), config.nodes);
+  return out;
+}
+
+ClusterModelReport model_cluster(std::size_t n_r, std::size_t n_q,
+                                 std::size_t dims, std::size_t window,
+                                 const ClusterConfig& config) {
+  mp::ModelConfig model;
+  model.spec = gpusim::spec_by_name(config.machine);
+  model.n_r = n_r;
+  model.n_q = n_q;
+  model.dims = dims;
+  model.window = window;
+  model.mode = config.mode;
+  model.tiles = config.tiles;
+  model.devices = config.nodes * config.devices_per_node;
+  model.streams_per_device = config.streams_per_device;
+  const auto report = mp::model_matrix_profile(model);
+
+  ClusterModelReport out;
+  out.compute_seconds = report.device_seconds;
+  // Tile merges spread across the nodes; reduction rounds add the
+  // network-side merges.
+  out.merge_seconds = report.merge_seconds / double(config.nodes) +
+                      reduction_merge_seconds(n_q, dims, config.nodes);
+  out.network_seconds = network_seconds(
+      config.interconnect, message_bytes(n_q, dims), config.nodes);
+  return out;
+}
+
+}  // namespace mpsim::cluster

@@ -1,0 +1,78 @@
+// Multi-node execution of the multi-tile matrix profile — the paper's
+// proposed extension "to multiple nodes (e.g., using MPI)" (§VII).
+//
+// The tiling scheme already decouples tiles from devices, so scaling out
+// only needs (a) a two-level tile assignment (node, then device within
+// node) and (b) a reduction of the per-node partial profiles.  This
+// module implements both on the simulator:
+//
+//  * functionally, tiles execute on nodes*devices_per_node simulated
+//    devices and partial profiles min-merge exactly as MPI ranks would —
+//    results are identical to single-node execution (tested);
+//  * the performance model adds the interconnect: per-node makespans from
+//    the roofline model, plus a binomial-tree reduction of the
+//    (n_q * d)-entry profile/index arrays over the network
+//    (ceil(log2 nodes) rounds of latency + bytes/bandwidth), plus the
+//    per-round CPU merge cost.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mp/matrix_profile.hpp"
+
+namespace mpsim::cluster {
+
+/// Inter-node network characteristics (defaults: 200 Gb/s-class HDR
+/// InfiniBand with a few microseconds of latency).
+struct InterconnectSpec {
+  double bandwidth_gbs = 25.0;  ///< usable GB/s per link
+  double latency_us = 2.0;      ///< per message
+};
+
+struct ClusterConfig {
+  int nodes = 1;
+  int devices_per_node = 4;       ///< e.g. a Raven node has 4 A100s
+  std::string machine = "A100";
+  InterconnectSpec interconnect;
+
+  std::size_t window = 64;
+  PrecisionMode mode = PrecisionMode::FP64;
+  int tiles = 16;                 ///< total tiles across the cluster
+  int streams_per_device = 16;
+  std::size_t workers = 0;        ///< host threads for the simulation
+};
+
+struct ClusterResult {
+  mp::MatrixProfileResult result;      ///< the actual computed profile
+  double modeled_compute_seconds = 0;  ///< slowest node's device makespan
+  double modeled_merge_seconds = 0;    ///< local + reduction-round merges
+  double modeled_network_seconds = 0;  ///< binomial-tree profile reduction
+  double modeled_total_seconds() const {
+    return modeled_compute_seconds + modeled_merge_seconds +
+           modeled_network_seconds;
+  }
+};
+
+/// Computes the matrix profile across a simulated multi-node cluster.
+ClusterResult compute_matrix_profile_cluster(const TimeSeries& reference,
+                                             const TimeSeries& query,
+                                             const ClusterConfig& config);
+
+/// Analytic model of the cluster run (no execution) for paper-scale
+/// problem sizes; mirrors compute_matrix_profile_cluster's accounting.
+struct ClusterModelReport {
+  double compute_seconds = 0;
+  double merge_seconds = 0;
+  double network_seconds = 0;
+  double total_seconds() const {
+    return compute_seconds + merge_seconds + network_seconds;
+  }
+};
+
+ClusterModelReport model_cluster(std::size_t n_r, std::size_t n_q,
+                                 std::size_t dims, std::size_t window,
+                                 const ClusterConfig& config);
+
+}  // namespace mpsim::cluster

@@ -1,0 +1,67 @@
+#include "common/cli.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string_view>
+
+#include "common/error.hpp"
+
+namespace mpsim {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg(argv[i]);
+    MPSIM_CHECK(arg.substr(0, 2) == "--",
+                "unexpected positional argument '" << arg << "'");
+    arg.remove_prefix(2);
+    const auto eq = arg.find('=');
+    // insert_or_assign with explicit string temporaries sidesteps GCC 12's
+    // -Wrestrict false positive (PR 105651) on operator[]-assignments.
+    if (eq == std::string_view::npos) {
+      values_.insert_or_assign(std::string(arg), std::string("1"));
+    } else {
+      values_.insert_or_assign(std::string(arg.substr(0, eq)),
+                               std::string(arg.substr(eq + 1)));
+    }
+  }
+}
+
+bool CliArgs::has(const std::string& name) const {
+  return values_.count(name) != 0;
+}
+
+std::string CliArgs::get_string(const std::string& name,
+                                const std::string& fallback) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t CliArgs::get_int(const std::string& name,
+                              std::int64_t fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double CliArgs::get_double(const std::string& name, double fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool CliArgs::get_bool(const std::string& name, bool fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return it->second != "0" && it->second != "false";
+}
+
+void CliArgs::check_known(std::initializer_list<const char*> known) const {
+  for (const auto& [name, value] : values_) {
+    (void)value;
+    const bool ok = std::any_of(known.begin(), known.end(),
+                                [&](const char* k) { return name == k; });
+    MPSIM_CHECK(ok, "unknown flag --" << name);
+  }
+}
+
+}  // namespace mpsim

@@ -1,0 +1,33 @@
+// Minimal --key=value flag parser shared by the bench and example binaries.
+// Only long options are supported; unknown flags raise ConfigError so typos
+// in experiment sweeps fail loudly instead of silently using defaults.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace mpsim {
+
+class CliArgs {
+ public:
+  /// Parses argv of the form `--name=value` or bare `--name` (value "1").
+  CliArgs(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+
+  std::string get_string(const std::string& name,
+                         const std::string& fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Throws ConfigError if any parsed flag is not in `known` (comma-free
+  /// names). Call after all get_* lookups are declared.
+  void check_known(std::initializer_list<const char*> known) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace mpsim

@@ -1,0 +1,53 @@
+// Error handling primitives shared by every mpsim module.
+//
+// The library throws `mpsim::Error` (a std::runtime_error) for all
+// recoverable failures: bad user configuration, capacity exhaustion on a
+// simulated device, malformed input files.  Internal invariant violations
+// use MPSIM_ASSERT and abort in debug builds.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mpsim {
+
+/// Base exception for all errors raised by the mpsim library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when a requested allocation exceeds a simulated device's memory.
+class DeviceMemoryError : public Error {
+ public:
+  explicit DeviceMemoryError(const std::string& what) : Error(what) {}
+};
+
+/// Raised for invalid user-supplied configuration (sizes, modes, tilings).
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "MPSM_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace mpsim
+
+/// Runtime check that throws mpsim::Error on failure (always enabled).
+#define MPSIM_CHECK(expr, msg)                                              \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::mpsim::detail::throw_check_failure(#expr, __FILE__, __LINE__,       \
+                                           (::std::ostringstream{} << msg) \
+                                               .str());                     \
+    }                                                                       \
+  } while (0)

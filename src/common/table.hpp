@@ -1,0 +1,34 @@
+// Plain-text table formatting for the benchmark harnesses: every bench
+// binary prints the rows/series of the paper figure it regenerates, and a
+// consistent table format keeps EXPERIMENTS.md diffs readable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mpsim {
+
+/// Column-aligned text table with a header row.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a data row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders with column alignment and a separator under the header.
+  std::string to_string() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision float formatting helpers used for table cells.
+std::string fmt_fixed(double value, int digits = 3);
+std::string fmt_sci(double value, int digits = 3);
+std::string fmt_pct(double fraction01, int digits = 1);
+
+}  // namespace mpsim

@@ -1,0 +1,53 @@
+// A fixed-size worker pool used as the execution engine behind each
+// simulated GPU device (gpusim) and the parallel CPU reference (mp).
+//
+// Two entry points:
+//   * submit()       — enqueue an arbitrary task, get a std::future.
+//   * parallel_for() — split [0, n) into contiguous chunks, run the body on
+//                      all workers, and block until every chunk finished.
+//                      This mirrors how a grid-stride kernel covers an index
+//                      space with a bounded number of hardware threads.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mpsim {
+
+class ThreadPool {
+ public:
+  /// Creates `workers` threads; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t worker_count() const { return threads_.size(); }
+
+  /// Enqueue a task for asynchronous execution.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Run body(begin, end) over contiguous chunks covering [0, n); blocks
+  /// until all chunks complete. `body` must be safe to call concurrently.
+  /// Exceptions thrown by the body are rethrown (first one wins).
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t, std::size_t)>& body);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace mpsim

@@ -1,0 +1,123 @@
+// Simulated GPU device: a MachineSpec, a worker pool that actually executes
+// kernel bodies, a device-memory allocator with capacity accounting, and a
+// KernelLedger accumulating modelled execution time.
+//
+// The simulation is *functionally real*: kernels run genuine arithmetic on
+// host threads (so every accuracy result in the paper's figures is
+// reproduced by computation, not by a model), while time is accounted via
+// the roofline model in perf_model.hpp.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "gpusim/perf_model.hpp"
+#include "gpusim/spec.hpp"
+
+namespace mpsim::gpusim {
+
+class Device {
+ public:
+  /// `workers` = host threads backing this device's kernel execution
+  /// (0 = one per hardware thread).
+  explicit Device(MachineSpec spec, int index = 0, std::size_t workers = 0);
+
+  const MachineSpec& spec() const { return spec_; }
+  int index() const { return index_; }
+  ThreadPool& pool() { return pool_; }
+  KernelLedger& ledger() { return ledger_; }
+  const KernelLedger& ledger() const { return ledger_; }
+
+  /// Raw device-memory bookkeeping (used by DeviceBuffer).
+  void allocate_bytes(std::size_t bytes);
+  void free_bytes(std::size_t bytes);
+  std::size_t bytes_in_use() const { return bytes_in_use_.load(); }
+  std::size_t peak_bytes() const { return peak_bytes_.load(); }
+
+ private:
+  MachineSpec spec_;
+  int index_;
+  ThreadPool pool_;
+  KernelLedger ledger_;
+  std::atomic<std::size_t> bytes_in_use_{0};
+  std::atomic<std::size_t> peak_bytes_{0};
+};
+
+/// RAII device-memory allocation of `count` elements of T.  The storage is
+/// host memory (this is a simulator), but the allocation is charged against
+/// the device's modelled capacity so out-of-memory behaviour is faithful.
+template <typename T>
+class DeviceBuffer {
+ public:
+  DeviceBuffer() = default;
+
+  DeviceBuffer(Device& device, std::size_t count)
+      : device_(&device), data_(count) {
+    device_->allocate_bytes(count * sizeof(T));
+  }
+
+  ~DeviceBuffer() { release(); }
+
+  DeviceBuffer(const DeviceBuffer&) = delete;
+  DeviceBuffer& operator=(const DeviceBuffer&) = delete;
+
+  DeviceBuffer(DeviceBuffer&& o) noexcept
+      : device_(o.device_), data_(std::move(o.data_)) {
+    o.device_ = nullptr;
+    o.data_.clear();
+  }
+
+  DeviceBuffer& operator=(DeviceBuffer&& o) noexcept {
+    if (this != &o) {
+      release();
+      device_ = o.device_;
+      data_ = std::move(o.data_);
+      o.device_ = nullptr;
+      o.data_.clear();
+    }
+    return *this;
+  }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+
+ private:
+  void release() {
+    if (device_ != nullptr && !data_.empty()) {
+      device_->free_bytes(data_.size() * sizeof(T));
+    }
+    device_ = nullptr;
+  }
+
+  Device* device_ = nullptr;
+  std::vector<T> data_;
+};
+
+/// A multi-GPU node (e.g. the paper's DGX-1 with 8 V100s, or a Raven node
+/// with 4 A100s).  Owns the devices; worker threads are divided evenly.
+class System {
+ public:
+  System(const MachineSpec& device_spec, int device_count,
+         std::size_t total_workers = 0);
+
+  int device_count() const { return int(devices_.size()); }
+  Device& device(int i) { return *devices_.at(std::size_t(i)); }
+  const Device& device(int i) const { return *devices_.at(std::size_t(i)); }
+
+  /// Sum of all devices' modelled kernel seconds.
+  double total_modeled_seconds() const;
+
+ private:
+  std::vector<std::unique_ptr<Device>> devices_;
+};
+
+}  // namespace mpsim::gpusim

@@ -1,0 +1,72 @@
+// CUDA-event analogue for cross-stream synchronisation.
+//
+// record(stream) enqueues a completion marker on a stream; other streams
+// can wait(stream) on it (stream-side dependency) and the host can
+// synchronize() on it.  The multi-tile scheduler doesn't need events —
+// tiles are independent — but downstream users composing custom pipelines
+// on the substrate (e.g. double-buffered H2D + compute chains) do, and
+// the paper's implicit-synchronisation design (§III-B) is expressed in
+// exactly these primitives on real CUDA.
+#pragma once
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+
+#include "gpusim/stream.hpp"
+
+namespace mpsim::gpusim {
+
+class Event {
+ public:
+  Event() : state_(std::make_shared<State>()) {}
+
+  /// Enqueues a completion marker: the event fires when every task
+  /// enqueued on `stream` before this call has finished.
+  void record(Stream& stream) {
+    auto state = state_;
+    {
+      std::lock_guard lock(state->mutex);
+      state->fired = false;  // re-recording re-arms the event
+    }
+    stream.enqueue([state] {
+      {
+        std::lock_guard lock(state->mutex);
+        state->fired = true;
+      }
+      state->cv.notify_all();
+    });
+  }
+
+  /// Makes `stream` wait: tasks enqueued on it after this call run only
+  /// once the event has fired.
+  void wait(Stream& stream) {
+    auto state = state_;
+    stream.enqueue([state] {
+      std::unique_lock lock(state->mutex);
+      state->cv.wait(lock, [&] { return state->fired; });
+    });
+  }
+
+  /// Host-side wait.
+  void synchronize() {
+    std::unique_lock lock(state_->mutex);
+    state_->cv.wait(lock, [&] { return state_->fired; });
+  }
+
+  /// True once the recorded marker has executed (false if never recorded).
+  bool query() const {
+    std::lock_guard lock(state_->mutex);
+    return state_->fired;
+  }
+
+ private:
+  struct State {
+    mutable std::mutex mutex;
+    std::condition_variable cv;
+    bool fired = false;
+  };
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace mpsim::gpusim

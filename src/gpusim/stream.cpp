@@ -1,0 +1,77 @@
+#include "gpusim/stream.hpp"
+
+namespace mpsim::gpusim {
+
+Stream::Stream(Device& device) : device_(device) {
+  drainer_ = std::thread([this] { drain_loop(); });
+}
+
+Stream::~Stream() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  drainer_.join();
+}
+
+void Stream::enqueue(std::function<void()> task) {
+  {
+    std::lock_guard lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_all();
+}
+
+void Stream::synchronize() {
+  std::unique_lock lock(mutex_);
+  cv_.wait(lock, [this] { return queue_.empty() && !busy_; });
+  if (pending_error_) {
+    auto error = pending_error_;
+    pending_error_ = nullptr;
+    std::rethrow_exception(error);
+  }
+}
+
+void Stream::drain_loop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      busy_ = true;
+    }
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard lock(mutex_);
+      if (!pending_error_) pending_error_ = std::current_exception();
+    }
+    {
+      std::lock_guard lock(mutex_);
+      busy_ = false;
+    }
+    cv_.notify_all();
+  }
+}
+
+StreamPool::StreamPool(Device& device, int stream_count) {
+  MPSIM_CHECK(stream_count >= 1, "stream pool needs at least one stream");
+  streams_.reserve(std::size_t(stream_count));
+  for (int i = 0; i < stream_count; ++i) {
+    streams_.push_back(std::make_unique<Stream>(device));
+  }
+}
+
+Stream& StreamPool::next() {
+  return *streams_[cursor_.fetch_add(1) % streams_.size()];
+}
+
+void StreamPool::synchronize_all() {
+  for (auto& s : streams_) s->synchronize();
+}
+
+}  // namespace mpsim::gpusim

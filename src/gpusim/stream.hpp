@@ -1,0 +1,71 @@
+// CUDA-stream analogue: a FIFO work queue bound to a device.
+//
+// Tasks enqueued on one stream execute strictly in order on a dedicated
+// drainer thread; tasks on different streams run concurrently (bounded by
+// the device's worker pool, which kernel bodies use via parallel_for).
+// This mirrors the paper's use of up to 16 non-blocking CUDA streams per
+// GPU for implicit synchronisation between tile transfers and kernels.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "gpusim/device.hpp"
+
+namespace mpsim::gpusim {
+
+class Stream {
+ public:
+  explicit Stream(Device& device);
+  ~Stream();
+
+  Stream(const Stream&) = delete;
+  Stream& operator=(const Stream&) = delete;
+
+  Device& device() { return device_; }
+
+  /// Enqueue a task; returns immediately.  Tasks run FIFO on this stream.
+  /// An exception thrown by a task is stored and rethrown by the next
+  /// synchronize() call; subsequent tasks still run (as CUDA streams keep
+  /// accepting work after an async error is recorded).
+  void enqueue(std::function<void()> task);
+
+  /// Blocks until all previously enqueued tasks have finished; rethrows the
+  /// first stored task exception, if any.
+  void synchronize();
+
+ private:
+  void drain_loop();
+
+  Device& device_;
+  std::thread drainer_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  bool busy_ = false;
+  std::exception_ptr pending_error_;
+};
+
+/// Pool of streams on one device, handed out round-robin — the paper caps
+/// concurrency at 16 non-blocking streams per GPU (§IV).
+class StreamPool {
+ public:
+  StreamPool(Device& device, int stream_count);
+
+  Stream& next();
+  int size() const { return int(streams_.size()); }
+  Stream& stream(int i) { return *streams_.at(std::size_t(i)); }
+
+  /// Synchronizes every stream in the pool.
+  void synchronize_all();
+
+ private:
+  std::vector<std::unique_ptr<Stream>> streams_;
+  std::atomic<std::size_t> cursor_{0};
+};
+
+}  // namespace mpsim::gpusim

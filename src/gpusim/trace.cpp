@@ -1,0 +1,55 @@
+#include "gpusim/trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace mpsim::gpusim {
+
+void Timeline::add(TraceEvent event) {
+  MPSIM_CHECK(event.duration_seconds >= 0.0, "negative event duration");
+  events_.push_back(std::move(event));
+}
+
+double Timeline::makespan_seconds() const {
+  double end = 0.0;
+  for (const auto& e : events_) end = std::max(end, e.end_seconds());
+  return end;
+}
+
+double Timeline::lane_end_seconds(int device, const std::string& lane) const {
+  double end = 0.0;
+  for (const auto& e : events_) {
+    if (e.device == device && e.lane == lane) {
+      end = std::max(end, e.end_seconds());
+    }
+  }
+  return end;
+}
+
+std::string Timeline::to_chrome_json() const {
+  std::ostringstream os;
+  os << "[\n";
+  bool first = true;
+  for (const auto& e : events_) {
+    if (!first) os << ",\n";
+    first = false;
+    os << "  {\"name\": \"" << e.name << "\", \"ph\": \"X\", \"pid\": "
+       << e.device << ", \"tid\": \"" << e.lane
+       << "\", \"ts\": " << e.start_seconds * 1e6
+       << ", \"dur\": " << e.duration_seconds * 1e6 << "}";
+  }
+  os << "\n]\n";
+  return os.str();
+}
+
+void Timeline::write_chrome_json(const std::string& path) const {
+  std::ofstream out(path);
+  MPSIM_CHECK(out.good(), "cannot open '" << path << "' for writing");
+  out << to_chrome_json();
+  MPSIM_CHECK(out.good(), "write to '" << path << "' failed");
+}
+
+}  // namespace mpsim::gpusim

@@ -1,0 +1,46 @@
+#include "gpusim/utilization.hpp"
+
+#include <sstream>
+
+#include "common/table.hpp"
+
+namespace mpsim::gpusim {
+
+std::vector<KernelUtilization> utilization(const KernelLedger& ledger,
+                                           const MachineSpec& spec) {
+  std::vector<KernelUtilization> out;
+  for (const auto& [name, stats] : ledger.all()) {
+    if (stats.modeled_seconds <= 0.0) continue;
+    KernelUtilization u;
+    u.kernel = name;
+    u.modeled_seconds = stats.modeled_seconds;
+    u.dram_fraction = double(stats.cost.total_bytes()) /
+                      (stats.modeled_seconds * spec.mem_bandwidth_gbs * 1e9);
+    const double peak =
+        spec.peak_tflops(stats.cost.flop_width_bytes) * 1e12;
+    u.compute_fraction =
+        peak > 0.0 ? double(stats.cost.flops) / (stats.modeled_seconds * peak)
+                   : 0.0;
+    u.sync_share = double(stats.cost.barrier_rounds) *
+                   spec.barrier_round_cost_us * 1e-6 / stats.modeled_seconds;
+    out.push_back(u);
+  }
+  return out;
+}
+
+std::string utilization_report(const KernelLedger& ledger,
+                               const MachineSpec& spec) {
+  Table table({"kernel", "modeled [s]", "DRAM util", "compute util",
+               "sync share"});
+  for (const auto& u : utilization(ledger, spec)) {
+    table.add_row({u.kernel, fmt_sci(u.modeled_seconds),
+                   fmt_pct(u.dram_fraction), fmt_pct(u.compute_fraction),
+                   fmt_pct(u.sync_share)});
+  }
+  std::ostringstream os;
+  os << "Resource utilization on " << spec.name << " (modelled):\n"
+     << table.to_string();
+  return os.str();
+}
+
+}  // namespace mpsim::gpusim

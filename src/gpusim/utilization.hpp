@@ -1,0 +1,32 @@
+// Resource-utilisation reporting — the simulator's counterpart of the
+// paper's Nsight Compute profiling (§V-C "Resource Utilization"): for
+// each kernel in a ledger, the fraction of peak DRAM bandwidth and peak
+// compute throughput the modelled execution sustains, and the share of
+// its time spent in synchronisation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gpusim/perf_model.hpp"
+#include "gpusim/spec.hpp"
+
+namespace mpsim::gpusim {
+
+struct KernelUtilization {
+  std::string kernel;
+  double modeled_seconds = 0.0;
+  double dram_fraction = 0.0;     ///< achieved bytes/s over peak bandwidth
+  double compute_fraction = 0.0;  ///< achieved flop/s over peak throughput
+  double sync_share = 0.0;        ///< barrier time / modelled time
+};
+
+/// Per-kernel utilisation of all launches recorded in `ledger` on `spec`.
+std::vector<KernelUtilization> utilization(const KernelLedger& ledger,
+                                           const MachineSpec& spec);
+
+/// Human-readable table (used by the fig4 bench and the CLI tool).
+std::string utilization_report(const KernelLedger& ledger,
+                               const MachineSpec& spec);
+
+}  // namespace mpsim::gpusim

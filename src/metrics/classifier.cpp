@@ -1,0 +1,99 @@
+#include "metrics/classifier.hpp"
+
+#include "common/error.hpp"
+
+namespace mpsim::metrics {
+
+std::vector<int> nn_classify(const mp::MatrixProfileResult& result,
+                             std::size_t k_dim,
+                             const std::vector<int>& reference_labels,
+                             std::size_t window) {
+  MPSIM_CHECK(k_dim < result.dims,
+              "k_dim " << k_dim << " out of range for " << result.dims
+                       << "-dimensional profile");
+  std::vector<int> out(result.segments, -1);
+  for (std::size_t j = 0; j < result.segments; ++j) {
+    const std::int64_t match = result.index_at(j, k_dim);
+    if (match < 0) continue;
+    const std::size_t centre = std::size_t(match) + window / 2;
+    MPSIM_CHECK(centre < reference_labels.size(),
+                "matrix profile index " << match
+                                        << " outside the labelled reference");
+    out[j] = reference_labels[centre];
+  }
+  return out;
+}
+
+std::vector<int> segment_labels(const std::vector<int>& sample_labels,
+                                std::size_t segments, std::size_t window,
+                                bool pure_only) {
+  MPSIM_CHECK(segments + window - 1 <= sample_labels.size() + 0,
+              "segment range exceeds labelled samples");
+  std::vector<int> out(segments);
+  for (std::size_t j = 0; j < segments; ++j) {
+    out[j] = sample_labels[j + window / 2];
+    if (pure_only) {
+      for (std::size_t t = 1; t < window; ++t) {
+        if (sample_labels[j + t] != sample_labels[j]) {
+          out[j] = -1;  // window spans a phase boundary
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+ClassificationReport evaluate_classification(const std::vector<int>& predicted,
+                                             const std::vector<int>& truth,
+                                             int n_classes) {
+  MPSIM_CHECK(predicted.size() == truth.size(),
+              "prediction/truth size mismatch");
+  MPSIM_CHECK(n_classes >= 1, "need at least one class");
+
+  ClassificationReport report;
+  report.per_class.resize(std::size_t(n_classes));
+  for (int c = 0; c < n_classes; ++c) report.per_class[std::size_t(c)].cls = c;
+
+  std::int64_t correct = 0;
+  std::int64_t scored = 0;
+  for (std::size_t e = 0; e < truth.size(); ++e) {
+    const int t = truth[e];
+    if (t < 0) continue;  // ill-defined ground truth: excluded
+    const int p = predicted[e];
+    ++scored;
+    if (t == p) ++correct;
+    if (t < n_classes) {
+      if (p == t) {
+        report.per_class[std::size_t(t)].true_positives += 1;
+      } else {
+        report.per_class[std::size_t(t)].false_negatives += 1;
+      }
+    }
+    if (p >= 0 && p < n_classes && p != t) {
+      report.per_class[std::size_t(p)].false_positives += 1;
+    }
+  }
+  report.accuracy = scored == 0 ? 1.0 : double(correct) / double(scored);
+
+  double f1_sum = 0.0;
+  int f1_classes = 0;
+  for (auto& score : report.per_class) {
+    const auto tp = score.true_positives;
+    const auto fp = score.false_positives;
+    const auto fn = score.false_negatives;
+    if (tp + fn == 0) continue;  // class absent from the ground truth
+    score.precision = tp + fp == 0 ? 0.0 : double(tp) / double(tp + fp);
+    score.recall = double(tp) / double(tp + fn);
+    score.f1 = score.precision + score.recall == 0.0
+                   ? 0.0
+                   : 2.0 * score.precision * score.recall /
+                         (score.precision + score.recall);
+    f1_sum += score.f1;
+    ++f1_classes;
+  }
+  report.macro_f1 = f1_classes == 0 ? 0.0 : f1_sum / double(f1_classes);
+  return report;
+}
+
+}  // namespace mpsim::metrics

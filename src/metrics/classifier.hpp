@@ -1,0 +1,56 @@
+// Nearest-neighbour classification on top of the matrix profile index
+// (paper §VI-A): each query segment inherits the label of its matching
+// reference segment, and the classifier is scored with precision / recall
+// / F-score per class (macro-averaged F-score is the headline metric of
+// Fig. 9).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mp/options.hpp"
+
+namespace mpsim::metrics {
+
+struct ClassScore {
+  int cls = 0;
+  std::int64_t true_positives = 0;
+  std::int64_t false_positives = 0;
+  std::int64_t false_negatives = 0;
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+struct ClassificationReport {
+  double accuracy = 0.0;   ///< fraction of correctly labelled segments
+  double macro_f1 = 0.0;   ///< unweighted mean of per-class F1 (F-score)
+  std::vector<ClassScore> per_class;
+};
+
+/// Labels each query segment with the label of the reference segment its
+/// matrix profile index points at (using the k_dim-dimensional profile;
+/// pass dims-1 to match on all dimensions).  Reference labels are
+/// per-sample; a segment's label is read at its centre sample.  Segments
+/// with no match (index < 0) get label -1.
+std::vector<int> nn_classify(const mp::MatrixProfileResult& result,
+                             std::size_t k_dim,
+                             const std::vector<int>& reference_labels,
+                             std::size_t window);
+
+/// Same label-at-segment-centre reduction for ground-truth comparison.
+/// With `pure_only`, segments whose window spans a phase boundary (mixed
+/// sample labels) get -1 — their class is ill-defined, and the paper's
+/// per-segment evaluation is only meaningful on single-phase segments.
+std::vector<int> segment_labels(const std::vector<int>& sample_labels,
+                                std::size_t segments, std::size_t window,
+                                bool pure_only = false);
+
+/// Scores predictions against ground truth over classes [0, n_classes).
+/// Entries with negative truth labels (ill-defined ground truth) are
+/// excluded from every statistic.
+ClassificationReport evaluate_classification(
+    const std::vector<int>& predicted, const std::vector<int>& truth,
+    int n_classes);
+
+}  // namespace mpsim::metrics

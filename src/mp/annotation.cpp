@@ -1,0 +1,81 @@
+#include "mp/annotation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace mpsim::mp {
+
+std::vector<double> complexity_annotation(const TimeSeries& series,
+                                          std::size_t window,
+                                          std::size_t dim) {
+  MPSIM_CHECK(dim < series.dims(), "dimension out of range");
+  const std::size_t n = series.segment_count(window);
+  MPSIM_CHECK(n >= 1, "window longer than the series");
+  const auto x = series.dim(dim);
+
+  // Complexity estimate per segment: sqrt of the sum of squared diffs.
+  // Computed with a sliding update over the squared-difference series.
+  std::vector<double> ce(n);
+  double acc = 0.0;
+  for (std::size_t t = 0; t + 1 < window; ++t) {
+    const double d = x[t + 1] - x[t];
+    acc += d * d;
+  }
+  ce[0] = std::sqrt(acc);
+  for (std::size_t j = 1; j < n; ++j) {
+    const double out_d = x[j] - x[j - 1];
+    const double in_d = x[j + window - 1] - x[j + window - 2];
+    acc += in_d * in_d - out_d * out_d;
+    ce[j] = std::sqrt(std::max(0.0, acc));
+  }
+
+  const auto [mn, mx] = std::minmax_element(ce.begin(), ce.end());
+  const double lo = *mn, range = *mx - *mn;
+  if (range == 0.0) return std::vector<double>(n, 1.0);
+  for (auto& v : ce) v = (v - lo) / range;
+  return ce;
+}
+
+std::vector<double> mask_annotation(
+    std::size_t segments, std::size_t window,
+    const std::vector<std::pair<std::size_t, std::size_t>>& suppressed) {
+  std::vector<double> av(segments, 1.0);
+  for (const auto& [begin, end] : suppressed) {
+    MPSIM_CHECK(begin <= end, "suppressed range is reversed");
+    // A segment [j, j + window) overlaps [begin, end) iff
+    // j < end && begin < j + window.
+    const std::size_t first =
+        begin >= window ? begin - window + 1 : 0;
+    for (std::size_t j = first; j < std::min(segments, end); ++j) {
+      av[j] = 0.0;
+    }
+  }
+  return av;
+}
+
+void apply_annotation(MatrixProfileResult& result,
+                      const std::vector<double>& annotation) {
+  MPSIM_CHECK(annotation.size() == result.segments,
+              "annotation vector has " << annotation.size()
+                                       << " entries, expected "
+                                       << result.segments);
+  for (const double a : annotation) {
+    MPSIM_CHECK(a >= 0.0 && a <= 1.0,
+                "annotation values must lie in [0, 1], got " << a);
+  }
+
+  double max_finite = 0.0;
+  for (const double p : result.profile) {
+    if (std::isfinite(p)) max_finite = std::max(max_finite, p);
+  }
+  for (std::size_t k = 0; k < result.dims; ++k) {
+    for (std::size_t j = 0; j < result.segments; ++j) {
+      auto& p = result.profile[k * result.segments + j];
+      if (std::isfinite(p)) p += (1.0 - annotation[j]) * max_finite;
+    }
+  }
+}
+
+}  // namespace mpsim::mp

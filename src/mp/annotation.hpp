@@ -1,0 +1,42 @@
+// Annotation vectors and the corrected matrix profile (Dau & Keogh,
+// "Matrix Profile V: A Generic Technique to Incorporate Domain Knowledge
+// into Motif Discovery").
+//
+// An annotation vector AV assigns every query segment a desirability in
+// [0, 1]; the corrected profile CMP = P + (1 - AV) * max(P) pushes
+// undesirable segments' values above every genuine match, so the usual
+// min/motif machinery skips them.  The helpers below build the two most
+// used AVs: complexity (suppresses flat/idle stretches) and a stop-band
+// mask (suppresses user-specified regions, e.g. known sensor glitches).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "mp/options.hpp"
+#include "tsdata/time_series.hpp"
+
+namespace mpsim::mp {
+
+/// Complexity-based annotation vector: segments with low signal
+/// complexity (sum of squared sample-to-sample differences, the classic
+/// CE estimate) get low desirability.  Values are min-max scaled to
+/// [0, 1] per call.  Uses dimension `dim` of the series.
+std::vector<double> complexity_annotation(const TimeSeries& series,
+                                          std::size_t window,
+                                          std::size_t dim = 0);
+
+/// Mask annotation vector: 1 everywhere except segments overlapping any
+/// [begin, end) sample range in `suppressed`, which get 0.
+std::vector<double> mask_annotation(
+    std::size_t segments, std::size_t window,
+    const std::vector<std::pair<std::size_t, std::size_t>>& suppressed);
+
+/// Applies the correction CMP = P + (1 - AV) * max_finite(P) to every
+/// dimension plane of `result` in place.  `annotation` has one entry per
+/// query segment.  Indices are left untouched: consumers that need them
+/// re-rank via top_motifs on the corrected values.
+void apply_annotation(MatrixProfileResult& result,
+                      const std::vector<double>& annotation);
+
+}  // namespace mpsim::mp

@@ -1,0 +1,120 @@
+#include "mp/anytime.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "mp/kernels.hpp"
+#include "mp/sort_scan.hpp"
+
+namespace mpsim::mp {
+
+AnytimeMatrixProfile::AnytimeMatrixProfile(const TimeSeries& reference,
+                                           const TimeSeries& query,
+                                           std::size_t window,
+                                           std::uint64_t seed)
+    : window_(window),
+      dims_(reference.dims()),
+      n_r_(reference.segment_count(window)),
+      n_q_(query.segment_count(window)),
+      len_r_(reference.length()),
+      len_q_(query.length()) {
+  MPSIM_CHECK(reference.dims() == query.dims(), "dimension mismatch");
+  MPSIM_CHECK(window_ >= 4, "window must be at least 4 samples");
+  MPSIM_CHECK(n_r_ >= 1 && n_q_ >= 1, "window longer than an input series");
+
+  reference_ = reference.raw();
+  query_ = query.raw();
+  pre_r_.resize(n_r_, dims_);
+  pre_q_.resize(n_q_, dims_);
+  for (std::size_t k = 0; k < dims_; ++k) {
+    precalc_dimension<Fp64>(reference_.data() + k * len_r_, window_, n_r_,
+                            pre_r_.mu.data() + k * n_r_,
+                            pre_r_.inv.data() + k * n_r_,
+                            pre_r_.df.data() + k * n_r_,
+                            pre_r_.dg.data() + k * n_r_);
+    precalc_dimension<Fp64>(query_.data() + k * len_q_, window_, n_q_,
+                            pre_q_.mu.data() + k * n_q_,
+                            pre_q_.inv.data() + k * n_q_,
+                            pre_q_.df.data() + k * n_q_,
+                            pre_q_.dg.data() + k * n_q_);
+  }
+
+  // Shuffled diagonal order (deltas j - i in [-(n_r-1), n_q-1]).
+  order_.reserve(n_r_ + n_q_ - 1);
+  for (std::int64_t delta = -(std::int64_t(n_r_) - 1);
+       delta <= std::int64_t(n_q_) - 1; ++delta) {
+    order_.push_back(delta);
+  }
+  Rng rng(seed == 0 ? 0x5C12ED1A5ULL : seed);
+  for (std::size_t i = order_.size(); i > 1; --i) {
+    std::swap(order_[i - 1], order_[rng.uniform_index(i)]);
+  }
+
+  profile_.assign(n_q_ * dims_, std::numeric_limits<double>::infinity());
+  index_.assign(n_q_ * dims_, -1);
+}
+
+double AnytimeMatrixProfile::step(std::size_t diagonal_count) {
+  double improvement = 0.0;
+  std::size_t updates = 0;
+  const std::size_t end = std::min(order_.size(), next_ + diagonal_count);
+  while (next_ < end) {
+    process_diagonal(order_[next_], &improvement, &updates);
+    ++next_;
+  }
+  return updates == 0 ? 0.0 : improvement / double(updates);
+}
+
+void AnytimeMatrixProfile::process_diagonal(std::int64_t delta,
+                                            double* improvement,
+                                            std::size_t* updates) {
+  const std::size_t m = window_;
+  const double two_m = double(2 * m);
+  std::size_t i = delta >= 0 ? 0 : std::size_t(-delta);
+  std::size_t j = delta >= 0 ? std::size_t(delta) : 0;
+  const std::size_t steps = std::min(n_r_ - i, n_q_ - j);
+
+  std::vector<double> qt(dims_), dists(dims_), scratch(dims_);
+  for (std::size_t t = 0; t < steps; ++t, ++i, ++j) {
+    for (std::size_t k = 0; k < dims_; ++k) {
+      const double* r = reference_.data() + k * len_r_;
+      const double* q = query_.data() + k * len_q_;
+      if (t == 0) {
+        qt[k] = centered_dot<Fp64>(r + i, q + j, m, pre_r_.mu[k * n_r_ + i],
+                                   pre_q_.mu[k * n_q_ + j]);
+      } else {
+        qt[k] = qt[k] +
+                pre_r_.df[k * n_r_ + i] * pre_q_.dg[k * n_q_ + j] +
+                pre_r_.dg[k * n_r_ + i] * pre_q_.df[k * n_q_ + j];
+      }
+      dists[k] = qt_to_distance(qt[k], pre_r_.inv[k * n_r_ + i],
+                                pre_q_.inv[k * n_q_ + j], two_m);
+    }
+    std::sort(dists.begin(), dists.end());
+    inclusive_scan_average(dists.data(), scratch.data(), dims_);
+    for (std::size_t k = 0; k < dims_; ++k) {
+      const std::size_t e = k * n_q_ + j;
+      const double d = dists[k];
+      // Same tie rule as everywhere: smaller distance wins, then smaller
+      // reference index, so the completed result is order-independent.
+      if (d < profile_[e] ||
+          (d == profile_[e] &&
+           (index_[e] < 0 || std::int64_t(i) < index_[e]))) {
+        if (std::isfinite(profile_[e])) {
+          *improvement += profile_[e] - d;
+          ++(*updates);
+        } else {
+          // First touch: count as a full-profile-magnitude improvement.
+          *improvement += d;
+          ++(*updates);
+        }
+        profile_[e] = d;
+        index_[e] = std::int64_t(i);
+      }
+    }
+  }
+}
+
+}  // namespace mpsim::mp

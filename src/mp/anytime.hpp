@@ -1,0 +1,82 @@
+// Anytime (approximate, interruptible) multi-dimensional matrix profile,
+// SCRIMP-style (Zhu et al., "SCRIMP++: time series motif discovery at
+// interactive speeds" — reference [25] of the paper, whose relative-
+// accuracy metric A this repository reuses).
+//
+// The exact computation processes every diagonal of the distance matrix;
+// the anytime variant processes diagonals in random order and can be
+// interrupted at any point: the profile is always a valid upper bound
+// that converges monotonically to the exact result, and large motifs are
+// found long before completion because every diagonal is equally likely
+// to be sampled.
+//
+// FP64 host arithmetic, sharing the kernels' expressions, so a fully
+// completed run equals the batch CPU reference bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "mp/precalc.hpp"
+#include "tsdata/time_series.hpp"
+
+namespace mpsim::mp {
+
+class AnytimeMatrixProfile {
+ public:
+  AnytimeMatrixProfile(const TimeSeries& reference, const TimeSeries& query,
+                       std::size_t window, std::uint64_t seed = 0);
+
+  std::size_t segments() const { return n_q_; }
+  std::size_t dims() const { return dims_; }
+  /// Total diagonals of the distance matrix (n_r + n_q - 1).
+  std::size_t total_diagonals() const { return order_.size(); }
+  /// Diagonals processed so far.
+  std::size_t processed_diagonals() const { return next_; }
+  /// Fraction of the work done, in [0, 1].
+  double completion() const {
+    return double(next_) / double(order_.size());
+  }
+
+  /// Processes up to `diagonal_count` more random diagonals; returns the
+  /// mean absolute profile improvement per updated entry of this step
+  /// (a convergence signal: it decays toward zero).
+  double step(std::size_t diagonal_count);
+
+  /// Runs to completion (exact result).
+  void finish() { step(order_.size()); }
+
+  /// Current (upper-bound) profile and index, dimension-major
+  /// [k * segments() + j]; unvisited columns hold +inf / -1.
+  const std::vector<double>& profile() const { return profile_; }
+  const std::vector<std::int64_t>& index() const { return index_; }
+
+  double at(std::size_t j, std::size_t k) const {
+    return profile_[k * n_q_ + j];
+  }
+  std::int64_t index_at(std::size_t j, std::size_t k) const {
+    return index_[k * n_q_ + j];
+  }
+
+ private:
+  void process_diagonal(std::int64_t delta, double* improvement,
+                        std::size_t* updates);
+
+  using Fp64 = PrecisionTraits<PrecisionMode::FP64>;
+
+  std::size_t window_;
+  std::size_t dims_;
+  std::size_t n_r_, n_q_;
+  std::size_t len_r_, len_q_;
+  std::vector<double> reference_, query_;  // dimension-major copies
+  PrecalcArrays<Fp64> pre_r_, pre_q_;
+
+  std::vector<std::int64_t> order_;  // shuffled diagonal deltas
+  std::size_t next_ = 0;
+
+  std::vector<double> profile_;
+  std::vector<std::int64_t> index_;
+};
+
+}  // namespace mpsim::mp

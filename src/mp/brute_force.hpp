@@ -1,0 +1,41 @@
+// Brute-force multi-dimensional matrix profile validator.
+//
+// Computes every pairwise z-normalised distance directly with two-pass
+// per-segment statistics and an explicit O(m) dot product — no streaming
+// recurrences, no shared code with the optimised engines beyond the final
+// sort/scan semantics.  O(n_r * n_q * m * d): only usable for small
+// problems, which is exactly its job — an independent oracle for tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tsdata/time_series.hpp"
+
+namespace mpsim::mp {
+
+struct BruteForceResult {
+  std::size_t segments = 0;
+  std::size_t dims = 0;
+  std::vector<double> profile;      // [k * segments + j]
+  std::vector<std::int64_t> index;
+
+  double at(std::size_t j, std::size_t k) const {
+    return profile[k * segments + j];
+  }
+  std::int64_t index_at(std::size_t j, std::size_t k) const {
+    return index[k * segments + j];
+  }
+};
+
+/// Direct evaluation of Eqs. (1)-(3) without streaming updates.
+BruteForceResult compute_matrix_profile_brute_force(
+    const TimeSeries& reference, const TimeSeries& query, std::size_t window,
+    std::int64_t exclusion = 0);
+
+/// Z-normalised Euclidean distance between two raw segments (two-pass
+/// statistics); exposed for targeted kernel tests.
+double znormalized_distance(const double* a, const double* b,
+                            std::size_t window);
+
+}  // namespace mpsim::mp

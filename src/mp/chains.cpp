@@ -1,0 +1,147 @@
+#include "mp/chains.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+#include "mp/kernels.hpp"
+#include "mp/precalc.hpp"
+#include "mp/sort_scan.hpp"
+
+namespace mpsim::mp {
+namespace {
+
+using Fp64 = PrecisionTraits<PrecisionMode::FP64>;
+
+void update_directional(double dist, std::int64_t i, std::int64_t j,
+                        std::size_t e, LeftRightProfile& out) {
+  if (i < j) {
+    if (dist < out.left_profile[e] ||
+        (dist == out.left_profile[e] &&
+         (out.left_index[e] < 0 || i < out.left_index[e]))) {
+      out.left_profile[e] = dist;
+      out.left_index[e] = i;
+    }
+  } else if (i > j) {
+    if (dist < out.right_profile[e] ||
+        (dist == out.right_profile[e] &&
+         (out.right_index[e] < 0 || i < out.right_index[e]))) {
+      out.right_profile[e] = dist;
+      out.right_index[e] = i;
+    }
+  }
+}
+
+}  // namespace
+
+LeftRightProfile compute_left_right_profiles(const TimeSeries& series,
+                                             std::size_t window,
+                                             std::int64_t exclusion) {
+  MPSIM_CHECK(window >= 4, "window must be at least 4 samples");
+  const std::size_t d = series.dims();
+  const std::size_t n = series.segment_count(window);
+  MPSIM_CHECK(n >= 2, "need at least two segments for a self-join");
+  if (exclusion == 0) exclusion = std::int64_t(window / 2);
+
+  PrecalcArrays<Fp64> pre;
+  pre.resize(n, d);
+  for (std::size_t k = 0; k < d; ++k) {
+    precalc_dimension<Fp64>(series.dim(k).data(), window, n,
+                            pre.mu.data() + k * n, pre.inv.data() + k * n,
+                            pre.df.data() + k * n, pre.dg.data() + k * n);
+  }
+
+  LeftRightProfile out;
+  out.segments = n;
+  out.dims = d;
+  out.left_profile.assign(n * d, std::numeric_limits<double>::infinity());
+  out.right_profile.assign(n * d, std::numeric_limits<double>::infinity());
+  out.left_index.assign(n * d, -1);
+  out.right_index.assign(n * d, -1);
+
+  const double two_m = double(2 * window);
+  std::vector<double> qt(d), dists(d), scratch(d);
+  // Self-join symmetry: only diagonals delta >= exclusion are needed; a
+  // pair (i, j) with i < j updates j's left profile and i's right one.
+  for (std::int64_t delta = exclusion; delta < std::int64_t(n); ++delta) {
+    std::size_t i = 0;
+    std::size_t j = std::size_t(delta);
+    const std::size_t steps = n - j;
+    for (std::size_t t = 0; t < steps; ++t, ++i, ++j) {
+      for (std::size_t k = 0; k < d; ++k) {
+        const double* x = series.dim(k).data();
+        if (t == 0) {
+          qt[k] = centered_dot<Fp64>(x + i, x + j, window, pre.mu[k * n + i],
+                                     pre.mu[k * n + j]);
+        } else {
+          qt[k] = qt[k] + pre.df[k * n + i] * pre.dg[k * n + j] +
+                  pre.dg[k * n + i] * pre.df[k * n + j];
+        }
+        dists[k] = qt_to_distance(qt[k], pre.inv[k * n + i],
+                                  pre.inv[k * n + j], two_m);
+      }
+      std::sort(dists.begin(), dists.end());
+      inclusive_scan_average(dists.data(), scratch.data(), d);
+      for (std::size_t k = 0; k < d; ++k) {
+        // (i, j): i < j by construction.
+        update_directional(dists[k], std::int64_t(i), std::int64_t(j),
+                           k * n + j, out);
+        update_directional(dists[k], std::int64_t(j), std::int64_t(i),
+                           k * n + i, out);
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Bidirectionally consistent successor of segment j (or -1).
+std::int64_t chain_successor(const LeftRightProfile& p, std::size_t k,
+                             std::int64_t j) {
+  const std::int64_t r = p.right_index[k * p.segments + std::size_t(j)];
+  if (r < 0) return -1;
+  const std::int64_t back = p.left_index[k * p.segments + std::size_t(r)];
+  return back == j ? r : -1;
+}
+
+}  // namespace
+
+std::vector<std::vector<std::int64_t>> all_chains(
+    const LeftRightProfile& profiles, std::size_t k_dim) {
+  MPSIM_CHECK(k_dim < profiles.dims, "k_dim out of range");
+  const std::size_t n = profiles.segments;
+
+  // A segment starts a chain when nothing links into it.
+  std::vector<bool> has_predecessor(n, false);
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::int64_t s = chain_successor(profiles, k_dim, std::int64_t(j));
+    if (s >= 0) has_predecessor[std::size_t(s)] = true;
+  }
+
+  std::vector<std::vector<std::int64_t>> chains;
+  for (std::size_t j = 0; j < n; ++j) {
+    if (has_predecessor[j]) continue;
+    std::vector<std::int64_t> chain{std::int64_t(j)};
+    std::int64_t cur = std::int64_t(j);
+    while (true) {
+      const std::int64_t next = chain_successor(profiles, k_dim, cur);
+      if (next < 0) break;
+      chain.push_back(next);
+      cur = next;
+    }
+    if (chain.size() >= 2) chains.push_back(std::move(chain));
+  }
+  return chains;
+}
+
+std::vector<std::int64_t> longest_chain(const LeftRightProfile& profiles,
+                                        std::size_t k_dim) {
+  std::vector<std::int64_t> best;
+  for (auto& chain : all_chains(profiles, k_dim)) {
+    if (chain.size() > best.size()) best = std::move(chain);
+  }
+  return best;
+}
+
+}  // namespace mpsim::mp

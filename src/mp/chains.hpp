@@ -1,0 +1,60 @@
+// Left/right matrix profiles and time-series chains.
+//
+// The left (right) matrix profile of a self-join restricts each segment's
+// nearest neighbour to earlier (later) segments.  Zhu et al. ("Matrix
+// Profile VII: Time Series Chains") showed that following bidirectionally
+// consistent right-neighbour links — RI[j]'s left neighbour is j again —
+// uncovers *evolving* patterns that drift over time, a capability plain
+// motif discovery lacks.  This complements the paper's pattern-detection
+// case studies (a drifting startup signature, a slowly changing workload).
+//
+// FP64 host computation over the same kernels' arithmetic (diagonal
+// order), self-join with a trivial-match exclusion zone.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tsdata/time_series.hpp"
+
+namespace mpsim::mp {
+
+struct LeftRightProfile {
+  std::size_t segments = 0;
+  std::size_t dims = 0;
+  // Dimension-major [k * segments + j], like MatrixProfileResult.
+  std::vector<double> left_profile, right_profile;
+  std::vector<std::int64_t> left_index, right_index;
+
+  double left_at(std::size_t j, std::size_t k) const {
+    return left_profile[k * segments + j];
+  }
+  double right_at(std::size_t j, std::size_t k) const {
+    return right_profile[k * segments + j];
+  }
+  std::int64_t left_index_at(std::size_t j, std::size_t k) const {
+    return left_index[k * segments + j];
+  }
+  std::int64_t right_index_at(std::size_t j, std::size_t k) const {
+    return right_index[k * segments + j];
+  }
+};
+
+/// Self-join left/right profiles of `series`; `exclusion` defaults to
+/// window/2 when 0.
+LeftRightProfile compute_left_right_profiles(const TimeSeries& series,
+                                             std::size_t window,
+                                             std::int64_t exclusion = 0);
+
+/// All maximal time-series chains on the k_dim-dimensional plane: each
+/// chain is a strictly increasing list of segment indices linked by
+/// bidirectionally consistent left/right neighbours.  Chains of length 1
+/// (unlinked segments) are omitted.
+std::vector<std::vector<std::int64_t>> all_chains(
+    const LeftRightProfile& profiles, std::size_t k_dim);
+
+/// The longest (unanchored) chain; empty if no segment links to another.
+std::vector<std::int64_t> longest_chain(const LeftRightProfile& profiles,
+                                        std::size_t k_dim);
+
+}  // namespace mpsim::mp

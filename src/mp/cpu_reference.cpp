@@ -1,0 +1,171 @@
+#include "mp/cpu_reference.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/stopwatch.hpp"
+#include "common/thread_pool.hpp"
+#include "gpusim/spec.hpp"
+#include "mp/kernels.hpp"
+#include "mp/precalc.hpp"
+#include "mp/sort_scan.hpp"
+
+namespace mpsim::mp {
+namespace {
+
+using Fp64 = PrecisionTraits<PrecisionMode::FP64>;
+
+struct LocalProfile {
+  std::vector<double> profile;
+  std::vector<std::int64_t> index;
+
+  explicit LocalProfile(std::size_t entries)
+      : profile(entries, std::numeric_limits<double>::infinity()),
+        index(entries, -1) {}
+
+  void update(std::size_t e, double dist, std::int64_t row) {
+    if (dist < profile[e] ||
+        (dist == profile[e] && (index[e] < 0 || row < index[e]))) {
+      profile[e] = dist;
+      index[e] = row;
+    }
+  }
+};
+
+}  // namespace
+
+CpuReferenceResult compute_matrix_profile_cpu(
+    const TimeSeries& reference, const TimeSeries& query,
+    const CpuReferenceConfig& config) {
+  const std::size_t m = config.window;
+  const std::size_t d = reference.dims();
+  MPSIM_CHECK(reference.dims() == query.dims(), "dimension mismatch");
+  const std::size_t nr = reference.segment_count(m);
+  const std::size_t nq = query.segment_count(m);
+  MPSIM_CHECK(nr >= 1 && nq >= 1, "window longer than an input series");
+
+  Stopwatch wall;
+
+  // ---- Precalculation: identical arithmetic to the GPU FP64 engine. ----
+  PrecalcArrays<Fp64> pre_r, pre_q;
+  pre_r.resize(nr, d);
+  pre_q.resize(nq, d);
+  for (std::size_t k = 0; k < d; ++k) {
+    precalc_dimension<Fp64>(reference.dim(k).data(), m, nr,
+                            pre_r.mu.data() + k * nr,
+                            pre_r.inv.data() + k * nr,
+                            pre_r.df.data() + k * nr,
+                            pre_r.dg.data() + k * nr);
+    precalc_dimension<Fp64>(query.dim(k).data(), m, nq,
+                            pre_q.mu.data() + k * nq,
+                            pre_q.inv.data() + k * nq,
+                            pre_q.df.data() + k * nq,
+                            pre_q.dg.data() + k * nq);
+  }
+
+  // ---- Diagonal-parallel main loop. ----
+  // Diagonal delta = j - i covers [-(nr-1), nq-1]; each diagonal is an
+  // independent run of the QT recurrence, so threads own disjoint blocks
+  // of diagonals and merge their local profiles afterwards ((MP)^N-style).
+  const std::int64_t delta_min = -(std::int64_t(nr) - 1);
+  const std::int64_t delta_max = std::int64_t(nq) - 1;
+  const std::size_t delta_count = std::size_t(delta_max - delta_min + 1);
+
+  ThreadPool pool(config.threads);
+  const std::size_t block_count =
+      std::min(delta_count, pool.worker_count() * 4);
+  std::vector<LocalProfile> locals;
+  locals.reserve(block_count);
+  for (std::size_t b = 0; b < block_count; ++b) locals.emplace_back(nq * d);
+
+  const double two_m = double(2 * m);
+  pool.parallel_for(block_count, [&](std::size_t bbegin, std::size_t bend) {
+    std::vector<double> qt(d), dists(d), scratch(d);
+    for (std::size_t b = bbegin; b < bend; ++b) {
+      LocalProfile& local = locals[b];
+      const std::size_t d0 = b * delta_count / block_count;
+      const std::size_t d1 = (b + 1) * delta_count / block_count;
+      for (std::size_t di = d0; di < d1; ++di) {
+        const std::int64_t delta = delta_min + std::int64_t(di);
+        std::size_t i = delta >= 0 ? 0 : std::size_t(-delta);
+        std::size_t j = delta >= 0 ? std::size_t(delta) : 0;
+        const std::size_t steps = std::min(nr - i, nq - j);
+        for (std::size_t t = 0; t < steps; ++t, ++i, ++j) {
+          for (std::size_t k = 0; k < d; ++k) {
+            if (t == 0) {
+              // Seed with the naive mean-centred dot product — the same
+              // arithmetic the GPU precalculation uses for QT seeds.
+              qt[k] = centered_dot<Fp64>(
+                  reference.dim(k).data() + i, query.dim(k).data() + j, m,
+                  pre_r.mu[k * nr + i], pre_q.mu[k * nq + j]);
+            } else {
+              qt[k] = qt[k] + pre_r.df[k * nr + i] * pre_q.dg[k * nq + j] +
+                      pre_r.dg[k * nr + i] * pre_q.df[k * nq + j];
+            }
+            dists[k] = qt_to_distance(qt[k], pre_r.inv[k * nr + i],
+                                      pre_q.inv[k * nq + j], two_m);
+          }
+          if (config.exclusion > 0) {
+            const std::int64_t gap =
+                std::int64_t(i) > std::int64_t(j)
+                    ? std::int64_t(i) - std::int64_t(j)
+                    : std::int64_t(j) - std::int64_t(i);
+            if (gap < config.exclusion) continue;
+          }
+          std::sort(dists.begin(), dists.end());
+          inclusive_scan_average(dists.data(), scratch.data(), d);
+          for (std::size_t k = 0; k < d; ++k) {
+            local.update(k * nq + j, dists[k], std::int64_t(i));
+          }
+        }
+      }
+    }
+  });
+
+  // ---- Merge thread-local profiles (order-independent tie rule). ----
+  CpuReferenceResult out;
+  out.segments = nq;
+  out.dims = d;
+  out.profile.assign(nq * d, std::numeric_limits<double>::infinity());
+  out.index.assign(nq * d, -1);
+  for (const auto& local : locals) {
+    for (std::size_t e = 0; e < nq * d; ++e) {
+      const double p = local.profile[e];
+      const std::int64_t idx = local.index[e];
+      if (p < out.profile[e] ||
+          (p == out.profile[e] && idx >= 0 &&
+           (out.index[e] < 0 || idx < out.index[e]))) {
+        out.profile[e] = p;
+        out.index[e] = idx;
+      }
+    }
+  }
+
+  out.wall_seconds = wall.seconds();
+  out.modeled_seconds = modeled_cpu_seconds(nr, nq, d, m);
+  return out;
+}
+
+double modeled_cpu_seconds(std::size_t n_r, std::size_t n_q, std::size_t dims,
+                           std::size_t window) {
+  const auto cpu = gpusim::skylake_cpu16();
+  // Same per-row work as the GPU engine (the algorithm is shared), costed
+  // on the CPU spec; the spec's launch/barrier overheads are zero.
+  gpusim::KernelCost total;
+  const auto dist = dist_calc_cost<Fp64>(n_q, dims);
+  const auto sort = sort_scan_cost<Fp64>(n_q, dims);
+  const auto upd = update_cost<Fp64>(n_q, dims);
+  for (const auto* c : {&dist, &sort, &upd}) {
+    total.bytes_read += c->bytes_read * std::int64_t(n_r);
+    total.bytes_written += c->bytes_written * std::int64_t(n_r);
+    total.flops += c->flops * std::int64_t(n_r);
+  }
+  const auto pre = precalc_cost<Fp64>(n_r, n_q, dims, window);
+  total.bytes_read += pre.bytes_read;
+  total.bytes_written += pre.bytes_written;
+  total.flops += pre.flops;
+  total.flop_width_bytes = 8;
+  return gpusim::modeled_seconds(cpu, total);
+}
+
+}  // namespace mpsim::mp

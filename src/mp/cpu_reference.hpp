@@ -1,0 +1,57 @@
+// CPU reference implementation: an mSTAMP / (MP)^N-style multi-dimensional
+// matrix profile in FP64, parallelised over diagonal blocks of the distance
+// matrix exactly like the state-of-the-art CPU solution the paper compares
+// against (Raoofy et al. 2020).
+//
+// It plays two roles:
+//  1. the accuracy reference for every reduced-precision experiment
+//     (the paper's "CPU-based reference", §V-B), and
+//  2. the CPU side of the Fig. 6 performance comparison — measured wall
+//     time at the benchmark's scaled sizes, plus a roofline-modelled time
+//     on the 16-core Skylake spec at the paper's full sizes.
+//
+// It deliberately shares the precalculation, distance and scan arithmetic
+// with the GPU engine so FP64 results agree bit-for-bit, as the paper
+// reports for its FP64 mode.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tsdata/time_series.hpp"
+
+namespace mpsim::mp {
+
+struct CpuReferenceConfig {
+  std::size_t window = 64;
+  std::size_t threads = 0;        ///< 0 = all hardware threads
+  std::int64_t exclusion = 0;     ///< self-join trivial-match radius
+};
+
+struct CpuReferenceResult {
+  std::size_t segments = 0;
+  std::size_t dims = 0;
+  std::vector<double> profile;      // [k * segments + j]
+  std::vector<std::int64_t> index;
+  double wall_seconds = 0.0;        ///< measured
+  double modeled_seconds = 0.0;     ///< roofline on the 16-core Skylake spec
+
+  double at(std::size_t j, std::size_t k) const {
+    return profile[k * segments + j];
+  }
+  std::int64_t index_at(std::size_t j, std::size_t k) const {
+    return index[k * segments + j];
+  }
+};
+
+/// Computes the multi-dimensional matrix profile on the host CPU in FP64.
+CpuReferenceResult compute_matrix_profile_cpu(const TimeSeries& reference,
+                                              const TimeSeries& query,
+                                              const CpuReferenceConfig& config);
+
+/// Roofline-modelled (MP)^N execution time on the paper's 16-core Skylake
+/// CPU for a problem of the given shape (used by Fig. 6 at paper scale).
+double modeled_cpu_seconds(std::size_t n_r, std::size_t n_q, std::size_t dims,
+                           std::size_t window);
+
+}  // namespace mpsim::mp

@@ -1,0 +1,218 @@
+// Bodies and cost descriptors of the four GPU kernels (paper §III-A):
+// precalculation, dist_calc, sort_&_incl_scan, update_mat_prof.
+//
+// Bodies are plain functions over raw device-buffer pointers so they can be
+// unit-tested directly and reused by the single-tile engine; each kernel
+// also has a cost function feeding the roofline performance model (byte
+// counts assume the row-resident working set streams through DRAM once per
+// pass, which matches the paper's ">80% DRAM throughput" profile for
+// dist_calc / update_mat_prof).
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+#include "gpusim/kernel.hpp"
+#include "mp/precalc.hpp"
+#include "mp/sort_scan.hpp"
+#include "precision/modes.hpp"
+
+namespace mpsim::mp {
+
+/// Distance of Eq. (1) from a mean-centred dot product and the two inverse
+/// norms: sqrt(2m * (1 - QT * inv_r * inv_q)), clamped at zero when
+/// rounding pushes the correlation above one.  Shared by the GPU kernel
+/// and the CPU reference so their FP64 results are bit-identical.
+template <typename CT>
+CT qt_to_distance(CT qt, CT inv_r, CT inv_q, CT two_m) {
+  using std::sqrt;
+  const CT corr = qt * inv_r * inv_q;
+  const CT val = two_m * (CT(1) - corr);
+  return val > CT(0) ? CT(sqrt(val)) : CT(0);
+}
+
+/// dist_calc, Eq. (1): computes elements [begin, end) of row i of the
+/// distance matrix (elements indexed e = k*w + j over w columns and d
+/// dimensions).  Reads the previous QT row, writes the next QT row and the
+/// distance row.
+template <typename Traits>
+void dist_calc_body(std::int64_t begin, std::int64_t end, std::size_t i,
+                    std::size_t w, std::size_t m,
+                    const typename Traits::Storage* qt_row_seed,  // [k*w+j]
+                    const typename Traits::Storage* qt_col_seed,  // [k*nr+i]
+                    std::size_t nr,
+                    const typename Traits::Storage* df_r,
+                    const typename Traits::Storage* dg_r,
+                    const typename Traits::Storage* inv_r,
+                    const typename Traits::Storage* df_q,
+                    const typename Traits::Storage* dg_q,
+                    const typename Traits::Storage* inv_q,
+                    const typename Traits::Storage* qt_prev,
+                    typename Traits::Storage* qt_next,
+                    typename Traits::Storage* dist_row) {
+  using CT = typename Traits::Compute;
+  using ST = typename Traits::Storage;
+
+  const CT two_m = CT(double(2 * m));
+  std::size_t k = std::size_t(begin) / w;
+  std::size_t j = std::size_t(begin) % w;
+  for (std::int64_t e = begin; e < end; ++e) {
+    CT qt;
+    if (i == 0) {
+      qt = CT(qt_row_seed[e]);
+    } else if (j == 0) {
+      qt = CT(qt_col_seed[k * nr + i]);
+    } else {
+      qt = CT(qt_prev[e - 1]) + CT(df_r[k * nr + i]) * CT(dg_q[e]) +
+           CT(dg_r[k * nr + i]) * CT(df_q[e]);
+    }
+    qt_next[e] = ST(qt);
+    dist_row[e] =
+        ST(qt_to_distance(qt, CT(inv_r[k * nr + i]), CT(inv_q[e]), two_m));
+    if (++j == w) {
+      j = 0;
+      ++k;
+    }
+  }
+}
+
+/// sort_&_incl_scan, Eq. (2), for one column group: gathers the d
+/// distances of column j, Bitonic-sorts them ascending (padded to the next
+/// power of two with +inf), then computes the progressive inclusive
+/// average.  Barriers are reported through the GroupContext.
+template <typename Traits>
+void sort_scan_group_body(gpusim::GroupContext& group, std::size_t w,
+                          std::size_t d,
+                          const typename Traits::Storage* dist_row,
+                          typename Traits::Storage* scan_row) {
+  using ST = typename Traits::Storage;
+  const std::size_t j = std::size_t(group.group_index());
+  const std::size_t p2 = next_pow2(d);
+
+  // Thread-local shared-memory analogue: reused across groups a worker
+  // executes, sized for the padded problem.
+  thread_local std::vector<ST> values;
+  thread_local std::vector<ST> scratch;
+  values.assign(p2, std::numeric_limits<ST>::infinity());
+  scratch.assign(p2, ST(0));
+
+  for (std::size_t k = 0; k < d; ++k) values[k] = dist_row[k * w + j];
+  group.barrier();  // gather complete
+
+  bitonic_sort(values.data(), p2, [&group] { group.barrier(); });
+  inclusive_scan_average(values.data(), scratch.data(), d,
+                         [&group] { group.barrier(); });
+
+  for (std::size_t k = 0; k < d; ++k) scan_row[k * w + j] = values[k];
+}
+
+/// update_mat_prof, Eq. (3): merges row i of the scanned distances into
+/// the running profile (column-wise min / argmin).  Strict less-than keeps
+/// the earliest row on ties.  `exclusion` > 0 skips trivial self-join
+/// matches with |row - column| < exclusion (global segment indices).
+template <typename Traits>
+void update_body(std::int64_t begin, std::int64_t end, std::size_t w,
+                 std::int64_t global_row, std::int64_t q_begin,
+                 std::int64_t exclusion,
+                 const typename Traits::Storage* scan_row,
+                 typename Traits::Storage* profile, std::int64_t* index) {
+  for (std::int64_t e = begin; e < end; ++e) {
+    const std::int64_t j = e % std::int64_t(w);
+    if (exclusion > 0) {
+      const std::int64_t col = q_begin + j;
+      const std::int64_t gap =
+          global_row > col ? global_row - col : col - global_row;
+      if (gap < exclusion) continue;
+    }
+    // NaN distances (possible after FP16 overflow) never win: the
+    // comparison below is false for NaN.
+    if (scan_row[e] < profile[e]) {
+      profile[e] = scan_row[e];
+      index[e] = global_row;
+    }
+  }
+}
+
+// --- Roofline cost descriptors --------------------------------------------
+
+/// Device-wide cooperative barrier rounds one sort_&_incl_scan launch
+/// performs: 1 after the gather, one per Bitonic stage (O(log^2 d)), two
+/// per fan-in scan step (O(log d)).  The cooperative launch measures this
+/// from the group bodies; the analytic performance model (mp/model.hpp)
+/// uses this closed form — a test pins them equal.
+inline std::int64_t sort_scan_barrier_rounds(std::size_t d) {
+  const std::size_t p2 = next_pow2(d);
+  return 1 + bitonic_stage_count(p2) + 2 * scan_step_count(d);
+}
+
+template <typename Traits>
+gpusim::KernelCost dist_calc_cost(std::size_t w, std::size_t d) {
+  // Logical storage width on hardware (the emulated soft-float types can
+  // occupy wider host words than the format they model).
+  const auto es = std::int64_t(storage_bytes(Traits::kMode));
+  const auto wd = std::int64_t(w * d);
+  gpusim::KernelCost c;
+  // DRAM traffic: the previous QT row misses L2 once per iteration; the
+  // df/dg/inv streams and the freshly written QT/D rows are L2-resident
+  // for the back-to-back consumers (the paper measures >80% DRAM and
+  // ~70% L2 throughput for this kernel).
+  c.bytes_read = es * wd;
+  c.bytes_written = es * wd / 2;
+  c.flops = wd * 7;  // 4 FLOPs update + correlation + sqrt
+  c.flop_width_bytes = storage_bytes(Traits::kMode);
+  return c;
+}
+
+template <typename Traits>
+gpusim::KernelCost sort_scan_cost(std::size_t w, std::size_t d) {
+  const auto es = std::int64_t(storage_bytes(Traits::kMode));
+  const auto wd = std::int64_t(w * d);
+  const std::size_t p2 = next_pow2(d);
+  gpusim::KernelCost c;
+  // The distance row arrives L2-hot from dist_calc; sorting itself runs in
+  // shared memory (the paper: >80% L1/TEX throughput, DRAM minor).
+  c.bytes_read = es * wd / 2;
+  c.bytes_written = es * wd / 2;
+  const std::int64_t per_column =
+      std::int64_t(p2 / 2) * bitonic_stage_count(p2) * 2 +  // compare-exchange
+      2 * std::int64_t(d) * scan_step_count(d) + std::int64_t(d);  // scan+div
+  c.flops = std::int64_t(w) * per_column;
+  c.flop_width_bytes = storage_bytes(Traits::kMode);
+  return c;
+}
+
+template <typename Traits>
+gpusim::KernelCost update_cost(std::size_t w, std::size_t d) {
+  const auto es = std::int64_t(storage_bytes(Traits::kMode));
+  const auto wd = std::int64_t(w * d);
+  gpusim::KernelCost c;
+  c.bytes_read = es * wd;          // current profile row (scan row is L2-hot)
+  c.bytes_written = es * wd / 2;   // profile/index updates (amortised)
+  c.flops = wd;
+  c.flop_width_bytes = storage_bytes(Traits::kMode);
+  return c;
+}
+
+template <typename Traits>
+gpusim::KernelCost precalc_cost(std::size_t nr, std::size_t nq, std::size_t d,
+                                std::size_t m) {
+  const auto es = std::int64_t(storage_bytes(Traits::kMode));
+  const auto rows = std::int64_t((nr + nq) * d);
+  gpusim::KernelCost c;
+  c.bytes_read = es * std::int64_t((nr + nq + 2 * m - 2) * d);  // input tiles
+  c.bytes_written = es * rows * 5;  // mu/inv/df/dg for both + QT seeds
+  // Cumulative sums + per-segment stats + the two naive dot-product seeds.
+  c.flops = rows * 12 + std::int64_t((nr + nq) * d * m) * 3;
+  using PC = typename Traits::PrecalcCompute;
+  if (std::is_same_v<PC, double>) {
+    c.flop_width_bytes = 8;
+  } else if (std::is_same_v<PC, float>) {
+    c.flop_width_bytes = 4;
+  } else {
+    c.flop_width_bytes = storage_bytes(Traits::kMode);
+  }
+  return c;
+}
+
+}  // namespace mpsim::mp

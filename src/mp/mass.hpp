@@ -1,0 +1,57 @@
+// MASS — Mueen's Algorithm for Similarity Search — and the FFT it rides
+// on.
+//
+// The STAMP algorithm (the first matrix profile method; paper §II-A)
+// computes each distance-matrix row with MASS: the sliding dot products
+// of one query segment against the whole reference series come from a
+// single FFT-based convolution in O(n log n), independent of m.  The
+// streaming STOMP/SCAMP formulation this repository's engines use is
+// faster per row, but MASS is algorithmically independent — no
+// cumulative sums, no recurrences — which makes it the ideal third
+// cross-validation oracle next to the brute-force scan (tested against
+// both).
+//
+// The FFT is an in-house iterative radix-2 Cooley-Tukey over
+// std::complex<double> (power-of-two padding), kept deliberately simple
+// and fully tested; it is a validation path, not a performance path.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+#include "tsdata/time_series.hpp"
+
+namespace mpsim::mp {
+
+/// In-place iterative radix-2 FFT; size must be a power of two.
+/// `inverse` applies the conjugate transform including the 1/n scale.
+void fft(std::vector<std::complex<double>>& data, bool inverse);
+
+/// Linear convolution-based sliding dot products: result[i] =
+/// sum_t series[i + t] * query[t] for every alignment i in
+/// [0, series.size() - query.size()].
+std::vector<double> sliding_dot_products(const std::vector<double>& series,
+                                         const std::vector<double>& query);
+
+/// MASS: z-normalised Euclidean distances of `query_segment` (length m)
+/// to every length-m segment of `series`.  Flat segments follow the
+/// SCAMP convention (correlation 0 => distance sqrt(2m)).
+std::vector<double> mass(const std::vector<double>& series,
+                         const std::vector<double>& query_segment);
+
+/// STAMP-style multi-dimensional matrix profile built entirely on MASS
+/// (one FFT pass per query segment per dimension).  O(n_r log n_r * n_q
+/// * d): slow, independent, exact — a validation oracle.
+struct StampResult {
+  std::size_t segments = 0;
+  std::size_t dims = 0;
+  std::vector<double> profile;      // [k * segments + j]
+  std::vector<std::int64_t> index;
+};
+
+StampResult compute_matrix_profile_stamp(const TimeSeries& reference,
+                                         const TimeSeries& query,
+                                         std::size_t window);
+
+}  // namespace mpsim::mp

@@ -1,0 +1,57 @@
+#include "mp/matrix_profile.hpp"
+
+#include "gpusim/spec.hpp"
+#include "mp/multi_tile.hpp"
+
+namespace mpsim::mp {
+
+void validate_config(const TimeSeries& reference, const TimeSeries& query,
+                     const MatrixProfileConfig& config) {
+  if (reference.dims() != query.dims()) {
+    throw ConfigError("reference has " + std::to_string(reference.dims()) +
+                      " dimensions but query has " +
+                      std::to_string(query.dims()));
+  }
+  if (config.window < 4) {
+    throw ConfigError("window must be at least 4 samples");
+  }
+  if (reference.segment_count(config.window) == 0 ||
+      query.segment_count(config.window) == 0) {
+    throw ConfigError("window " + std::to_string(config.window) +
+                      " exceeds an input series length");
+  }
+  if (config.tiles < 1) throw ConfigError("tiles must be >= 1");
+  if (config.devices < 1) throw ConfigError("devices must be >= 1");
+  if (config.streams_per_device < 1 || config.streams_per_device > 16) {
+    throw ConfigError("streams_per_device must be in [1, 16]");
+  }
+}
+
+MatrixProfileResult compute_matrix_profile(gpusim::System& system,
+                                           const TimeSeries& reference,
+                                           const TimeSeries& query,
+                                           const MatrixProfileConfig& config) {
+  validate_config(reference, query, config);
+  return dispatch_precision(config.mode, [&]<typename Traits>() {
+    return run_multi_tile<Traits>(system, reference, query, config);
+  });
+}
+
+MatrixProfileResult compute_matrix_profile(const TimeSeries& reference,
+                                           const TimeSeries& query,
+                                           const MatrixProfileConfig& config) {
+  validate_config(reference, query, config);
+  gpusim::System system(gpusim::spec_by_name(config.machine), config.devices,
+                        config.workers);
+  return compute_matrix_profile(system, reference, query, config);
+}
+
+MatrixProfileResult compute_self_join(const TimeSeries& series,
+                                      MatrixProfileConfig config) {
+  if (config.exclusion == 0) {
+    config.exclusion = std::int64_t(config.window / 2);
+  }
+  return compute_matrix_profile(series, series, config);
+}
+
+}  // namespace mpsim::mp

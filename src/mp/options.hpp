@@ -1,0 +1,73 @@
+// Public configuration and result types of the matrix-profile library.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "precision/modes.hpp"
+
+namespace mpsim::mp {
+
+/// Tile-to-device assignment policy.  The paper uses static Round-robin
+/// (Pseudocode 2); LPT (longest processing time first) mitigates the
+/// imbalance it observes at odd device counts.
+enum class TileAssignment { kRoundRobin, kLpt };
+
+/// User-facing configuration of one matrix-profile computation
+/// (the knobs of Pseudocode 1 + Pseudocode 2).
+struct MatrixProfileConfig {
+  std::size_t window = 64;     ///< m — segment (subsequence) length
+  PrecisionMode mode = PrecisionMode::FP64;
+
+  int tiles = 1;               ///< n_tiles of the multi-tile algorithm
+  int devices = 1;             ///< n_gpu
+  std::string machine = "A100";  ///< simulated device spec (V100|A100)
+  int streams_per_device = 16;   ///< paper uses at most 16 CUDA streams
+  TileAssignment assignment = TileAssignment::kRoundRobin;
+
+  /// Trivial-match exclusion radius for self-joins (0 = AB-join, the
+  /// paper's reference-vs-query setting).
+  std::int64_t exclusion = 0;
+
+  /// Host worker threads backing the simulated devices (0 = all cores).
+  std::size_t workers = 0;
+};
+
+struct KernelBreakdownEntry {
+  std::string name;
+  std::int64_t launches = 0;
+  double modeled_seconds = 0.0;   ///< roofline model on the device spec
+  double measured_seconds = 0.0;  ///< host wall time inside the simulator
+};
+
+/// Result of a matrix-profile computation.
+///
+/// profile/index are dimension-major: entry [k*segments + j] is the
+/// (k+1)-dimensional matrix profile of query segment j — the smallest
+/// progressive average over the k+1 best-matching dimensions (Eq. 2/3).
+struct MatrixProfileResult {
+  std::size_t segments = 0;  ///< number of query segments (n_q - m + 1)
+  std::size_t dims = 0;      ///< d
+  std::vector<double> profile;       ///< z-normalised Euclidean distances
+  std::vector<std::int64_t> index;   ///< nearest-neighbour segment in ref
+
+  double wall_seconds = 0.0;            ///< measured host execution time
+  double modeled_device_seconds = 0.0;  ///< roofline makespan across GPUs
+  double modeled_merge_seconds = 0.0;   ///< CPU-side tile merge (model)
+  std::vector<KernelBreakdownEntry> breakdown;  ///< per-kernel model time
+
+  double modeled_total_seconds() const {
+    return modeled_device_seconds + modeled_merge_seconds;
+  }
+
+  double at(std::size_t j, std::size_t k) const {
+    return profile[k * segments + j];
+  }
+  std::int64_t index_at(std::size_t j, std::size_t k) const {
+    return index[k * segments + j];
+  }
+};
+
+}  // namespace mpsim::mp

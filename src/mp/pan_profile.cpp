@@ -1,0 +1,58 @@
+#include "mp/pan_profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "mp/cpu_reference.hpp"
+
+namespace mpsim::mp {
+
+PanProfile compute_pan_profile(const TimeSeries& reference,
+                               const TimeSeries& query,
+                               const std::vector<std::size_t>& windows,
+                               std::int64_t exclusion) {
+  MPSIM_CHECK(!windows.empty(), "need at least one window length");
+  PanProfile pan;
+  pan.windows = windows;
+  std::sort(pan.windows.begin(), pan.windows.end());
+  MPSIM_CHECK(pan.windows.front() >= 4, "windows must be at least 4");
+  MPSIM_CHECK(query.segment_count(pan.windows.front()) >= 1,
+              "smallest window longer than the query");
+  pan.segments = query.segment_count(pan.windows.front());
+
+  for (const std::size_t m : pan.windows) {
+    CpuReferenceConfig config;
+    config.window = m;
+    config.exclusion = exclusion;
+    const auto result = compute_matrix_profile_cpu(reference, query, config);
+    // Normalise onto [0, 1]: distances cap at sqrt(4m) (anti-correlated),
+    // and sqrt(2m) is the uncorrelated level; divide by sqrt(2m) and use
+    // the 1-dimensional plane (k = 0).
+    const double scale = 1.0 / std::sqrt(2.0 * double(m));
+    std::vector<double> row(pan.segments,
+                            std::numeric_limits<double>::infinity());
+    for (std::size_t j = 0; j < result.segments; ++j) {
+      row[j] = result.at(j, 0) * scale;
+    }
+    pan.normalized.push_back(std::move(row));
+  }
+  return pan;
+}
+
+BestWindow best_window_for_segment(const PanProfile& pan, std::size_t j) {
+  MPSIM_CHECK(j < pan.segments, "segment out of range");
+  BestWindow best;
+  best.normalized_distance = std::numeric_limits<double>::infinity();
+  for (std::size_t w = 0; w < pan.windows.size(); ++w) {
+    const double v = pan.normalized[w][j];
+    if (v < best.normalized_distance) {
+      best.normalized_distance = v;
+      best.window = pan.windows[w];
+    }
+  }
+  return best;
+}
+
+}  // namespace mpsim::mp

@@ -1,0 +1,49 @@
+// Pan matrix profile: profiles across a range of window sizes (Madrid et
+// al., "Matrix Profile XX: Finding and Visualizing Time Series Motifs of
+// All Lengths using the Matrix Profile").
+//
+// A single window length m is the matrix profile's one tunable parameter;
+// the pan profile removes the need to guess it by computing the profile
+// for a whole ladder of windows and normalising the distances so they are
+// comparable across lengths (dividing by sqrt(2m) maps every value into
+// [0, 1]: 0 = perfect match, 1 = uncorrelated).
+//
+// FP64 host computation via the CPU reference per window.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "tsdata/time_series.hpp"
+
+namespace mpsim::mp {
+
+struct PanProfile {
+  std::vector<std::size_t> windows;  ///< ladder of m values, ascending
+  std::size_t segments = 0;          ///< columns (of the smallest window)
+  /// row w (one per window) holds the normalised profile of windows[w];
+  /// columns beyond that window's segment count are +inf padded.
+  std::vector<std::vector<double>> normalized;
+
+  double at(std::size_t window_index, std::size_t j) const {
+    return normalized[window_index][j];
+  }
+};
+
+/// Computes the pan profile of query vs reference over `windows`
+/// (self-joins: pass the same series and a positive exclusion).
+PanProfile compute_pan_profile(const TimeSeries& reference,
+                               const TimeSeries& query,
+                               const std::vector<std::size_t>& windows,
+                               std::int64_t exclusion = 0);
+
+/// The window length (and its normalised distance) at which query
+/// segment j matches best — the pan profile's window-selection answer.
+struct BestWindow {
+  std::size_t window = 0;
+  double normalized_distance = 1.0;
+};
+
+BestWindow best_window_for_segment(const PanProfile& pan, std::size_t j);
+
+}  // namespace mpsim::mp

@@ -1,0 +1,133 @@
+// The precalculation step (paper §III-A, Pseudocode 1 line 2).
+//
+// For each dimension of a (tile of a) series, computes in a single pass:
+//   mu[i]   — sliding mean of segment i (via cumulative sums),
+//   inv[i]  — 1 / || segment_i - mu_i || (inverse centred norm),
+//   df[i], dg[i] — the streaming-dot-product update coefficients,
+// plus the naive (non-streaming) mean-centred dot products seeding the
+// first row and first column of the QT matrix.
+//
+// The arithmetic type is Traits::PrecalcCompute and the accumulation
+// policy is Kahan-compensated when Traits::kCompensatedPrecalc — this is
+// precisely what distinguishes the paper's Mixed and FP16C modes from
+// plain FP16.  Inputs and outputs are Traits::Storage (device-resident
+// reduced-precision data).
+//
+// Cancellation note: mu and the centred sum of squares are derived from
+// differences of cumulative sums — the formulation the paper inherits from
+// (MP)^N.  In FP16 these differences cancel catastrophically for long
+// series; in Mixed/FP16C they are computed in FP32 (+ compensation) and
+// only the results are rounded to FP16 storage.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "precision/kahan.hpp"
+#include "precision/modes.hpp"
+
+namespace mpsim::mp {
+
+namespace detail {
+
+template <typename Traits>
+using Accumulator = std::conditional_t<
+    Traits::kCompensatedPrecalc,
+    KahanAccumulator<typename Traits::PrecalcCompute>,
+    PlainAccumulator<typename Traits::PrecalcCompute>>;
+
+}  // namespace detail
+
+/// Per-dimension precalculation outputs for one series (tile), stored in
+/// the mode's storage type, dimension-major like everything else.
+template <typename Traits>
+struct PrecalcArrays {
+  using ST = typename Traits::Storage;
+  std::size_t segments = 0;
+  std::size_t dims = 0;
+  std::vector<ST> mu, inv, df, dg;  // each [k * segments + i]
+
+  void resize(std::size_t segs, std::size_t d) {
+    segments = segs;
+    dims = d;
+    mu.assign(segs * d, ST(0));
+    inv.assign(segs * d, ST(0));
+    df.assign(segs * d, ST(0));
+    dg.assign(segs * d, ST(0));
+  }
+};
+
+/// Computes mu/inv/df/dg for one dimension.
+/// `x` points at len = nseg + m - 1 storage-typed samples.
+template <typename Traits>
+void precalc_dimension(const typename Traits::Storage* x, std::size_t m,
+                       std::size_t nseg, typename Traits::Storage* mu,
+                       typename Traits::Storage* inv,
+                       typename Traits::Storage* df,
+                       typename Traits::Storage* dg) {
+  using PC = typename Traits::PrecalcCompute;
+  using ST = typename Traits::Storage;
+  using std::sqrt;
+
+  const std::size_t len = nseg + m - 1;
+
+  // Cumulative sums of x and x^2 in the precalc compute type.
+  std::vector<PC> cum1(len + 1), cum2(len + 1);
+  detail::Accumulator<Traits> acc1, acc2;
+  cum1[0] = PC(0);
+  cum2[0] = PC(0);
+  for (std::size_t t = 0; t < len; ++t) {
+    const PC v = PC(x[t]);
+    acc1.add(v);
+    acc2.add(v * v);
+    cum1[t + 1] = acc1.value();
+    cum2[t + 1] = acc2.value();
+  }
+
+  const PC inv_m = PC(1) / PC(double(m));
+  std::vector<PC> mu_pc(nseg);
+  for (std::size_t i = 0; i < nseg; ++i) {
+    mu_pc[i] = (cum1[i + m] - cum1[i]) * inv_m;
+    // Centred sum of squares; the subtraction is the cancellation-prone
+    // step discussed in §V-B.
+    const PC ssq = (cum2[i + m] - cum2[i]) - PC(double(m)) * mu_pc[i] * mu_pc[i];
+    // Flat (zero-variance) segments get inv = 0 => correlation 0, the
+    // convention SCAMP uses; in reduced precision ssq may also round to
+    // <= 0 for nearly-flat segments, which is a genuine FP16 artefact.
+    if (ssq > PC(0)) {
+      inv[i] = ST(PC(1) / sqrt(ssq));
+    } else {
+      inv[i] = ST(0);
+    }
+    mu[i] = ST(mu_pc[i]);
+  }
+
+  df[0] = ST(0);
+  dg[0] = ST(0);
+  for (std::size_t i = 1; i < nseg; ++i) {
+    const PC hi = PC(x[i + m - 1]);
+    const PC lo = PC(x[i - 1]);
+    df[i] = ST((hi - lo) * PC(0.5));
+    dg[i] = ST((hi - mu_pc[i]) + (lo - mu_pc[i - 1]));
+  }
+}
+
+/// Naive mean-centred dot product between reference segment i and query
+/// segment j (used to seed the first row / first column of QT).
+template <typename Traits>
+typename Traits::Storage centered_dot(
+    const typename Traits::Storage* r, const typename Traits::Storage* q,
+    std::size_t m, typename Traits::Storage mu_r,
+    typename Traits::Storage mu_q) {
+  using PC = typename Traits::PrecalcCompute;
+  detail::Accumulator<Traits> acc;
+  const PC mr = PC(mu_r);
+  const PC mq = PC(mu_q);
+  for (std::size_t t = 0; t < m; ++t) {
+    acc.add((PC(r[t]) - mr) * (PC(q[t]) - mq));
+  }
+  return typename Traits::Storage(acc.value());
+}
+
+}  // namespace mpsim::mp

@@ -1,0 +1,109 @@
+// Shared Bitonic-sort and inclusive-scan primitives.
+//
+// The paper's sort_&_incl_scan kernel (§III-A) sorts the d per-dimension
+// distances of each column ascending with an O(log^2 d) Bitonic network
+// and then averages them progressively with an O(log d) fan-in inclusive
+// scan — many thread groups cooperating, synchronised coarse-grained.
+//
+// Both the GPU-simulator kernel and the CPU reference use the functions in
+// this header, so the floating-point *order of operations* is identical on
+// both sides: FP64 results match bit-for-bit, exactly as the paper reports
+// ("The FP64 mode on the GPU can generate identical results as the
+// CPU-based implementation", §V-B).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <utility>
+
+namespace mpsim::mp {
+
+/// Smallest power of two >= n (n >= 1).
+inline std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+/// log2 of a power of two.
+inline int log2_pow2(std::size_t p2) {
+  int lg = 0;
+  while ((std::size_t(1) << lg) < p2) ++lg;
+  return lg;
+}
+
+/// Number of compare-exchange stages (== cooperative barrier rounds) of a
+/// Bitonic network over p2 elements: log(p2) * (log(p2)+1) / 2.
+inline std::int64_t bitonic_stage_count(std::size_t p2) {
+  const std::int64_t lg = log2_pow2(p2);
+  return lg * (lg + 1) / 2;
+}
+
+/// One Bitonic stage (size, stride): every element i with partner i^stride
+/// above it compare-exchanges toward a full ascending sort.  Elements of a
+/// stage touch disjoint pairs, so any execution order within the stage is
+/// equivalent — which is what lets the simulator run lanes sequentially.
+template <typename T>
+void bitonic_stage(T* buf, std::size_t p2, std::size_t size,
+                   std::size_t stride) {
+  for (std::size_t i = 0; i < p2; ++i) {
+    const std::size_t partner = i ^ stride;
+    if (partner <= i) continue;
+    const bool ascending = (i & size) == 0;
+    const bool out_of_order = ascending ? (buf[partner] < buf[i])
+                                        : (buf[i] < buf[partner]);
+    if (out_of_order) std::swap(buf[i], buf[partner]);
+  }
+}
+
+/// Full ascending Bitonic sort of buf[0..p2); p2 must be a power of two.
+/// `on_barrier` is invoked after every stage (the cooperative kernel
+/// forwards it to GroupContext::barrier so synchronisation rounds are
+/// counted; callers that don't care pass a no-op).
+template <typename T, typename BarrierFn>
+void bitonic_sort(T* buf, std::size_t p2, BarrierFn&& on_barrier) {
+  for (std::size_t size = 2; size <= p2; size <<= 1) {
+    for (std::size_t stride = size >> 1; stride > 0; stride >>= 1) {
+      bitonic_stage(buf, p2, size, stride);
+      on_barrier();
+    }
+  }
+}
+
+template <typename T>
+void bitonic_sort(T* buf, std::size_t p2) {
+  bitonic_sort(buf, p2, [] {});
+}
+
+/// Number of fan-in steps (== barrier rounds) of the inclusive scan.
+inline std::int64_t scan_step_count(std::size_t d) {
+  std::int64_t steps = 0;
+  for (std::size_t offset = 1; offset < d; offset <<= 1) ++steps;
+  return steps;
+}
+
+/// Hillis–Steele inclusive scan over x[0..d) followed by the progressive
+/// average of Eq. (2): on return, x[l] = (sum of the original x[0..l]) /
+/// (l+1).  `scratch` must hold d elements.  The log-step summation order is
+/// part of the contract (it fixes the floating-point rounding sequence).
+template <typename T, typename BarrierFn>
+void inclusive_scan_average(T* x, T* scratch, std::size_t d,
+                            BarrierFn&& on_barrier) {
+  for (std::size_t offset = 1; offset < d; offset <<= 1) {
+    for (std::size_t l = 0; l < d; ++l) {
+      scratch[l] = l >= offset ? T(x[l] + x[l - offset]) : x[l];
+    }
+    on_barrier();
+    for (std::size_t l = 0; l < d; ++l) x[l] = scratch[l];
+    on_barrier();
+  }
+  for (std::size_t l = 0; l < d; ++l) x[l] = x[l] / T(double(l + 1));
+}
+
+template <typename T>
+void inclusive_scan_average(T* x, T* scratch, std::size_t d) {
+  inclusive_scan_average(x, scratch, d, [] {});
+}
+
+}  // namespace mpsim::mp

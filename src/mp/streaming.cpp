@@ -1,0 +1,152 @@
+#include "mp/streaming.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "mp/kernels.hpp"
+#include "mp/sort_scan.hpp"
+
+namespace mpsim::mp {
+
+StreamingMatrixProfile::StreamingMatrixProfile(const TimeSeries& reference,
+                                               std::size_t window)
+    : window_(window),
+      dims_(reference.dims()),
+      n_r_(reference.segment_count(window)),
+      len_r_(reference.length()) {
+  MPSIM_CHECK(window_ >= 4, "window must be at least 4 samples");
+  MPSIM_CHECK(n_r_ >= 1, "window longer than the reference series");
+
+  reference_ = reference.raw();
+  pre_r_.resize(n_r_, dims_);
+  for (std::size_t k = 0; k < dims_; ++k) {
+    precalc_dimension<Fp64>(reference_.data() + k * len_r_, window_, n_r_,
+                            pre_r_.mu.data() + k * n_r_,
+                            pre_r_.inv.data() + k * n_r_,
+                            pre_r_.df.data() + k * n_r_,
+                            pre_r_.dg.data() + k * n_r_);
+  }
+  query_.resize(dims_);
+  cum1_.assign(dims_, {0.0});
+  cum2_.assign(dims_, {0.0});
+  qt_prev_.assign(dims_, {});
+  mu_prev_.assign(dims_, 0.0);
+}
+
+void StreamingMatrixProfile::append(const std::vector<double>& sample) {
+  MPSIM_CHECK(sample.size() == dims_,
+              "sample has " << sample.size() << " dimensions, expected "
+                            << dims_);
+  for (std::size_t k = 0; k < dims_; ++k) {
+    const double v = sample[k];
+    query_[k].push_back(v);
+    cum1_[k].push_back(cum1_[k].back() + v);
+    cum2_[k].push_back(cum2_[k].back() + v * v);
+  }
+  ++samples_;
+  if (samples_ >= window_) complete_segment();
+}
+
+void StreamingMatrixProfile::append_series(const TimeSeries& samples) {
+  std::vector<double> sample(dims_);
+  for (std::size_t t = 0; t < samples.length(); ++t) {
+    for (std::size_t k = 0; k < dims_; ++k) sample[k] = samples.at(t, k);
+    append(sample);
+  }
+}
+
+void StreamingMatrixProfile::complete_segment() {
+  const std::size_t j = segments_;
+  const std::size_t m = window_;
+  const double two_m = double(2 * m);
+  const double inv_m = 1.0 / double(m);
+
+  // Per-dimension: extend the QT column and compute this segment's
+  // sliding statistics with the same expressions (and evaluation order)
+  // as precalc_dimension, so results match the batch FP64 engines
+  // bit-for-bit.
+  std::vector<double> inv_q(dims_);
+  std::vector<std::vector<double>> qt_new(dims_);
+  for (std::size_t k = 0; k < dims_; ++k) {
+    const double* q = query_[k].data();
+    const double* r = reference_.data() + k * len_r_;
+    const double* mu_r = pre_r_.mu.data() + k * n_r_;
+    const double* df_r = pre_r_.df.data() + k * n_r_;
+    const double* dg_r = pre_r_.dg.data() + k * n_r_;
+
+    // Prefix-difference sliding statistics: identical expressions (and
+    // prefix chains) to precalc_dimension, hence bit-exact vs the batch
+    // engines.
+    const double mu = (cum1_[k][j + m] - cum1_[k][j]) * inv_m;
+    const double ssq =
+        (cum2_[k][j + m] - cum2_[k][j]) - double(m) * mu * mu;
+    inv_q[k] = ssq > 0.0 ? 1.0 / std::sqrt(ssq) : 0.0;
+
+    double df_qj = 0.0, dg_qj = 0.0;
+    if (j > 0) {
+      const double hi = q[j + m - 1];
+      const double lo = q[j - 1];
+      df_qj = (hi - lo) * 0.5;
+      dg_qj = (hi - mu) + (lo - mu_prev_[k]);
+    }
+
+    auto& column = qt_new[k];
+    column.resize(n_r_);
+    column[0] = centered_dot<Fp64>(r, q + j, m, mu_r[0], mu);
+    if (j == 0) {
+      for (std::size_t i = 1; i < n_r_; ++i) {
+        column[i] = centered_dot<Fp64>(r + i, q, m, mu_r[i], mu);
+      }
+    } else {
+      const auto& prev = qt_prev_[k];
+      for (std::size_t i = 1; i < n_r_; ++i) {
+        column[i] = prev[i - 1] + df_r[i] * dg_qj + dg_r[i] * df_qj;
+      }
+    }
+    mu_prev_[k] = mu;
+  }
+
+  // Column j of the profile: per reference row, gather the d distances,
+  // sort, progressive-average, and min-merge (same helpers as the batch
+  // engines, so the floating-point order matches).
+  std::vector<double> best(dims_, std::numeric_limits<double>::infinity());
+  std::vector<std::int64_t> best_idx(dims_, -1);
+  std::vector<double> dists(dims_), scratch(dims_);
+  for (std::size_t i = 0; i < n_r_; ++i) {
+    for (std::size_t k = 0; k < dims_; ++k) {
+      dists[k] = qt_to_distance(qt_new[k][i], double(pre_r_.inv[k * n_r_ + i]),
+                                inv_q[k], two_m);
+    }
+    std::sort(dists.begin(), dists.end());
+    inclusive_scan_average(dists.data(), scratch.data(), dims_);
+    for (std::size_t k = 0; k < dims_; ++k) {
+      if (dists[k] < best[k]) {
+        best[k] = dists[k];
+        best_idx[k] = std::int64_t(i);
+      }
+    }
+  }
+
+  // Grow the dimension-major result arrays by one column.
+  const std::size_t new_segments = segments_ + 1;
+  std::vector<double> profile(new_segments * dims_);
+  std::vector<std::int64_t> index(new_segments * dims_);
+  for (std::size_t k = 0; k < dims_; ++k) {
+    std::copy(profile_.begin() + std::ptrdiff_t(k * segments_),
+              profile_.begin() + std::ptrdiff_t((k + 1) * segments_),
+              profile.begin() + std::ptrdiff_t(k * new_segments));
+    std::copy(index_.begin() + std::ptrdiff_t(k * segments_),
+              index_.begin() + std::ptrdiff_t((k + 1) * segments_),
+              index.begin() + std::ptrdiff_t(k * new_segments));
+    profile[k * new_segments + segments_] = best[k];
+    index[k * new_segments + segments_] = best_idx[k];
+  }
+  profile_ = std::move(profile);
+  index_ = std::move(index);
+  for (std::size_t k = 0; k < dims_; ++k) qt_prev_[k] = std::move(qt_new[k]);
+  segments_ = new_segments;
+}
+
+}  // namespace mpsim::mp

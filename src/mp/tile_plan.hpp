@@ -1,0 +1,57 @@
+// Tiling scheme of the multi-tile algorithm (paper §III-B, Pseudocode 2).
+//
+// The (n_r x n_q) distance matrix is partitioned into a t_r x t_q grid of
+// tiles; each tile is a standalone matrix profile over sub-ranges of the
+// reference and query segments, later merged by column-wise min/argmin.
+// Splitting the *reference* range is what bounds the error propagation of
+// the iterative QT recurrence (the recurrence restarts from a fresh
+// precalculation at each tile's first row), so the planner favours row
+// splits: t_r >= t_q, with t_r * t_q = n_tiles.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mpsim::mp {
+
+struct Tile {
+  std::size_t r_begin = 0;  ///< first reference segment of the tile
+  std::size_t r_count = 0;
+  std::size_t q_begin = 0;  ///< first query segment of the tile
+  std::size_t q_count = 0;
+  int device = 0;           ///< assigned by assign_tiles_round_robin
+  int id = 0;
+};
+
+/// Factorisation n_tiles = t_r * t_q chosen by the planner.
+struct TileGrid {
+  int rows = 1;  ///< t_r — splits of the reference range
+  int cols = 1;  ///< t_q — splits of the query range
+};
+
+/// Picks t_r x t_q = n_tiles with tiles as square as possible and
+/// t_r >= t_q (row splits bound the numerical error, §III-B).
+TileGrid choose_tile_grid(int n_tiles);
+
+/// compute_tile_list of Pseudocode 2: partitions [0,n_r) x [0,n_q) into
+/// the grid, spreading remainders over the leading tiles.  Tiles are
+/// returned row-major (all column tiles of row block 0 first).
+std::vector<Tile> compute_tile_list(std::size_t n_r, std::size_t n_q,
+                                    int n_tiles);
+
+/// assign_tile of Pseudocode 2: static Round-robin assignment to devices.
+void assign_tiles_round_robin(std::vector<Tile>& tiles, int n_devices);
+
+/// Longest-processing-time assignment: tiles sorted by area (the modelled
+/// cost driver) are greedily given to the least-loaded device.  Mitigates
+/// the odd-device-count imbalance the paper observes with Round-robin
+/// (§V-C: "inefficiencies when using odd numbers of GPUs"), especially
+/// when tiles are unevenly sized.
+void assign_tiles_lpt(std::vector<Tile>& tiles, int n_devices);
+
+/// Makespan (in tile-area units) of an assignment — the quantity LPT
+/// minimises; exposed for the scheduling ablation and tests.
+std::size_t assignment_makespan(const std::vector<Tile>& tiles,
+                                int n_devices);
+
+}  // namespace mpsim::mp

@@ -1,0 +1,63 @@
+// Automatic tile-count selection — the paper's §III-B closes with "this
+// design simplifies tuning for accuracy through careful selection of the
+// number of tiles n_tiles"; this module performs that selection.
+//
+// Two constraints drive the choice:
+//
+//  1. Device memory: a tile's working set (input slices + precalculated
+//     coefficient arrays + row buffers + profile) must fit the device,
+//     with headroom for the stream concurrency the scheduler uses.
+//
+//  2. Accuracy: the QT recurrence's rounding error grows with the number
+//     of streaming steps (e ~ steps * eps, §V-B).  Bounding the error of
+//     the Pearson correlation below `correlation_tolerance` bounds the
+//     tile's row count by tolerance / (eps * m) up to a safety constant
+//     (QT's magnitude is of order m for z-normalised data).
+//
+// The tuner returns the smallest tile count satisfying both, rounded up
+// to a multiple of the device count so the Round-robin schedule balances
+// (the paper's odd-GPU-count remedy).
+#pragma once
+
+#include <cstddef>
+
+#include "gpusim/spec.hpp"
+#include "mp/options.hpp"
+
+namespace mpsim::mp {
+
+struct TileTuningRequest {
+  std::size_t n_r = 0;
+  std::size_t n_q = 0;
+  std::size_t dims = 1;
+  std::size_t window = 64;
+  PrecisionMode mode = PrecisionMode::FP64;
+  int devices = 1;
+  int streams_per_device = 16;
+  /// Acceptable rounding error of the Pearson correlation (dimensionless).
+  /// The default of 3% keeps FP16 index recall near 95% in the stress
+  /// tests; ignored for FP64/FP32, whose recurrence error is negligible
+  /// at any realistic n.
+  double correlation_tolerance = 0.03;
+};
+
+struct TileTuningResult {
+  int tiles = 1;
+  std::size_t tile_rows = 0;       ///< reference segments per tile
+  std::size_t tile_cols = 0;       ///< query segments per tile
+  std::size_t tile_bytes = 0;      ///< modelled working set per tile
+  bool memory_limited = false;     ///< memory forced more tiles
+  bool accuracy_limited = false;   ///< accuracy forced more tiles
+};
+
+/// Smallest tile count satisfying the memory and accuracy constraints on
+/// `spec`, rounded to a multiple of the device count.
+TileTuningResult suggest_tiles(const TileTuningRequest& request,
+                               const gpusim::MachineSpec& spec);
+
+/// Working-set bytes of one tile (the engine's device allocations).
+std::size_t tile_working_set_bytes(std::size_t tile_rows,
+                                   std::size_t tile_cols, std::size_t dims,
+                                   std::size_t window, PrecisionMode mode);
+
+}  // namespace mpsim::mp

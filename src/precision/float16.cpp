@@ -1,0 +1,11 @@
+#include "precision/float16.hpp"
+
+#include <ostream>
+
+namespace mpsim {
+
+std::ostream& operator<<(std::ostream& os, float16 value) {
+  return os << double(value);
+}
+
+}  // namespace mpsim

@@ -1,0 +1,245 @@
+// Software IEEE 754 binary16 ("half precision").
+//
+// The paper's FP16 / Mixed / FP16C modes run on CUDA `__half` hardware.
+// This environment has no GPU, so we reproduce the numerics exactly in
+// software: a 16-bit storage type whose every arithmetic operation computes
+// in binary64 and rounds the result to binary16 with round-to-nearest-even
+// (matching per-operation `__half` arithmetic, which is correctly rounded).
+//
+// Correctness notes:
+//  * double -> half conversion is implemented directly on the binary64
+//    value, never via an intermediate float, to avoid double rounding;
+//  * subnormal halves, signed zero, infinities and NaN all follow
+//    IEEE 754-2019 binary16 semantics;
+//  * because binary64 has 53 significand bits, the intermediate results of
+//    +, -, * on 11-bit half significands are exact, so rounding once at the
+//    end yields the correctly rounded half result;
+//  * division and square root are inexact in binary64, but double rounding
+//    is innocuous here by Figueroa's theorem (rounding p-bit operations
+//    through a format with >= 2p+2 significand bits preserves correct
+//    rounding; 53 >= 2*11+2), so every operator below is correctly
+//    rounded.
+#pragma once
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+
+namespace mpsim {
+
+class float16 {
+ public:
+  constexpr float16() = default;
+
+  // Implicit construction from the numeric types the kernels mix with,
+  // mirroring how __half converts; conversion rounds to nearest-even.
+  float16(double value) : bits_(encode(value)) {}          // NOLINT(google-explicit-constructor)
+  float16(float value) : float16(double(value)) {}         // NOLINT(google-explicit-constructor)
+  float16(int value) : float16(double(value)) {}           // NOLINT(google-explicit-constructor)
+  float16(long value) : float16(double(value)) {}          // NOLINT(google-explicit-constructor)
+  float16(long long value) : float16(double(value)) {}     // NOLINT(google-explicit-constructor)
+  float16(unsigned value) : float16(double(value)) {}      // NOLINT(google-explicit-constructor)
+  float16(unsigned long value) : float16(double(value)) {} // NOLINT(google-explicit-constructor)
+
+  /// Reinterpret raw binary16 bits (no conversion).
+  static constexpr float16 from_bits(std::uint16_t bits) {
+    float16 h;
+    h.bits_ = bits;
+    return h;
+  }
+
+  constexpr std::uint16_t bits() const { return bits_; }
+
+  /// Exact widening conversions.
+  operator double() const { return decode(bits_); }  // NOLINT(google-explicit-constructor)
+  explicit operator float() const { return float(decode(bits_)); }
+
+  // Arithmetic: compute in binary64, round once to binary16.
+  friend float16 operator+(float16 a, float16 b) {
+    return float16(double(a) + double(b));
+  }
+  friend float16 operator-(float16 a, float16 b) {
+    return float16(double(a) - double(b));
+  }
+  friend float16 operator*(float16 a, float16 b) {
+    return float16(double(a) * double(b));
+  }
+  friend float16 operator/(float16 a, float16 b) {
+    return float16(double(a) / double(b));
+  }
+  friend float16 operator-(float16 a) {
+    return from_bits(std::uint16_t(a.bits_ ^ 0x8000u));
+  }
+
+  float16& operator+=(float16 o) { return *this = *this + o; }
+  float16& operator-=(float16 o) { return *this = *this - o; }
+  float16& operator*=(float16 o) { return *this = *this * o; }
+  float16& operator/=(float16 o) { return *this = *this / o; }
+
+  // Comparisons follow IEEE semantics.  operator< / > run on the bit
+  // representation (they dominate the Bitonic sort kernel); the integer
+  // mapping below is total-ordered over non-NaN halves with +0 == -0.
+  friend bool operator==(float16 a, float16 b) {
+    if (is_nan_bits(a.bits_) || is_nan_bits(b.bits_)) return false;
+    if (((a.bits_ | b.bits_) & 0x7fffu) == 0) return true;  // +-0 == +-0
+    return a.bits_ == b.bits_;
+  }
+  friend bool operator!=(float16 a, float16 b) {
+    if (is_nan_bits(a.bits_) || is_nan_bits(b.bits_)) return true;
+    return !(a == b);
+  }
+  friend bool operator<(float16 a, float16 b) {
+    if (is_nan_bits(a.bits_) || is_nan_bits(b.bits_)) return false;
+    return order_key(a.bits_) < order_key(b.bits_);
+  }
+  friend bool operator>(float16 a, float16 b) { return b < a; }
+  friend bool operator<=(float16 a, float16 b) {
+    if (is_nan_bits(a.bits_) || is_nan_bits(b.bits_)) return false;
+    return order_key(a.bits_) <= order_key(b.bits_);
+  }
+  friend bool operator>=(float16 a, float16 b) { return b <= a; }
+
+  /// Round a binary64 value to binary16 (round-to-nearest, ties-to-even).
+  /// Implemented directly on the binary64 bit representation — no
+  /// intermediate binary32, hence no double rounding — and inline because
+  /// it sits on the hot path of every emulated FP16 operation.
+  static std::uint16_t encode(double value) {
+    const std::uint64_t bits = std::bit_cast<std::uint64_t>(value);
+    const auto sign = std::uint16_t((bits >> 48) & 0x8000u);
+    const int exp_field = int((bits >> 52) & 0x7ff);
+    const std::uint64_t mant = bits & 0xfffffffffffffULL;
+
+    if (exp_field == 0x7ff) {  // inf or NaN
+      return std::uint16_t(sign | 0x7c00u | (mant != 0 ? 0x0200u : 0u));
+    }
+    // Zeros, and binary64 subnormals (< 2^-1022, far below half's
+    // underflow threshold), round to signed zero.
+    if (exp_field == 0) return sign;
+
+    int e = exp_field - 1023;                 // unbiased exponent
+    std::uint64_t sig = (1ULL << 52) | mant;  // 53-bit significand
+
+    if (e >= -14) {
+      // Candidate normal half: keep 11 significand bits, round the rest.
+      std::uint64_t keep = sig >> 42;
+      const std::uint64_t rem = sig & ((1ULL << 42) - 1);
+      const std::uint64_t half = 1ULL << 41;
+      // Branchless round-to-nearest-even increment (the branchy form
+      // mispredicts on real data and dominates emulated-FP16 kernels).
+      keep += std::uint64_t((rem > half) | ((rem == half) & (keep & 1)));
+      if (keep == (1ULL << 11)) {  // rounding carried into the exponent
+        keep >>= 1;
+        ++e;
+      }
+      if (e > 15) return std::uint16_t(sign | 0x7c00u);  // overflow -> inf
+      return std::uint16_t(sign | std::uint16_t((e + 15) << 10) |
+                           std::uint16_t(keep & 0x03ffu));
+    }
+
+    // Subnormal half: the value rounds to a multiple of 2^-24.
+    if (e < -25) return sign;          // below half the smallest subnormal
+    const int shift = 42 + (-14 - e);  // in [43, 53]
+    std::uint64_t keep = sig >> shift;
+    const std::uint64_t rem = sig & ((1ULL << shift) - 1);
+    const std::uint64_t half = 1ULL << (shift - 1);
+    keep += std::uint64_t((rem > half) | ((rem == half) & (keep & 1)));
+    // keep == 1024 rounds up to the smallest normal; the encoding is
+    // continuous there so sign | keep is still the right bit pattern.
+    return std::uint16_t(sign | std::uint16_t(keep));
+  }
+
+  /// Exact binary16 -> binary64.
+  static double decode(std::uint16_t bits) {
+    const std::uint64_t sign = std::uint64_t(bits & 0x8000u) << 48;
+    const int exp_field = (bits & 0x7c00u) >> 10;
+    const std::uint64_t mant = bits & 0x03ffu;
+
+    if (exp_field == 0x1f) {  // inf / NaN
+      const std::uint64_t payload = mant == 0 ? 0 : (0x8ULL << 48);
+      return std::bit_cast<double>(sign | (0x7ffULL << 52) | payload);
+    }
+    if (exp_field == 0) {
+      // Subnormal or zero: exactly mant * 2^-24 (power-of-two multiply).
+      const double magnitude = double(mant) * 0x1.0p-24;
+      return (bits & 0x8000u) ? -magnitude : magnitude;
+    }
+    const auto exp_d = std::uint64_t(exp_field - 15 + 1023);
+    return std::bit_cast<double>(sign | (exp_d << 52) | (mant << 42));
+  }
+
+  static constexpr float16 infinity() { return from_bits(0x7c00); }
+  static constexpr float16 quiet_nan() { return from_bits(0x7e00); }
+  static constexpr float16 max() { return from_bits(0x7bff); }      // 65504
+  static constexpr float16 min_normal() { return from_bits(0x0400); }  // 2^-14
+  static constexpr float16 denorm_min() { return from_bits(0x0001); }  // 2^-24
+  /// Unit roundoff for round-to-nearest binary16 arithmetic.
+  static constexpr double epsilon() { return 0x1.0p-11; }  // 2^-11 = half ulp of 1
+
+ private:
+  static constexpr bool is_nan_bits(std::uint16_t b) {
+    return (b & 0x7fffu) > 0x7c00u;
+  }
+  /// Monotonic integer image of the value ordering: negative halves map
+  /// below positives, and +0 / -0 share the key 0x8000.
+  static constexpr std::uint16_t order_key(std::uint16_t b) {
+    if ((b & 0x7fffu) == 0) return 0x8000u;  // both zeros
+    return (b & 0x8000u) ? std::uint16_t(~b)
+                         : std::uint16_t(b | 0x8000u);
+  }
+
+  std::uint16_t bits_ = 0;
+};
+
+inline float16 sqrt(float16 x) { return float16(std::sqrt(double(x))); }
+inline float16 abs(float16 x) {
+  return float16::from_bits(std::uint16_t(x.bits() & 0x7fffu));
+}
+inline float16 fma(float16 a, float16 b, float16 c) {
+  // Fused multiply-add: exact product + addend in binary64, single rounding.
+  return float16(double(a) * double(b) + double(c));
+}
+inline bool isnan(float16 x) { return std::isnan(double(x)); }
+inline bool isinf(float16 x) { return std::isinf(double(x)); }
+inline bool isfinite(float16 x) { return std::isfinite(double(x)); }
+
+std::ostream& operator<<(std::ostream& os, float16 value);
+
+}  // namespace mpsim
+
+// numeric_limits so generic code (sort padding, reductions) can treat
+// float16 like the built-in floating types.
+template <>
+class std::numeric_limits<mpsim::float16> {
+ public:
+  static constexpr bool is_specialized = true;
+  static constexpr bool is_signed = true;
+  static constexpr bool is_integer = false;
+  static constexpr bool is_exact = false;
+  static constexpr bool has_infinity = true;
+  static constexpr bool has_quiet_NaN = true;
+  static constexpr int digits = 11;
+  static constexpr int max_exponent = 16;
+  static constexpr int min_exponent = -13;
+
+  static constexpr mpsim::float16 infinity() {
+    return mpsim::float16::infinity();
+  }
+  static constexpr mpsim::float16 quiet_NaN() {
+    return mpsim::float16::quiet_nan();
+  }
+  static constexpr mpsim::float16 max() { return mpsim::float16::max(); }
+  static constexpr mpsim::float16 lowest() {
+    return mpsim::float16::from_bits(0xfbff);  // -65504
+  }
+  static constexpr mpsim::float16 min() {
+    return mpsim::float16::min_normal();
+  }
+  static constexpr mpsim::float16 denorm_min() {
+    return mpsim::float16::denorm_min();
+  }
+  static constexpr mpsim::float16 epsilon() {
+    return mpsim::float16::from_bits(0x1400);  // 2^-10
+  }
+};

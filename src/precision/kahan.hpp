@@ -1,0 +1,56 @@
+// Kahan compensated summation (Kahan 1965), used by the FP16C precision
+// mode in the precalculation kernel to stop cancellation errors in the
+// cumulative sums from propagating into the main iteration, per §III-C of
+// the paper.
+//
+// The accumulator is templated on the arithmetic type so the same code
+// path serves FP64/FP32 reference accumulation and the compensated FP32
+// accumulation inside FP16C.
+#pragma once
+
+namespace mpsim {
+
+template <typename T>
+class KahanAccumulator {
+ public:
+  KahanAccumulator() = default;
+  explicit KahanAccumulator(T initial) : sum_(initial) {}
+
+  /// Adds `value`, tracking the low-order bits lost by the addition.
+  void add(T value) {
+    const T y = value - compensation_;
+    const T t = sum_ + y;
+    compensation_ = (t - sum_) - y;
+    sum_ = t;
+  }
+
+  T value() const { return sum_; }
+  T compensation() const { return compensation_; }
+
+  void reset(T initial = T(0)) {
+    sum_ = initial;
+    compensation_ = T(0);
+  }
+
+ private:
+  T sum_{};
+  T compensation_{};
+};
+
+/// Plain (uncompensated) accumulator with the same interface, so the
+/// precalculation kernel can be templated on the accumulation policy.
+template <typename T>
+class PlainAccumulator {
+ public:
+  PlainAccumulator() = default;
+  explicit PlainAccumulator(T initial) : sum_(initial) {}
+
+  void add(T value) { sum_ = sum_ + value; }
+  T value() const { return sum_; }
+  void reset(T initial = T(0)) { sum_ = initial; }
+
+ private:
+  T sum_{};
+};
+
+}  // namespace mpsim

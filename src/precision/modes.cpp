@@ -1,0 +1,73 @@
+#include "precision/modes.hpp"
+
+#include "common/error.hpp"
+
+namespace mpsim {
+
+std::string to_string(PrecisionMode mode) {
+  switch (mode) {
+    case PrecisionMode::FP64:
+      return "FP64";
+    case PrecisionMode::FP32:
+      return "FP32";
+    case PrecisionMode::FP16:
+      return "FP16";
+    case PrecisionMode::Mixed:
+      return "Mixed";
+    case PrecisionMode::FP16C:
+      return "FP16C";
+    case PrecisionMode::BF16:
+      return "BF16";
+    case PrecisionMode::TF32:
+      return "TF32";
+  }
+  return "unknown";
+}
+
+PrecisionMode parse_precision_mode(const std::string& name) {
+  if (name == "FP64" || name == "fp64") return PrecisionMode::FP64;
+  if (name == "FP32" || name == "fp32") return PrecisionMode::FP32;
+  if (name == "FP16" || name == "fp16") return PrecisionMode::FP16;
+  if (name == "Mixed" || name == "mixed") return PrecisionMode::Mixed;
+  if (name == "FP16C" || name == "fp16c") return PrecisionMode::FP16C;
+  if (name == "BF16" || name == "bf16") return PrecisionMode::BF16;
+  if (name == "TF32" || name == "tf32") return PrecisionMode::TF32;
+  throw ConfigError("unknown precision mode '" + name +
+                    "' (expected FP64|FP32|FP16|Mixed|FP16C|BF16|TF32)");
+}
+
+std::size_t storage_bytes(PrecisionMode mode) {
+  switch (mode) {
+    case PrecisionMode::FP64:
+      return 8;
+    case PrecisionMode::FP32:
+      return 4;
+    case PrecisionMode::FP16:
+    case PrecisionMode::Mixed:
+    case PrecisionMode::FP16C:
+    case PrecisionMode::BF16:
+      return 2;
+    case PrecisionMode::TF32:
+      return 4;  // stored as 32-bit words on hardware
+  }
+  return 8;
+}
+
+double unit_roundoff(PrecisionMode mode) {
+  switch (mode) {
+    case PrecisionMode::FP64:
+      return 0x1.0p-53;
+    case PrecisionMode::FP32:
+      return 0x1.0p-24;
+    case PrecisionMode::FP16:
+    case PrecisionMode::Mixed:
+    case PrecisionMode::FP16C:
+    case PrecisionMode::TF32:
+      return 0x1.0p-11;
+    case PrecisionMode::BF16:
+      return 0x1.0p-8;
+  }
+  return 0x1.0p-53;
+}
+
+}  // namespace mpsim

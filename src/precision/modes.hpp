@@ -1,0 +1,144 @@
+// The five precision modes of the paper (§III-C) and their static traits.
+//
+//   FP64  — binary64 storage and arithmetic everywhere (reference).
+//   FP32  — binary32 storage and arithmetic everywhere.
+//   FP16  — binary16 storage and arithmetic everywhere (fastest, least
+//           accurate).
+//   Mixed — binary16 main loop, but the precalculation kernel computes in
+//           binary32.
+//   FP16C — like Mixed, additionally using Kahan compensated summation for
+//           the cumulative sums inside precalculation.
+//
+// Kernels are templated on a Traits struct so the mode choice is a
+// compile-time decision per instantiation; run-time dispatch happens once
+// at the public API boundary.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "precision/float16.hpp"
+#include "precision/soft_float.hpp"
+
+namespace mpsim {
+
+/// The paper's five modes (§III-C) plus the two extension formats its
+/// conclusion proposes (§VII): BFLOAT16 and TF32.
+enum class PrecisionMode { FP64, FP32, FP16, Mixed, FP16C, BF16, TF32 };
+
+/// The paper's modes, in the order its figures list them.
+inline constexpr PrecisionMode kAllPrecisionModes[] = {
+    PrecisionMode::FP64, PrecisionMode::FP32, PrecisionMode::FP16,
+    PrecisionMode::Mixed, PrecisionMode::FP16C};
+
+/// Paper modes plus the future-work formats.
+inline constexpr PrecisionMode kExtendedPrecisionModes[] = {
+    PrecisionMode::FP64,  PrecisionMode::FP32, PrecisionMode::FP16,
+    PrecisionMode::Mixed, PrecisionMode::FP16C, PrecisionMode::BF16,
+    PrecisionMode::TF32};
+
+std::string to_string(PrecisionMode mode);
+PrecisionMode parse_precision_mode(const std::string& name);
+
+/// Bytes used to store one matrix-profile scalar in the given mode
+/// (drives the roofline performance model: the workload is memory-bound,
+/// so modelled kernel time scales with storage width).
+std::size_t storage_bytes(PrecisionMode mode);
+
+/// Unit roundoff of the mode's main-loop arithmetic (2^-53 / 2^-24 / 2^-11).
+double unit_roundoff(PrecisionMode mode);
+
+/// Compile-time traits consumed by the templated kernels.
+template <PrecisionMode M>
+struct PrecisionTraits;
+
+template <>
+struct PrecisionTraits<PrecisionMode::FP64> {
+  using Storage = double;       // element type of QT, df, dg, D, P
+  using Compute = double;       // arithmetic type of the main loop
+  using PrecalcCompute = double;  // arithmetic type of precalculation
+  static constexpr bool kCompensatedPrecalc = false;
+  static constexpr PrecisionMode kMode = PrecisionMode::FP64;
+};
+
+template <>
+struct PrecisionTraits<PrecisionMode::FP32> {
+  using Storage = float;
+  using Compute = float;
+  using PrecalcCompute = float;
+  static constexpr bool kCompensatedPrecalc = false;
+  static constexpr PrecisionMode kMode = PrecisionMode::FP32;
+};
+
+template <>
+struct PrecisionTraits<PrecisionMode::FP16> {
+  using Storage = float16;
+  using Compute = float16;
+  using PrecalcCompute = float16;
+  static constexpr bool kCompensatedPrecalc = false;
+  static constexpr PrecisionMode kMode = PrecisionMode::FP16;
+};
+
+template <>
+struct PrecisionTraits<PrecisionMode::Mixed> {
+  using Storage = float16;
+  using Compute = float16;
+  using PrecalcCompute = float;  // higher-precision precalculation
+  static constexpr bool kCompensatedPrecalc = false;
+  static constexpr PrecisionMode kMode = PrecisionMode::Mixed;
+};
+
+template <>
+struct PrecisionTraits<PrecisionMode::FP16C> {
+  using Storage = float16;
+  using Compute = float16;
+  using PrecalcCompute = float;  // higher precision + Kahan compensation
+  static constexpr bool kCompensatedPrecalc = true;
+  static constexpr PrecisionMode kMode = PrecisionMode::FP16C;
+};
+
+template <>
+struct PrecisionTraits<PrecisionMode::BF16> {
+  // bfloat16 everywhere: binary32's exponent range (no overflow in the
+  // cumulative sums) but only 8 significand bits.
+  using Storage = bfloat16;
+  using Compute = bfloat16;
+  using PrecalcCompute = bfloat16;
+  static constexpr bool kCompensatedPrecalc = false;
+  static constexpr PrecisionMode kMode = PrecisionMode::BF16;
+};
+
+template <>
+struct PrecisionTraits<PrecisionMode::TF32> {
+  // TF32: binary16's resolution with binary32's range; stored in 32 bits
+  // as on A100 hardware, so it saves compute width but not memory.
+  using Storage = tfloat32;
+  using Compute = tfloat32;
+  using PrecalcCompute = tfloat32;
+  static constexpr bool kCompensatedPrecalc = false;
+  static constexpr PrecisionMode kMode = PrecisionMode::TF32;
+};
+
+/// Invokes `fn.template operator()<Traits>()` for the runtime mode value.
+template <typename Fn>
+decltype(auto) dispatch_precision(PrecisionMode mode, Fn&& fn) {
+  switch (mode) {
+    case PrecisionMode::FP64:
+      return fn.template operator()<PrecisionTraits<PrecisionMode::FP64>>();
+    case PrecisionMode::FP32:
+      return fn.template operator()<PrecisionTraits<PrecisionMode::FP32>>();
+    case PrecisionMode::FP16:
+      return fn.template operator()<PrecisionTraits<PrecisionMode::FP16>>();
+    case PrecisionMode::Mixed:
+      return fn.template operator()<PrecisionTraits<PrecisionMode::Mixed>>();
+    case PrecisionMode::FP16C:
+      return fn.template operator()<PrecisionTraits<PrecisionMode::FP16C>>();
+    case PrecisionMode::BF16:
+      return fn.template operator()<PrecisionTraits<PrecisionMode::BF16>>();
+    case PrecisionMode::TF32:
+    default:
+      return fn.template operator()<PrecisionTraits<PrecisionMode::TF32>>();
+  }
+}
+
+}  // namespace mpsim

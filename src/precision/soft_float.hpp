@@ -1,0 +1,209 @@
+// Generic software reduced-precision floating-point type.
+//
+// The paper's conclusion names TF32 and BFLOAT16 as the natural follow-up
+// precision modes (§VII).  Both are truncated-binary32 formats:
+//
+//   bfloat16: 1 sign, 8 exponent, 7 mantissa bits  (same range as FP32)
+//   TF32:     1 sign, 8 exponent, 10 mantissa bits (FP16's resolution,
+//             FP32's range; A100 tensor-core input format)
+//
+// soft_float<MantissaBits, ExponentBits> implements round-to-nearest-even
+// conversion from binary64 directly on the bit representation (the same
+// algorithm as mpsim::float16, parameterised), with subnormals, signed
+// zero, infinities and NaN.  Arithmetic computes in binary64 and rounds
+// once — exact for +, -, * since 2*(MantissaBits+1) + carry fits well
+// inside binary64's 53-bit significand for every format used here.
+#pragma once
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace mpsim {
+
+template <int kMantissaBits, int kExponentBits>
+class soft_float {
+  static_assert(kMantissaBits >= 1 && kMantissaBits <= 23);
+  static_assert(kExponentBits >= 2 && kExponentBits <= 10);
+
+ public:
+  static constexpr int kBias = (1 << (kExponentBits - 1)) - 1;
+  static constexpr int kExpMax = (1 << kExponentBits) - 1;  // inf/NaN field
+  static constexpr std::uint32_t kMantMask = (1u << kMantissaBits) - 1;
+  static constexpr std::uint32_t kSignBit =
+      1u << (kMantissaBits + kExponentBits);
+
+  constexpr soft_float() = default;
+  soft_float(double value) : bits_(encode(value)) {}  // NOLINT
+  soft_float(float value) : soft_float(double(value)) {}  // NOLINT
+  soft_float(int value) : soft_float(double(value)) {}    // NOLINT
+  soft_float(long value) : soft_float(double(value)) {}   // NOLINT
+  soft_float(unsigned long value) : soft_float(double(value)) {}  // NOLINT
+
+  static constexpr soft_float from_bits(std::uint32_t bits) {
+    soft_float f;
+    f.bits_ = bits;
+    return f;
+  }
+  constexpr std::uint32_t bits() const { return bits_; }
+
+  operator double() const { return decode(bits_); }  // NOLINT
+  explicit operator float() const { return float(decode(bits_)); }
+
+  friend soft_float operator+(soft_float a, soft_float b) {
+    return soft_float(double(a) + double(b));
+  }
+  friend soft_float operator-(soft_float a, soft_float b) {
+    return soft_float(double(a) - double(b));
+  }
+  friend soft_float operator*(soft_float a, soft_float b) {
+    return soft_float(double(a) * double(b));
+  }
+  friend soft_float operator/(soft_float a, soft_float b) {
+    return soft_float(double(a) / double(b));
+  }
+  friend soft_float operator-(soft_float a) {
+    return from_bits(a.bits_ ^ kSignBit);
+  }
+
+  friend bool operator==(soft_float a, soft_float b) {
+    return double(a) == double(b);
+  }
+  friend bool operator!=(soft_float a, soft_float b) {
+    return double(a) != double(b);
+  }
+  friend bool operator<(soft_float a, soft_float b) {
+    return double(a) < double(b);
+  }
+  friend bool operator>(soft_float a, soft_float b) {
+    return double(a) > double(b);
+  }
+  friend bool operator<=(soft_float a, soft_float b) {
+    return double(a) <= double(b);
+  }
+  friend bool operator>=(soft_float a, soft_float b) {
+    return double(a) >= double(b);
+  }
+
+  /// Round-to-nearest-even binary64 -> this format.
+  static std::uint32_t encode(double value) {
+    const std::uint64_t dbits = std::bit_cast<std::uint64_t>(value);
+    const std::uint32_t sign = (dbits >> 63) ? kSignBit : 0u;
+    const int exp_field = int((dbits >> 52) & 0x7ff);
+    const std::uint64_t mant = dbits & 0xfffffffffffffULL;
+
+    if (exp_field == 0x7ff) {  // inf or NaN
+      const std::uint32_t payload =
+          mant != 0 ? (1u << (kMantissaBits - 1)) : 0u;
+      return sign | (std::uint32_t(kExpMax) << kMantissaBits) | payload;
+    }
+    if (exp_field == 0) return sign;  // zero / binary64 subnormal
+
+    int e = exp_field - 1023;
+    std::uint64_t sig = (1ULL << 52) | mant;
+
+    const int emin = 1 - kBias;  // smallest normal exponent
+    if (e >= emin) {
+      const int shift = 52 - kMantissaBits;
+      std::uint64_t keep = sig >> shift;
+      const std::uint64_t rem = sig & ((1ULL << shift) - 1);
+      const std::uint64_t half = 1ULL << (shift - 1);
+      keep += std::uint64_t((rem > half) | ((rem == half) & (keep & 1)));
+      if (keep == (1ULL << (kMantissaBits + 1))) {
+        keep >>= 1;
+        ++e;
+      }
+      if (e > kBias) {  // overflow -> inf
+        return sign | (std::uint32_t(kExpMax) << kMantissaBits);
+      }
+      return sign |
+             (std::uint32_t(e + kBias) << kMantissaBits) |
+             (std::uint32_t(keep) & kMantMask);
+    }
+
+    // Subnormal target: multiples of 2^(emin - kMantissaBits).
+    const int sub_shift = (52 - kMantissaBits) + (emin - e);
+    if (sub_shift > 52 + 1) return sign;  // below half the smallest subnormal
+    std::uint64_t keep = sig >> sub_shift;
+    const std::uint64_t rem = sig & ((1ULL << sub_shift) - 1);
+    const std::uint64_t half = 1ULL << (sub_shift - 1);
+    keep += std::uint64_t((rem > half) | ((rem == half) & (keep & 1)));
+    // A carry into the normal range keeps a continuous encoding.
+    return sign | std::uint32_t(keep);
+  }
+
+  /// Exact conversion to binary64.
+  static double decode(std::uint32_t bits) {
+    const bool negative = (bits & kSignBit) != 0;
+    const int exp_field = int((bits >> kMantissaBits) & std::uint32_t(kExpMax));
+    const std::uint32_t mant = bits & kMantMask;
+
+    double magnitude;
+    if (exp_field == kExpMax) {
+      magnitude = mant == 0 ? std::numeric_limits<double>::infinity()
+                            : std::numeric_limits<double>::quiet_NaN();
+    } else if (exp_field == 0) {
+      magnitude = std::ldexp(double(mant), 1 - kBias - kMantissaBits);
+    } else {
+      magnitude = std::ldexp(double((1u << kMantissaBits) | mant),
+                             exp_field - kBias - kMantissaBits);
+    }
+    return negative ? -magnitude : magnitude;
+  }
+
+  static constexpr soft_float infinity() {
+    return from_bits(std::uint32_t(kExpMax) << kMantissaBits);
+  }
+  static constexpr soft_float quiet_nan() {
+    return from_bits((std::uint32_t(kExpMax) << kMantissaBits) |
+                     (1u << (kMantissaBits - 1)));
+  }
+  /// Unit roundoff: 2^-(MantissaBits + 1).
+  static constexpr double epsilon() {
+    return 1.0 / double(2ULL << kMantissaBits);
+  }
+
+ private:
+  std::uint32_t bits_ = 0;
+};
+
+/// Google Brain bfloat16: binary32 range with an 8-bit significand.
+using bfloat16 = soft_float<7, 8>;
+/// NVIDIA TensorFloat-32: binary32 range with binary16's significand.
+using tfloat32 = soft_float<10, 8>;
+
+template <int M, int E>
+soft_float<M, E> sqrt(soft_float<M, E> x) {
+  return soft_float<M, E>(std::sqrt(double(x)));
+}
+template <int M, int E>
+soft_float<M, E> abs(soft_float<M, E> x) {
+  return soft_float<M, E>::from_bits(x.bits() &
+                                     ~soft_float<M, E>::kSignBit);
+}
+template <int M, int E>
+bool isnan(soft_float<M, E> x) {
+  return std::isnan(double(x));
+}
+template <int M, int E>
+bool isinf(soft_float<M, E> x) {
+  return std::isinf(double(x));
+}
+
+}  // namespace mpsim
+
+// numeric_limits so the kernels' generic padding/reduction code works.
+template <int M, int E>
+class std::numeric_limits<mpsim::soft_float<M, E>> {
+ public:
+  static constexpr bool is_specialized = true;
+  static constexpr bool has_infinity = true;
+  static constexpr int digits = M + 1;
+  static constexpr mpsim::soft_float<M, E> infinity() {
+    return mpsim::soft_float<M, E>::infinity();
+  }
+  static constexpr mpsim::soft_float<M, E> quiet_NaN() {
+    return mpsim::soft_float<M, E>::quiet_nan();
+  }
+};

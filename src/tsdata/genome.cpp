@@ -1,0 +1,90 @@
+#include "tsdata/genome.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace mpsim {
+namespace {
+
+constexpr char kBases[4] = {'A', 'C', 'T', 'G'};  // encoded 1, 2, 3, 4
+
+char random_base(Rng& rng) { return kBases[rng.uniform_index(4)]; }
+
+}  // namespace
+
+double encode_base(char base) {
+  switch (base) {
+    case 'A':
+    case 'a':
+      return 1.0;
+    case 'C':
+    case 'c':
+      return 2.0;
+    case 'T':
+    case 't':
+      return 3.0;
+    case 'G':
+    case 'g':
+      return 4.0;
+    default:
+      throw ConfigError(std::string("cannot encode base '") + base +
+                        "' (expected A, C, G or T)");
+  }
+}
+
+std::vector<double> encode_genome(const std::string& bases) {
+  std::vector<double> out;
+  out.reserve(bases.size());
+  for (char b : bases) out.push_back(encode_base(b));
+  return out;
+}
+
+GenomeDataset make_genome_dataset(const GenomeSpec& spec) {
+  MPSIM_CHECK(spec.length >= spec.copy_block,
+              "chromosome length must be >= copy_block");
+  GenomeDataset out;
+  out.reference = TimeSeries(spec.length, spec.chromosomes);
+  out.query = TimeSeries(spec.length, spec.chromosomes);
+  out.reference_bases.resize(spec.chromosomes);
+  out.query_bases.resize(spec.chromosomes);
+
+  Rng rng(spec.seed);
+  for (std::size_t k = 0; k < spec.chromosomes; ++k) {
+    auto& ref = out.reference_bases[k];
+    ref.resize(spec.length);
+    for (auto& b : ref) b = random_base(rng);
+
+    auto& qry = out.query_bases[k];
+    qry.resize(spec.length);
+    std::size_t t = 0;
+    while (t < spec.length) {
+      const bool copy = rng.uniform() < spec.shared_fraction;
+      const std::size_t block =
+          std::min(spec.copy_block, spec.length - t);
+      if (copy) {
+        // Copy a reference substring with point mutations.
+        const std::size_t src =
+            rng.uniform_index(spec.length - block + 1);
+        for (std::size_t u = 0; u < block; ++u) {
+          qry[t + u] = rng.uniform() < spec.mutation_rate ? random_base(rng)
+                                                          : ref[src + u];
+        }
+      } else {
+        for (std::size_t u = 0; u < block; ++u) qry[t + u] = random_base(rng);
+      }
+      t += block;
+    }
+
+    const auto ref_encoded = encode_genome(ref);
+    const auto qry_encoded = encode_genome(qry);
+    std::copy(ref_encoded.begin(), ref_encoded.end(),
+              out.reference.dim(k).begin());
+    std::copy(qry_encoded.begin(), qry_encoded.end(),
+              out.query.dim(k).begin());
+  }
+  return out;
+}
+
+}  // namespace mpsim

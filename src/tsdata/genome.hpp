@@ -1,0 +1,45 @@
+// Synthetic genome sequences standing in for the Genome-in-a-Bottle (GIAB)
+// case study (paper §VI-B).  GIAB's Chinese-trio data is not available
+// offline, so we synthesise base sequences over {A, C, G, T} in which the
+// query shares long (mutated) substrings with the reference — the structure
+// that makes matrix-profile-based similarity search on genomes meaningful.
+// Encoding follows the paper exactly: A→1, C→2, T→3, G→4, one
+// "chromosome" per dimension, interpreted as a time series by index.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tsdata/time_series.hpp"
+
+namespace mpsim {
+
+/// Encodes one base character; throws ConfigError for non-ACGT input.
+double encode_base(char base);
+
+/// Encodes a base string into the paper's 1/2/3/4 series representation.
+std::vector<double> encode_genome(const std::string& bases);
+
+struct GenomeSpec {
+  std::size_t length = 1 << 13;      ///< bases per chromosome
+  std::size_t chromosomes = 1 << 4;  ///< d = 16 in the paper's experiments
+  /// Fraction of the query produced by copying reference substrings
+  /// (with point mutations) rather than drawing random bases.
+  double shared_fraction = 0.5;
+  double mutation_rate = 0.02;       ///< per-base flip probability in copies
+  std::size_t copy_block = 512;      ///< length of each copied substring
+  std::uint64_t seed = 1234;
+};
+
+struct GenomeDataset {
+  TimeSeries reference;          ///< encoded reference chromosomes
+  TimeSeries query;              ///< encoded query chromosomes
+  std::vector<std::string> reference_bases;  ///< raw sequences, per dim
+  std::vector<std::string> query_bases;
+};
+
+/// Generates a reference/query chromosome set with shared substructure.
+GenomeDataset make_genome_dataset(const GenomeSpec& spec);
+
+}  // namespace mpsim

@@ -1,0 +1,128 @@
+#include "tsdata/hpc_telemetry.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace mpsim {
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+/// Per-class, per-sensor signature.  Matrix-profile matching works on
+/// z-normalised segments, so mean levels are invisible — classes are
+/// separated by waveform *shape*: iteration period, harmonic content and
+/// wave family (smooth vs switching), mimicking how solver iterations of
+/// HPL / AMG / LAMMPS etc. leave different periodic footprints in
+/// hardware counters.  Deterministic per (class, sensor) so reference and
+/// query timelines from different seeds share signatures.
+struct Signature {
+  double level;
+  double amplitude;
+  double period;
+  double harmonic;  ///< weight of the 2nd harmonic
+  bool square;      ///< switching (square-ish) counter vs smooth
+  double phase;
+};
+
+Signature signature_for(HpcAppClass cls, std::size_t sensor) {
+  const auto s = double(sensor);
+  if (cls == HpcAppClass::kNone) {
+    // Idle: almost flat; z-normalised segments are noise-dominated.
+    return {0.05 + 0.01 * s, 0.02, 40.0 + 3.0 * s, 0.0, false, 0.0};
+  }
+  static constexpr double kPeriod[6] = {16.0, 24.0, 36.0, 52.0, 74.0, 100.0};
+  static constexpr double kHarmonic[6] = {0.0, 0.6, 0.0, 0.5, 0.25, 0.8};
+  static constexpr bool kSquare[6] = {false, false, true, false, true, false};
+  const int c = int(cls) - 1;
+  const double level = 0.3 + 0.1 * double(c) + 0.02 * s;
+  const double amplitude = 0.35 + 0.03 * std::fmod(s * 1.7, 3.0);
+  const double period = kPeriod[c] + 0.3 * s;
+  const double phase = 0.5 * double(c) + 0.2 * s;
+  return {level, amplitude, period, kHarmonic[c], kSquare[c], phase};
+}
+
+double signature_value(const Signature& sig, std::size_t t) {
+  const double w = kTwoPi * double(t) / sig.period;
+  double base = std::sin(w + sig.phase);
+  if (sig.square) base = base >= 0.0 ? 1.0 : -1.0;
+  const double osc =
+      base + sig.harmonic * std::sin(2.0 * w + 1.3 * sig.phase);
+  return sig.level + sig.amplitude * osc;
+}
+
+}  // namespace
+
+const char* hpc_app_class_name(HpcAppClass cls) {
+  switch (cls) {
+    case HpcAppClass::kNone:
+      return "None";
+    case HpcAppClass::kKripke:
+      return "Kripke";
+    case HpcAppClass::kLammps:
+      return "LAMMPS";
+    case HpcAppClass::kLinpack:
+      return "linpack";
+    case HpcAppClass::kAmg:
+      return "AMG";
+    case HpcAppClass::kPennant:
+      return "PENNANT";
+    case HpcAppClass::kQuicksilver:
+      return "Quicksilver";
+    case HpcAppClass::kCount:
+      break;
+  }
+  return "invalid";
+}
+
+HpcTelemetry make_hpc_telemetry(const HpcTelemetrySpec& spec) {
+  MPSIM_CHECK(spec.min_phase >= 8 && spec.max_phase >= spec.min_phase,
+              "invalid phase length range");
+  HpcTelemetry out;
+  out.series = TimeSeries(spec.length, spec.sensors);
+  out.labels.assign(spec.length, int(HpcAppClass::kNone));
+
+  Rng rng(spec.seed);
+  std::size_t t = 0;
+  bool idle = true;  // alternate idle gaps and application runs
+  // Application classes are drawn by cycling through shuffled
+  // permutations of all six benchmarks, so any reasonably long timeline
+  // (and both halves of a reference/query split) covers every class —
+  // the property the nearest-neighbour classifier of §VI-A needs.
+  std::vector<int> class_cycle;
+  std::size_t cycle_pos = 0;
+  auto next_class = [&] {
+    if (cycle_pos == class_cycle.size()) {
+      class_cycle.resize(kHpcAppClassCount - 1);
+      for (std::size_t c = 0; c < class_cycle.size(); ++c) {
+        class_cycle[c] = int(c) + 1;
+      }
+      for (std::size_t c = class_cycle.size(); c > 1; --c) {
+        std::swap(class_cycle[c - 1], class_cycle[rng.uniform_index(c)]);
+      }
+      cycle_pos = 0;
+    }
+    return HpcAppClass(class_cycle[cycle_pos++]);
+  };
+  while (t < spec.length) {
+    const std::size_t span =
+        spec.min_phase +
+        rng.uniform_index(spec.max_phase - spec.min_phase + 1);
+    const std::size_t end = std::min(spec.length, t + (idle ? span / 4 : span));
+    const HpcAppClass cls = idle ? HpcAppClass::kNone : next_class();
+    for (std::size_t k = 0; k < spec.sensors; ++k) {
+      const Signature sig = signature_for(cls, k);
+      for (std::size_t u = t; u < end; ++u) {
+        out.series.at(u, k) =
+            signature_value(sig, u) + rng.normal(0.0, spec.noise_sigma);
+      }
+    }
+    for (std::size_t u = t; u < end; ++u) out.labels[u] = int(cls);
+    t = end;
+    idle = !idle;
+  }
+  return out;
+}
+
+}  // namespace mpsim

@@ -1,0 +1,53 @@
+// Synthetic HPC monitoring telemetry standing in for the HPC-ODA dataset
+// (paper §VI-A).  HPC-ODA is public but not available offline here, so we
+// generate labelled multi-sensor telemetry with the same structure: 16
+// performance sensors sampled at 1 Hz while a sequence of benchmark
+// applications (Kripke, LAMMPS, linpack, AMG, PENNANT, Quicksilver, plus
+// idle "None" gaps) runs on the machine.  Each application class has a
+// distinctive per-sensor signature (level + periodicity), so segments of
+// the same class are mutual nearest neighbours — which is exactly the
+// property the paper's nearest-neighbour classifier exploits.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tsdata/time_series.hpp"
+
+namespace mpsim {
+
+enum class HpcAppClass {
+  kNone = 0,
+  kKripke,
+  kLammps,
+  kLinpack,
+  kAmg,
+  kPennant,
+  kQuicksilver,
+  kCount
+};
+
+inline constexpr std::size_t kHpcAppClassCount =
+    std::size_t(HpcAppClass::kCount);
+
+const char* hpc_app_class_name(HpcAppClass cls);
+
+struct HpcTelemetrySpec {
+  std::size_t length = 1 << 13;  ///< total samples (paper: one day at 1 Hz)
+  std::size_t sensors = 16;      ///< paper selects 16 distinct sensors
+  std::size_t min_phase = 120;   ///< shortest application run, samples
+  std::size_t max_phase = 320;   ///< longest application run, samples
+  double noise_sigma = 0.08;
+  std::uint64_t seed = 7;
+};
+
+struct HpcTelemetry {
+  TimeSeries series;           ///< sensors-by-time telemetry
+  std::vector<int> labels;     ///< per-sample ground-truth class id
+};
+
+/// Generates one labelled telemetry timeline.
+HpcTelemetry make_hpc_telemetry(const HpcTelemetrySpec& spec);
+
+}  // namespace mpsim

@@ -1,0 +1,87 @@
+#include "tsdata/io.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace mpsim {
+namespace {
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  std::istringstream ss(line);
+  while (std::getline(ss, cell, ',')) cells.push_back(cell);
+  return cells;
+}
+
+bool looks_numeric(const std::string& cell) {
+  char* end = nullptr;
+  std::strtod(cell.c_str(), &end);
+  return end != cell.c_str();
+}
+
+}  // namespace
+
+void write_csv(const std::string& path, const TimeSeries& series,
+               bool header) {
+  std::ofstream out(path);
+  MPSIM_CHECK(out.good(), "cannot open '" << path << "' for writing");
+  out.precision(17);
+  if (header) {
+    for (std::size_t k = 0; k < series.dims(); ++k) {
+      out << (k == 0 ? "" : ",") << "dim" << k;
+    }
+    out << '\n';
+  }
+  for (std::size_t t = 0; t < series.length(); ++t) {
+    for (std::size_t k = 0; k < series.dims(); ++k) {
+      out << (k == 0 ? "" : ",") << series.at(t, k);
+    }
+    out << '\n';
+  }
+  MPSIM_CHECK(out.good(), "write to '" << path << "' failed");
+}
+
+TimeSeries read_csv(const std::string& path) {
+  std::ifstream in(path);
+  MPSIM_CHECK(in.good(), "cannot open '" << path << "' for reading");
+
+  std::vector<std::vector<double>> rows;
+  std::string line;
+  bool first = true;
+  std::size_t dims = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto cells = split_csv_line(line);
+    if (first) {
+      first = false;
+      dims = cells.size();
+      if (!cells.empty() && !looks_numeric(cells[0])) continue;  // header
+    }
+    MPSIM_CHECK(cells.size() == dims,
+                "row with " << cells.size() << " cells in a " << dims
+                            << "-column file: '" << line << "'");
+    std::vector<double> row;
+    row.reserve(dims);
+    for (const auto& cell : cells) {
+      char* end = nullptr;
+      const double v = std::strtod(cell.c_str(), &end);
+      MPSIM_CHECK(end != cell.c_str(), "non-numeric cell '" << cell << "'");
+      row.push_back(v);
+    }
+    rows.push_back(std::move(row));
+  }
+  MPSIM_CHECK(!rows.empty(), "'" << path << "' contains no data rows");
+
+  TimeSeries series(rows.size(), dims);
+  for (std::size_t t = 0; t < rows.size(); ++t) {
+    for (std::size_t k = 0; k < dims; ++k) series.at(t, k) = rows[t][k];
+  }
+  return series;
+}
+
+}  // namespace mpsim

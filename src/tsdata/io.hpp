@@ -1,0 +1,20 @@
+// CSV import/export for time series: one column per dimension, one row per
+// sample, optional header.  Used by the example applications so users can
+// run the library on their own data.
+#pragma once
+
+#include <string>
+
+#include "tsdata/time_series.hpp"
+
+namespace mpsim {
+
+/// Writes `series` as CSV.  With `header`, the first row is dim0,dim1,...
+void write_csv(const std::string& path, const TimeSeries& series,
+               bool header = true);
+
+/// Reads a CSV written by write_csv (or any numeric CSV with consistent
+/// column counts).  A non-numeric first row is treated as a header.
+TimeSeries read_csv(const std::string& path);
+
+}  // namespace mpsim

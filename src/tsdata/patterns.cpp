@@ -1,0 +1,79 @@
+#include "tsdata/patterns.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace mpsim {
+namespace {
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+}
+
+const char* pattern_name(PatternShape shape) {
+  switch (shape) {
+    case PatternShape::kSine:
+      return "P0-sine";
+    case PatternShape::kSquare:
+      return "P1-square";
+    case PatternShape::kTriangle:
+      return "P2-triangle";
+    case PatternShape::kSawtooth:
+      return "P3-sawtooth";
+    case PatternShape::kGaussianBump:
+      return "P4-gauss";
+    case PatternShape::kStep:
+      return "P5-step";
+    case PatternShape::kChirp:
+      return "P6-chirp";
+    case PatternShape::kDoubleBump:
+      return "P7-double-bump";
+    case PatternShape::kCount:
+      break;
+  }
+  return "invalid";
+}
+
+double pattern_value(PatternShape shape, double x01) {
+  const double x = x01 - std::floor(x01);  // wrap into [0, 1)
+  switch (shape) {
+    case PatternShape::kSine:
+      return std::sin(kTwoPi * x);
+    case PatternShape::kSquare:
+      return x < 0.5 ? 1.0 : -1.0;
+    case PatternShape::kTriangle:
+      return x < 0.5 ? 4.0 * x - 1.0 : 3.0 - 4.0 * x;
+    case PatternShape::kSawtooth:
+      return 2.0 * x - 1.0;
+    case PatternShape::kGaussianBump: {
+      const double t = (x - 0.5) / 0.15;
+      return 2.0 * std::exp(-0.5 * t * t) - 1.0;
+    }
+    case PatternShape::kStep:
+      return x < 0.5 ? -1.0 : 1.0;
+    case PatternShape::kChirp:
+      // Instantaneous frequency rises from 1 to 4 cycles over the window.
+      return std::sin(kTwoPi * (x + 1.5 * x * x));
+    case PatternShape::kDoubleBump: {
+      const double t1 = (x - 0.3) / 0.08;
+      const double t2 = (x - 0.7) / 0.12;
+      const double v = 2.0 * (std::exp(-0.5 * t1 * t1) +
+                              0.6 * std::exp(-0.5 * t2 * t2)) -
+                       1.0;
+      return std::clamp(v, -1.0, 1.0);  // bump tails overlap slightly
+    }
+    case PatternShape::kCount:
+      break;
+  }
+  throw ConfigError("invalid pattern shape");
+}
+
+std::vector<double> sample_pattern(PatternShape shape, std::size_t m) {
+  std::vector<double> out(m);
+  for (std::size_t t = 0; t < m; ++t) {
+    out[t] = pattern_value(shape, double(t) / double(m));
+  }
+  return out;
+}
+
+}  // namespace mpsim

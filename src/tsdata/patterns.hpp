@@ -1,0 +1,35 @@
+// The eight primitive pattern shapes P0..P7 of the paper's stress tests
+// (Fig. 3): patterns of varying complexity plotted over x in [0, m) with
+// normalised values y in [-1, 1].  The exact shapes are not specified in
+// the text, so we use eight standard primitives of increasing complexity.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mpsim {
+
+enum class PatternShape {
+  kSine = 0,        // P0: one sine period
+  kSquare,          // P1: square wave
+  kTriangle,        // P2: triangle wave
+  kSawtooth,        // P3: rising sawtooth
+  kGaussianBump,    // P4: centred Gaussian bump
+  kStep,            // P5: single step edge
+  kChirp,           // P6: linearly increasing frequency
+  kDoubleBump,      // P7: two unequal Gaussian bumps
+  kCount
+};
+
+inline constexpr std::size_t kPatternCount =
+    std::size_t(PatternShape::kCount);
+
+const char* pattern_name(PatternShape shape);
+
+/// Value of a pattern at normalised position x01 in [0, 1); range [-1, 1].
+double pattern_value(PatternShape shape, double x01);
+
+/// Samples a pattern into `m` points.
+std::vector<double> sample_pattern(PatternShape shape, std::size_t m);
+
+}  // namespace mpsim

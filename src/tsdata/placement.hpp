@@ -1,0 +1,38 @@
+// Non-overlapping random placement of embedded events.
+//
+// Divides the valid position range into equal slots, one per event, and
+// jitters the event inside its slot so that any two placements stay at
+// least two windows apart.  Unlike rejection sampling this cannot fail
+// spuriously: it either succeeds or proves the series too short.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace mpsim {
+
+/// Returns `count` window-start positions in [0, limit), pairwise at least
+/// 2*window apart, in increasing order.
+inline std::vector<std::size_t> place_non_overlapping(Rng& rng,
+                                                      std::size_t count,
+                                                      std::size_t limit,
+                                                      std::size_t window) {
+  MPSIM_CHECK(count >= 1, "need at least one placement");
+  const std::size_t slot = limit / count;
+  MPSIM_CHECK(slot >= 2 * window + 1,
+              "cannot place " << count << " events of window " << window
+                              << " in " << limit
+                              << " positions; use a longer series");
+  std::vector<std::size_t> positions;
+  positions.reserve(count);
+  const std::size_t jitter_range = slot - 2 * window;
+  for (std::size_t i = 0; i < count; ++i) {
+    positions.push_back(i * slot + rng.uniform_index(jitter_range));
+  }
+  return positions;
+}
+
+}  // namespace mpsim

@@ -1,0 +1,57 @@
+// Input repair for real-world data: sensors drop out and logs contain
+// NaN/inf samples, which would otherwise poison every segment that
+// overlaps them (a non-finite sample makes its segments' statistics
+// non-finite).  repair_non_finite() linearly interpolates over non-finite
+// runs per dimension, the standard pragmatic preprocessing for
+// matrix-profile pipelines; used by mpsim_cli's --repair flag.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+#include "tsdata/time_series.hpp"
+
+namespace mpsim {
+
+/// Replaces non-finite samples by linear interpolation between the
+/// nearest finite neighbours (constant extrapolation at the edges).
+/// Returns the number of repaired samples.  A dimension with no finite
+/// samples at all is zero-filled.
+inline std::size_t repair_non_finite(TimeSeries& series) {
+  std::size_t repaired = 0;
+  for (std::size_t k = 0; k < series.dims(); ++k) {
+    auto d = series.dim(k);
+    const std::size_t n = d.size();
+    std::size_t t = 0;
+    while (t < n) {
+      if (std::isfinite(d[t])) {
+        ++t;
+        continue;
+      }
+      // Non-finite run [t, end).
+      std::size_t end = t;
+      while (end < n && !std::isfinite(d[end])) ++end;
+      const bool has_left = t > 0;
+      const bool has_right = end < n;
+      for (std::size_t u = t; u < end; ++u) {
+        if (has_left && has_right) {
+          const double left = d[t - 1];
+          const double right = d[end];
+          const double frac = double(u - t + 1) / double(end - t + 1);
+          d[u] = left + (right - left) * frac;
+        } else if (has_left) {
+          d[u] = d[t - 1];
+        } else if (has_right) {
+          d[u] = d[end];
+        } else {
+          d[u] = 0.0;  // entire dimension was non-finite
+        }
+        ++repaired;
+      }
+      t = end;
+    }
+  }
+  return repaired;
+}
+
+}  // namespace mpsim

@@ -1,0 +1,80 @@
+#include "tsdata/synthetic.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "tsdata/placement.hpp"
+
+namespace mpsim {
+
+SyntheticDataset make_synthetic_dataset(const SyntheticSpec& spec) {
+  MPSIM_CHECK(spec.window >= 4, "window must be at least 4 samples");
+  MPSIM_CHECK(spec.segments >= 4 * spec.window,
+              "need segments >= 4*window for meaningful injections");
+
+  const std::size_t len = spec.series_length();
+  SyntheticDataset out;
+  out.reference = TimeSeries(len, spec.dims);
+  out.query = TimeSeries(len, spec.dims);
+
+  Rng rng(spec.seed);
+  for (std::size_t k = 0; k < spec.dims; ++k) {
+    for (std::size_t t = 0; t < len; ++t) {
+      out.reference.at(t, k) = rng.normal(0.0, spec.noise_sigma);
+      out.query.at(t, k) = rng.normal(0.0, spec.noise_sigma);
+    }
+  }
+
+  // Injection sites must leave room for a whole window.
+  const std::size_t limit = spec.segments;  // valid segment starts
+  const auto pattern = sample_pattern(spec.shape, spec.window);
+  for (std::size_t k = 0; k < spec.dims; ++k) {
+    const auto q_pos = place_non_overlapping(rng, spec.injections_per_dim,
+                                             limit, spec.window);
+    const auto r_pos = place_non_overlapping(rng, spec.injections_per_dim,
+                                             limit, spec.window);
+    for (std::size_t i = 0; i < spec.injections_per_dim; ++i) {
+      for (std::size_t t = 0; t < spec.window; ++t) {
+        // The pattern dominates the noise; residual noise keeps the two
+        // copies similar-but-not-identical, as in real data.
+        out.query.at(q_pos[i] + t, k) =
+            spec.pattern_amplitude * pattern[t] +
+            rng.normal(0.0, spec.noise_sigma * 0.1);
+        out.reference.at(r_pos[i] + t, k) =
+            spec.pattern_amplitude * pattern[t] +
+            rng.normal(0.0, spec.noise_sigma * 0.1);
+      }
+      out.injections.push_back({k, q_pos[i], r_pos[i]});
+    }
+  }
+  return out;
+}
+
+TimeSeries make_noise_series(std::size_t length, std::size_t dims,
+                             double sigma, std::uint64_t seed) {
+  TimeSeries series(length, dims);
+  Rng rng(seed);
+  for (std::size_t k = 0; k < dims; ++k) {
+    for (std::size_t t = 0; t < length; ++t) {
+      series.at(t, k) = rng.normal(0.0, sigma);
+    }
+  }
+  return series;
+}
+
+TimeSeries make_random_walk_series(std::size_t length, std::size_t dims,
+                                   double step_sigma, std::uint64_t seed) {
+  TimeSeries series(length, dims);
+  Rng rng(seed);
+  for (std::size_t k = 0; k < dims; ++k) {
+    double level = 0.0;
+    for (std::size_t t = 0; t < length; ++t) {
+      level += rng.normal(0.0, step_sigma);
+      series.at(t, k) = level;
+    }
+  }
+  return series;
+}
+
+}  // namespace mpsim

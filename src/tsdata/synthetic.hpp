@@ -1,0 +1,61 @@
+// Synthetic stress-test dataset generator (paper §V-A): random noise with
+// repeating patterns injected at randomly chosen locations.  The same
+// pattern instance is embedded once in the reference and once in the query
+// series (per injection), so the ground-truth nearest neighbour of each
+// injected query segment is known and the embedded-motif recall metrics
+// (R_embedded, relaxed R^r_embedded) can be evaluated.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tsdata/patterns.hpp"
+#include "tsdata/time_series.hpp"
+
+namespace mpsim {
+
+struct SyntheticSpec {
+  std::size_t segments = 1 << 12;  ///< n = number of segments per series
+  std::size_t dims = 1 << 4;       ///< d
+  std::size_t window = 1 << 6;     ///< m (segment/subsequence length)
+  PatternShape shape = PatternShape::kSine;
+  std::size_t injections_per_dim = 8;  ///< pattern pairs per dimension
+  double pattern_amplitude = 1.0;
+  double noise_sigma = 0.25;
+  std::uint64_t seed = 42;
+
+  std::size_t series_length() const { return segments + window - 1; }
+};
+
+/// One injected pattern pair: the query segment starting at
+/// `query_position` (dimension `dim`) matches the reference segment at
+/// `reference_position`.
+struct Injection {
+  std::size_t dim = 0;
+  std::size_t query_position = 0;
+  std::size_t reference_position = 0;
+};
+
+struct SyntheticDataset {
+  TimeSeries reference;
+  TimeSeries query;
+  std::vector<Injection> injections;
+};
+
+/// Generates a reference/query pair with matching embedded patterns.
+/// Injection sites are non-overlapping (separated by at least one window)
+/// so ground-truth matches are unambiguous.
+SyntheticDataset make_synthetic_dataset(const SyntheticSpec& spec);
+
+/// Pure noise series (no injections) for numerical-accuracy stress tests.
+TimeSeries make_noise_series(std::size_t length, std::size_t dims,
+                             double sigma, std::uint64_t seed);
+
+/// Random-walk series (cumulative Gaussian steps) — the matrix profile
+/// literature's standard hard case: walks drift, so segment means vary
+/// wildly and the precalculation's cancellation-prone statistics get a
+/// genuine workout (unlike white noise, whose means hover near zero).
+TimeSeries make_random_walk_series(std::size_t length, std::size_t dims,
+                                   double step_sigma, std::uint64_t seed);
+
+}  // namespace mpsim

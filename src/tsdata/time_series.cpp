@@ -1,0 +1,37 @@
+#include "tsdata/time_series.hpp"
+
+#include <algorithm>
+
+namespace mpsim {
+
+TimeSeries TimeSeries::slice(std::size_t t0, std::size_t count) const {
+  MPSIM_CHECK(t0 + count <= length_,
+              "slice [" << t0 << ", " << t0 + count << ") exceeds length "
+                        << length_);
+  TimeSeries out(count, dims_);
+  for (std::size_t k = 0; k < dims_; ++k) {
+    const auto src = dim(k);
+    std::copy(src.begin() + std::ptrdiff_t(t0),
+              src.begin() + std::ptrdiff_t(t0 + count), out.dim(k).begin());
+  }
+  return out;
+}
+
+void TimeSeries::min_max_normalize(double lo, double hi) {
+  for (std::size_t k = 0; k < dims_; ++k) {
+    auto d = dim(k);
+    const auto [mn_it, mx_it] = std::minmax_element(d.begin(), d.end());
+    // Copy the extremes before mutating: the iterators alias the data.
+    const double mn = *mn_it;
+    const double range = *mx_it - mn;
+    if (range == 0.0) {
+      std::fill(d.begin(), d.end(), lo);
+      continue;
+    }
+    // Normalise the fraction first so the extremes map to lo and hi
+    // exactly (range/range == 1.0).
+    for (auto& v : d) v = lo + (hi - lo) * ((v - mn) / range);
+  }
+}
+
+}  // namespace mpsim

@@ -1,0 +1,73 @@
+// Multi-dimensional time series with the dimension-wise data layout the
+// paper uses on the GPU (§III-A "Data Layout"): consecutive samples of one
+// dimension are contiguous in memory, i.e. the buffer is dimension-major.
+// Host data is kept in binary64; reduced-precision storage happens when a
+// series is copied to a simulated device.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace mpsim {
+
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+
+  /// Zero-filled series of `length` samples in `dims` dimensions.
+  TimeSeries(std::size_t length, std::size_t dims)
+      : length_(length), dims_(dims), data_(length * dims, 0.0) {
+    MPSIM_CHECK(dims >= 1, "time series needs at least one dimension");
+  }
+
+  /// Wraps existing dimension-major data (size must be length*dims).
+  TimeSeries(std::size_t length, std::size_t dims, std::vector<double> data)
+      : length_(length), dims_(dims), data_(std::move(data)) {
+    MPSIM_CHECK(data_.size() == length_ * dims_,
+                "data size " << data_.size() << " != length*dims "
+                             << length_ * dims_);
+  }
+
+  std::size_t length() const { return length_; }
+  std::size_t dims() const { return dims_; }
+  bool empty() const { return data_.empty(); }
+
+  double& at(std::size_t t, std::size_t k) { return data_[k * length_ + t]; }
+  double at(std::size_t t, std::size_t k) const {
+    return data_[k * length_ + t];
+  }
+
+  /// Contiguous samples of one dimension.
+  std::span<double> dim(std::size_t k) {
+    return {data_.data() + k * length_, length_};
+  }
+  std::span<const double> dim(std::size_t k) const {
+    return {data_.data() + k * length_, length_};
+  }
+
+  const std::vector<double>& raw() const { return data_; }
+  std::vector<double>& raw() { return data_; }
+
+  /// Number of length-m segments: length - m + 1 (0 if m > length).
+  std::size_t segment_count(std::size_t m) const {
+    return m > length_ ? 0 : length_ - m + 1;
+  }
+
+  /// Copies samples [t0, t0+count) of every dimension into a new series.
+  TimeSeries slice(std::size_t t0, std::size_t count) const;
+
+  /// Per-dimension min-max normalisation into [lo, hi] (used by the turbine
+  /// case study to avoid FP16 overflow, §VI-C Fig. 11).
+  void min_max_normalize(double lo = 0.0, double hi = 1.0);
+
+ private:
+  std::size_t length_ = 0;
+  std::size_t dims_ = 0;
+  std::vector<double> data_;  // dimension-major: data_[k * length_ + t]
+};
+
+}  // namespace mpsim

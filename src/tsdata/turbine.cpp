@@ -1,0 +1,72 @@
+#include "tsdata/turbine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "tsdata/placement.hpp"
+
+namespace mpsim {
+
+const char* startup_shape_name(StartupShape shape) {
+  return shape == StartupShape::kP1 ? "P1" : "P2";
+}
+
+double startup_value(StartupShape shape, double x01) {
+  const double x = std::clamp(x01, 0.0, 1.0);
+  if (shape == StartupShape::kP1) {
+    // Staged startup: crank to 20%, hold for ignition, then steep ramp.
+    if (x < 0.25) return 0.8 * x;                    // purge crank to 20%
+    if (x < 0.55) return 0.20 + 0.05 * (x - 0.25);   // ignition plateau
+    const double r = (x - 0.55) / 0.35;
+    return std::min(1.0, 0.215 + 0.785 * r);         // main ramp to nominal
+  }
+  // P2: smooth s-curve (logistic) from idle to nominal speed.
+  const double t = (x - 0.45) / 0.12;
+  return 1.0 / (1.0 + std::exp(-t));
+}
+
+TurbineSeries make_turbine_series(const TurbineSpec& spec, int turbine_id,
+                                  std::size_t p1_events,
+                                  std::size_t p2_events) {
+  const std::size_t length = spec.segments + spec.window - 1;
+  TurbineSeries out;
+  out.series = TimeSeries(length, 1);
+
+  Rng rng(spec.seed + std::uint64_t(turbine_id) * 0x9e3779b9ULL);
+
+  // Idle operation background.
+  for (std::size_t t = 0; t < length; ++t) {
+    out.series.at(t, 0) = spec.idle_level + rng.normal(0.0, spec.noise_sigma);
+  }
+
+  const auto positions = place_non_overlapping(
+      rng, p1_events + p2_events, spec.segments, spec.window);
+  // Interleave shapes over the drawn positions deterministically.
+  // Machine-specific character: each turbine ramps marginally differently.
+  const double machine_skew = 1.0 + 0.02 * double(turbine_id);
+  std::size_t p1_left = p1_events;
+  for (std::size_t idx = 0; idx < positions.size(); ++idx) {
+    const bool use_p1 = p1_left > 0 && (idx % 2 == 0 || idx >= 2 * p2_events);
+    const StartupShape shape = use_p1 ? StartupShape::kP1 : StartupShape::kP2;
+    if (use_p1) --p1_left;
+    const std::size_t pos = positions[idx];
+    for (std::size_t t = 0; t < spec.window; ++t) {
+      const double x = double(t) / double(spec.window - 1) * machine_skew;
+      out.series.at(pos + t, 0) =
+          startup_value(shape, x) + rng.normal(0.0, spec.noise_sigma);
+    }
+    (shape == StartupShape::kP1 ? out.p1_starts : out.p2_starts).push_back(pos);
+  }
+
+  // The paper min-max normalises turbine speed to avoid overflow in
+  // reduced-precision computation (Fig. 11).  [0, 1] keeps the streaming
+  // dot products (~ m * variance) comfortably inside the FP16 range even
+  // for long windows; a [0, 100] scale would overflow them (m * 50^2 >>
+  // 65504).  Fig. 11's percent axis is presentation only.
+  out.series.min_max_normalize(0.0, 1.0);
+  return out;
+}
+
+}  // namespace mpsim

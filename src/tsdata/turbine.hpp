@@ -1,0 +1,53 @@
+// Synthetic heavy-duty gas-turbine speed telemetry (paper §VI-C).  The
+// original data comes from two turbines operated by a municipal power
+// provider and is proprietary; we generate the same structure: long
+// single-dimensional speed series containing startup events of two shapes
+// (Fig. 11) embedded in low-level operational noise, min-max normalised to
+// avoid FP16 overflow.
+//
+//   P1 — staged startup: purge crank, ignition plateau, steep ramp to
+//        full speed (the "more complex" blue pattern).
+//   P2 — smooth s-curve startup (single ramp mode).
+//
+// Series pairs are combined into the four categories of Table I
+// (P1-P1, P2-P2, both-P1, both-P2) per turbine and across turbines.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tsdata/time_series.hpp"
+
+namespace mpsim {
+
+enum class StartupShape { kP1 = 0, kP2 = 1 };
+
+const char* startup_shape_name(StartupShape shape);
+
+/// Value of a startup pattern at normalised position x01 in [0, 1];
+/// range [0, 1] (fraction of nominal speed).
+double startup_value(StartupShape shape, double x01);
+
+struct TurbineSpec {
+  std::size_t segments = 1 << 12;  ///< n (paper: 2^16)
+  std::size_t window = 1 << 8;     ///< m = startup duration (paper: 2^11)
+  double idle_level = 0.02;        ///< normalised idle speed
+  double noise_sigma = 0.01;
+  std::uint64_t seed = 99;
+};
+
+struct TurbineSeries {
+  TimeSeries series;                    ///< d = 1
+  std::vector<std::size_t> p1_starts;   ///< embedded P1 event positions
+  std::vector<std::size_t> p2_starts;   ///< embedded P2 event positions
+};
+
+/// Generates one turbine speed series containing `p1_events` P1 startups
+/// and `p2_events` P2 startups at non-overlapping random positions.
+/// `turbine_id` perturbs the machine-specific shape details slightly, as
+/// two physical turbines never behave identically.
+TurbineSeries make_turbine_series(const TurbineSpec& spec, int turbine_id,
+                                  std::size_t p1_events,
+                                  std::size_t p2_events);
+
+}  // namespace mpsim

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# End-to-end test of the command-line tools: generate CSVs with the
+# library (via the quickstart-equivalent python-free path: mpsim_cli needs
+# input files, so synthesise them here), run a profile in two precision
+# modes, and diff them.  Driven by CTest; $1 = build dir with the tools.
+set -euo pipefail
+BUILD=$1
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+# Synthesise a small two-sensor CSV pair with an embedded repeat.
+awk 'BEGIN {
+  srand(7); print "a,b";
+  for (t = 0; t < 500; ++t) {
+    a = sin(t / 9.0) + (rand() - 0.5) * 0.4;
+    b = cos(t / 13.0) + (rand() - 0.5) * 0.4;
+    printf "%.6f,%.6f\n", a, b;
+  }
+}' > "$WORK/ref.csv"
+awk 'BEGIN {
+  srand(11); print "a,b";
+  for (t = 0; t < 400; ++t) {
+    a = sin((t + 40) / 9.0) + (rand() - 0.5) * 0.4;
+    b = cos((t + 40) / 13.0) + (rand() - 0.5) * 0.4;
+    printf "%.6f,%.6f\n", a, b;
+  }
+}' > "$WORK/qry.csv"
+
+# Inject a NaN to exercise --repair.
+sed -i '100s/.*/nan,nan/' "$WORK/qry.csv"
+
+"$BUILD/tools/mpsim_cli" --reference="$WORK/ref.csv" \
+    --query="$WORK/qry.csv" --window=32 --repair \
+    --output="$WORK/fp64.csv" --motifs=2 > "$WORK/fp64.log"
+grep -q "repaired 2 non-finite samples" "$WORK/fp64.log"
+grep -q "top motifs" "$WORK/fp64.log"
+
+"$BUILD/tools/mpsim_cli" --reference="$WORK/ref.csv" \
+    --query="$WORK/qry.csv" --window=32 --repair --mode=Mixed \
+    --tiles=4 --output="$WORK/mixed.csv" --motifs=0 > /dev/null
+
+"$BUILD/tools/mpsim_diff" --baseline="$WORK/fp64.csv" \
+    --test="$WORK/mixed.csv" --top=3 > "$WORK/diff.log"
+grep -q "relative accuracy A" "$WORK/diff.log"
+grep -q "1-dim" "$WORK/diff.log"
+
+# Self-join with chains and auto-tiles must run clean too.
+"$BUILD/tools/mpsim_cli" --reference="$WORK/ref.csv" --self-join \
+    --window=32 --chains --auto-tiles --motifs=1 > "$WORK/self.log"
+grep -q "auto-tiles:" "$WORK/self.log"
+
+echo "cli pipeline OK"

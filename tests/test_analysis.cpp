@@ -1,0 +1,246 @@
+// Tests for the motif/discord discovery utilities and the streaming
+// matrix profile.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "mp/analysis.hpp"
+#include "mp/cpu_reference.hpp"
+#include "mp/matrix_profile.hpp"
+#include "mp/streaming.hpp"
+#include "tsdata/patterns.hpp"
+#include "tsdata/synthetic.hpp"
+
+namespace mpsim::mp {
+namespace {
+
+MatrixProfileResult fake_result(const std::vector<double>& values) {
+  MatrixProfileResult r;
+  r.segments = values.size();
+  r.dims = 1;
+  r.profile = values;
+  r.index.assign(values.size(), 0);
+  for (std::size_t j = 0; j < values.size(); ++j) {
+    r.index[j] = std::int64_t(100 + j);
+  }
+  return r;
+}
+
+TEST(TopMotifs, ReturnsSmallestNonOverlapping) {
+  //            0    1    2    3    4    5    6    7
+  const auto r = fake_result({0.5, 0.1, 0.2, 9.0, 0.15, 7.0, 6.0, 8.0});
+  const auto motifs = top_motifs(r, 0, 3, /*separation=*/2);
+  ASSERT_EQ(motifs.size(), 3u);
+  EXPECT_EQ(motifs[0].query_segment, 1u);  // 0.1
+  // 0.15 at segment 4 is next (segment 2's 0.2 overlaps segment 1).
+  EXPECT_EQ(motifs[1].query_segment, 4u);
+  EXPECT_EQ(motifs[2].query_segment, 6u);  // 6.0 — 0.2 and 0.5 overlap used slots
+  EXPECT_DOUBLE_EQ(motifs[0].distance, 0.1);
+  EXPECT_EQ(motifs[0].match_segment, 101);
+}
+
+TEST(TopMotifs, SeparationOneKeepsAdjacent) {
+  const auto r = fake_result({0.3, 0.1, 0.2});
+  const auto motifs = top_motifs(r, 0, 3, /*separation=*/1);
+  ASSERT_EQ(motifs.size(), 3u);
+  EXPECT_EQ(motifs[0].query_segment, 1u);
+  EXPECT_EQ(motifs[1].query_segment, 2u);
+  EXPECT_EQ(motifs[2].query_segment, 0u);
+}
+
+TEST(TopDiscords, ReturnsLargestFiniteValues) {
+  auto r = fake_result({0.5, 3.0, 0.2, 9.0, 1.0});
+  r.profile[1] = std::numeric_limits<double>::infinity();  // unmatched-ish
+  const auto discords = top_discords(r, 0, 2, /*separation=*/1);
+  ASSERT_EQ(discords.size(), 2u);
+  EXPECT_EQ(discords[0].query_segment, 3u);  // 9.0
+  EXPECT_EQ(discords[1].query_segment, 4u);  // 1.0 (inf skipped)
+}
+
+TEST(TopMotifs, SkipsUnmatchedSegments) {
+  auto r = fake_result({0.1, 0.2, 0.3});
+  r.index[0] = -1;  // never matched
+  const auto motifs = top_motifs(r, 0, 3, 1);
+  ASSERT_EQ(motifs.size(), 2u);
+  EXPECT_EQ(motifs[0].query_segment, 1u);
+}
+
+TEST(TopMotifs, RejectsBadDimension) {
+  const auto r = fake_result({0.1});
+  EXPECT_THROW(top_motifs(r, 5, 1, 1), Error);
+}
+
+TEST(Analysis, FindsInjectedMotifsOnRealProfile) {
+  SyntheticSpec spec;
+  spec.segments = 512;
+  spec.dims = 2;
+  spec.window = 32;
+  spec.injections_per_dim = 2;
+  const auto data = make_synthetic_dataset(spec);
+  MatrixProfileConfig config;
+  config.window = 32;
+  const auto result =
+      compute_matrix_profile(data.reference, data.query, config);
+  const auto motifs = top_motifs(result, 0, 4, spec.window);
+  ASSERT_EQ(motifs.size(), 4u);
+  // Every reported motif should sit near an injected query location.
+  for (const auto& motif : motifs) {
+    bool near = false;
+    for (const auto& inj : data.injections) {
+      const auto gap = std::int64_t(motif.query_segment) -
+                       std::int64_t(inj.query_position);
+      if (std::llabs(gap) <= std::int64_t(spec.window)) near = true;
+    }
+    EXPECT_TRUE(near) << "motif at " << motif.query_segment;
+  }
+  // Motifs come out sorted by distance.
+  for (std::size_t i = 1; i < motifs.size(); ++i) {
+    EXPECT_LE(motifs[i - 1].distance, motifs[i].distance);
+  }
+}
+
+TEST(KnnProfile, FirstNeighbourMatchesMatrixProfile) {
+  SyntheticSpec spec;
+  spec.segments = 150;
+  spec.dims = 2;
+  spec.window = 16;
+  spec.injections_per_dim = 1;
+  const auto data = make_synthetic_dataset(spec);
+
+  const auto knn =
+      knn_profile(data.reference, data.query, 16, 0, 3, /*separation=*/1);
+  MatrixProfileConfig config;
+  config.window = 16;
+  const auto mp = compute_matrix_profile(data.reference, data.query, config);
+
+  ASSERT_EQ(knn.size(), mp.segments * 3);
+  for (std::size_t j = 0; j < mp.segments; ++j) {
+    // Rank 0 is the 1-NN, i.e. the matrix profile entry (within the
+    // tolerance of the different computation path).
+    EXPECT_EQ(knn[j * 3 + 0].segment, mp.index_at(j, 0)) << j;
+    EXPECT_NEAR(knn[j * 3 + 0].distance, mp.at(j, 0), 1e-6) << j;
+    // Ranks are sorted by distance.
+    EXPECT_LE(knn[j * 3 + 0].distance, knn[j * 3 + 1].distance);
+    EXPECT_LE(knn[j * 3 + 1].distance, knn[j * 3 + 2].distance);
+  }
+}
+
+TEST(KnnProfile, SeparationKeepsNeighboursApart) {
+  const auto reference = make_noise_series(200, 1, 1.0, 8);
+  const auto query = make_noise_series(60, 1, 1.0, 9);
+  const std::size_t sep = 10;
+  const auto knn = knn_profile(reference, query, 16, 0, 4, sep);
+  const std::size_t n_q = query.segment_count(16);
+  for (std::size_t j = 0; j < n_q; ++j) {
+    for (std::size_t a = 0; a < 4; ++a) {
+      for (std::size_t b = a + 1; b < 4; ++b) {
+        const auto ia = knn[j * 4 + a].segment;
+        const auto ib = knn[j * 4 + b].segment;
+        if (ia < 0 || ib < 0) continue;
+        EXPECT_GE(std::llabs(ia - ib), std::int64_t(sep));
+      }
+    }
+  }
+}
+
+TEST(KnnProfile, ExclusionSkipsTrivialSelfMatches) {
+  const auto series = make_noise_series(120, 1, 1.0, 10);
+  const auto knn = knn_profile(series, series, 16, 0, 2, 1, /*exclusion=*/8);
+  const std::size_t n = series.segment_count(16);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t r = 0; r < 2; ++r) {
+      const auto idx = knn[j * 2 + r].segment;
+      if (idx < 0) continue;
+      EXPECT_GE(std::llabs(idx - std::int64_t(j)), 8);
+    }
+  }
+}
+
+TEST(KnnProfile, ValidatesArguments) {
+  const auto series = make_noise_series(64, 1, 1.0, 11);
+  EXPECT_THROW(knn_profile(series, series, 16, 5, 1, 1), Error);
+  EXPECT_THROW(knn_profile(series, series, 16, 0, 0, 1), Error);
+}
+
+TEST(MotifDimensions, RecoversInjectedDimensionSubset) {
+  // Inject the same pattern into dimensions {1, 3} at one location in
+  // both series; the 2-dimensional motif's recovered subset must be
+  // exactly those dimensions.
+  const std::size_t m = 32;
+  TimeSeries reference(400, 5), query(400, 5);
+  Rng rng(12);
+  for (std::size_t k = 0; k < 5; ++k) {
+    for (std::size_t t = 0; t < 400; ++t) {
+      reference.at(t, k) = rng.normal();
+      query.at(t, k) = rng.normal();
+    }
+  }
+  const auto pattern = sample_pattern(PatternShape::kSine, m);
+  for (const std::size_t k : {1ul, 3ul}) {
+    for (std::size_t t = 0; t < m; ++t) {
+      reference.at(100 + t, k) = 3.0 * pattern[t];
+      query.at(200 + t, k) = 3.0 * pattern[t];
+    }
+  }
+  const auto dims = motif_dimensions(reference, query, m, 100, 200, 1);
+  ASSERT_EQ(dims.size(), 2u);
+  EXPECT_EQ(dims[0], 1u);
+  EXPECT_EQ(dims[1], 3u);
+
+  EXPECT_THROW(motif_dimensions(reference, query, m, 100, 200, 9), Error);
+  EXPECT_THROW(motif_dimensions(reference, query, m, 500, 200, 1), Error);
+}
+
+TEST(Streaming, MatchesBatchCpuReferenceBitExact) {
+  SyntheticSpec spec;
+  spec.segments = 200;
+  spec.dims = 3;
+  spec.window = 16;
+  spec.injections_per_dim = 1;
+  const auto data = make_synthetic_dataset(spec);
+
+  StreamingMatrixProfile streaming(data.reference, 16);
+  streaming.append_series(data.query);
+  ASSERT_EQ(streaming.segments(), data.query.segment_count(16));
+
+  CpuReferenceConfig config;
+  config.window = 16;
+  const auto batch =
+      compute_matrix_profile_cpu(data.reference, data.query, config);
+  ASSERT_EQ(streaming.profile().size(), batch.profile.size());
+  for (std::size_t e = 0; e < batch.profile.size(); ++e) {
+    EXPECT_EQ(streaming.profile()[e], batch.profile[e]) << "entry " << e;
+    EXPECT_EQ(streaming.index()[e], batch.index[e]) << "entry " << e;
+  }
+}
+
+TEST(Streaming, IncrementalAppendsExtendTheProfile) {
+  const auto reference = make_noise_series(100, 2, 1.0, 3);
+  StreamingMatrixProfile streaming(reference, 16);
+  EXPECT_EQ(streaming.segments(), 0u);
+
+  const auto query = make_noise_series(40, 2, 1.0, 4);
+  std::vector<double> sample(2);
+  for (std::size_t t = 0; t < query.length(); ++t) {
+    sample[0] = query.at(t, 0);
+    sample[1] = query.at(t, 1);
+    streaming.append(sample);
+    const std::size_t expected = t + 1 >= 16 ? t + 1 - 16 + 1 : 0;
+    EXPECT_EQ(streaming.segments(), expected);
+  }
+  // Earlier entries never change once emitted (reference is fixed).
+  const double first = streaming.at(0, 0);
+  streaming.append(sample);
+  EXPECT_EQ(streaming.at(0, 0), first);
+}
+
+TEST(Streaming, ValidatesInput) {
+  const auto reference = make_noise_series(100, 2, 1.0, 3);
+  StreamingMatrixProfile streaming(reference, 16);
+  EXPECT_THROW(streaming.append({1.0}), Error);  // wrong dimensionality
+  EXPECT_THROW(StreamingMatrixProfile(reference, 2), Error);
+  EXPECT_THROW(StreamingMatrixProfile(reference, 1000), Error);
+}
+
+}  // namespace
+}  // namespace mpsim::mp

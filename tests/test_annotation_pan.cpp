@@ -1,0 +1,143 @@
+// Tests for annotation vectors / corrected matrix profile and the pan
+// matrix profile.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "mp/analysis.hpp"
+#include "mp/annotation.hpp"
+#include "mp/matrix_profile.hpp"
+#include "mp/pan_profile.hpp"
+#include "tsdata/patterns.hpp"
+#include "tsdata/synthetic.hpp"
+
+namespace mpsim::mp {
+namespace {
+
+TEST(ComplexityAnnotation, FlatRegionsGetLowDesirability) {
+  // Noise everywhere except a flat stretch in the middle.
+  TimeSeries series(300, 1);
+  Rng rng(3);
+  for (std::size_t t = 0; t < 300; ++t) series.at(t, 0) = rng.normal();
+  for (std::size_t t = 120; t < 180; ++t) series.at(t, 0) = 2.0;
+
+  const auto av = complexity_annotation(series, 32);
+  ASSERT_EQ(av.size(), series.segment_count(32));
+  for (const double v : av) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+  // A segment fully inside the flat stretch scores near zero; a noisy
+  // one scores high.
+  EXPECT_LT(av[140], 0.05);
+  EXPECT_GT(av[20], 0.3);
+}
+
+TEST(MaskAnnotation, SuppressesOverlappingSegments) {
+  const auto av = mask_annotation(100, 16, {{30, 40}});
+  // Segments [15, 40) overlap samples [30, 40).
+  EXPECT_DOUBLE_EQ(av[14], 1.0);
+  EXPECT_DOUBLE_EQ(av[15], 0.0);
+  EXPECT_DOUBLE_EQ(av[39], 0.0);
+  EXPECT_DOUBLE_EQ(av[40], 1.0);
+  EXPECT_THROW(mask_annotation(100, 16, {{50, 40}}), Error);
+}
+
+TEST(CorrectedProfile, SteersMotifsAwayFromSuppressedRegions) {
+  // Two identical motif pairs; suppress the better one and the corrected
+  // profile must promote the other.
+  const std::size_t m = 32;
+  TimeSeries reference(600, 1), query(600, 1);
+  Rng rng(8);
+  for (std::size_t t = 0; t < 600; ++t) {
+    reference.at(t, 0) = rng.normal();
+    query.at(t, 0) = rng.normal();
+  }
+  const auto pattern = sample_pattern(PatternShape::kChirp, m);
+  // Pair A at query 100 (exact copy), pair B at query 400 (noisier copy).
+  for (std::size_t t = 0; t < m; ++t) {
+    reference.at(50 + t, 0) = 3.0 * pattern[t];
+    query.at(100 + t, 0) = 3.0 * pattern[t];
+    reference.at(300 + t, 0) = 3.0 * pattern[t];
+    query.at(400 + t, 0) = 3.0 * pattern[t] + 0.2 * rng.normal();
+  }
+
+  MatrixProfileConfig config;
+  config.window = m;
+  auto result = compute_matrix_profile(reference, query, config);
+  const auto before = top_motifs(result, 0, 1, m);
+  ASSERT_EQ(before.size(), 1u);
+  EXPECT_NEAR(double(before[0].query_segment), 100.0, 2.0);
+
+  const auto av = mask_annotation(result.segments, m, {{90, 140}});
+  apply_annotation(result, av);
+  const auto after = top_motifs(result, 0, 1, m);
+  ASSERT_EQ(after.size(), 1u);
+  EXPECT_NEAR(double(after[0].query_segment), 400.0, 2.0);
+}
+
+TEST(CorrectedProfile, FullDesirabilityIsANoop) {
+  SyntheticSpec spec;
+  spec.segments = 200;
+  spec.dims = 2;
+  spec.window = 16;
+  spec.injections_per_dim = 1;
+  const auto data = make_synthetic_dataset(spec);
+  MatrixProfileConfig config;
+  config.window = 16;
+  auto result = compute_matrix_profile(data.reference, data.query, config);
+  const auto original = result.profile;
+  apply_annotation(result, std::vector<double>(result.segments, 1.0));
+  EXPECT_EQ(result.profile, original);
+
+  EXPECT_THROW(apply_annotation(result, {0.5}), Error);
+  EXPECT_THROW(
+      apply_annotation(result, std::vector<double>(result.segments, 1.5)),
+      Error);
+}
+
+TEST(PanProfile, FindsTheTruePatternLength) {
+  // Embed a pattern of length 64; the pan profile's best window for that
+  // location should be (close to) 64, not the far-off rungs.
+  const std::size_t true_m = 64;
+  TimeSeries reference(800, 1), query(800, 1);
+  Rng rng(9);
+  for (std::size_t t = 0; t < 800; ++t) {
+    reference.at(t, 0) = rng.normal();
+    query.at(t, 0) = rng.normal();
+  }
+  const auto pattern = sample_pattern(PatternShape::kChirp, true_m);
+  for (std::size_t t = 0; t < true_m; ++t) {
+    reference.at(200 + t, 0) = 4.0 * pattern[t];
+    query.at(500 + t, 0) = 4.0 * pattern[t];
+  }
+
+  const auto pan =
+      compute_pan_profile(reference, query, {16, 32, 64, 128});
+  ASSERT_EQ(pan.windows.size(), 4u);
+  const auto best = best_window_for_segment(pan, 500);
+  // The embedded length (or the rung just below, which still fits inside
+  // the pattern) must win over the far-off ones.
+  EXPECT_TRUE(best.window == 64 || best.window == 32) << best.window;
+  EXPECT_LT(best.normalized_distance, 0.2);
+}
+
+TEST(PanProfile, NormalisationMakesWindowsComparable) {
+  const auto series = make_noise_series(500, 1, 1.0, 10);
+  const auto pan = compute_pan_profile(series, series, {16, 32, 64},
+                                       /*exclusion=*/32);
+  for (std::size_t w = 0; w < pan.windows.size(); ++w) {
+    for (std::size_t j = 0; j < pan.segments; ++j) {
+      const double v = pan.normalized[w][j];
+      if (!std::isfinite(v)) continue;  // padding of larger windows
+      EXPECT_GE(v, 0.0);
+      // Uncorrelated level is 1; anti-correlation caps at sqrt(2).
+      EXPECT_LE(v, std::sqrt(2.0) + 1e-9);
+    }
+  }
+  EXPECT_THROW(compute_pan_profile(series, series, {}), Error);
+}
+
+}  // namespace
+}  // namespace mpsim::mp

@@ -1,0 +1,116 @@
+// Tests for the anytime (SCRIMP-style) matrix profile engine.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "metrics/accuracy.hpp"
+#include "mp/anytime.hpp"
+#include "mp/cpu_reference.hpp"
+#include "tsdata/synthetic.hpp"
+
+namespace mpsim::mp {
+namespace {
+
+SyntheticDataset dataset(std::uint64_t seed = 1) {
+  SyntheticSpec spec;
+  spec.segments = 220;
+  spec.dims = 3;
+  spec.window = 16;
+  spec.injections_per_dim = 2;
+  spec.seed = seed;
+  return make_synthetic_dataset(spec);
+}
+
+TEST(Anytime, CompletedRunMatchesCpuReferenceBitExact) {
+  const auto data = dataset();
+  AnytimeMatrixProfile anytime(data.reference, data.query, 16);
+  anytime.finish();
+  EXPECT_DOUBLE_EQ(anytime.completion(), 1.0);
+
+  CpuReferenceConfig config;
+  config.window = 16;
+  const auto batch =
+      compute_matrix_profile_cpu(data.reference, data.query, config);
+  EXPECT_EQ(anytime.profile(), batch.profile);
+  EXPECT_EQ(anytime.index(), batch.index);
+}
+
+TEST(Anytime, ProfileDecreasesMonotonically) {
+  const auto data = dataset(2);
+  AnytimeMatrixProfile anytime(data.reference, data.query, 16);
+  std::vector<double> previous = anytime.profile();
+  while (anytime.completion() < 1.0) {
+    anytime.step(25);
+    const auto& current = anytime.profile();
+    for (std::size_t e = 0; e < current.size(); ++e) {
+      EXPECT_LE(current[e], previous[e]) << "entry " << e;
+    }
+    previous = current;
+  }
+}
+
+TEST(Anytime, PartialRunIsUpperBoundOfExact) {
+  const auto data = dataset(3);
+  AnytimeMatrixProfile anytime(data.reference, data.query, 16);
+  anytime.step(anytime.total_diagonals() / 4);
+  EXPECT_NEAR(anytime.completion(), 0.25, 0.01);
+
+  CpuReferenceConfig config;
+  config.window = 16;
+  const auto exact =
+      compute_matrix_profile_cpu(data.reference, data.query, config);
+  for (std::size_t e = 0; e < exact.profile.size(); ++e) {
+    EXPECT_GE(anytime.profile()[e], exact.profile[e] - 1e-12);
+  }
+}
+
+TEST(Anytime, ConvergesFastOnAccuracy) {
+  // SCRIMP's selling point: high relative accuracy long before
+  // completion.  At 40% of the diagonals, A vs the exact profile should
+  // already exceed 90%.
+  const auto data = dataset(4);
+  AnytimeMatrixProfile anytime(data.reference, data.query, 16);
+  anytime.step(anytime.total_diagonals() * 4 / 10);
+
+  CpuReferenceConfig config;
+  config.window = 16;
+  const auto exact =
+      compute_matrix_profile_cpu(data.reference, data.query, config);
+  EXPECT_GT(metrics::relative_accuracy(anytime.profile(), exact.profile),
+            0.9);
+}
+
+TEST(Anytime, ConvergenceSignalDecays) {
+  const auto data = dataset(5);
+  AnytimeMatrixProfile anytime(data.reference, data.query, 16);
+  const std::size_t chunk = anytime.total_diagonals() / 4;
+  const double first = anytime.step(chunk);
+  anytime.step(chunk);
+  anytime.step(chunk);
+  const double last = anytime.step(anytime.total_diagonals());
+  EXPECT_GT(first, last);
+  // A finished engine reports no further improvement.
+  EXPECT_DOUBLE_EQ(anytime.step(10), 0.0);
+}
+
+TEST(Anytime, DeterministicForSameSeed) {
+  const auto data = dataset(6);
+  AnytimeMatrixProfile a(data.reference, data.query, 16, 42);
+  AnytimeMatrixProfile b(data.reference, data.query, 16, 42);
+  a.step(100);
+  b.step(100);
+  EXPECT_EQ(a.profile(), b.profile());
+  AnytimeMatrixProfile c(data.reference, data.query, 16, 43);
+  c.step(100);
+  EXPECT_NE(a.profile(), c.profile());  // different diagonal order
+}
+
+TEST(Anytime, ValidatesInput) {
+  const auto data = dataset(7);
+  EXPECT_THROW(AnytimeMatrixProfile(data.reference, data.query, 2), Error);
+  TimeSeries mismatched(data.query.length(), data.query.dims() + 1);
+  EXPECT_THROW(AnytimeMatrixProfile(data.reference, mismatched, 16), Error);
+}
+
+}  // namespace
+}  // namespace mpsim::mp

@@ -1,0 +1,116 @@
+// Tests for left/right matrix profiles and time-series chains.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "mp/chains.hpp"
+#include "mp/matrix_profile.hpp"
+#include "tsdata/synthetic.hpp"
+
+namespace mpsim::mp {
+namespace {
+
+TEST(LeftRight, DirectionalInvariants) {
+  const auto series = make_noise_series(300, 2, 1.0, 5);
+  const auto p = compute_left_right_profiles(series, 16);
+  for (std::size_t k = 0; k < p.dims; ++k) {
+    for (std::size_t j = 0; j < p.segments; ++j) {
+      const auto li = p.left_index_at(j, k);
+      const auto ri = p.right_index_at(j, k);
+      if (li >= 0) {
+        EXPECT_LT(li, std::int64_t(j));
+        EXPECT_LE(std::int64_t(j) - li, std::int64_t(p.segments));
+        EXPECT_GE(std::int64_t(j) - li, 8);  // exclusion = window/2
+      }
+      if (ri >= 0) {
+        EXPECT_GT(ri, std::int64_t(j));
+        EXPECT_GE(ri - std::int64_t(j), 8);
+      }
+    }
+    // The first segments have no left neighbour; the last none right.
+    EXPECT_EQ(p.left_index_at(0, k), -1);
+    EXPECT_EQ(p.right_index_at(p.segments - 1, k), -1);
+  }
+}
+
+TEST(LeftRight, CombinesToTheOrdinaryProfile) {
+  // min(left, right) must equal the self-join matrix profile.
+  const auto series = make_noise_series(260, 2, 1.0, 6);
+  const auto p = compute_left_right_profiles(series, 16);
+  MatrixProfileConfig config;
+  config.window = 16;
+  const auto full = compute_self_join(series, config);
+  for (std::size_t e = 0; e < full.profile.size(); ++e) {
+    EXPECT_NEAR(std::min(p.left_profile[e], p.right_profile[e]),
+                full.profile[e], 1e-9)
+        << e;
+  }
+}
+
+TEST(Chains, DriftingPatternFormsALongChain) {
+  // The classic chain demo: a pattern that drifts a little at every
+  // occurrence.  Plain motifs see increasingly dissimilar pairs; the
+  // chain links each occurrence to the next.
+  const std::size_t m = 32;
+  const std::size_t occurrences = 8;
+  const std::size_t gap = 3 * m;
+  TimeSeries series(occurrences * gap + m, 1);
+  Rng rng(7);
+  for (std::size_t t = 0; t < series.length(); ++t) {
+    series.at(t, 0) = rng.normal(0.0, 0.05);
+  }
+  for (std::size_t o = 0; o < occurrences; ++o) {
+    const double drift = double(o) * 0.25;  // shape evolves
+    for (std::size_t t = 0; t < m; ++t) {
+      const double x = double(t) / double(m);
+      series.at(o * gap + t, 0) +=
+          std::sin(6.28318 * x) + drift * std::sin(12.56637 * x);
+    }
+  }
+
+  const auto p = compute_left_right_profiles(series, m);
+  const auto chain = longest_chain(p, 0);
+  ASSERT_GE(chain.size(), occurrences / 2)
+      << "the drifting occurrences should chain together";
+  // The chain visits the embedded occurrences in order.
+  for (std::size_t c = 1; c < chain.size(); ++c) {
+    EXPECT_GT(chain[c], chain[c - 1]);
+  }
+  for (const auto link : chain) {
+    const auto nearest = (std::size_t(link) + gap / 2) / gap * gap;
+    EXPECT_LE(std::llabs(link - std::int64_t(nearest)), std::int64_t(m / 2))
+        << "chain node " << link << " is not at an occurrence";
+  }
+}
+
+TEST(Chains, AllChainsAreDisjointAndConsistent) {
+  const auto series = make_noise_series(400, 1, 1.0, 9);
+  const auto p = compute_left_right_profiles(series, 16);
+  const auto chains = all_chains(p, 0);
+  std::vector<bool> seen(p.segments, false);
+  for (const auto& chain : chains) {
+    EXPECT_GE(chain.size(), 2u);
+    for (const auto node : chain) {
+      ASSERT_GE(node, 0);
+      ASSERT_LT(node, std::int64_t(p.segments));
+      EXPECT_FALSE(seen[std::size_t(node)]) << "chains must not overlap";
+      seen[std::size_t(node)] = true;
+    }
+    // Bidirectional consistency along every link.
+    for (std::size_t c = 1; c < chain.size(); ++c) {
+      EXPECT_EQ(p.right_index_at(std::size_t(chain[c - 1]), 0), chain[c]);
+      EXPECT_EQ(p.left_index_at(std::size_t(chain[c]), 0), chain[c - 1]);
+    }
+  }
+}
+
+TEST(Chains, Validation) {
+  const auto series = make_noise_series(100, 1, 1.0, 10);
+  EXPECT_THROW(compute_left_right_profiles(series, 2), Error);
+  const auto p = compute_left_right_profiles(series, 16);
+  EXPECT_THROW(all_chains(p, 5), Error);
+}
+
+}  // namespace
+}  // namespace mpsim::mp

@@ -1,0 +1,114 @@
+// Tests for the multi-node cluster extension: functional equivalence with
+// single-node execution and the scaling behaviour of the model.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "tsdata/synthetic.hpp"
+
+namespace mpsim::cluster {
+namespace {
+
+SyntheticDataset small_dataset() {
+  SyntheticSpec spec;
+  spec.segments = 256;
+  spec.dims = 3;
+  spec.window = 16;
+  spec.injections_per_dim = 1;
+  return make_synthetic_dataset(spec);
+}
+
+TEST(Cluster, MultiNodeMatchesSingleNodeResults) {
+  const auto data = small_dataset();
+  ClusterConfig config;
+  config.window = 16;
+  config.tiles = 16;
+  config.devices_per_node = 2;
+
+  config.nodes = 1;
+  const auto one = compute_matrix_profile_cluster(data.reference, data.query,
+                                                  config);
+  config.nodes = 4;
+  const auto four = compute_matrix_profile_cluster(data.reference, data.query,
+                                                   config);
+  EXPECT_EQ(one.result.profile, four.result.profile);
+  EXPECT_EQ(one.result.index, four.result.index);
+}
+
+TEST(Cluster, ComputeTimeShrinksWithNodes) {
+  const auto data = small_dataset();
+  ClusterConfig config;
+  config.window = 16;
+  config.tiles = 16;
+  config.devices_per_node = 2;
+
+  config.nodes = 1;
+  const auto one = compute_matrix_profile_cluster(data.reference, data.query,
+                                                  config);
+  config.nodes = 4;
+  const auto four = compute_matrix_profile_cluster(data.reference, data.query,
+                                                   config);
+  EXPECT_LT(four.modeled_compute_seconds,
+            one.modeled_compute_seconds * 0.5);
+  // ...but only multi-node runs pay network time.
+  EXPECT_DOUBLE_EQ(one.modeled_network_seconds, 0.0);
+  EXPECT_GT(four.modeled_network_seconds, 0.0);
+}
+
+TEST(ClusterModel, NearLinearScalingAtPaperScale) {
+  // A Raven-like cluster: 4 A100s per node, n=2^16, d=2^6, 64 tiles.
+  ClusterConfig config;
+  config.window = 1 << 6;
+  config.tiles = 64;
+  config.devices_per_node = 4;
+
+  config.nodes = 1;
+  const auto one = model_cluster(1 << 16, 1 << 16, 1 << 6, 1 << 6, config);
+  config.nodes = 4;
+  const auto four = model_cluster(1 << 16, 1 << 16, 1 << 6, 1 << 6, config);
+
+  const double speedup = one.total_seconds() / four.total_seconds();
+  EXPECT_GT(speedup, 3.0);   // near-linear
+  EXPECT_LE(speedup, 4.05);  // no super-linear nonsense
+}
+
+TEST(ClusterModel, NetworkCostGrowsLogarithmically) {
+  ClusterConfig config;
+  config.window = 64;
+  config.tiles = 64;
+  config.devices_per_node = 4;
+
+  config.nodes = 2;
+  const double net2 =
+      model_cluster(1 << 16, 1 << 16, 64, 64, config).network_seconds;
+  config.nodes = 8;
+  const double net8 =
+      model_cluster(1 << 16, 1 << 16, 64, 64, config).network_seconds;
+  // Binomial tree: 1 round at 2 nodes, 3 rounds at 8.
+  EXPECT_NEAR(net8 / net2, 3.0, 0.01);
+}
+
+TEST(ClusterModel, InterconnectBandwidthMatters) {
+  ClusterConfig fast;
+  fast.window = 64;
+  fast.tiles = 64;
+  fast.nodes = 8;
+  ClusterConfig slow = fast;
+  slow.interconnect.bandwidth_gbs = 1.0;  // 10 GbE-class
+  const auto f = model_cluster(1 << 18, 1 << 18, 64, 64, fast);
+  const auto s = model_cluster(1 << 18, 1 << 18, 64, 64, slow);
+  EXPECT_GT(s.network_seconds, f.network_seconds * 10.0);
+  EXPECT_DOUBLE_EQ(s.compute_seconds, f.compute_seconds);
+}
+
+TEST(Cluster, ValidatesConfiguration) {
+  const auto data = small_dataset();
+  ClusterConfig config;
+  config.window = 16;
+  config.nodes = 0;
+  EXPECT_THROW(
+      compute_matrix_profile_cluster(data.reference, data.query, config),
+      Error);
+}
+
+}  // namespace
+}  // namespace mpsim::cluster

@@ -1,0 +1,185 @@
+// Unit tests for the common utilities: RNG determinism, thread pool,
+// table formatting, CLI parsing, error checks.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "common/cli.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/stopwatch.hpp"
+#include "common/table.hpp"
+#include "common/thread_pool.hpp"
+
+namespace mpsim {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a.next_u64() == b.next_u64();
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIndexCoversRangeWithoutBias) {
+  Rng rng(11);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 100000; ++i) counts[rng.uniform_index(10)] += 1;
+  for (int c : counts) {
+    EXPECT_GT(c, 9000);
+    EXPECT_LT(c, 11000);
+  }
+}
+
+TEST(Rng, NormalHasExpectedMoments) {
+  Rng rng(5);
+  double sum = 0.0, sumsq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sumsq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sumsq / n, 1.0, 0.02);
+}
+
+TEST(Rng, ReseedReproduces) {
+  Rng rng(42);
+  const auto first = rng.next_u64();
+  rng.reseed(42);
+  EXPECT_EQ(rng.next_u64(), first);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(0, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ParallelForPropagatesExceptions) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [&](std::size_t b, std::size_t) {
+                          if (b == 0) throw Error("boom");
+                        }),
+      Error);
+}
+
+TEST(ThreadPool, SubmitRunsTask) {
+  ThreadPool pool(2);
+  std::atomic<int> value{0};
+  auto f = pool.submit([&] { value = 42; });
+  f.get();
+  EXPECT_EQ(value.load(), 42);
+}
+
+TEST(ThreadPool, WorkerCountDefaultsPositive) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.worker_count(), 1u);
+}
+
+TEST(ThreadPool, ManyConcurrentParallelForsFromSubmitters) {
+  // Streams call parallel_for concurrently; make sure that is safe.
+  ThreadPool pool(4);
+  std::atomic<long> total{0};
+  std::vector<std::thread> drivers;
+  for (int t = 0; t < 4; ++t) {
+    drivers.emplace_back([&] {
+      for (int rep = 0; rep < 50; ++rep) {
+        pool.parallel_for(64, [&](std::size_t b, std::size_t e) {
+          total.fetch_add(long(e - b));
+        });
+      }
+    });
+  }
+  for (auto& d : drivers) d.join();
+  EXPECT_EQ(total.load(), 4L * 50 * 64);
+}
+
+TEST(Table, AlignsAndCounts) {
+  Table t({"a", "long-header", "c"});
+  t.add_row({"1", "2", "3"});
+  t.add_row({"wide-cell", "x", "y"});
+  EXPECT_EQ(t.row_count(), 2u);
+  const auto s = t.to_string();
+  EXPECT_NE(s.find("long-header"), std::string::npos);
+  EXPECT_NE(s.find("wide-cell"), std::string::npos);
+}
+
+TEST(Table, RejectsWrongArity) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(TableFormat, Helpers) {
+  EXPECT_EQ(fmt_fixed(1.23456, 2), "1.23");
+  EXPECT_EQ(fmt_pct(0.5, 1), "50.0%");
+  EXPECT_NE(fmt_sci(12345.0).find("e"), std::string::npos);
+}
+
+TEST(Cli, ParsesFlagsAndDefaults) {
+  const char* argv[] = {"prog", "--n=128", "--mode=FP16", "--verbose"};
+  CliArgs args(4, argv);
+  EXPECT_EQ(args.get_int("n", 0), 128);
+  EXPECT_EQ(args.get_string("mode", ""), "FP16");
+  EXPECT_TRUE(args.get_bool("verbose", false));
+  EXPECT_EQ(args.get_int("missing", 7), 7);
+  EXPECT_DOUBLE_EQ(args.get_double("missing", 2.5), 2.5);
+}
+
+TEST(Cli, RejectsPositionalAndUnknown) {
+  const char* bad[] = {"prog", "positional"};
+  EXPECT_THROW(CliArgs(2, bad), Error);
+
+  const char* argv[] = {"prog", "--typo=1"};
+  CliArgs args(2, argv);
+  EXPECT_THROW(args.check_known({"n", "mode"}), Error);
+}
+
+TEST(Error, CheckMacroThrowsWithMessage) {
+  try {
+    MPSIM_CHECK(1 == 2, "custom context " << 42);
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("custom context 42"),
+              std::string::npos);
+  }
+}
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch sw;
+  const double t0 = sw.seconds();
+  EXPECT_GE(t0, 0.0);
+  sw.reset();
+  EXPECT_GE(sw.seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace mpsim

@@ -1,0 +1,130 @@
+// Tests for Event-based cross-stream synchronisation, self-join API and
+// the z-normalisation utilities.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "gpusim/event.hpp"
+#include "mp/matrix_profile.hpp"
+#include "tsdata/synthetic.hpp"
+#include "tsdata/znorm.hpp"
+
+namespace mpsim {
+namespace {
+
+TEST(Event, HostSynchronizeWaitsForStreamWork) {
+  gpusim::Device device(gpusim::a100(), 0, 1);
+  gpusim::Stream stream(device);
+  std::atomic<int> value{0};
+  stream.enqueue([&] { value = 7; });
+  gpusim::Event event;
+  event.record(stream);
+  event.synchronize();
+  EXPECT_EQ(value.load(), 7);
+  EXPECT_TRUE(event.query());
+}
+
+TEST(Event, QueryFalseBeforeRecordExecutes) {
+  gpusim::Event event;
+  EXPECT_FALSE(event.query());
+}
+
+TEST(Event, CrossStreamDependencyOrdersWork) {
+  gpusim::Device device(gpusim::a100(), 0, 2);
+  gpusim::Stream producer(device);
+  gpusim::Stream consumer(device);
+
+  std::atomic<int> stage{0};
+  gpusim::Event ready;
+  producer.enqueue([&] {
+    // Simulated long-running upload.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    stage = 1;
+  });
+  ready.record(producer);
+  ready.wait(consumer);
+  std::atomic<int> observed{-1};
+  consumer.enqueue([&] { observed = stage.load(); });
+  consumer.synchronize();
+  EXPECT_EQ(observed.load(), 1);  // consumer saw the producer's result
+}
+
+TEST(Event, ReRecordingReArms) {
+  gpusim::Device device(gpusim::a100(), 0, 1);
+  gpusim::Stream stream(device);
+  gpusim::Event event;
+  event.record(stream);
+  event.synchronize();
+  EXPECT_TRUE(event.query());
+  event.record(stream);  // new marker
+  event.synchronize();
+  EXPECT_TRUE(event.query());
+}
+
+TEST(SelfJoin, DefaultsToHalfWindowExclusion) {
+  SyntheticSpec spec;
+  spec.segments = 200;
+  spec.dims = 2;
+  spec.window = 16;
+  spec.injections_per_dim = 1;
+  const auto data = make_synthetic_dataset(spec);
+
+  mp::MatrixProfileConfig config;
+  config.window = 16;
+  const auto r = mp::compute_self_join(data.query, config);
+  for (std::size_t j = 0; j < r.segments; ++j) {
+    const auto idx = r.index_at(j, 0);
+    ASSERT_GE(idx, 0);
+    EXPECT_GE(std::llabs(idx - std::int64_t(j)), 8);
+  }
+
+  // An explicit exclusion radius is respected instead.
+  config.exclusion = 3;
+  const auto tight = mp::compute_self_join(data.query, config);
+  for (std::size_t j = 0; j < tight.segments; ++j) {
+    EXPECT_GE(std::llabs(tight.index_at(j, 0) - std::int64_t(j)), 3);
+  }
+}
+
+TEST(Znorm, SlidingStatsMatchDirect) {
+  const std::vector<double> x{1, 2, 3, 4, 5, 4, 3, 2};
+  const auto stats = sliding_stats(x, 4);
+  ASSERT_EQ(stats.mean.size(), 5u);
+  EXPECT_DOUBLE_EQ(stats.mean[0], 2.5);
+  EXPECT_DOUBLE_EQ(stats.mean[4], 3.5);
+  // norm of {1,2,3,4} around 2.5: sqrt(2.25+0.25+0.25+2.25) = sqrt(5).
+  EXPECT_DOUBLE_EQ(stats.norm[0], std::sqrt(5.0));
+}
+
+TEST(Znorm, SegmentNormalisation) {
+  const std::vector<double> x{10, 20, 30, 40};
+  const auto z = znormalize_segment(x, 0, 4);
+  double sum = 0.0, ssq = 0.0;
+  for (double v : z) {
+    sum += v;
+    ssq += v * v;
+  }
+  EXPECT_NEAR(sum, 0.0, 1e-12);
+  EXPECT_NEAR(ssq, 1.0, 1e-12);
+
+  const std::vector<double> flat{5, 5, 5, 5};
+  const auto zf = znormalize_segment(flat, 0, 4);
+  for (double v : zf) EXPECT_DOUBLE_EQ(v, 0.0);
+
+  EXPECT_THROW(znormalize_segment(x, 2, 4), Error);
+}
+
+TEST(Znorm, ScaleAndOffsetInvariance) {
+  // Two affinely related segments z-normalise identically.
+  const std::vector<double> a{1.0, 3.0, 2.0, 5.0, 4.0, 1.5};
+  std::vector<double> b(a.size());
+  for (std::size_t t = 0; t < a.size(); ++t) b[t] = 7.0 * a[t] - 100.0;
+  const auto za = znormalize_segment(a, 0, a.size());
+  const auto zb = znormalize_segment(b, 0, b.size());
+  for (std::size_t t = 0; t < a.size(); ++t) {
+    EXPECT_NEAR(za[t], zb[t], 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace mpsim

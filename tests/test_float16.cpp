@@ -1,0 +1,237 @@
+// Tests for the software binary16 type: conversions, rounding, special
+// values, arithmetic, ordering.  The encode oracle below is an independent
+// frexp/nearbyint implementation of round-to-nearest-even, checked against
+// the production bit-manipulation encoder across random and exhaustive
+// inputs.
+#include <gtest/gtest.h>
+
+#include <cfenv>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "common/rng.hpp"
+#include "precision/float16.hpp"
+
+namespace mpsim {
+namespace {
+
+/// Independent RNE double->binary16 oracle (the slow, obviously-correct
+/// formulation).
+std::uint16_t oracle_encode(double value) {
+  const std::uint16_t sign = std::signbit(value) ? 0x8000 : 0;
+  if (std::isnan(value)) return std::uint16_t(sign | 0x7e00);
+  if (std::isinf(value)) return std::uint16_t(sign | 0x7c00);
+  const double a = std::fabs(value);
+  if (a == 0.0) return sign;
+
+  int e2 = 0;
+  const double f = std::frexp(a, &e2);
+  int exp = e2 - 1;
+  if (exp >= -14) {
+    auto mant = std::uint64_t(std::nearbyint(f * 2048.0));
+    if (mant == 2048) {
+      mant = 1024;
+      ++exp;
+    }
+    if (exp > 15) return std::uint16_t(sign | 0x7c00);
+    return std::uint16_t(sign | std::uint16_t((exp + 15) << 10) |
+                         std::uint16_t(mant - 1024));
+  }
+  const auto mant = std::uint64_t(std::nearbyint(std::ldexp(a, 24)));
+  return std::uint16_t(sign | std::uint16_t(mant));
+}
+
+TEST(Float16, SpecialValueEncodings) {
+  EXPECT_EQ(float16(0.0).bits(), 0x0000);
+  EXPECT_EQ(float16(-0.0).bits(), 0x8000);
+  EXPECT_EQ(float16(1.0).bits(), 0x3c00);
+  EXPECT_EQ(float16(-1.0).bits(), 0xbc00);
+  EXPECT_EQ(float16(2.0).bits(), 0x4000);
+  EXPECT_EQ(float16(65504.0).bits(), 0x7bff);  // largest finite half
+  EXPECT_EQ(float16(std::numeric_limits<double>::infinity()).bits(), 0x7c00);
+  EXPECT_EQ(float16(-std::numeric_limits<double>::infinity()).bits(), 0xfc00);
+  EXPECT_TRUE(isnan(float16(std::nan(""))));
+}
+
+TEST(Float16, OverflowRoundsToInfinityAtTieBoundary) {
+  // 65520 is exactly halfway between 65504 and the (unrepresentable)
+  // 65536; ties-to-even rounds up to infinity.
+  EXPECT_EQ(float16(65519.999).bits(), 0x7bff);
+  EXPECT_EQ(float16(65520.0).bits(), 0x7c00);
+  EXPECT_EQ(float16(70000.0).bits(), 0x7c00);
+  EXPECT_EQ(float16(-65520.0).bits(), 0xfc00);
+}
+
+TEST(Float16, SubnormalBoundaries) {
+  EXPECT_DOUBLE_EQ(double(float16::denorm_min()), 0x1.0p-24);
+  EXPECT_DOUBLE_EQ(double(float16::min_normal()), 0x1.0p-14);
+  // Half of denorm_min ties to even (zero); anything above rounds up.
+  EXPECT_EQ(float16(0x1.0p-25).bits(), 0x0000);
+  EXPECT_EQ(float16(0x1.0000000000001p-25).bits(), 0x0001);
+  EXPECT_EQ(float16(0x1.8p-25).bits(), 0x0001);
+  // 1.5 * denorm_min ties up to 2 * denorm_min (even).
+  EXPECT_EQ(float16(0x1.8p-24).bits(), 0x0002);
+  // Binary64 subnormals flush to zero.
+  EXPECT_EQ(float16(std::numeric_limits<double>::denorm_min()).bits(), 0);
+}
+
+TEST(Float16, TiesToEvenOnNormals) {
+  // 1 + 2^-11 is exactly halfway between 1 and 1+2^-10: rounds to 1 (even).
+  EXPECT_EQ(float16(1.0 + 0x1.0p-11).bits(), 0x3c00);
+  // 1 + 3*2^-11 is halfway between 1+2^-10 and 1+2^-9: rounds up (even).
+  EXPECT_EQ(float16(1.0 + 3 * 0x1.0p-11).bits(), 0x3c02);
+  // Slightly above the tie rounds up.
+  EXPECT_EQ(float16(1.0 + 0x1.0p-11 + 0x1.0p-30).bits(), 0x3c01);
+}
+
+TEST(Float16, DecodeEncodeRoundTripsAllFinitePatterns) {
+  for (std::uint32_t b = 0; b <= 0xffff; ++b) {
+    const auto bits = std::uint16_t(b);
+    const float16 h = float16::from_bits(bits);
+    if (isnan(h)) continue;  // NaN payloads normalise
+    const double v = double(h);
+    EXPECT_EQ(float16::encode(v), bits) << "bits=0x" << std::hex << b;
+  }
+}
+
+TEST(Float16, EncodeMatchesOracleOnRandomDoubles) {
+  Rng rng(2024);
+  std::fesetround(FE_TONEAREST);
+  for (int i = 0; i < 200000; ++i) {
+    // Mix magnitudes across the half range and beyond.
+    const double mag = std::ldexp(rng.uniform(1.0, 2.0),
+                                  int(rng.uniform_index(50)) - 30);
+    const double v = rng.uniform() < 0.5 ? mag : -mag;
+    EXPECT_EQ(float16::encode(v), oracle_encode(v)) << "v=" << v;
+  }
+}
+
+TEST(Float16, EncodeMatchesOracleNearBoundaries) {
+  std::fesetround(FE_TONEAREST);
+  const double anchors[] = {0x1.0p-24, 0x1.0p-14, 1.0,     2048.0,
+                            65504.0,   65520.0,   0x1.0p-25};
+  for (double anchor : anchors) {
+    for (int ulps = -8; ulps <= 8; ++ulps) {
+      double v = anchor;
+      for (int s = 0; s < std::abs(ulps); ++s) {
+        v = std::nextafter(v, ulps > 0 ? 1e300 : -1e300);
+      }
+      EXPECT_EQ(float16::encode(v), oracle_encode(v)) << "v=" << v;
+      EXPECT_EQ(float16::encode(-v), oracle_encode(-v)) << "v=" << -v;
+    }
+  }
+}
+
+TEST(Float16, ArithmeticRoundsPerOperation) {
+  // 2048 + 1 = 2048 in binary16 (ulp at 2048 is 2).
+  EXPECT_EQ(double(float16(2048.0) + float16(1.0)), 2048.0);
+  // ... but 2048 + 2 = 2050.
+  EXPECT_EQ(double(float16(2048.0) + float16(2.0)), 2050.0);
+  // Multiplication rounding: 1.001 * 1.001 rounds to a representable half.
+  const float16 a{1.0 + 0x1.0p-10};  // 1 + ulp
+  const float16 sq = a * a;
+  EXPECT_EQ(double(sq), 1.0 + 2 * 0x1.0p-10);  // cross term below half ulp
+}
+
+TEST(Float16, DivisionAndSqrt) {
+  EXPECT_DOUBLE_EQ(double(float16(1.0) / float16(2.0)), 0.5);
+  EXPECT_DOUBLE_EQ(double(sqrt(float16(4.0))), 2.0);
+  EXPECT_TRUE(isnan(sqrt(float16(-1.0))));
+  EXPECT_TRUE(isinf(float16(1.0) / float16(0.0)));
+}
+
+TEST(Float16, OverflowInArithmetic) {
+  const float16 big = float16::max();
+  EXPECT_TRUE(isinf(big + big));
+  EXPECT_TRUE(isinf(big * float16(2.0)));
+  EXPECT_FALSE(isinf(big + float16(1.0)));  // rounds back to max
+}
+
+TEST(Float16, ComparisonTotalOrderMatchesDouble) {
+  Rng rng(7);
+  for (int i = 0; i < 100000; ++i) {
+    const auto a = float16::from_bits(std::uint16_t(rng.uniform_index(65536)));
+    const auto b = float16::from_bits(std::uint16_t(rng.uniform_index(65536)));
+    const double da = double(a), db = double(b);
+    EXPECT_EQ(a < b, da < db);
+    EXPECT_EQ(a > b, da > db);
+    EXPECT_EQ(a <= b, da <= db);
+    EXPECT_EQ(a >= b, da >= db);
+    EXPECT_EQ(a == b, da == db);
+    EXPECT_EQ(a != b, da != db);
+  }
+}
+
+TEST(Float16, SignedZerosCompareEqual) {
+  const float16 pz{0.0}, nz{-0.0};
+  EXPECT_TRUE(pz == nz);
+  EXPECT_FALSE(pz < nz);
+  EXPECT_FALSE(nz < pz);
+  EXPECT_TRUE(pz <= nz);
+}
+
+TEST(Float16, NanNeverCompares) {
+  const float16 nan = float16::quiet_nan();
+  const float16 one{1.0};
+  EXPECT_FALSE(nan < one);
+  EXPECT_FALSE(nan > one);
+  EXPECT_FALSE(nan == nan);
+  EXPECT_TRUE(nan != nan);
+  EXPECT_FALSE(nan <= one);
+  EXPECT_FALSE(one >= nan);
+}
+
+TEST(Float16, NegationFlipsSignBitOnly) {
+  EXPECT_EQ((-float16(1.5)).bits(), 0xbe00);
+  EXPECT_EQ((-float16(-1.5)).bits(), 0x3e00);
+  EXPECT_EQ((-float16(0.0)).bits(), 0x8000);
+}
+
+TEST(Float16, AbsClearsSign) {
+  EXPECT_EQ(abs(float16(-3.0)).bits(), float16(3.0).bits());
+  EXPECT_EQ(abs(float16(3.0)).bits(), float16(3.0).bits());
+}
+
+TEST(Float16, FmaSingleRounding) {
+  // fma(a, b, c) with an exact product that the separate ops would round:
+  // a*b = 1 + 2^-11 + 2^-22 is not representable; adding c = 1 first in
+  // exact arithmetic differs from rounding the product first.
+  const float16 a{1.0 + 0x1.0p-11 * 2};  // 1 + 2^-10
+  const float16 b = a;
+  const float16 c{-1.0};
+  const double exact = double(a) * double(b) + double(c);
+  EXPECT_EQ(double(fma(a, b, c)), double(float16(exact)));
+}
+
+TEST(Float16, EpsilonMatchesMachinePrecision) {
+  // Paper quotes eps16 = 2^-10 as the half-precision machine epsilon
+  // (ulp of 1); the unit roundoff used in error bounds is 2^-11.
+  EXPECT_DOUBLE_EQ(double(std::numeric_limits<float16>::epsilon()),
+                   0x1.0p-10);
+  EXPECT_DOUBLE_EQ(float16::epsilon(), 0x1.0p-11);
+}
+
+TEST(Float16, MonotoneEncodeOverIncreasingDoubles) {
+  // Encoding must be monotone: v1 <= v2 implies half(v1) <= half(v2).
+  Rng rng(99);
+  for (int i = 0; i < 50000; ++i) {
+    const double v1 = rng.normal(0.0, 100.0);
+    const double v2 = v1 + std::fabs(rng.normal(0.0, 1.0));
+    const float16 h1{v1}, h2{v2};
+    EXPECT_LE(double(h1), double(h2)) << v1 << " " << v2;
+  }
+}
+
+TEST(Float16, NumericLimitsValues) {
+  using L = std::numeric_limits<float16>;
+  EXPECT_TRUE(L::is_specialized);
+  EXPECT_TRUE(isinf(L::infinity()));
+  EXPECT_TRUE(isnan(L::quiet_NaN()));
+  EXPECT_DOUBLE_EQ(double(L::max()), 65504.0);
+  EXPECT_DOUBLE_EQ(double(L::lowest()), -65504.0);
+  EXPECT_DOUBLE_EQ(double(L::denorm_min()), 0x1.0p-24);
+}
+
+}  // namespace
+}  // namespace mpsim

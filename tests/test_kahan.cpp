@@ -1,0 +1,99 @@
+// Tests for the accumulation policies: Kahan compensation must beat plain
+// summation in reduced precision, and both must agree in exact cases.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "precision/float16.hpp"
+#include "precision/kahan.hpp"
+
+namespace mpsim {
+namespace {
+
+TEST(Kahan, ExactForSmallIntegerSums) {
+  KahanAccumulator<double> acc;
+  for (int i = 1; i <= 100; ++i) acc.add(double(i));
+  EXPECT_DOUBLE_EQ(acc.value(), 5050.0);
+}
+
+TEST(Kahan, RecoversLostLowOrderBitsInDouble) {
+  // 1 + 1e-16 * N: plain double summation loses every tiny addend;
+  // Kahan keeps them.
+  KahanAccumulator<double> kahan;
+  PlainAccumulator<double> plain;
+  kahan.add(1.0);
+  plain.add(1.0);
+  for (int i = 0; i < 10000; ++i) {
+    kahan.add(1e-16);
+    plain.add(1e-16);
+  }
+  EXPECT_DOUBLE_EQ(plain.value(), 1.0);  // all addends lost
+  EXPECT_NEAR(kahan.value(), 1.0 + 1e-12, 1e-15);
+}
+
+TEST(Kahan, Float32CumulativeSumBeatsPlain) {
+  Rng rng(5);
+  std::vector<float> xs(20000);
+  double exact = 0.0;
+  for (auto& x : xs) {
+    x = float(rng.uniform(0.0, 1.0));
+    exact += double(x);
+  }
+  KahanAccumulator<float> kahan;
+  PlainAccumulator<float> plain;
+  for (float x : xs) {
+    kahan.add(x);
+    plain.add(x);
+  }
+  const double kahan_err = std::fabs(double(kahan.value()) - exact);
+  const double plain_err = std::fabs(double(plain.value()) - exact);
+  EXPECT_LT(kahan_err, plain_err);
+  EXPECT_LT(kahan_err, 1e-3);
+}
+
+TEST(Kahan, Float16SummationErrorIsBounded) {
+  // Summing 8192 halves of ~1.0: plain FP16 freezes once the running sum
+  // reaches 4096 (ulp = 4 swallows every increment), losing half the
+  // total; the compensated accumulator keeps tracking.  This is the
+  // precalculation failure mode that motivates FP16C (§III-C).
+  KahanAccumulator<float16> kahan;
+  PlainAccumulator<float16> plain;
+  double exact = 0.0;
+  Rng rng(17);
+  for (int i = 0; i < 8192; ++i) {
+    const float16 x{rng.uniform(0.9, 1.1)};
+    kahan.add(x);
+    plain.add(x);
+    exact += double(x);
+  }
+  const double kahan_err = std::fabs(double(kahan.value()) - exact) / exact;
+  const double plain_err = std::fabs(double(plain.value()) - exact) / exact;
+  EXPECT_LT(kahan_err, 0.05);
+  EXPECT_GT(plain_err, 0.3);
+}
+
+TEST(Kahan, ResetRestoresInitialState) {
+  KahanAccumulator<double> acc;
+  acc.add(5.0);
+  acc.reset(2.0);
+  EXPECT_DOUBLE_EQ(acc.value(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.compensation(), 0.0);
+  acc.add(3.0);
+  EXPECT_DOUBLE_EQ(acc.value(), 5.0);
+}
+
+TEST(PlainAccumulator, MatchesNaiveLoop) {
+  PlainAccumulator<double> acc(1.5);
+  double naive = 1.5;
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal();
+    acc.add(x);
+    naive += x;
+  }
+  EXPECT_DOUBLE_EQ(acc.value(), naive);
+}
+
+}  // namespace
+}  // namespace mpsim

@@ -1,0 +1,77 @@
+// Tests for the precision-mode enum, traits and runtime dispatch.
+#include <gtest/gtest.h>
+
+#include <type_traits>
+
+#include "common/error.hpp"
+#include "precision/modes.hpp"
+
+namespace mpsim {
+namespace {
+
+TEST(Modes, NamesRoundTrip) {
+  for (PrecisionMode mode : kAllPrecisionModes) {
+    EXPECT_EQ(parse_precision_mode(to_string(mode)), mode);
+  }
+  EXPECT_EQ(parse_precision_mode("fp16c"), PrecisionMode::FP16C);
+  EXPECT_THROW(parse_precision_mode("FP8"), ConfigError);
+}
+
+TEST(Modes, StorageBytes) {
+  EXPECT_EQ(storage_bytes(PrecisionMode::FP64), 8u);
+  EXPECT_EQ(storage_bytes(PrecisionMode::FP32), 4u);
+  EXPECT_EQ(storage_bytes(PrecisionMode::FP16), 2u);
+  EXPECT_EQ(storage_bytes(PrecisionMode::Mixed), 2u);
+  EXPECT_EQ(storage_bytes(PrecisionMode::FP16C), 2u);
+}
+
+TEST(Modes, UnitRoundoffOrdering) {
+  EXPECT_LT(unit_roundoff(PrecisionMode::FP64),
+            unit_roundoff(PrecisionMode::FP32));
+  EXPECT_LT(unit_roundoff(PrecisionMode::FP32),
+            unit_roundoff(PrecisionMode::FP16));
+  EXPECT_DOUBLE_EQ(unit_roundoff(PrecisionMode::FP16), 0x1.0p-11);
+}
+
+TEST(ModeTraits, StorageAndComputeTypes) {
+  using F64 = PrecisionTraits<PrecisionMode::FP64>;
+  using F32 = PrecisionTraits<PrecisionMode::FP32>;
+  using F16 = PrecisionTraits<PrecisionMode::FP16>;
+  using Mix = PrecisionTraits<PrecisionMode::Mixed>;
+  using F16C = PrecisionTraits<PrecisionMode::FP16C>;
+
+  EXPECT_TRUE((std::is_same_v<F64::Storage, double>));
+  EXPECT_TRUE((std::is_same_v<F32::Storage, float>));
+  EXPECT_TRUE((std::is_same_v<F16::Storage, float16>));
+  EXPECT_TRUE((std::is_same_v<Mix::Storage, float16>));
+  EXPECT_TRUE((std::is_same_v<F16C::Storage, float16>));
+
+  // Mixed and FP16C lift only the precalculation to FP32.
+  EXPECT_TRUE((std::is_same_v<Mix::Compute, float16>));
+  EXPECT_TRUE((std::is_same_v<Mix::PrecalcCompute, float>));
+  EXPECT_TRUE((std::is_same_v<F16C::PrecalcCompute, float>));
+  EXPECT_TRUE((std::is_same_v<F16::PrecalcCompute, float16>));
+
+  // Only FP16C compensates.
+  EXPECT_FALSE(Mix::kCompensatedPrecalc);
+  EXPECT_TRUE(F16C::kCompensatedPrecalc);
+  EXPECT_FALSE(F64::kCompensatedPrecalc);
+}
+
+TEST(ModeDispatch, ReachesMatchingTraits) {
+  for (PrecisionMode mode : kAllPrecisionModes) {
+    const PrecisionMode seen = dispatch_precision(
+        mode, []<typename Traits>() { return Traits::kMode; });
+    EXPECT_EQ(seen, mode);
+  }
+}
+
+TEST(ModeDispatch, ReturnsValuesThrough) {
+  const std::size_t bytes = dispatch_precision(
+      PrecisionMode::Mixed,
+      []<typename Traits>() { return sizeof(typename Traits::Storage); });
+  EXPECT_EQ(bytes, 2u);
+}
+
+}  // namespace
+}  // namespace mpsim

@@ -1,0 +1,234 @@
+// Tests for the precalculation step: sliding statistics, streaming
+// coefficients and QT seeds, across precision traits.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "mp/precalc.hpp"
+
+namespace mpsim::mp {
+namespace {
+
+using Fp64 = PrecisionTraits<PrecisionMode::FP64>;
+using Fp16 = PrecisionTraits<PrecisionMode::FP16>;
+using Mixed = PrecisionTraits<PrecisionMode::Mixed>;
+using Fp16c = PrecisionTraits<PrecisionMode::FP16C>;
+
+struct DirectStats {
+  std::vector<double> mu, inv;
+};
+
+DirectStats direct_stats(const std::vector<double>& x, std::size_t m) {
+  const std::size_t nseg = x.size() - m + 1;
+  DirectStats s;
+  s.mu.resize(nseg);
+  s.inv.resize(nseg);
+  for (std::size_t i = 0; i < nseg; ++i) {
+    double sum = 0.0;
+    for (std::size_t t = 0; t < m; ++t) sum += x[i + t];
+    s.mu[i] = sum / double(m);
+    double ssq = 0.0;
+    for (std::size_t t = 0; t < m; ++t) {
+      const double c = x[i + t] - s.mu[i];
+      ssq += c * c;
+    }
+    s.inv[i] = ssq > 0.0 ? 1.0 / std::sqrt(ssq) : 0.0;
+  }
+  return s;
+}
+
+std::vector<double> random_series(std::size_t len, std::uint64_t seed,
+                                  double sigma = 1.0) {
+  Rng rng(seed);
+  std::vector<double> x(len);
+  for (auto& v : x) v = rng.normal(0.0, sigma);
+  return x;
+}
+
+TEST(PrecalcFp64, SlidingStatsMatchDirectComputation) {
+  const std::size_t m = 16, nseg = 200;
+  const auto x = random_series(nseg + m - 1, 1);
+  std::vector<double> mu(nseg), inv(nseg), df(nseg), dg(nseg);
+  precalc_dimension<Fp64>(x.data(), m, nseg, mu.data(), inv.data(), df.data(),
+                          dg.data());
+  const auto direct = direct_stats(x, m);
+  for (std::size_t i = 0; i < nseg; ++i) {
+    EXPECT_NEAR(mu[i], direct.mu[i], 1e-12) << i;
+    EXPECT_NEAR(inv[i], direct.inv[i], 1e-9 * direct.inv[i]) << i;
+  }
+}
+
+TEST(PrecalcFp64, CoefficientsMatchScampDefinitions) {
+  const std::size_t m = 8, nseg = 50;
+  const auto x = random_series(nseg + m - 1, 2);
+  std::vector<double> mu(nseg), inv(nseg), df(nseg), dg(nseg);
+  precalc_dimension<Fp64>(x.data(), m, nseg, mu.data(), inv.data(), df.data(),
+                          dg.data());
+  EXPECT_DOUBLE_EQ(df[0], 0.0);
+  EXPECT_DOUBLE_EQ(dg[0], 0.0);
+  for (std::size_t i = 1; i < nseg; ++i) {
+    EXPECT_NEAR(df[i], (x[i + m - 1] - x[i - 1]) * 0.5, 1e-14);
+    EXPECT_NEAR(dg[i], (x[i + m - 1] - mu[i]) + (x[i - 1] - mu[i - 1]),
+                1e-12);
+  }
+}
+
+TEST(PrecalcFp64, StreamingUpdateReproducesDirectDots) {
+  // The point of df/dg: QT[i,j] = QT[i-1,j-1] + df_r[i]*dg_q[j] +
+  // dg_r[i]*df_q[j] must equal the direct mean-centred dot product.
+  const std::size_t m = 12, nseg = 60;
+  const auto r = random_series(nseg + m - 1, 3);
+  const auto q = random_series(nseg + m - 1, 4);
+  std::vector<double> mu_r(nseg), inv_r(nseg), df_r(nseg), dg_r(nseg);
+  std::vector<double> mu_q(nseg), inv_q(nseg), df_q(nseg), dg_q(nseg);
+  precalc_dimension<Fp64>(r.data(), m, nseg, mu_r.data(), inv_r.data(),
+                          df_r.data(), dg_r.data());
+  precalc_dimension<Fp64>(q.data(), m, nseg, mu_q.data(), inv_q.data(),
+                          df_q.data(), dg_q.data());
+
+  auto direct_dot = [&](std::size_t i, std::size_t j) {
+    double dot = 0.0;
+    for (std::size_t t = 0; t < m; ++t) {
+      dot += (r[i + t] - mu_r[i]) * (q[j + t] - mu_q[j]);
+    }
+    return dot;
+  };
+
+  // Walk a few diagonals.
+  for (std::size_t delta : {0ul, 3ul, 17ul}) {
+    double qt = direct_dot(0, delta);
+    for (std::size_t i = 1; i + delta < nseg; ++i) {
+      const std::size_t j = i + delta;
+      qt = qt + df_r[i] * dg_q[j] + dg_r[i] * df_q[j];
+      EXPECT_NEAR(qt, direct_dot(i, j), 1e-9) << "i=" << i << " j=" << j;
+    }
+  }
+}
+
+TEST(Precalc, CenteredDotMatchesDirect) {
+  const std::size_t m = 32;
+  const auto r = random_series(m, 5);
+  const auto q = random_series(m, 6);
+  double mu_r = 0.0, mu_q = 0.0;
+  for (std::size_t t = 0; t < m; ++t) {
+    mu_r += r[t];
+    mu_q += q[t];
+  }
+  mu_r /= double(m);
+  mu_q /= double(m);
+  const double got = centered_dot<Fp64>(r.data(), q.data(), m, mu_r, mu_q);
+  double expected = 0.0;
+  for (std::size_t t = 0; t < m; ++t) {
+    expected += (r[t] - mu_r) * (q[t] - mu_q);
+  }
+  EXPECT_NEAR(got, expected, 1e-10);
+}
+
+TEST(Precalc, FlatSegmentsGetZeroInverseNorm) {
+  const std::size_t m = 8, nseg = 10;
+  std::vector<double> x(nseg + m - 1, 3.25);  // constant series
+  std::vector<double> mu(nseg), inv(nseg), df(nseg), dg(nseg);
+  precalc_dimension<Fp64>(x.data(), m, nseg, mu.data(), inv.data(), df.data(),
+                          dg.data());
+  for (std::size_t i = 0; i < nseg; ++i) {
+    EXPECT_DOUBLE_EQ(mu[i], 3.25);
+    EXPECT_DOUBLE_EQ(inv[i], 0.0);  // SCAMP convention, no inf/NaN
+  }
+}
+
+TEST(PrecalcFp16, LongSeriesSufferCancellation) {
+  // FP16 cumulative sums lose the sliding mean accuracy as the series
+  // grows — the §V-B failure mode.  Mixed (FP32 precalc) must stay close
+  // to FP64 on the same data.
+  const std::size_t m = 32, nseg = 4000;
+  const auto x = random_series(nseg + m - 1, 7, 0.25);
+  std::vector<float16> x16(x.size());
+  for (std::size_t t = 0; t < x.size(); ++t) x16[t] = float16{x[t]};
+
+  std::vector<double> mu64(nseg), inv64(nseg), df64(nseg), dg64(nseg);
+  precalc_dimension<Fp64>(x.data(), m, nseg, mu64.data(), inv64.data(),
+                          df64.data(), dg64.data());
+
+  std::vector<float16> mu16(nseg), inv16(nseg), df16(nseg), dg16(nseg);
+  precalc_dimension<Fp16>(x16.data(), m, nseg, mu16.data(), inv16.data(),
+                          df16.data(), dg16.data());
+
+  std::vector<float16> mu_mx(nseg), inv_mx(nseg), df_mx(nseg), dg_mx(nseg);
+  precalc_dimension<Mixed>(x16.data(), m, nseg, mu_mx.data(), inv_mx.data(),
+                           df_mx.data(), dg_mx.data());
+
+  double err16 = 0.0, err_mx = 0.0;
+  for (std::size_t i = 0; i < nseg; ++i) {
+    err16 += std::fabs(double(mu16[i]) - mu64[i]);
+    err_mx += std::fabs(double(mu_mx[i]) - mu64[i]);
+  }
+  EXPECT_LT(err_mx, err16 * 0.5)
+      << "FP32 precalculation must beat FP16 cumulative sums";
+}
+
+TEST(PrecalcFp16c, TracksMixedAndBothBeatFp16) {
+  // The paper finds FP16C "promises similar accuracy ... to the Mixed
+  // mode" (§III-C): the Kahan compensation corrects the *running* sums,
+  // but the stored prefix values are still individually rounded to FP32,
+  // so differencing them bounds both variants alike.  What both must beat
+  // decisively is plain FP16 precalculation, whose cumulative sums
+  // overflow outright on large-offset data.
+  const std::size_t m = 64, nseg = 8000;
+  Rng rng(8);
+  std::vector<double> x(nseg + m - 1);
+  for (auto& v : x) {
+    // Quantize to half precision first so every variant sees identical
+    // samples.
+    v = double(float16{100.0 + rng.normal(0.0, 1.0)});
+  }
+  std::vector<float16> x16(x.size());
+  for (std::size_t t = 0; t < x.size(); ++t) x16[t] = float16{x[t]};
+
+  std::vector<double> mu64(nseg), inv64(nseg), df64(nseg), dg64(nseg);
+  precalc_dimension<Fp64>(x.data(), m, nseg, mu64.data(), inv64.data(),
+                          df64.data(), dg64.data());
+
+  auto inv_error = [&](const std::vector<float16>& inv) {
+    double err = 0.0;
+    std::size_t counted = 0;
+    for (std::size_t i = 0; i < nseg; ++i) {
+      if (inv64[i] == 0.0) continue;
+      err += std::fabs(double(inv[i]) - inv64[i]) / inv64[i];
+      ++counted;
+    }
+    return err / double(counted);
+  };
+
+  std::vector<float16> mu(nseg), inv_16(nseg), inv_mx(nseg), inv_c(nseg),
+      df(nseg), dg(nseg);
+  precalc_dimension<Fp16>(x16.data(), m, nseg, mu.data(), inv_16.data(),
+                          df.data(), dg.data());
+  precalc_dimension<Mixed>(x16.data(), m, nseg, mu.data(), inv_mx.data(),
+                           df.data(), dg.data());
+  precalc_dimension<Fp16c>(x16.data(), m, nseg, mu.data(), inv_c.data(),
+                           df.data(), dg.data());
+
+  const double e16 = inv_error(inv_16);
+  const double emx = inv_error(inv_mx);
+  const double ec = inv_error(inv_c);
+  EXPECT_GT(e16, 0.9);  // FP16 cumulative sums overflow: inv flushed to 0
+  EXPECT_LT(emx, e16 * 0.5);
+  EXPECT_LT(ec, e16 * 0.5);
+  EXPECT_LE(ec, emx);  // compensation never hurts, and usually wins
+}
+
+TEST(PrecalcArraysStruct, ResizeInitializesAll) {
+  PrecalcArrays<Fp64> arrays;
+  arrays.resize(10, 3);
+  EXPECT_EQ(arrays.mu.size(), 30u);
+  EXPECT_EQ(arrays.inv.size(), 30u);
+  EXPECT_EQ(arrays.df.size(), 30u);
+  EXPECT_EQ(arrays.dg.size(), 30u);
+  EXPECT_EQ(arrays.segments, 10u);
+  EXPECT_EQ(arrays.dims, 3u);
+}
+
+}  // namespace
+}  // namespace mpsim::mp

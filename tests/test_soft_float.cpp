@@ -1,0 +1,203 @@
+// Tests for the generic soft_float formats (bfloat16, TF32) and the
+// extended precision modes built on them (paper §VII future work).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "metrics/accuracy.hpp"
+#include "mp/cpu_reference.hpp"
+#include "mp/matrix_profile.hpp"
+#include "precision/modes.hpp"
+#include "precision/soft_float.hpp"
+#include "tsdata/synthetic.hpp"
+
+namespace mpsim {
+namespace {
+
+TEST(Bfloat16, BasicEncodings) {
+  EXPECT_EQ(bfloat16(0.0).bits(), 0u);
+  // bfloat16 is truncated binary32: 1.0 = 0x3f80, -2.0 = 0xc000.
+  EXPECT_EQ(bfloat16(1.0).bits(), 0x3f80u);
+  EXPECT_EQ(bfloat16(-2.0).bits(), 0xc000u);
+  EXPECT_DOUBLE_EQ(double(bfloat16(1.0)), 1.0);
+  EXPECT_TRUE(isnan(bfloat16(std::nan(""))));
+  EXPECT_TRUE(isinf(bfloat16(1e40)));
+}
+
+TEST(Bfloat16, MatchesTruncatedFloat32UpToRounding) {
+  // Every bfloat16 value is a binary32 value with a zero low mantissa;
+  // round-tripping through the format must preserve exactly those.
+  Rng rng(3);
+  for (int i = 0; i < 20000; ++i) {
+    const float f = float(rng.normal(0.0, 100.0));
+    const std::uint32_t fbits = std::bit_cast<std::uint32_t>(f);
+    const float truncated = std::bit_cast<float>(fbits & 0xffff0000u);
+    const bfloat16 b{double(truncated)};
+    EXPECT_EQ(float(double(b)), truncated);
+  }
+}
+
+TEST(Bfloat16, RangeVsResolutionTradeoff) {
+  // Wide exponent: no overflow where FP16 overflows...
+  EXPECT_FALSE(isinf(bfloat16(1e30)));
+  EXPECT_TRUE(isinf(float16(70000.0)));
+  // ...but coarse resolution: ulp(256) = 2 in bfloat16, 0.25 in FP16.
+  EXPECT_DOUBLE_EQ(double(bfloat16(257.0)), 256.0);
+  EXPECT_DOUBLE_EQ(double(float16(257.0)), 257.0);
+}
+
+TEST(Tfloat32, MatchesFp16MantissaWithFp32Range) {
+  // Same significand as binary16: in the FP16 normal range (and away
+  // from FP16 subnormals), rounding matches FP16 exactly.
+  Rng rng(4);
+  for (int i = 0; i < 20000; ++i) {
+    const double v = rng.normal(0.0, 10.0);
+    if (std::fabs(v) < 0x1.0p-14) continue;
+    EXPECT_DOUBLE_EQ(double(tfloat32(v)), double(float16(v))) << v;
+  }
+  // ...but it survives far beyond the FP16 range.
+  EXPECT_FALSE(isinf(tfloat32(1e6)));
+  EXPECT_NEAR(double(tfloat32(1e6)), 1e6, 500.0);
+}
+
+TEST(SoftFloat, RoundToNearestEvenTies) {
+  // bfloat16 around 1.0: ulp = 2^-7; tie at 1 + 2^-8 rounds to even (1.0).
+  EXPECT_DOUBLE_EQ(double(bfloat16(1.0 + 0x1.0p-8)), 1.0);
+  EXPECT_DOUBLE_EQ(double(bfloat16(1.0 + 3 * 0x1.0p-8)), 1.0 + 0x1.0p-6);
+  EXPECT_DOUBLE_EQ(double(bfloat16(1.0 + 0x1.0p-8 + 0x1.0p-20)),
+                   1.0 + 0x1.0p-7);
+}
+
+TEST(SoftFloat, SubnormalsRoundTrip) {
+  using TinyFloat = soft_float<3, 4>;  // tiny format exercises the edges
+  // All 256 bit patterns: decode -> encode must round-trip (modulo NaN).
+  for (std::uint32_t b = 0; b < 256; ++b) {
+    const TinyFloat f = TinyFloat::from_bits(b);
+    if (std::isnan(double(f))) continue;
+    EXPECT_EQ(TinyFloat::encode(double(f)), b) << "bits=" << b;
+  }
+}
+
+TEST(SoftFloat, ArithmeticRoundsPerOperation) {
+  // bfloat16: 256 + 1 = 256 (ulp = 2).
+  EXPECT_DOUBLE_EQ(double(bfloat16(256.0) + bfloat16(1.0)), 256.0);
+  EXPECT_DOUBLE_EQ(double(bfloat16(256.0) + bfloat16(2.0)), 258.0);
+  EXPECT_DOUBLE_EQ(double(sqrt(tfloat32(4.0))), 2.0);
+  EXPECT_DOUBLE_EQ(double(abs(bfloat16(-3.0))), 3.0);
+}
+
+TEST(ExtendedModes, NamesAndSizes) {
+  EXPECT_EQ(to_string(PrecisionMode::BF16), "BF16");
+  EXPECT_EQ(to_string(PrecisionMode::TF32), "TF32");
+  EXPECT_EQ(parse_precision_mode("bf16"), PrecisionMode::BF16);
+  EXPECT_EQ(parse_precision_mode("TF32"), PrecisionMode::TF32);
+  EXPECT_EQ(storage_bytes(PrecisionMode::BF16), 2u);
+  EXPECT_EQ(storage_bytes(PrecisionMode::TF32), 4u);
+  EXPECT_DOUBLE_EQ(unit_roundoff(PrecisionMode::BF16), 0x1.0p-8);
+  EXPECT_DOUBLE_EQ(unit_roundoff(PrecisionMode::TF32), 0x1.0p-11);
+}
+
+TEST(ExtendedModes, DispatchReachesNewTraits) {
+  EXPECT_EQ(dispatch_precision(PrecisionMode::BF16,
+                               []<typename T>() { return T::kMode; }),
+            PrecisionMode::BF16);
+  EXPECT_EQ(dispatch_precision(PrecisionMode::TF32,
+                               []<typename T>() { return T::kMode; }),
+            PrecisionMode::TF32);
+}
+
+class ExtendedModePipeline : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SyntheticSpec spec;
+    spec.segments = 512;
+    spec.dims = 4;
+    spec.window = 32;
+    spec.injections_per_dim = 3;
+    data_ = new SyntheticDataset(make_synthetic_dataset(spec));
+    mp::CpuReferenceConfig config;
+    config.window = 32;
+    reference_ = new mp::CpuReferenceResult(
+        mp::compute_matrix_profile_cpu(data_->reference, data_->query,
+                                       config));
+  }
+  static void TearDownTestSuite() {
+    delete data_;
+    delete reference_;
+  }
+  static const SyntheticDataset* data_;
+  static const mp::CpuReferenceResult* reference_;
+};
+
+const SyntheticDataset* ExtendedModePipeline::data_ = nullptr;
+const mp::CpuReferenceResult* ExtendedModePipeline::reference_ = nullptr;
+
+TEST_F(ExtendedModePipeline, Tf32MatchesFp16WithoutOverflow) {
+  // Same significand, wider range: on well-scaled data the two modes must
+  // produce identical indices.
+  mp::MatrixProfileConfig config;
+  config.window = 32;
+  config.mode = PrecisionMode::TF32;
+  const auto tf32 =
+      mp::compute_matrix_profile(data_->reference, data_->query, config);
+  config.mode = PrecisionMode::FP16;
+  const auto fp16 =
+      mp::compute_matrix_profile(data_->reference, data_->query, config);
+  EXPECT_EQ(tf32.index, fp16.index);
+}
+
+TEST_F(ExtendedModePipeline, Bf16TradesAccuracyForRange) {
+  mp::MatrixProfileConfig config;
+  config.window = 32;
+  config.mode = PrecisionMode::BF16;
+  const auto bf16 =
+      mp::compute_matrix_profile(data_->reference, data_->query, config);
+  config.mode = PrecisionMode::FP16;
+  const auto fp16 =
+      mp::compute_matrix_profile(data_->reference, data_->query, config);
+
+  // Coarser mantissa: numerically worse than FP16 on in-range data...
+  EXPECT_LT(metrics::relative_accuracy(bf16.profile, reference_->profile),
+            metrics::relative_accuracy(fp16.profile, reference_->profile));
+  // ...yet pattern detection still works (practical accuracy).
+  const double recall = metrics::embedded_motif_recall(
+      bf16.index, bf16.segments, data_->injections, 32, 0.10);
+  EXPECT_GE(recall, 0.6);
+}
+
+TEST(ExtendedModePipelineOverflow, Bf16SurvivesWhereFp16Overflows) {
+  // Large-magnitude data: FP16 cumulative sums overflow (the turbine
+  // study's motivation for min-max normalisation); BF16's binary32 range
+  // absorbs it.
+  TimeSeries ref(512 + 31, 1), qry(512 + 31, 1);
+  Rng rng(5);
+  for (std::size_t t = 0; t < ref.length(); ++t) {
+    ref.at(t, 0) = 3000.0 + 100.0 * rng.normal();
+    qry.at(t, 0) = 3000.0 + 100.0 * rng.normal();
+  }
+  mp::CpuReferenceConfig cpu;
+  cpu.window = 32;
+  const auto reference = mp::compute_matrix_profile_cpu(ref, qry, cpu);
+
+  mp::MatrixProfileConfig config;
+  config.window = 32;
+  config.mode = PrecisionMode::FP16;
+  const auto fp16 = mp::compute_matrix_profile(ref, qry, config);
+  config.mode = PrecisionMode::BF16;
+  const auto bf16 = mp::compute_matrix_profile(ref, qry, config);
+  config.mode = PrecisionMode::TF32;
+  const auto tf32 = mp::compute_matrix_profile(ref, qry, config);
+
+  // FP16's streaming sums overflow: the profile is unusable (A ~ 0).
+  // The binary32-range formats keep meaningful (if coarse) values.
+  const double a16 =
+      metrics::relative_accuracy(fp16.profile, reference.profile);
+  EXPECT_GT(metrics::relative_accuracy(bf16.profile, reference.profile),
+            a16 + 0.3);
+  EXPECT_GT(metrics::relative_accuracy(tf32.profile, reference.profile),
+            a16 + 0.3);
+}
+
+}  // namespace
+}  // namespace mpsim

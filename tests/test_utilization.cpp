@@ -1,0 +1,73 @@
+// Tests for the resource-utilisation reporting (§V-C counterpart).
+#include <gtest/gtest.h>
+
+#include "gpusim/utilization.hpp"
+
+namespace mpsim::gpusim {
+namespace {
+
+TEST(Utilization, StreamingKernelIsDramBound) {
+  const auto spec = a100();
+  KernelLedger ledger;
+  KernelCost cost;
+  cost.bytes_read = 8LL << 30;
+  cost.bytes_written = 4LL << 30;
+  ledger.record("stream", cost, modeled_seconds(spec, cost));
+
+  const auto report = utilization(ledger, spec);
+  ASSERT_EQ(report.size(), 1u);
+  EXPECT_EQ(report[0].kernel, "stream");
+  // Pure streaming sustains ~bw_efficiency of peak DRAM bandwidth.
+  EXPECT_NEAR(report[0].dram_fraction, spec.bw_efficiency, 0.02);
+  EXPECT_LT(report[0].compute_fraction, 0.01);
+  EXPECT_LT(report[0].sync_share, 0.01);
+}
+
+TEST(Utilization, SyncBoundKernelShowsSyncShare) {
+  const auto spec = a100();
+  KernelLedger ledger;
+  KernelCost cost;
+  cost.bytes_read = 1 << 20;
+  cost.barrier_rounds = 1'000'000;
+  ledger.record("coop", cost, modeled_seconds(spec, cost));
+
+  const auto report = utilization(ledger, spec);
+  ASSERT_EQ(report.size(), 1u);
+  EXPECT_GT(report[0].sync_share, 0.9);
+  EXPECT_LT(report[0].dram_fraction, 0.05);
+}
+
+TEST(Utilization, ComputeBoundKernel) {
+  const auto spec = v100();
+  KernelLedger ledger;
+  KernelCost cost;
+  cost.flops = 1LL << 40;
+  cost.flop_width_bytes = 4;
+  ledger.record("gemm-ish", cost, modeled_seconds(spec, cost));
+
+  const auto report = utilization(ledger, spec);
+  ASSERT_EQ(report.size(), 1u);
+  EXPECT_NEAR(report[0].compute_fraction, spec.compute_efficiency, 0.02);
+}
+
+TEST(Utilization, ReportRendersAllKernels) {
+  const auto spec = a100();
+  KernelLedger ledger;
+  KernelCost cost;
+  cost.bytes_read = 1 << 28;
+  ledger.record("alpha", cost, modeled_seconds(spec, cost));
+  ledger.record("beta", cost, modeled_seconds(spec, cost));
+  const auto text = utilization_report(ledger, spec);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("beta"), std::string::npos);
+  EXPECT_NE(text.find("A100"), std::string::npos);
+  EXPECT_NE(text.find("DRAM util"), std::string::npos);
+}
+
+TEST(Utilization, EmptyLedgerYieldsEmptyReport) {
+  KernelLedger ledger;
+  EXPECT_TRUE(utilization(ledger, a100()).empty());
+}
+
+}  // namespace
+}  // namespace mpsim::gpusim

@@ -1,0 +1,181 @@
+// mpsim_cli — run the matrix profile on CSV time series from the shell.
+//
+//   mpsim_cli --reference=ref.csv --query=query.csv --window=64
+//             [--mode=FP64|FP32|FP16|Mixed|FP16C|BF16|TF32]
+//             [--tiles=16] [--devices=1] [--machine=A100|V100]
+//             [--self-join] [--exclusion=<radius>]
+//             [--output=profile.csv] [--motifs=K] [--discords=K]
+//
+// Input CSVs: one column per dimension, one row per sample (a header row
+// is detected automatically).  With --self-join the reference file is
+// joined against itself (exclusion defaults to window/2).
+// The output CSV has 2*d columns: profile_k, index_k for each dimension.
+#include <cstdio>
+#include <fstream>
+
+#include "common/cli.hpp"
+#include "common/error.hpp"
+#include "common/table.hpp"
+#include "mp/analysis.hpp"
+#include "mp/chains.hpp"
+#include "mp/tuning.hpp"
+#include "mp/matrix_profile.hpp"
+#include "tsdata/io.hpp"
+#include "tsdata/repair.hpp"
+
+namespace {
+
+using namespace mpsim;
+
+void write_profile_csv(const std::string& path,
+                       const mp::MatrixProfileResult& result) {
+  std::ofstream out(path);
+  MPSIM_CHECK(out.good(), "cannot open '" << path << "' for writing");
+  out.precision(17);
+  for (std::size_t k = 0; k < result.dims; ++k) {
+    out << (k == 0 ? "" : ",") << "profile_" << k << ",index_" << k;
+  }
+  out << '\n';
+  for (std::size_t j = 0; j < result.segments; ++j) {
+    for (std::size_t k = 0; k < result.dims; ++k) {
+      out << (k == 0 ? "" : ",") << result.at(j, k) << ','
+          << result.index_at(j, k);
+    }
+    out << '\n';
+  }
+  MPSIM_CHECK(out.good(), "write to '" << path << "' failed");
+}
+
+int run(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  args.check_known({"reference", "query", "window", "mode", "tiles",
+                    "devices", "machine", "self-join", "exclusion", "output",
+                    "motifs", "discords", "repair", "auto-tiles", "chains",
+                    "help"});
+  if (args.get_bool("help", false) || !args.has("reference")) {
+    std::printf(
+        "usage: mpsim_cli --reference=ref.csv [--query=query.csv] "
+        "--window=M\n"
+        "                 [--mode=FP64] [--tiles=1] [--devices=1]\n"
+        "                 [--machine=A100] [--self-join] [--exclusion=R]\n"
+        "                 [--output=profile.csv] [--motifs=K] "
+        "[--discords=K] [--repair]\n"
+        "                 [--auto-tiles] [--chains]\n");
+    return args.has("reference") ? 0 : 2;
+  }
+
+  TimeSeries reference = read_csv(args.get_string("reference", ""));
+  const bool self_join = args.get_bool("self-join", false);
+  MPSIM_CHECK(self_join || args.has("query"),
+              "--query is required unless --self-join is given");
+  TimeSeries query =
+      self_join ? reference : read_csv(args.get_string("query", ""));
+  if (args.get_bool("repair", false)) {
+    const std::size_t fixed =
+        repair_non_finite(reference) + (self_join ? 0 : repair_non_finite(query));
+    if (fixed > 0) {
+      std::printf("repaired %zu non-finite samples by interpolation\n",
+                  fixed);
+    }
+  }
+
+  mp::MatrixProfileConfig config;
+  config.window = std::size_t(args.get_int("window", 64));
+  config.mode = parse_precision_mode(args.get_string("mode", "FP64"));
+  config.tiles = int(args.get_int("tiles", 1));
+  config.devices = int(args.get_int("devices", 1));
+  config.machine = args.get_string("machine", "A100");
+  config.exclusion = args.get_int(
+      "exclusion", self_join ? std::int64_t(config.window / 2) : 0);
+
+  if (args.get_bool("auto-tiles", false)) {
+    mp::TileTuningRequest request;
+    request.n_r = reference.segment_count(config.window);
+    request.n_q = query.segment_count(config.window);
+    request.dims = reference.dims();
+    request.window = config.window;
+    request.mode = config.mode;
+    request.devices = config.devices;
+    const auto tuned =
+        mp::suggest_tiles(request, gpusim::spec_by_name(config.machine));
+    config.tiles = tuned.tiles;
+    std::printf("auto-tiles: %d tiles (%zu x %zu segments per tile%s%s)\n",
+                tuned.tiles, tuned.tile_rows, tuned.tile_cols,
+                tuned.accuracy_limited ? ", accuracy-limited" : "",
+                tuned.memory_limited ? ", memory-limited" : "");
+  }
+
+  std::printf("reference: %zu samples x %zu dims; query: %zu samples; "
+              "window=%zu mode=%s tiles=%d devices=%d\n",
+              reference.length(), reference.dims(), query.length(),
+              config.window, to_string(config.mode).c_str(), config.tiles,
+              config.devices);
+
+  const auto result = mp::compute_matrix_profile(reference, query, config);
+  std::printf("computed %zu x %zu profile in %.2f s (modeled %s time: "
+              "%.4f s)\n",
+              result.segments, result.dims, result.wall_seconds,
+              config.machine.c_str(), result.modeled_total_seconds());
+
+  if (args.has("output")) {
+    const auto path = args.get_string("output", "");
+    write_profile_csv(path, result);
+    std::printf("profile written to %s\n", path.c_str());
+  }
+
+  const auto k_motifs = std::size_t(args.get_int("motifs", 3));
+  if (k_motifs > 0) {
+    Table table({"rank", "query segment", "matches reference", "distance"});
+    const auto motifs =
+        mp::top_motifs(result, 0, k_motifs, config.window);
+    for (std::size_t i = 0; i < motifs.size(); ++i) {
+      table.add_row({std::to_string(i + 1),
+                     std::to_string(motifs[i].query_segment),
+                     std::to_string(motifs[i].match_segment),
+                     fmt_fixed(motifs[i].distance, 4)});
+    }
+    std::printf("\ntop motifs (1-dimensional profile):\n%s",
+                table.to_string().c_str());
+  }
+  if (args.get_bool("chains", false)) {
+    MPSIM_CHECK(self_join, "--chains requires --self-join");
+    const auto lr = mp::compute_left_right_profiles(reference, config.window,
+                                                    config.exclusion);
+    const auto chain = mp::longest_chain(lr, 0);
+    if (chain.size() < 2) {
+      std::printf("\nno time-series chain found\n");
+    } else {
+      std::printf("\nlongest time-series chain (%zu links):", chain.size());
+      for (const auto node : chain) {
+        std::printf(" %lld", (long long)node);
+      }
+      std::printf("\n");
+    }
+  }
+
+  const auto k_discords = std::size_t(args.get_int("discords", 0));
+  if (k_discords > 0) {
+    Table table({"rank", "query segment", "distance"});
+    const auto discords =
+        mp::top_discords(result, result.dims - 1, k_discords, config.window);
+    for (std::size_t i = 0; i < discords.size(); ++i) {
+      table.add_row({std::to_string(i + 1),
+                     std::to_string(discords[i].query_segment),
+                     fmt_fixed(discords[i].distance, 4)});
+    }
+    std::printf("\ntop discords (%zu-dimensional profile):\n%s",
+                result.dims, table.to_string().c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "mpsim_cli: %s\n", e.what());
+    return 1;
+  }
+}
