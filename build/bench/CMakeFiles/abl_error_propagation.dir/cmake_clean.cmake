@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_error_propagation.dir/abl_error_propagation.cpp.o"
+  "CMakeFiles/abl_error_propagation.dir/abl_error_propagation.cpp.o.d"
+  "abl_error_propagation"
+  "abl_error_propagation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_error_propagation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_launch_config.dir/abl_launch_config.cpp.o"
+  "CMakeFiles/abl_launch_config.dir/abl_launch_config.cpp.o.d"
+  "abl_launch_config"
+  "abl_launch_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_launch_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

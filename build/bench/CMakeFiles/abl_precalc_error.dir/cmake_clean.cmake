@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_precalc_error.dir/abl_precalc_error.cpp.o"
+  "CMakeFiles/abl_precalc_error.dir/abl_precalc_error.cpp.o.d"
+  "abl_precalc_error"
+  "abl_precalc_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_precalc_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

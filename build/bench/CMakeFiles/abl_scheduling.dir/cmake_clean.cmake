@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_scheduling.dir/abl_scheduling.cpp.o"
+  "CMakeFiles/abl_scheduling.dir/abl_scheduling.cpp.o.d"
+  "abl_scheduling"
+  "abl_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

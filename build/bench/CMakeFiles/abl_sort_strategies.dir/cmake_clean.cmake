@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_sort_strategies.dir/abl_sort_strategies.cpp.o"
+  "CMakeFiles/abl_sort_strategies.dir/abl_sort_strategies.cpp.o.d"
+  "abl_sort_strategies"
+  "abl_sort_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_sort_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_multinode_scaling.dir/ext_multinode_scaling.cpp.o"
+  "CMakeFiles/ext_multinode_scaling.dir/ext_multinode_scaling.cpp.o.d"
+  "ext_multinode_scaling"
+  "ext_multinode_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_multinode_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_precision_formats.dir/ext_precision_formats.cpp.o"
+  "CMakeFiles/ext_precision_formats.dir/ext_precision_formats.cpp.o.d"
+  "ext_precision_formats"
+  "ext_precision_formats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_precision_formats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_genome_tiles.dir/fig10_genome_tiles.cpp.o"
+  "CMakeFiles/fig10_genome_tiles.dir/fig10_genome_tiles.cpp.o.d"
+  "fig10_genome_tiles"
+  "fig10_genome_tiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_genome_tiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

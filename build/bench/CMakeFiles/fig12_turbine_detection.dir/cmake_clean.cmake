@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_turbine_detection.dir/fig12_turbine_detection.cpp.o"
+  "CMakeFiles/fig12_turbine_detection.dir/fig12_turbine_detection.cpp.o.d"
+  "fig12_turbine_detection"
+  "fig12_turbine_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_turbine_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_numerical_accuracy.dir/fig2_numerical_accuracy.cpp.o"
+  "CMakeFiles/fig2_numerical_accuracy.dir/fig2_numerical_accuracy.cpp.o.d"
+  "fig2_numerical_accuracy"
+  "fig2_numerical_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_numerical_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

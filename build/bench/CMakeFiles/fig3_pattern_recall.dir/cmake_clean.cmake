@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_pattern_recall.dir/fig3_pattern_recall.cpp.o"
+  "CMakeFiles/fig3_pattern_recall.dir/fig3_pattern_recall.cpp.o.d"
+  "fig3_pattern_recall"
+  "fig3_pattern_recall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_pattern_recall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_cpu_gpu_comparison.dir/fig6_cpu_gpu_comparison.cpp.o"
+  "CMakeFiles/fig6_cpu_gpu_comparison.dir/fig6_cpu_gpu_comparison.cpp.o.d"
+  "fig6_cpu_gpu_comparison"
+  "fig6_cpu_gpu_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_cpu_gpu_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_tile_tradeoff.dir/fig7_tile_tradeoff.cpp.o"
+  "CMakeFiles/fig7_tile_tradeoff.dir/fig7_tile_tradeoff.cpp.o.d"
+  "fig7_tile_tradeoff"
+  "fig7_tile_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_tile_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

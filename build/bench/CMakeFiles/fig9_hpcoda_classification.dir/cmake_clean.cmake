@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_hpcoda_classification.dir/fig9_hpcoda_classification.cpp.o"
+  "CMakeFiles/fig9_hpcoda_classification.dir/fig9_hpcoda_classification.cpp.o.d"
+  "fig9_hpcoda_classification"
+  "fig9_hpcoda_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_hpcoda_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_engine_throughput.dir/micro_engine_throughput.cpp.o"
+  "CMakeFiles/micro_engine_throughput.dir/micro_engine_throughput.cpp.o.d"
+  "micro_engine_throughput"
+  "micro_engine_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_engine_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

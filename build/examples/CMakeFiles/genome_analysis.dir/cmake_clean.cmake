@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genome_analysis.dir/genome_analysis.cpp.o"
+  "CMakeFiles/genome_analysis.dir/genome_analysis.cpp.o.d"
+  "genome_analysis"
+  "genome_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genome_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpc_classification.dir/hpc_classification.cpp.o"
+  "CMakeFiles/hpc_classification.dir/hpc_classification.cpp.o.d"
+  "hpc_classification"
+  "hpc_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpc_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

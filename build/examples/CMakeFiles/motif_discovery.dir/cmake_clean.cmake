@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motif_discovery.dir/motif_discovery.cpp.o"
+  "CMakeFiles/motif_discovery.dir/motif_discovery.cpp.o.d"
+  "motif_discovery"
+  "motif_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motif_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turbine_monitoring.dir/turbine_monitoring.cpp.o"
+  "CMakeFiles/turbine_monitoring.dir/turbine_monitoring.cpp.o.d"
+  "turbine_monitoring"
+  "turbine_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turbine_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpsim_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/mpsim_cluster.dir/cluster.cpp.o.d"
+  "libmpsim_cluster.a"
+  "libmpsim_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpsim_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpsim_common.dir/cli.cpp.o"
+  "CMakeFiles/mpsim_common.dir/cli.cpp.o.d"
+  "CMakeFiles/mpsim_common.dir/table.cpp.o"
+  "CMakeFiles/mpsim_common.dir/table.cpp.o.d"
+  "CMakeFiles/mpsim_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/mpsim_common.dir/thread_pool.cpp.o.d"
+  "libmpsim_common.a"
+  "libmpsim_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpsim_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

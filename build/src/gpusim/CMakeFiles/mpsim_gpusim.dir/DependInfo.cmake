@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpusim/device.cpp" "src/gpusim/CMakeFiles/mpsim_gpusim.dir/device.cpp.o" "gcc" "src/gpusim/CMakeFiles/mpsim_gpusim.dir/device.cpp.o.d"
+  "/root/repo/src/gpusim/perf_model.cpp" "src/gpusim/CMakeFiles/mpsim_gpusim.dir/perf_model.cpp.o" "gcc" "src/gpusim/CMakeFiles/mpsim_gpusim.dir/perf_model.cpp.o.d"
+  "/root/repo/src/gpusim/spec.cpp" "src/gpusim/CMakeFiles/mpsim_gpusim.dir/spec.cpp.o" "gcc" "src/gpusim/CMakeFiles/mpsim_gpusim.dir/spec.cpp.o.d"
+  "/root/repo/src/gpusim/stream.cpp" "src/gpusim/CMakeFiles/mpsim_gpusim.dir/stream.cpp.o" "gcc" "src/gpusim/CMakeFiles/mpsim_gpusim.dir/stream.cpp.o.d"
+  "/root/repo/src/gpusim/trace.cpp" "src/gpusim/CMakeFiles/mpsim_gpusim.dir/trace.cpp.o" "gcc" "src/gpusim/CMakeFiles/mpsim_gpusim.dir/trace.cpp.o.d"
+  "/root/repo/src/gpusim/utilization.cpp" "src/gpusim/CMakeFiles/mpsim_gpusim.dir/utilization.cpp.o" "gcc" "src/gpusim/CMakeFiles/mpsim_gpusim.dir/utilization.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mpsim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/precision/CMakeFiles/mpsim_precision.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

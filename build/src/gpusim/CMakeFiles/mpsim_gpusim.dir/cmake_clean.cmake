@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpsim_gpusim.dir/device.cpp.o"
+  "CMakeFiles/mpsim_gpusim.dir/device.cpp.o.d"
+  "CMakeFiles/mpsim_gpusim.dir/perf_model.cpp.o"
+  "CMakeFiles/mpsim_gpusim.dir/perf_model.cpp.o.d"
+  "CMakeFiles/mpsim_gpusim.dir/spec.cpp.o"
+  "CMakeFiles/mpsim_gpusim.dir/spec.cpp.o.d"
+  "CMakeFiles/mpsim_gpusim.dir/stream.cpp.o"
+  "CMakeFiles/mpsim_gpusim.dir/stream.cpp.o.d"
+  "CMakeFiles/mpsim_gpusim.dir/trace.cpp.o"
+  "CMakeFiles/mpsim_gpusim.dir/trace.cpp.o.d"
+  "CMakeFiles/mpsim_gpusim.dir/utilization.cpp.o"
+  "CMakeFiles/mpsim_gpusim.dir/utilization.cpp.o.d"
+  "libmpsim_gpusim.a"
+  "libmpsim_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpsim_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpsim_metrics.dir/accuracy.cpp.o"
+  "CMakeFiles/mpsim_metrics.dir/accuracy.cpp.o.d"
+  "CMakeFiles/mpsim_metrics.dir/classifier.cpp.o"
+  "CMakeFiles/mpsim_metrics.dir/classifier.cpp.o.d"
+  "libmpsim_metrics.a"
+  "libmpsim_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpsim_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

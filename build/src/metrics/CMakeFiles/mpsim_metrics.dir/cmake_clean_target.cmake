@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmpsim_metrics.a"
+)

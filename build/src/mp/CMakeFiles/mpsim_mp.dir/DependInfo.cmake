@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mp/analysis.cpp" "src/mp/CMakeFiles/mpsim_mp.dir/analysis.cpp.o" "gcc" "src/mp/CMakeFiles/mpsim_mp.dir/analysis.cpp.o.d"
+  "/root/repo/src/mp/annotation.cpp" "src/mp/CMakeFiles/mpsim_mp.dir/annotation.cpp.o" "gcc" "src/mp/CMakeFiles/mpsim_mp.dir/annotation.cpp.o.d"
+  "/root/repo/src/mp/anytime.cpp" "src/mp/CMakeFiles/mpsim_mp.dir/anytime.cpp.o" "gcc" "src/mp/CMakeFiles/mpsim_mp.dir/anytime.cpp.o.d"
+  "/root/repo/src/mp/brute_force.cpp" "src/mp/CMakeFiles/mpsim_mp.dir/brute_force.cpp.o" "gcc" "src/mp/CMakeFiles/mpsim_mp.dir/brute_force.cpp.o.d"
+  "/root/repo/src/mp/chains.cpp" "src/mp/CMakeFiles/mpsim_mp.dir/chains.cpp.o" "gcc" "src/mp/CMakeFiles/mpsim_mp.dir/chains.cpp.o.d"
+  "/root/repo/src/mp/cpu_reference.cpp" "src/mp/CMakeFiles/mpsim_mp.dir/cpu_reference.cpp.o" "gcc" "src/mp/CMakeFiles/mpsim_mp.dir/cpu_reference.cpp.o.d"
+  "/root/repo/src/mp/mass.cpp" "src/mp/CMakeFiles/mpsim_mp.dir/mass.cpp.o" "gcc" "src/mp/CMakeFiles/mpsim_mp.dir/mass.cpp.o.d"
+  "/root/repo/src/mp/matrix_profile.cpp" "src/mp/CMakeFiles/mpsim_mp.dir/matrix_profile.cpp.o" "gcc" "src/mp/CMakeFiles/mpsim_mp.dir/matrix_profile.cpp.o.d"
+  "/root/repo/src/mp/model.cpp" "src/mp/CMakeFiles/mpsim_mp.dir/model.cpp.o" "gcc" "src/mp/CMakeFiles/mpsim_mp.dir/model.cpp.o.d"
+  "/root/repo/src/mp/pan_profile.cpp" "src/mp/CMakeFiles/mpsim_mp.dir/pan_profile.cpp.o" "gcc" "src/mp/CMakeFiles/mpsim_mp.dir/pan_profile.cpp.o.d"
+  "/root/repo/src/mp/streaming.cpp" "src/mp/CMakeFiles/mpsim_mp.dir/streaming.cpp.o" "gcc" "src/mp/CMakeFiles/mpsim_mp.dir/streaming.cpp.o.d"
+  "/root/repo/src/mp/tile_plan.cpp" "src/mp/CMakeFiles/mpsim_mp.dir/tile_plan.cpp.o" "gcc" "src/mp/CMakeFiles/mpsim_mp.dir/tile_plan.cpp.o.d"
+  "/root/repo/src/mp/tuning.cpp" "src/mp/CMakeFiles/mpsim_mp.dir/tuning.cpp.o" "gcc" "src/mp/CMakeFiles/mpsim_mp.dir/tuning.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mpsim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/precision/CMakeFiles/mpsim_precision.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/mpsim_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tsdata/CMakeFiles/mpsim_tsdata.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

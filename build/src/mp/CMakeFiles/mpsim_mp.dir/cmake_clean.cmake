@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpsim_mp.dir/analysis.cpp.o"
+  "CMakeFiles/mpsim_mp.dir/analysis.cpp.o.d"
+  "CMakeFiles/mpsim_mp.dir/annotation.cpp.o"
+  "CMakeFiles/mpsim_mp.dir/annotation.cpp.o.d"
+  "CMakeFiles/mpsim_mp.dir/anytime.cpp.o"
+  "CMakeFiles/mpsim_mp.dir/anytime.cpp.o.d"
+  "CMakeFiles/mpsim_mp.dir/brute_force.cpp.o"
+  "CMakeFiles/mpsim_mp.dir/brute_force.cpp.o.d"
+  "CMakeFiles/mpsim_mp.dir/chains.cpp.o"
+  "CMakeFiles/mpsim_mp.dir/chains.cpp.o.d"
+  "CMakeFiles/mpsim_mp.dir/cpu_reference.cpp.o"
+  "CMakeFiles/mpsim_mp.dir/cpu_reference.cpp.o.d"
+  "CMakeFiles/mpsim_mp.dir/mass.cpp.o"
+  "CMakeFiles/mpsim_mp.dir/mass.cpp.o.d"
+  "CMakeFiles/mpsim_mp.dir/matrix_profile.cpp.o"
+  "CMakeFiles/mpsim_mp.dir/matrix_profile.cpp.o.d"
+  "CMakeFiles/mpsim_mp.dir/model.cpp.o"
+  "CMakeFiles/mpsim_mp.dir/model.cpp.o.d"
+  "CMakeFiles/mpsim_mp.dir/pan_profile.cpp.o"
+  "CMakeFiles/mpsim_mp.dir/pan_profile.cpp.o.d"
+  "CMakeFiles/mpsim_mp.dir/streaming.cpp.o"
+  "CMakeFiles/mpsim_mp.dir/streaming.cpp.o.d"
+  "CMakeFiles/mpsim_mp.dir/tile_plan.cpp.o"
+  "CMakeFiles/mpsim_mp.dir/tile_plan.cpp.o.d"
+  "CMakeFiles/mpsim_mp.dir/tuning.cpp.o"
+  "CMakeFiles/mpsim_mp.dir/tuning.cpp.o.d"
+  "libmpsim_mp.a"
+  "libmpsim_mp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpsim_mp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpsim_precision.dir/float16.cpp.o"
+  "CMakeFiles/mpsim_precision.dir/float16.cpp.o.d"
+  "CMakeFiles/mpsim_precision.dir/modes.cpp.o"
+  "CMakeFiles/mpsim_precision.dir/modes.cpp.o.d"
+  "libmpsim_precision.a"
+  "libmpsim_precision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpsim_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tsdata/genome.cpp" "src/tsdata/CMakeFiles/mpsim_tsdata.dir/genome.cpp.o" "gcc" "src/tsdata/CMakeFiles/mpsim_tsdata.dir/genome.cpp.o.d"
+  "/root/repo/src/tsdata/hpc_telemetry.cpp" "src/tsdata/CMakeFiles/mpsim_tsdata.dir/hpc_telemetry.cpp.o" "gcc" "src/tsdata/CMakeFiles/mpsim_tsdata.dir/hpc_telemetry.cpp.o.d"
+  "/root/repo/src/tsdata/io.cpp" "src/tsdata/CMakeFiles/mpsim_tsdata.dir/io.cpp.o" "gcc" "src/tsdata/CMakeFiles/mpsim_tsdata.dir/io.cpp.o.d"
+  "/root/repo/src/tsdata/patterns.cpp" "src/tsdata/CMakeFiles/mpsim_tsdata.dir/patterns.cpp.o" "gcc" "src/tsdata/CMakeFiles/mpsim_tsdata.dir/patterns.cpp.o.d"
+  "/root/repo/src/tsdata/synthetic.cpp" "src/tsdata/CMakeFiles/mpsim_tsdata.dir/synthetic.cpp.o" "gcc" "src/tsdata/CMakeFiles/mpsim_tsdata.dir/synthetic.cpp.o.d"
+  "/root/repo/src/tsdata/time_series.cpp" "src/tsdata/CMakeFiles/mpsim_tsdata.dir/time_series.cpp.o" "gcc" "src/tsdata/CMakeFiles/mpsim_tsdata.dir/time_series.cpp.o.d"
+  "/root/repo/src/tsdata/turbine.cpp" "src/tsdata/CMakeFiles/mpsim_tsdata.dir/turbine.cpp.o" "gcc" "src/tsdata/CMakeFiles/mpsim_tsdata.dir/turbine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mpsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpsim_tsdata.dir/genome.cpp.o"
+  "CMakeFiles/mpsim_tsdata.dir/genome.cpp.o.d"
+  "CMakeFiles/mpsim_tsdata.dir/hpc_telemetry.cpp.o"
+  "CMakeFiles/mpsim_tsdata.dir/hpc_telemetry.cpp.o.d"
+  "CMakeFiles/mpsim_tsdata.dir/io.cpp.o"
+  "CMakeFiles/mpsim_tsdata.dir/io.cpp.o.d"
+  "CMakeFiles/mpsim_tsdata.dir/patterns.cpp.o"
+  "CMakeFiles/mpsim_tsdata.dir/patterns.cpp.o.d"
+  "CMakeFiles/mpsim_tsdata.dir/synthetic.cpp.o"
+  "CMakeFiles/mpsim_tsdata.dir/synthetic.cpp.o.d"
+  "CMakeFiles/mpsim_tsdata.dir/time_series.cpp.o"
+  "CMakeFiles/mpsim_tsdata.dir/time_series.cpp.o.d"
+  "CMakeFiles/mpsim_tsdata.dir/turbine.cpp.o"
+  "CMakeFiles/mpsim_tsdata.dir/turbine.cpp.o.d"
+  "libmpsim_tsdata.a"
+  "libmpsim_tsdata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpsim_tsdata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mpsim_tsdata.
+# This may be replaced when dependencies are built.

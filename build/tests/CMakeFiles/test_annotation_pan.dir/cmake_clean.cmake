@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_annotation_pan.dir/test_annotation_pan.cpp.o"
+  "CMakeFiles/test_annotation_pan.dir/test_annotation_pan.cpp.o.d"
+  "test_annotation_pan"
+  "test_annotation_pan.pdb"
+  "test_annotation_pan[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_annotation_pan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

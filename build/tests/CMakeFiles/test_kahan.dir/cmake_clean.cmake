@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kahan.dir/test_kahan.cpp.o"
+  "CMakeFiles/test_kahan.dir/test_kahan.cpp.o.d"
+  "test_kahan"
+  "test_kahan.pdb"
+  "test_kahan[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kahan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mass.dir/test_mass.cpp.o"
+  "CMakeFiles/test_mass.dir/test_mass.cpp.o.d"
+  "test_mass"
+  "test_mass.pdb"
+  "test_mass[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

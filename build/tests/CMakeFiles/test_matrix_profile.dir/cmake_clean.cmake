@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_matrix_profile.dir/test_matrix_profile.cpp.o"
+  "CMakeFiles/test_matrix_profile.dir/test_matrix_profile.cpp.o.d"
+  "test_matrix_profile"
+  "test_matrix_profile.pdb"
+  "test_matrix_profile[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_matrix_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

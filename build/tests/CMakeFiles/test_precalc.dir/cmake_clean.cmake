@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_precalc.dir/test_precalc.cpp.o"
+  "CMakeFiles/test_precalc.dir/test_precalc.cpp.o.d"
+  "test_precalc"
+  "test_precalc.pdb"
+  "test_precalc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_precalc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

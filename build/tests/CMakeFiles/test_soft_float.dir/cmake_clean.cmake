@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_soft_float.dir/test_soft_float.cpp.o"
+  "CMakeFiles/test_soft_float.dir/test_soft_float.cpp.o.d"
+  "test_soft_float"
+  "test_soft_float.pdb"
+  "test_soft_float[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_soft_float.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tile_plan.dir/test_tile_plan.cpp.o"
+  "CMakeFiles/test_tile_plan.dir/test_tile_plan.cpp.o.d"
+  "test_tile_plan"
+  "test_tile_plan.pdb"
+  "test_tile_plan[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tile_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tsdata.dir/test_tsdata.cpp.o"
+  "CMakeFiles/test_tsdata.dir/test_tsdata.cpp.o.d"
+  "test_tsdata"
+  "test_tsdata.pdb"
+  "test_tsdata[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tsdata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

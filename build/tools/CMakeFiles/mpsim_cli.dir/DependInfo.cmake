@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/mpsim_cli.cpp" "tools/CMakeFiles/mpsim_cli.dir/mpsim_cli.cpp.o" "gcc" "tools/CMakeFiles/mpsim_cli.dir/mpsim_cli.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mpsim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/precision/CMakeFiles/mpsim_precision.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/mpsim_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tsdata/CMakeFiles/mpsim_tsdata.dir/DependInfo.cmake"
+  "/root/repo/build/src/mp/CMakeFiles/mpsim_mp.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/mpsim_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/mpsim_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

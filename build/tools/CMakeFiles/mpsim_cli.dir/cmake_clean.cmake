@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpsim_cli.dir/mpsim_cli.cpp.o"
+  "CMakeFiles/mpsim_cli.dir/mpsim_cli.cpp.o.d"
+  "mpsim_cli"
+  "mpsim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpsim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpsim_diff.dir/mpsim_diff.cpp.o"
+  "CMakeFiles/mpsim_diff.dir/mpsim_diff.cpp.o.d"
+  "mpsim_diff"
+  "mpsim_diff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpsim_diff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
