@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Builds and tests the project under ThreadSanitizer and ASan+UBSan.
+#
+#   scripts/run_sanitizers.sh [thread|address]...
+#
+# With no arguments both sanitizers run.  Each uses its own build tree
+# (build-tsan / build-asan) so the regular build/ stays untouched.
+# Benchmarks are skipped: google-benchmark is rarely built with the
+# sanitizer runtimes, and the unit + integration tests cover the
+# concurrency paths (streams, resilient scheduler) the sanitizers exist
+# to check.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run_one() {
+  local kind=$1 dir flags
+  case "$kind" in
+    thread)  dir=build-tsan ;;
+    address) dir=build-asan ;;
+    *) echo "unknown sanitizer '$kind' (want thread or address)" >&2
+       exit 2 ;;
+  esac
+  echo "=== $kind sanitizer -> $dir ==="
+  cmake -B "$dir" -S . \
+      -DMPSIM_SANITIZE="$kind" \
+      -DMPSIM_BUILD_BENCH=OFF \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "$dir" -j "$(nproc)"
+  ctest --test-dir "$dir" --output-on-failure -j "$(nproc)"
+}
+
+if [ $# -eq 0 ]; then
+  set -- thread address
+fi
+for kind in "$@"; do
+  run_one "$kind"
+done
+echo "all sanitizer runs passed"

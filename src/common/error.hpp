@@ -30,11 +30,27 @@ class ConfigError : public Error {
   explicit ConfigError(const std::string& what) : Error(what) {}
 };
 
+/// Raised when a simulated device has failed permanently (gone offline).
+/// Work must not be retried on the device; the resilient scheduler
+/// blacklists it and reassigns its tiles to healthy devices.
+class DeviceFailedError : public Error {
+ public:
+  explicit DeviceFailedError(const std::string& what) : Error(what) {}
+};
+
+/// Raised for transient, retryable faults (a failed kernel launch or copy
+/// injected by a FaultInjector, or any hiccup that a bounded retry with
+/// backoff is expected to clear).
+class TransientFaultError : public Error {
+ public:
+  explicit TransientFaultError(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 [[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
                                              int line, const std::string& msg) {
   std::ostringstream os;
-  os << "MPSM_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  os << "MPSIM_CHECK failed: (" << expr << ") at " << file << ":" << line;
   if (!msg.empty()) os << " — " << msg;
   throw Error(os.str());
 }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <thread>
 
+#include "gpusim/faults.hpp"
+
 namespace mpsim::gpusim {
 
 Device::Device(MachineSpec spec, int index, std::size_t workers)
@@ -25,6 +27,11 @@ void Device::allocate_bytes(std::size_t bytes) {
 
 void Device::free_bytes(std::size_t bytes) { bytes_in_use_.fetch_sub(bytes); }
 
+void Device::fault_point(FaultSite site, const std::string& detail) {
+  FaultInjector* injector = fault_injector_.load();
+  if (injector != nullptr) injector->fire(site, index_, detail);
+}
+
 System::System(const MachineSpec& device_spec, int device_count,
                std::size_t total_workers) {
   MPSIM_CHECK(device_count >= 1, "a system needs at least one device");
@@ -38,6 +45,10 @@ System::System(const MachineSpec& device_spec, int device_count,
   for (int i = 0; i < device_count; ++i) {
     devices_.push_back(std::make_unique<Device>(device_spec, i, per_device));
   }
+}
+
+void System::attach_fault_injector(FaultInjector* injector) {
+  for (auto& d : devices_) d->attach_fault_injector(injector);
 }
 
 double System::total_modeled_seconds() const {

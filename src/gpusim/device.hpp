@@ -21,6 +21,9 @@
 
 namespace mpsim::gpusim {
 
+class FaultInjector;
+enum class FaultSite : int;
+
 class Device {
  public:
   /// `workers` = host threads backing this device's kernel execution
@@ -39,6 +42,18 @@ class Device {
   std::size_t bytes_in_use() const { return bytes_in_use_.load(); }
   std::size_t peak_bytes() const { return peak_bytes_.load(); }
 
+  /// Attaches (or detaches, with nullptr) a fault injector.  The injector
+  /// is not owned and must outlive any work on the device.
+  void attach_fault_injector(FaultInjector* injector) {
+    fault_injector_.store(injector);
+  }
+  FaultInjector* fault_injector() const { return fault_injector_.load(); }
+
+  /// Fault hook evaluated when a kernel launch or copy executes.  Throws
+  /// TransientFaultError / DeviceFailedError when an attached injector
+  /// fires; a no-op without an injector.
+  void fault_point(FaultSite site, const std::string& detail);
+
  private:
   MachineSpec spec_;
   int index_;
@@ -46,6 +61,7 @@ class Device {
   KernelLedger ledger_;
   std::atomic<std::size_t> bytes_in_use_{0};
   std::atomic<std::size_t> peak_bytes_{0};
+  std::atomic<FaultInjector*> fault_injector_{nullptr};
 };
 
 /// RAII device-memory allocation of `count` elements of T.  The storage is
@@ -112,6 +128,9 @@ class System {
   int device_count() const { return int(devices_.size()); }
   Device& device(int i) { return *devices_.at(std::size_t(i)); }
   const Device& device(int i) const { return *devices_.at(std::size_t(i)); }
+
+  /// Attaches the injector to every device (nullptr detaches).
+  void attach_fault_injector(FaultInjector* injector);
 
   /// Sum of all devices' modelled kernel seconds.
   double total_modeled_seconds() const;

@@ -1,0 +1,242 @@
+#include "gpusim/faults.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+namespace mpsim::gpusim {
+
+namespace {
+
+constexpr int kSiteClassCount = 3;  // kernel, copy, staging
+
+FaultKind parse_kind(const std::string& word) {
+  if (word == "kernel") return FaultKind::kKernelLaunch;
+  if (word == "copy") return FaultKind::kCopy;
+  if (word == "offline") return FaultKind::kDeviceOffline;
+  if (word == "nan") return FaultKind::kNaNPoison;
+  if (word == "bitflip") return FaultKind::kBitFlip;
+  throw ConfigError("unknown fault kind '" + word +
+                    "' (expected kernel|copy|offline|nan|bitflip)");
+}
+
+std::uint64_t parse_u64(const std::string& text, const std::string& what) {
+  char* end = nullptr;
+  const std::uint64_t value = std::strtoull(text.c_str(), &end, 10);
+  if (text.empty() || end != text.c_str() + text.size()) {
+    throw ConfigError("fault spec: '" + text + "' is not a valid " + what);
+  }
+  return value;
+}
+
+double parse_real(const std::string& text, const std::string& what) {
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (text.empty() || end != text.c_str() + text.size()) {
+    throw ConfigError("fault spec: '" + text + "' is not a valid " + what);
+  }
+  return value;
+}
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  std::size_t begin = 0;
+  while (begin <= text.size()) {
+    const std::size_t end = text.find(sep, begin);
+    if (end == std::string::npos) {
+      parts.push_back(text.substr(begin));
+      break;
+    }
+    parts.push_back(text.substr(begin, end - begin));
+    begin = end + 1;
+  }
+  return parts;
+}
+
+}  // namespace
+
+std::string to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kKernelLaunch: return "kernel-launch";
+    case FaultKind::kCopy: return "copy";
+    case FaultKind::kDeviceOffline: return "device-offline";
+    case FaultKind::kNaNPoison: return "nan-poison";
+    case FaultKind::kBitFlip: return "bit-flip";
+  }
+  return "unknown";
+}
+
+FaultSpec parse_fault_spec(const std::string& spec) {
+  FaultSpec parsed;
+  for (const std::string& clause : split(spec, ',')) {
+    if (clause.empty()) continue;
+    const auto fields = split(clause, ':');
+    // Bare `seed=S` clause.
+    if (fields.size() == 1 && fields[0].rfind("seed=", 0) == 0) {
+      parsed.seed = parse_u64(fields[0].substr(5), "seed");
+      continue;
+    }
+    FaultRule rule;
+    std::string head = fields[0];
+    const auto amp = head.find('@');
+    if (amp != std::string::npos) {
+      const std::string dev = head.substr(amp + 1);
+      if (dev != "*") rule.device = int(parse_u64(dev, "device index"));
+      head = head.substr(0, amp);
+    }
+    rule.kind = parse_kind(head);
+    for (std::size_t f = 1; f < fields.size(); ++f) {
+      const auto eq = fields[f].find('=');
+      MPSIM_CHECK(eq != std::string::npos,
+                  "fault option '" << fields[f] << "' is not key=value");
+      const std::string key = fields[f].substr(0, eq);
+      const std::string value = fields[f].substr(eq + 1);
+      if (key == "at") {
+        rule.at = parse_u64(value, "event count");
+      } else if (key == "every") {
+        rule.every = parse_u64(value, "event count");
+      } else if (key == "p") {
+        rule.probability = parse_real(value, "probability");
+      } else if (key == "frac") {
+        rule.fraction = parse_real(value, "fraction");
+      } else {
+        throw ConfigError("unknown fault option '" + key +
+                          "' (expected at|every|p|frac)");
+      }
+    }
+    if (rule.at == 0 && rule.every == 0 && rule.probability <= 0.0) {
+      throw ConfigError("fault clause '" + clause +
+                        "' has no trigger (use at=, every= or p=)");
+    }
+    if (rule.kind == FaultKind::kDeviceOffline && rule.device < 0) {
+      throw ConfigError("offline fault needs a target device (offline@N)");
+    }
+    parsed.rules.push_back(rule);
+  }
+  return parsed;
+}
+
+FaultInjector::FaultInjector(std::uint64_t seed)
+    : rng_(seed), counters_(kSiteClassCount) {}
+
+void FaultInjector::add_rule(const FaultRule& rule) {
+  std::lock_guard lock(mutex_);
+  rules_.push_back(rule);
+}
+
+void FaultInjector::configure(const FaultSpec& spec) {
+  std::lock_guard lock(mutex_);
+  rng_.reseed(spec.seed);
+  rules_.insert(rules_.end(), spec.rules.begin(), spec.rules.end());
+}
+
+int FaultInjector::site_class(FaultSite site) {
+  switch (site) {
+    case FaultSite::kKernelLaunch: return 0;
+    case FaultSite::kCopyH2D:
+    case FaultSite::kCopyD2H: return 1;
+    case FaultSite::kStaging: return 2;
+  }
+  return 0;
+}
+
+bool FaultInjector::rule_fires(const FaultRule& rule, std::uint64_t sequence) {
+  if (rule.at != 0 && sequence == rule.at) return true;
+  if (rule.every != 0 && sequence % rule.every == 0) return true;
+  if (rule.probability > 0.0 && rng_.uniform() < rule.probability) return true;
+  return false;
+}
+
+void FaultInjector::fire(FaultSite site, int device,
+                         const std::string& detail) {
+  std::unique_lock lock(mutex_);
+  if (offline_.count(device) != 0) {
+    throw DeviceFailedError("device " + std::to_string(device) +
+                            " is offline (injected fault)");
+  }
+  const int cls = site_class(site);
+  auto& per_device = counters_[std::size_t(cls)];
+  if (per_device.size() <= std::size_t(device)) {
+    per_device.resize(std::size_t(device) + 1, 0);
+  }
+  const std::uint64_t n = ++per_device[std::size_t(device)];
+
+  for (const FaultRule& rule : rules_) {
+    if (rule.device >= 0 && rule.device != device) continue;
+    const bool kind_matches =
+        (cls == 0 && (rule.kind == FaultKind::kKernelLaunch ||
+                      rule.kind == FaultKind::kDeviceOffline)) ||
+        (cls == 1 && rule.kind == FaultKind::kCopy);
+    if (!kind_matches) continue;
+    if (!rule_fires(rule, n)) continue;
+
+    events_.push_back(FaultEvent{rule.kind, device, detail, n, 0});
+    if (rule.kind == FaultKind::kDeviceOffline) {
+      offline_.insert(device);
+      throw DeviceFailedError("device " + std::to_string(device) +
+                              " went offline at " + detail + " (event " +
+                              std::to_string(n) + ")");
+    }
+    throw TransientFaultError("injected " + to_string(rule.kind) +
+                              " fault on device " + std::to_string(device) +
+                              " at " + detail + " (event " +
+                              std::to_string(n) + ")");
+  }
+}
+
+FaultInjector::CorruptionPlan FaultInjector::plan_corruption(
+    int device, std::size_t count) {
+  CorruptionPlan plan;
+  if (count == 0) return plan;
+  std::unique_lock lock(mutex_);
+  if (offline_.count(device) != 0) return plan;
+  auto& per_device = counters_[std::size_t(site_class(FaultSite::kStaging))];
+  if (per_device.size() <= std::size_t(device)) {
+    per_device.resize(std::size_t(device) + 1, 0);
+  }
+  const std::uint64_t n = ++per_device[std::size_t(device)];
+
+  for (const FaultRule& rule : rules_) {
+    if (rule.device >= 0 && rule.device != device) continue;
+    if (rule.kind != FaultKind::kNaNPoison && rule.kind != FaultKind::kBitFlip)
+      continue;
+    if (!rule_fires(rule, n)) continue;
+
+    plan.kind = rule.kind;
+    const double fraction = rule.fraction > 0.0 ? rule.fraction : 0.0;
+    std::size_t hits = fraction > 0.0
+                           ? std::size_t(double(count) * fraction)
+                           : 1;
+    hits = std::max<std::size_t>(1, std::min(hits, count));
+    std::set<std::size_t> chosen;
+    while (chosen.size() < hits) {
+      chosen.insert(std::size_t(rng_.uniform_index(count)));
+    }
+    plan.indices.assign(chosen.begin(), chosen.end());
+    plan.bits.reserve(plan.indices.size());
+    for (std::size_t i = 0; i < plan.indices.size(); ++i) {
+      plan.bits.push_back(std::size_t(rng_.uniform_index(64)));
+    }
+    events_.push_back(
+        FaultEvent{rule.kind, device, "staging", n, plan.indices.size()});
+    return plan;  // first matching rule wins for this event
+  }
+  return plan;
+}
+
+bool FaultInjector::device_offline(int device) const {
+  std::lock_guard lock(mutex_);
+  return offline_.count(device) != 0;
+}
+
+std::vector<FaultEvent> FaultInjector::events() const {
+  std::lock_guard lock(mutex_);
+  return events_;
+}
+
+std::size_t FaultInjector::fault_count() const {
+  std::lock_guard lock(mutex_);
+  return events_.size();
+}
+
+}  // namespace mpsim::gpusim

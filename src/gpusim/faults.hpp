@@ -1,0 +1,155 @@
+// Deterministic fault injection for the simulated GPU substrate.
+//
+// A FaultInjector is attached to the Devices of a System (see
+// Device::attach_fault_injector) and fires faults at well-defined sites:
+//
+//  * kernel-launch failures   — a TransientFaultError thrown at the start
+//    of a kernel launch (the CUDA analogue of a sporadic launch error),
+//  * copy failures            — a TransientFaultError thrown by an
+//    h2d/d2h transfer,
+//  * permanent device loss    — a DeviceFailedError; once a device has
+//    gone offline every subsequent launch/copy on it fails too,
+//  * value corruption         — NaN poisoning or bit flips applied to the
+//    staged (reduced-precision) input buffers of a tile, modelling FP16
+//    overflow and memory corruption.
+//
+// Rules trigger either at exact per-device event counts (`at`, `every` —
+// fully deterministic, used by the fault-tolerance tests) or with a seeded
+// per-event probability (`probability` — deterministic for a fixed thread
+// interleaving).  Every injected fault is recorded and exposed through
+// events(), which the resilient scheduler folds into its RunHealth report.
+//
+// The textual spec accepted by parse_fault_spec (the CLI's --faults= flag)
+// is a comma-separated list of clauses:
+//
+//   seed=S
+//   kind[@device][:key=value]...
+//
+// with kind in {kernel, copy, offline, nan, bitflip}, device an integer
+// (default: any device), and keys at=N, every=N, p=P, frac=F.  Example:
+//
+//   --faults=seed=7,kernel@0:at=5,offline@1:at=12,nan@0:at=1:frac=0.05
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace mpsim::gpusim {
+
+/// Where in the execution a fault hook is being evaluated.
+enum class FaultSite : int { kKernelLaunch, kCopyH2D, kCopyD2H, kStaging };
+
+/// What kind of fault a rule injects.
+enum class FaultKind : int {
+  kKernelLaunch,  ///< transient kernel-launch failure
+  kCopy,          ///< transient h2d/d2h copy failure
+  kDeviceOffline, ///< permanent device loss (fires on a kernel-launch event)
+  kNaNPoison,     ///< overwrite staged values with quiet NaNs
+  kBitFlip,       ///< flip one random bit per selected staged value
+};
+
+std::string to_string(FaultKind kind);
+
+/// One injection rule.  Event counters are kept per (site class, device);
+/// a rule fires when its trigger matches the counter value (`at` is
+/// 1-based, `every` fires on every multiple) or its seeded coin comes up.
+struct FaultRule {
+  FaultKind kind = FaultKind::kKernelLaunch;
+  int device = -1;             ///< target device index, -1 = any
+  std::uint64_t at = 0;        ///< fire on exactly the Nth matching event
+  std::uint64_t every = 0;     ///< fire on every Nth matching event
+  double probability = 0.0;    ///< seeded per-event probability
+  double fraction = 0.0;       ///< corruption: fraction of elements hit
+};
+
+/// A fault that actually fired.
+struct FaultEvent {
+  FaultKind kind = FaultKind::kKernelLaunch;
+  int device = -1;
+  std::string site;            ///< kernel name / copy direction / "staging"
+  std::uint64_t sequence = 0;  ///< per-device event count when it fired
+  std::size_t corrupted = 0;   ///< elements poisoned (corruption only)
+};
+
+/// Parsed form of a --faults= specification.
+struct FaultSpec {
+  std::uint64_t seed = 0x5eedfa17ULL;
+  std::vector<FaultRule> rules;
+};
+
+/// Parses the textual fault spec described above; throws ConfigError on
+/// malformed input.
+FaultSpec parse_fault_spec(const std::string& spec);
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(std::uint64_t seed = 0x5eedfa17ULL);
+
+  void add_rule(const FaultRule& rule);
+  void configure(const FaultSpec& spec);
+  void configure(const std::string& spec) { configure(parse_fault_spec(spec)); }
+
+  /// Hook called by kernel launches and copies when their work executes.
+  /// Throws DeviceFailedError if `device` is offline (or goes offline on
+  /// this event) and TransientFaultError when a transient rule fires.
+  void fire(FaultSite site, int device, const std::string& detail);
+
+  /// Applies any matching corruption rule to a staged buffer; returns the
+  /// number of elements corrupted.  T must be trivially copyable (all the
+  /// storage formats are).
+  template <typename T>
+  std::size_t corrupt_span(int device, T* data, std::size_t count) {
+    const CorruptionPlan plan = plan_corruption(device, count);
+    for (std::size_t idx = 0; idx < plan.indices.size(); ++idx) {
+      const std::size_t e = plan.indices[idx];
+      if (plan.kind == FaultKind::kNaNPoison) {
+        data[e] = T(std::numeric_limits<double>::quiet_NaN());
+      } else {
+        unsigned char bytes[sizeof(T)];
+        std::memcpy(bytes, &data[e], sizeof(T));
+        const std::size_t bit = plan.bits[idx] % (8 * sizeof(T));
+        bytes[bit / 8] ^= static_cast<unsigned char>(1u << (bit % 8));
+        std::memcpy(&data[e], bytes, sizeof(T));
+      }
+    }
+    return plan.indices.size();
+  }
+
+  bool device_offline(int device) const;
+
+  /// Snapshot of every fault fired so far (thread-safe copy).
+  std::vector<FaultEvent> events() const;
+  std::size_t fault_count() const;
+
+ private:
+  struct CorruptionPlan {
+    FaultKind kind = FaultKind::kNaNPoison;
+    std::vector<std::size_t> indices;  ///< elements to corrupt
+    std::vector<std::size_t> bits;     ///< bit choice per element (bit flips)
+  };
+
+  /// Decides (under the lock, with the seeded Rng) which elements of a
+  /// staged span get corrupted; empty plan = no rule fired.
+  CorruptionPlan plan_corruption(int device, std::size_t count);
+
+  static int site_class(FaultSite site);
+  bool rule_fires(const FaultRule& rule, std::uint64_t sequence);
+
+  mutable std::mutex mutex_;
+  Rng rng_;
+  std::vector<FaultRule> rules_;
+  std::vector<FaultEvent> events_;
+  // Per (site class, device) event counters; device -1 never occurs here.
+  std::vector<std::vector<std::uint64_t>> counters_;
+  std::set<int> offline_;
+};
+
+}  // namespace mpsim::gpusim

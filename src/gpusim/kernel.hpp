@@ -30,6 +30,7 @@
 
 #include "common/stopwatch.hpp"
 #include "gpusim/device.hpp"
+#include "gpusim/faults.hpp"
 #include "gpusim/stream.hpp"
 
 namespace mpsim::gpusim {
@@ -113,6 +114,7 @@ inline void launch_grid_stride(
     KernelLedger* extra_ledger = nullptr) {
   cost.occupancy = config.occupancy(device.spec());
   auto run = [&device, name, cost, n, body = std::move(body), extra_ledger] {
+    device.fault_point(FaultSite::kKernelLaunch, name);
     Stopwatch watch;
     device.pool().parallel_for(
         std::size_t(n), [&body](std::size_t begin, std::size_t end) {
@@ -160,6 +162,7 @@ inline void launch_cooperative(
   cost.occupancy = config.occupancy(device.spec());
   auto run = [&device, name, cost, group_count, lane_count,
               body = std::move(body), extra_ledger]() mutable {
+    device.fault_point(FaultSite::kKernelLaunch, name);
     Stopwatch watch;
     std::atomic<std::int64_t> max_barriers{0};
     device.pool().parallel_for(
@@ -197,6 +200,7 @@ void async_copy_h2d(Device& device, Stream* stream, const T* host,
                     DeviceBuffer<T>& dst, std::size_t count,
                     KernelLedger* extra_ledger = nullptr) {
   auto run = [&device, host, &dst, count, extra_ledger] {
+    device.fault_point(FaultSite::kCopyH2D, "memcpy_h2d");
     MPSIM_CHECK(count <= dst.size(), "h2d copy overruns device buffer");
     std::copy(host, host + count, dst.data());
     const auto bytes = std::int64_t(count * sizeof(T));
@@ -221,6 +225,7 @@ void async_copy_d2h(Device& device, Stream* stream, const DeviceBuffer<T>& src,
                     T* host, std::size_t count,
                     KernelLedger* extra_ledger = nullptr) {
   auto run = [&device, &src, host, count, extra_ledger] {
+    device.fault_point(FaultSite::kCopyD2H, "memcpy_d2h");
     MPSIM_CHECK(count <= src.size(), "d2h copy overruns device buffer");
     std::copy(src.data(), src.data() + count, host);
     const auto bytes = std::int64_t(count * sizeof(T));

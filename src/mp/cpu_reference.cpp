@@ -106,10 +106,9 @@ CpuReferenceResult compute_matrix_profile_cpu(
                                       pre_q.inv[k * nq + j], two_m);
           }
           if (config.exclusion > 0) {
-            const std::int64_t gap =
-                std::int64_t(i) > std::int64_t(j)
-                    ? std::int64_t(i) - std::int64_t(j)
-                    : std::int64_t(j) - std::int64_t(i);
+            const std::int64_t row = config.r_offset + std::int64_t(i);
+            const std::int64_t col = config.q_offset + std::int64_t(j);
+            const std::int64_t gap = row > col ? row - col : col - row;
             if (gap < config.exclusion) continue;
           }
           std::sort(dists.begin(), dists.end());

@@ -26,6 +26,14 @@ struct CpuReferenceConfig {
   std::size_t window = 64;
   std::size_t threads = 0;        ///< 0 = all hardware threads
   std::int64_t exclusion = 0;     ///< self-join trivial-match radius
+
+  /// Global segment offsets of the inputs, used only by the exclusion-zone
+  /// test.  When the inputs are slices of larger series (the resilient
+  /// scheduler's CPU fallback computes single tiles this way), these make
+  /// the trivial-match gap |(r_offset+i) - (q_offset+j)| match the GPU
+  /// engine's global-index semantics.
+  std::int64_t r_offset = 0;
+  std::int64_t q_offset = 0;
 };
 
 struct CpuReferenceResult {

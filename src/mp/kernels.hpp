@@ -22,13 +22,18 @@ namespace mpsim::mp {
 
 /// Distance of Eq. (1) from a mean-centred dot product and the two inverse
 /// norms: sqrt(2m * (1 - QT * inv_r * inv_q)), clamped at zero when
-/// rounding pushes the correlation above one.  Shared by the GPU kernel
-/// and the CPU reference so their FP64 results are bit-identical.
+/// rounding pushes the correlation above one.  A NaN input (FP16 overflow
+/// or corrupted staging data) must stay NaN rather than clamp to a
+/// perfect-match 0 — update_mat_prof discards NaN distances, and the
+/// resilient scheduler detects the resulting non-finite profile columns.
+/// Shared by the GPU kernel and the CPU reference so their FP64 results
+/// are bit-identical.
 template <typename CT>
 CT qt_to_distance(CT qt, CT inv_r, CT inv_q, CT two_m) {
   using std::sqrt;
   const CT corr = qt * inv_r * inv_q;
   const CT val = two_m * (CT(1) - corr);
+  if (!(val == val)) return val;  // NaN propagates
   return val > CT(0) ? CT(sqrt(val)) : CT(0);
 }
 

@@ -1,9 +1,34 @@
 #include "mp/matrix_profile.hpp"
 
+#include "gpusim/faults.hpp"
 #include "gpusim/spec.hpp"
-#include "mp/multi_tile.hpp"
+#include "mp/resilient.hpp"
 
 namespace mpsim::mp {
+
+namespace {
+
+/// Attaches config.fault_injector to the system's devices for the scope
+/// of one run, detaching on exit so a caller-owned injector cannot
+/// dangle from a longer-lived System.
+class FaultInjectorScope {
+ public:
+  FaultInjectorScope(gpusim::System& system, gpusim::FaultInjector* injector)
+      : system_(system), attached_(injector != nullptr) {
+    if (attached_) system_.attach_fault_injector(injector);
+  }
+  ~FaultInjectorScope() {
+    if (attached_) system_.attach_fault_injector(nullptr);
+  }
+  FaultInjectorScope(const FaultInjectorScope&) = delete;
+  FaultInjectorScope& operator=(const FaultInjectorScope&) = delete;
+
+ private:
+  gpusim::System& system_;
+  bool attached_;
+};
+
+}  // namespace
 
 void validate_config(const TimeSeries& reference, const TimeSeries& query,
                      const MatrixProfileConfig& config) {
@@ -25,6 +50,12 @@ void validate_config(const TimeSeries& reference, const TimeSeries& query,
   if (config.streams_per_device < 1 || config.streams_per_device > 16) {
     throw ConfigError("streams_per_device must be in [1, 16]");
   }
+  if (config.resilience.max_retries < 0) {
+    throw ConfigError("resilience.max_retries must be >= 0");
+  }
+  if (config.resilience.blacklist_after < 1) {
+    throw ConfigError("resilience.blacklist_after must be >= 1");
+  }
 }
 
 MatrixProfileResult compute_matrix_profile(gpusim::System& system,
@@ -32,9 +63,8 @@ MatrixProfileResult compute_matrix_profile(gpusim::System& system,
                                            const TimeSeries& query,
                                            const MatrixProfileConfig& config) {
   validate_config(reference, query, config);
-  return dispatch_precision(config.mode, [&]<typename Traits>() {
-    return run_multi_tile<Traits>(system, reference, query, config);
-  });
+  FaultInjectorScope scope(system, config.fault_injector);
+  return run_resilient(system, reference, query, config);
 }
 
 MatrixProfileResult compute_matrix_profile(const TimeSeries& reference,

@@ -50,7 +50,7 @@ ModelReport model_matrix_profile(const ModelConfig& config);
 gpusim::Timeline model_timeline(const ModelConfig& config);
 
 /// Modelled CPU-side merge cost of a tile set (shared with the execution
-/// path in multi_tile.hpp).
+/// path in resilient.cpp).
 double model_merge_seconds(std::size_t tile_count,
                            std::size_t q_count_per_tile, std::size_t dims);
 

@@ -8,12 +8,43 @@
 #include "common/error.hpp"
 #include "precision/modes.hpp"
 
+namespace mpsim::gpusim {
+class FaultInjector;
+}
+
 namespace mpsim::mp {
 
 /// Tile-to-device assignment policy.  The paper uses static Round-robin
 /// (Pseudocode 2); LPT (longest processing time first) mitigates the
 /// imbalance it observes at odd device counts.
 enum class TileAssignment { kRoundRobin, kLpt };
+
+/// Fault-tolerance knobs of the resilient multi-tile scheduler.
+struct ResilienceConfig {
+  /// Bounded retries of a tile on one device after transient faults
+  /// (TransientFaultError, DeviceMemoryError, ...), with exponential
+  /// backoff between attempts.
+  int max_retries = 3;
+
+  /// A device with this many *consecutive* failed tile attempts is
+  /// blacklisted; its remaining tiles are work-stolen by healthy devices.
+  int blacklist_after = 3;
+
+  /// Base of the exponential retry backoff (doubles per attempt).
+  double backoff_ms = 1.0;
+
+  /// Numerical self-healing: after a tile completes, re-run it one
+  /// precision rung up (FP16 → Mixed → FP32 → FP64) when the fraction of
+  /// non-finite profile entries exceeds `non_finite_threshold`.  Off by
+  /// default so reduced-precision results match the paper's unguarded
+  /// modes; enable via the CLI's --escalate-precision.
+  bool escalate_precision = false;
+  double non_finite_threshold = 0.01;
+
+  /// When every device has failed, finish the remaining tiles on the CPU
+  /// reference path instead of aborting the run.
+  bool cpu_fallback = true;
+};
 
 /// User-facing configuration of one matrix-profile computation
 /// (the knobs of Pseudocode 1 + Pseudocode 2).
@@ -33,6 +64,44 @@ struct MatrixProfileConfig {
 
   /// Host worker threads backing the simulated devices (0 = all cores).
   std::size_t workers = 0;
+
+  /// Fault-tolerance policy of the resilient scheduler.
+  ResilienceConfig resilience;
+
+  /// Optional fault injector (not owned; must outlive the computation).
+  /// Attached to every device of the system the run executes on.
+  gpusim::FaultInjector* fault_injector = nullptr;
+};
+
+/// Health report of one resilient run: every injected fault, retry,
+/// blacklist event and precision escalation, plus per-device status.
+struct RunHealth {
+  struct DeviceStatus {
+    int device = 0;
+    int tiles_completed = 0;   ///< tiles whose final result this device ran
+    int faults = 0;            ///< failed tile attempts observed here
+    bool blacklisted = false;  ///< removed from scheduling mid-run
+    bool offline = false;      ///< permanent injected device loss
+  };
+  struct Escalation {
+    int tile_id = 0;
+    PrecisionMode from = PrecisionMode::FP64;
+    PrecisionMode to = PrecisionMode::FP64;
+    double non_finite_fraction = 0.0;  ///< what triggered the escalation
+  };
+
+  int faults_injected = 0;     ///< events recorded by the FaultInjector
+  int retries = 0;             ///< tile attempts repeated after a fault
+  int reassigned_tiles = 0;    ///< tiles moved off their assigned device
+  int blacklist_events = 0;    ///< devices removed mid-run
+  int cpu_fallback_tiles = 0;  ///< tiles completed on the CPU reference
+  std::vector<Escalation> escalations;
+  std::vector<DeviceStatus> devices;
+  std::vector<std::string> log;  ///< chronological human-readable events
+  bool degraded = false;  ///< run survived faults / lost devices
+
+  /// Multi-line human-readable report (what mpsim_cli prints).
+  std::string summary() const;
 };
 
 struct KernelBreakdownEntry {
@@ -57,6 +126,8 @@ struct MatrixProfileResult {
   double modeled_device_seconds = 0.0;  ///< roofline makespan across GPUs
   double modeled_merge_seconds = 0.0;   ///< CPU-side tile merge (model)
   std::vector<KernelBreakdownEntry> breakdown;  ///< per-kernel model time
+
+  RunHealth health;  ///< fault-tolerance report of the resilient scheduler
 
   double modeled_total_seconds() const {
     return modeled_device_seconds + modeled_merge_seconds;

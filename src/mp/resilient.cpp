@@ -1,0 +1,468 @@
+#include "mp/resilient.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "common/stopwatch.hpp"
+#include "gpusim/faults.hpp"
+#include "gpusim/stream.hpp"
+#include "mp/cpu_reference.hpp"
+#include "mp/model.hpp"
+#include "mp/single_tile.hpp"
+#include "mp/tile_merge.hpp"
+#include "mp/tile_plan.hpp"
+
+namespace mpsim::mp {
+
+namespace {
+
+/// Splits a tile ledger total into kernel vs copy seconds (the copy share
+/// can overlap compute when multiple streams are configured).
+struct TileTimes {
+  double kernels = 0.0;
+  double copies = 0.0;
+};
+
+TileTimes tile_times(const gpusim::KernelLedger& ledger) {
+  TileTimes t;
+  for (const auto& [name, stats] : ledger.all()) {
+    if (name.rfind("memcpy", 0) == 0) {
+      t.copies += stats.modeled_seconds;
+    } else {
+      t.kernels += stats.modeled_seconds;
+    }
+  }
+  return t;
+}
+
+/// A unit of schedulable work: one tile at its current precision rung.
+struct TileJob {
+  std::size_t index = 0;       ///< into the tile/result arrays
+  PrecisionMode mode = PrecisionMode::FP64;
+  int retries_here = 0;        ///< attempts burned on the current device
+  std::set<int> exhausted;     ///< devices whose retry budget this tile spent
+};
+
+/// Shared scheduler state, guarded by one mutex.
+struct SchedulerState {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::vector<std::deque<TileJob>> queues;  ///< per-device work queues
+  std::vector<TileJob> cpu_jobs;            ///< orphans for the CPU fallback
+  std::vector<char> blacklisted;
+  std::vector<int> consecutive_failed_tiles;
+  std::size_t outstanding = 0;  ///< jobs neither committed nor sent to CPU
+  RunHealth health;
+};
+
+void log_event(SchedulerState& st, const std::string& line) {
+  st.health.log.push_back(line);
+}
+
+/// Picks the healthiest destination queue for a requeued job (fewest
+/// pending tiles, skipping blacklisted devices and devices the job has
+/// already exhausted); pushes to the CPU-fallback list when none remain.
+/// Caller holds the lock.
+void requeue_locked(SchedulerState& st, TileJob job, int tile_id) {
+  int target = -1;
+  std::size_t best = 0;
+  for (int dev = 0; dev < int(st.queues.size()); ++dev) {
+    if (st.blacklisted[std::size_t(dev)] != 0) continue;
+    if (job.exhausted.count(dev) != 0) continue;
+    const std::size_t depth = st.queues[std::size_t(dev)].size();
+    if (target < 0 || depth < best) {
+      target = dev;
+      best = depth;
+    }
+  }
+  job.retries_here = 0;
+  st.health.reassigned_tiles += 1;
+  if (target < 0) {
+    log_event(st, "tile " + std::to_string(tile_id) +
+                      ": no healthy device left, deferring to CPU fallback");
+    st.outstanding -= 1;  // leaves the device scheduler's responsibility
+    st.cpu_jobs.push_back(std::move(job));
+  } else {
+    log_event(st, "tile " + std::to_string(tile_id) +
+                      ": reassigned to device " + std::to_string(target));
+    st.queues[std::size_t(target)].push_back(std::move(job));
+  }
+}
+
+/// Marks `dev` blacklisted and hands its in-hand job elsewhere.  Orphans
+/// still queued on `dev` are work-stolen by the healthy workers.  Caller
+/// holds the lock.
+void blacklist_locked(SchedulerState& st, int dev, bool offline,
+                      const std::string& why) {
+  st.blacklisted[std::size_t(dev)] = 1;
+  st.health.blacklist_events += 1;
+  auto& status = st.health.devices[std::size_t(dev)];
+  status.blacklisted = true;
+  status.offline = offline;
+  log_event(st, "device " + std::to_string(dev) + " blacklisted: " + why);
+}
+
+/// Everything the per-device workers need to execute tiles.
+struct RunContext {
+  gpusim::System* system = nullptr;
+  const TimeSeries* reference = nullptr;
+  const TimeSeries* query = nullptr;
+  const MatrixProfileConfig* config = nullptr;
+  std::vector<gpusim::StreamPool*> pools;
+  const std::vector<Tile>* tiles = nullptr;
+  std::vector<TileResult>* results = nullptr;
+  std::vector<int>* executed_device = nullptr;  ///< -1 = CPU fallback
+  std::vector<PrecisionMode>* final_mode = nullptr;
+};
+
+/// Runs one attempt of a tile on `dev` as a single stream task and
+/// synchronizes that stream, so any failure is attributed to this tile.
+void execute_attempt(const RunContext& ctx, int dev, PrecisionMode mode,
+                     const Tile& tile, TileResult& result) {
+  gpusim::Device& device = ctx.system->device(dev);
+  gpusim::Stream& stream = ctx.pools[std::size_t(dev)]->next();
+  dispatch_precision(mode, [&]<typename Traits>() {
+    SingleTileEngine<Traits>::enqueue(device, &stream, *ctx.reference,
+                                      *ctx.query, ctx.config->window, tile,
+                                      ctx.config->exclusion, result);
+  });
+  stream.synchronize();
+}
+
+/// Per-device supervisor: pulls tiles from its own queue (or steals
+/// orphans from blacklisted devices' queues), retries transient faults
+/// with exponential backoff, escalates numerically poisoned tiles, and
+/// exits when blacklisted or when no work can remain.
+void device_worker(const RunContext& ctx, SchedulerState& st, int dev) {
+  const ResilienceConfig& rc = ctx.config->resilience;
+  for (;;) {
+    TileJob job;
+    bool stolen = false;
+    {
+      std::unique_lock lock(st.mutex);
+      st.cv.wait(lock, [&] {
+        if (st.blacklisted[std::size_t(dev)] != 0) return true;
+        if (st.outstanding == 0) return true;
+        if (!st.queues[std::size_t(dev)].empty()) return true;
+        for (int other = 0; other < int(st.queues.size()); ++other) {
+          if (st.blacklisted[std::size_t(other)] != 0 &&
+              !st.queues[std::size_t(other)].empty()) {
+            return true;
+          }
+        }
+        return false;
+      });
+      if (st.blacklisted[std::size_t(dev)] != 0 || st.outstanding == 0) {
+        return;
+      }
+      if (!st.queues[std::size_t(dev)].empty()) {
+        job = std::move(st.queues[std::size_t(dev)].front());
+        st.queues[std::size_t(dev)].pop_front();
+      } else {
+        for (int other = 0; other < int(st.queues.size()); ++other) {
+          if (st.blacklisted[std::size_t(other)] != 0 &&
+              !st.queues[std::size_t(other)].empty()) {
+            job = std::move(st.queues[std::size_t(other)].front());
+            st.queues[std::size_t(other)].pop_front();
+            stolen = true;
+            break;
+          }
+        }
+      }
+    }
+    const Tile& tile = (*ctx.tiles)[job.index];
+    if (stolen) {
+      std::lock_guard lock(st.mutex);
+      st.health.reassigned_tiles += 1;
+      log_event(st, "tile " + std::to_string(tile.id) +
+                        ": stolen by device " + std::to_string(dev));
+    }
+
+    // ---- Attempt loop: retries and precision escalations. ----
+    for (;;) {
+      // TileResult is pinned in place (its ledger holds a mutex); the job
+      // holder has exclusive access to its slot, so attempts run directly
+      // into it, clearing any partial state from a failed try first.
+      TileResult& attempt = (*ctx.results)[job.index];
+      attempt.profile.clear();
+      attempt.index.clear();
+      attempt.ledger.reset();
+      try {
+        execute_attempt(ctx, dev, job.mode, tile, attempt);
+      } catch (const DeviceFailedError& e) {
+        std::lock_guard lock(st.mutex);
+        st.health.devices[std::size_t(dev)].faults += 1;
+        blacklist_locked(st, dev, /*offline=*/true, e.what());
+        requeue_locked(st, std::move(job), tile.id);
+        st.cv.notify_all();
+        return;  // this worker is done for good
+      } catch (const std::exception& e) {
+        std::unique_lock lock(st.mutex);
+        st.health.devices[std::size_t(dev)].faults += 1;
+        if (job.retries_here < rc.max_retries) {
+          job.retries_here += 1;
+          st.health.retries += 1;
+          log_event(st, "tile " + std::to_string(tile.id) + ": " + e.what() +
+                            " — retry " + std::to_string(job.retries_here) +
+                            "/" + std::to_string(rc.max_retries) +
+                            " on device " + std::to_string(dev));
+          lock.unlock();
+          const double ms =
+              rc.backoff_ms * double(1 << (job.retries_here - 1));
+          std::this_thread::sleep_for(
+              std::chrono::duration<double, std::milli>(ms));
+          continue;  // retry on the same device
+        }
+        // Retry budget spent here: the device failed this whole tile.
+        st.consecutive_failed_tiles[std::size_t(dev)] += 1;
+        job.exhausted.insert(dev);
+        log_event(st, "tile " + std::to_string(tile.id) +
+                          ": retries exhausted on device " +
+                          std::to_string(dev) + " (" + e.what() + ")");
+        const bool drop =
+            st.consecutive_failed_tiles[std::size_t(dev)] >=
+            rc.blacklist_after;
+        if (drop) {
+          blacklist_locked(st, dev, /*offline=*/false,
+                           std::to_string(rc.blacklist_after) +
+                               " consecutive failed tiles");
+        }
+        requeue_locked(st, std::move(job), tile.id);
+        st.cv.notify_all();
+        if (drop) return;
+        break;  // fetch the next job
+      }
+
+      // ---- Success: numerical self-healing, then commit. ----
+      const double bad = non_finite_fraction(attempt.profile);
+      if (rc.escalate_precision && bad > rc.non_finite_threshold) {
+        const PrecisionMode next = escalated_precision(job.mode);
+        if (next != job.mode) {
+          std::lock_guard lock(st.mutex);
+          st.health.escalations.push_back(
+              RunHealth::Escalation{tile.id, job.mode, next, bad});
+          log_event(st, "tile " + std::to_string(tile.id) + ": " +
+                            std::to_string(int(100.0 * bad)) +
+                            "% non-finite, escalating " +
+                            to_string(job.mode) + " -> " + to_string(next));
+          job.mode = next;
+          continue;  // re-run one rung up
+        }
+      }
+      {
+        std::lock_guard lock(st.mutex);
+        (*ctx.executed_device)[job.index] = dev;
+        (*ctx.final_mode)[job.index] = job.mode;
+        st.consecutive_failed_tiles[std::size_t(dev)] = 0;
+        st.health.devices[std::size_t(dev)].tiles_completed += 1;
+        st.outstanding -= 1;
+        st.cv.notify_all();
+      }
+      break;  // fetch the next job
+    }
+  }
+}
+
+/// Computes one orphaned tile on the CPU reference path.  In FP64 this is
+/// bit-identical to the GPU engine (same precalculation, recurrence and
+/// merge arithmetic over the same tile-local seeds).
+void cpu_fallback_tile(const TimeSeries& reference, const TimeSeries& query,
+                       std::size_t m, const Tile& tile,
+                       std::int64_t exclusion, TileResult& result) {
+  const TimeSeries sub_ref = reference.slice(tile.r_begin,
+                                             tile.r_count + m - 1);
+  const TimeSeries sub_query = query.slice(tile.q_begin,
+                                           tile.q_count + m - 1);
+  CpuReferenceConfig cc;
+  cc.window = m;
+  cc.exclusion = exclusion;
+  cc.r_offset = std::int64_t(tile.r_begin);
+  cc.q_offset = std::int64_t(tile.q_begin);
+  const CpuReferenceResult cpu =
+      compute_matrix_profile_cpu(sub_ref, sub_query, cc);
+  result.profile = cpu.profile;
+  result.ledger.reset();
+  result.index.resize(cpu.index.size());
+  for (std::size_t e = 0; e < cpu.index.size(); ++e) {
+    // Local reference rows become global segment indices.
+    result.index[e] =
+        cpu.index[e] < 0 ? -1 : cpu.index[e] + std::int64_t(tile.r_begin);
+  }
+}
+
+}  // namespace
+
+std::string RunHealth::summary() const {
+  std::ostringstream os;
+  os << "run health: " << (degraded ? "DEGRADED" : "clean") << " — "
+     << faults_injected << " fault(s), " << retries << " retry(ies), "
+     << reassigned_tiles << " reassignment(s), " << blacklist_events
+     << " blacklist(s), " << cpu_fallback_tiles << " CPU-fallback tile(s), "
+     << escalations.size() << " escalation(s)\n";
+  for (const auto& dev : devices) {
+    os << "  device " << dev.device << ": " << dev.tiles_completed
+       << " tile(s), " << dev.faults << " fault(s)"
+       << (dev.offline ? ", OFFLINE" : dev.blacklisted ? ", BLACKLISTED" : "")
+       << "\n";
+  }
+  for (const auto& esc : escalations) {
+    os << "  tile " << esc.tile_id << ": escalated " << to_string(esc.from)
+       << " -> " << to_string(esc.to) << " ("
+       << int(100.0 * esc.non_finite_fraction) << "% non-finite)\n";
+  }
+  for (const auto& line : log) {
+    os << "  | " << line << "\n";
+  }
+  return os.str();
+}
+
+MatrixProfileResult run_resilient(gpusim::System& system,
+                                  const TimeSeries& reference,
+                                  const TimeSeries& query,
+                                  const MatrixProfileConfig& config) {
+  const std::size_t m = config.window;
+  const std::size_t d = reference.dims();
+  const std::size_t n_r = reference.segment_count(m);
+  const std::size_t n_q = query.segment_count(m);
+  MPSIM_CHECK(n_r >= 1 && n_q >= 1,
+              "window " << m << " longer than the input series");
+
+  Stopwatch wall;
+
+  auto tiles = compute_tile_list(n_r, n_q, config.tiles);
+  if (config.assignment == TileAssignment::kLpt) {
+    assign_tiles_lpt(tiles, system.device_count());
+  } else {
+    assign_tiles_round_robin(tiles, system.device_count());
+  }
+
+  // One stream pool per device; a tile occupies one stream per attempt so
+  // the stream's error capture isolates failures per tile.
+  std::vector<std::unique_ptr<gpusim::StreamPool>> pools;
+  for (int dev = 0; dev < system.device_count(); ++dev) {
+    pools.push_back(std::make_unique<gpusim::StreamPool>(
+        system.device(dev), config.streams_per_device));
+  }
+
+  std::vector<TileResult> results(tiles.size());
+  std::vector<int> executed_device(tiles.size(), -1);
+  std::vector<PrecisionMode> final_mode(tiles.size(), config.mode);
+
+  SchedulerState st;
+  st.queues.resize(std::size_t(system.device_count()));
+  st.blacklisted.assign(std::size_t(system.device_count()), 0);
+  st.consecutive_failed_tiles.assign(std::size_t(system.device_count()), 0);
+  st.outstanding = tiles.size();
+  for (int dev = 0; dev < system.device_count(); ++dev) {
+    RunHealth::DeviceStatus status;
+    status.device = dev;
+    st.health.devices.push_back(status);
+  }
+  for (std::size_t t = 0; t < tiles.size(); ++t) {
+    TileJob job;
+    job.index = t;
+    job.mode = config.mode;
+    st.queues[std::size_t(tiles[t].device)].push_back(std::move(job));
+  }
+
+  RunContext ctx;
+  ctx.system = &system;
+  ctx.reference = &reference;
+  ctx.query = &query;
+  ctx.config = &config;
+  for (auto& pool : pools) ctx.pools.push_back(pool.get());
+  ctx.tiles = &tiles;
+  ctx.results = &results;
+  ctx.executed_device = &executed_device;
+  ctx.final_mode = &final_mode;
+
+  std::vector<std::thread> workers;
+  workers.reserve(std::size_t(system.device_count()));
+  for (int dev = 0; dev < system.device_count(); ++dev) {
+    workers.emplace_back(
+        [&ctx, &st, dev] { device_worker(ctx, st, dev); });
+  }
+  for (auto& w : workers) w.join();
+
+  // ---- Graceful degradation: finish orphans on the CPU reference. ----
+  std::vector<TileJob> leftovers = std::move(st.cpu_jobs);
+  for (auto& queue : st.queues) {
+    for (auto& job : queue) leftovers.push_back(std::move(job));
+    queue.clear();
+  }
+  if (!leftovers.empty() && !config.resilience.cpu_fallback) {
+    throw Error("all devices failed and the CPU fallback is disabled (" +
+                std::to_string(leftovers.size()) + " tiles incomplete)");
+  }
+  for (auto& job : leftovers) {
+    const Tile& tile = tiles[job.index];
+    cpu_fallback_tile(reference, query, m, tile, config.exclusion,
+                      results[job.index]);
+    executed_device[job.index] = -1;
+    final_mode[job.index] = PrecisionMode::FP64;
+    st.health.cpu_fallback_tiles += 1;
+    log_event(st, "tile " + std::to_string(tile.id) +
+                      ": completed on the CPU reference path (FP64)");
+  }
+
+  // ---- CPU merge (Pseudocode 2, lines 6-8). ----
+  MatrixProfileResult out;
+  merge_tile_results(tiles, results, n_q, d, out);
+
+  // ---- Modelled makespan (grouped by the device that ran each tile). ----
+  std::vector<TileTimes> device_time(std::size_t(system.device_count()));
+  std::vector<int> device_tiles(std::size_t(system.device_count()), 0);
+  for (std::size_t t = 0; t < tiles.size(); ++t) {
+    if (executed_device[t] < 0) continue;  // CPU fallback: no device time
+    const auto tt = tile_times(results[t].ledger);
+    auto& acc = device_time[std::size_t(executed_device[t])];
+    acc.kernels += tt.kernels;
+    acc.copies += tt.copies;
+    device_tiles[std::size_t(executed_device[t])] += 1;
+  }
+  double makespan = 0.0;
+  for (std::size_t dev = 0; dev < device_time.size(); ++dev) {
+    const bool overlapped =
+        config.streams_per_device > 1 && device_tiles[dev] > 1;
+    const double t = overlapped
+                         ? std::max(device_time[dev].kernels,
+                                    device_time[dev].copies)
+                         : device_time[dev].kernels + device_time[dev].copies;
+    makespan = std::max(makespan, t);
+  }
+  out.modeled_device_seconds = makespan;
+  out.modeled_merge_seconds = 0.0;
+  for (const auto& tile : tiles) {
+    out.modeled_merge_seconds += model_merge_seconds(1, tile.q_count, d);
+  }
+
+  // ---- Per-kernel breakdown (successful attempts only). ----
+  gpusim::KernelLedger merged;
+  for (const auto& r : results) merged.merge_from(r.ledger);
+  for (const auto& [name, stats] : merged.all()) {
+    out.breakdown.push_back(KernelBreakdownEntry{
+        name, stats.launches, stats.modeled_seconds, stats.measured_seconds});
+  }
+
+  // ---- Health report. ----
+  out.health = std::move(st.health);
+  if (gpusim::FaultInjector* injector =
+          system.device(0).fault_injector()) {
+    out.health.faults_injected = int(injector->fault_count());
+  }
+  out.health.degraded = out.health.blacklist_events > 0 ||
+                        out.health.cpu_fallback_tiles > 0 ||
+                        out.health.retries > 0 ||
+                        out.health.reassigned_tiles > 0;
+
+  out.wall_seconds = wall.seconds();
+  return out;
+}
+
+}  // namespace mpsim::mp

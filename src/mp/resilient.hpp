@@ -1,0 +1,45 @@
+// Resilient multi-tile scheduler — the fault-tolerant rework of the
+// paper's Pseudocode 2 execution layer (it replaces the old all-or-nothing
+// run_multi_tile).
+//
+// Tiles are partitioned and statically assigned exactly as before (static
+// Round-robin or LPT, preserving the paper's scaling behaviour and the
+// modelled makespan), but execution is supervised per tile:
+//
+//  * per-tile failure isolation — each tile runs as one stream task and is
+//    synchronized individually, so the stream's error capture attributes
+//    every failure to the tile that raised it;
+//  * bounded retry with exponential backoff for transient faults
+//    (TransientFaultError, DeviceMemoryError, ...);
+//  * device blacklisting after K consecutive failed tiles, with
+//    work-stealing reassignment of the blacklisted device's orphaned
+//    tiles to healthy devices (the run completes on N-1 devices);
+//  * graceful degradation — when every device has failed, the remaining
+//    tiles finish on the CPU reference path (bit-identical in FP64);
+//  * numerical self-healing — a completed tile whose profile has too many
+//    non-finite entries is re-run one precision rung up
+//    (FP16 → Mixed → FP32 → FP64), per-tile, recording the escalation.
+//
+// Everything that happened is reported in MatrixProfileResult::health.
+// Invariant (tested): an FP64 run under injected transient faults and
+// device loss produces a bit-identical profile/index to the fault-free
+// run, because per-tile results do not depend on where or how often a
+// tile was (re)computed.
+#pragma once
+
+#include "gpusim/device.hpp"
+#include "mp/options.hpp"
+#include "tsdata/time_series.hpp"
+
+namespace mpsim::mp {
+
+/// Runs the resilient multi-tile computation on `system`.  Precision is
+/// dispatched per tile (escalation can raise individual tiles above
+/// config.mode).  A FaultInjector already attached to the system's
+/// devices is honoured and its events are folded into the health report.
+MatrixProfileResult run_resilient(gpusim::System& system,
+                                  const TimeSeries& reference,
+                                  const TimeSeries& query,
+                                  const MatrixProfileConfig& config);
+
+}  // namespace mpsim::mp

@@ -19,6 +19,7 @@
 #include <memory>
 #include <vector>
 
+#include "gpusim/faults.hpp"
 #include "gpusim/kernel.hpp"
 #include "mp/kernels.hpp"
 #include "mp/options.hpp"
@@ -80,6 +81,13 @@ class SingleTileEngine {
       for (std::size_t t = 0; t < len_q; ++t) {
         host_q[k * len_q + t] = ST(qdim[tile.q_begin + t]);
       }
+    }
+    // Fault injection: value corruption (NaN poisoning / bit flips) hits
+    // the staged reduced-precision buffers, exactly where a real GPU port
+    // is exposed to conversion overflow and memory corruption.
+    if (gpusim::FaultInjector* injector = device.fault_injector()) {
+      injector->corrupt_span(device.index(), host_r.data(), host_r.size());
+      injector->corrupt_span(device.index(), host_q.data(), host_q.size());
     }
     gpusim::DeviceBuffer<ST> dev_r(device, host_r.size());
     gpusim::DeviceBuffer<ST> dev_q(device, host_q.size());

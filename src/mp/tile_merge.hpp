@@ -1,0 +1,60 @@
+// CPU-side merge of per-tile results (Pseudocode 2, lines 6-8), shared by
+// the resilient scheduler and the merge-semantics tests.
+#pragma once
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "mp/options.hpp"
+#include "mp/single_tile.hpp"
+#include "mp/tile_plan.hpp"
+
+namespace mpsim::mp {
+
+/// Column-wise min/argmin merge of `results[t]` (one per tile) into the
+/// full profile.  Smaller distance wins; equal distances prefer the
+/// earlier reference segment — the same tie rule the kernels use, so
+/// multi-tile FP64 matches single-tile FP64.  Non-finite tile values
+/// (NaN after an FP16 overflow or injected corruption) never displace a
+/// finite entry: the strict `<` comparison is false for NaN.
+inline void merge_tile_results(const std::vector<Tile>& tiles,
+                               const std::vector<TileResult>& results,
+                               std::size_t n_q, std::size_t d,
+                               MatrixProfileResult& out) {
+  out.segments = n_q;
+  out.dims = d;
+  out.profile.assign(n_q * d, std::numeric_limits<double>::infinity());
+  out.index.assign(n_q * d, -1);
+  for (std::size_t t = 0; t < tiles.size(); ++t) {
+    const Tile& tile = tiles[t];
+    const TileResult& r = results[t];
+    for (std::size_t k = 0; k < d; ++k) {
+      for (std::size_t j = 0; j < tile.q_count; ++j) {
+        const std::size_t src = k * tile.q_count + j;
+        const std::size_t dst = k * n_q + (tile.q_begin + j);
+        const double p = r.profile[src];
+        const std::int64_t idx = r.index[src];
+        if (p < out.profile[dst] ||
+            (p == out.profile[dst] && idx >= 0 &&
+             (out.index[dst] < 0 || idx < out.index[dst]))) {
+          out.profile[dst] = p;
+          out.index[dst] = idx;
+        }
+      }
+    }
+  }
+}
+
+/// Fraction of non-finite (NaN or ±inf) entries in a tile profile — the
+/// trigger of the resilient scheduler's precision escalation.
+inline double non_finite_fraction(const std::vector<double>& profile) {
+  if (profile.empty()) return 0.0;
+  std::size_t bad = 0;
+  for (const double p : profile) {
+    if (!std::isfinite(p)) ++bad;
+  }
+  return double(bad) / double(profile.size());
+}
+
+}  // namespace mpsim::mp

@@ -53,6 +53,23 @@ std::size_t storage_bytes(PrecisionMode mode) {
   return 8;
 }
 
+PrecisionMode escalated_precision(PrecisionMode mode) {
+  switch (mode) {
+    case PrecisionMode::FP16:
+      return PrecisionMode::Mixed;
+    case PrecisionMode::Mixed:
+    case PrecisionMode::FP16C:
+    case PrecisionMode::BF16:
+    case PrecisionMode::TF32:
+      return PrecisionMode::FP32;
+    case PrecisionMode::FP32:
+      return PrecisionMode::FP64;
+    case PrecisionMode::FP64:
+      return PrecisionMode::FP64;
+  }
+  return PrecisionMode::FP64;
+}
+
 double unit_roundoff(PrecisionMode mode) {
   switch (mode) {
     case PrecisionMode::FP64:

@@ -48,6 +48,12 @@ std::size_t storage_bytes(PrecisionMode mode);
 /// Unit roundoff of the mode's main-loop arithmetic (2^-53 / 2^-24 / 2^-11).
 double unit_roundoff(PrecisionMode mode);
 
+/// One rung up the precision-escalation ladder used by the resilient
+/// scheduler's numerical self-healing: FP16 → Mixed → FP32 → FP64; the
+/// compensated / alternative formats (FP16C, BF16, TF32) escalate to FP32.
+/// FP64 is the top rung and returns itself.
+PrecisionMode escalated_precision(PrecisionMode mode);
+
 /// Compile-time traits consumed by the templated kernels.
 template <PrecisionMode M>
 struct PrecisionTraits;

@@ -6,7 +6,26 @@
 set -euo pipefail
 BUILD=$1
 WORK=$(mktemp -d)
-trap 'rm -rf "$WORK"' EXIT
+
+# On any failure, dump what we have so CTest logs show *why* instead of a
+# bare exit code; on success just clean up.
+cleanup() {
+  status=$?
+  if [ "$status" -ne 0 ]; then
+    echo "cli_pipeline_test FAILED (exit $status) at line ${FAILED_LINE:-?}" >&2
+    echo "--- build dir: $BUILD" >&2
+    ls -l "$BUILD/tools" >&2 || true
+    for log in "$WORK"/*.log; do
+      [ -f "$log" ] || continue
+      echo "--- $log:" >&2
+      cat "$log" >&2
+    done
+  fi
+  rm -rf "$WORK"
+  exit "$status"
+}
+trap 'FAILED_LINE=$LINENO' ERR
+trap cleanup EXIT
 
 # Synthesise a small two-sensor CSV pair with an embedded repeat.
 awk 'BEGIN {
@@ -48,5 +67,19 @@ grep -q "1-dim" "$WORK/diff.log"
 "$BUILD/tools/mpsim_cli" --reference="$WORK/ref.csv" --self-join \
     --window=32 --chains --auto-tiles --motifs=1 > "$WORK/self.log"
 grep -q "auto-tiles:" "$WORK/self.log"
+
+# Fault injection: transient kernel faults must be retried transparently
+# and reported in the health summary, with the profile unchanged against
+# a fault-free run of the *same* tiling (tiling itself moves FP64 ulps).
+"$BUILD/tools/mpsim_cli" --reference="$WORK/ref.csv" \
+    --query="$WORK/qry.csv" --window=32 --repair --tiles=4 \
+    --output="$WORK/tiled.csv" --motifs=0 > /dev/null
+"$BUILD/tools/mpsim_cli" --reference="$WORK/ref.csv" \
+    --query="$WORK/qry.csv" --window=32 --repair --tiles=4 \
+    --faults="seed=7,kernel@0:at=2,kernel@0:at=9" \
+    --output="$WORK/faulty.csv" --motifs=0 > "$WORK/faults.log"
+grep -q "run health: DEGRADED" "$WORK/faults.log"
+grep -q "retry" "$WORK/faults.log"
+cmp "$WORK/tiled.csv" "$WORK/faulty.csv"
 
 echo "cli pipeline OK"

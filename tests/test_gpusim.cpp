@@ -78,6 +78,35 @@ TEST(Stream, RethrowsTaskErrorOnSynchronize) {
   stream.synchronize();           // error consumed; second sync is clean
 }
 
+TEST(Stream, FirstOfSeveralErrorsWins) {
+  // Two failing tasks before synchronize: the *first* stored exception is
+  // what the caller sees (CUDA-style sticky error), tasks after a failure
+  // still run, and consuming the error leaves the stream clean.
+  Device dev(a100(), 0, 1);
+  Stream stream(dev);
+  std::atomic<bool> later_ran{false};
+  stream.enqueue([] { throw Error("first failure"); });
+  stream.enqueue([] { throw Error("second failure"); });
+  stream.enqueue([&] { later_ran = true; });
+  try {
+    stream.synchronize();
+    FAIL() << "synchronize must rethrow the stored error";
+  } catch (const Error& e) {
+    EXPECT_STREQ(e.what(), "first failure");
+  }
+  EXPECT_TRUE(later_ran.load());
+  EXPECT_NO_THROW(stream.synchronize());
+  // The stream remains usable for fresh work — and a fresh failure is
+  // reported as such, not mixed up with the consumed ones.
+  stream.enqueue([] { throw Error("third failure"); });
+  try {
+    stream.synchronize();
+    FAIL() << "synchronize must rethrow the new error";
+  } catch (const Error& e) {
+    EXPECT_STREQ(e.what(), "third failure");
+  }
+}
+
 TEST(Stream, ConcurrentStreamsMakeProgress) {
   Device dev(a100(), 0, 2);
   StreamPool pool(dev, 4);

@@ -16,6 +16,7 @@
 #include "common/cli.hpp"
 #include "common/error.hpp"
 #include "common/table.hpp"
+#include "gpusim/faults.hpp"
 #include "mp/analysis.hpp"
 #include "mp/chains.hpp"
 #include "mp/tuning.hpp"
@@ -51,7 +52,7 @@ int run(int argc, char** argv) {
   args.check_known({"reference", "query", "window", "mode", "tiles",
                     "devices", "machine", "self-join", "exclusion", "output",
                     "motifs", "discords", "repair", "auto-tiles", "chains",
-                    "help"});
+                    "faults", "max-retries", "escalate-precision", "help"});
   if (args.get_bool("help", false) || !args.has("reference")) {
     std::printf(
         "usage: mpsim_cli --reference=ref.csv [--query=query.csv] "
@@ -60,7 +61,13 @@ int run(int argc, char** argv) {
         "                 [--machine=A100] [--self-join] [--exclusion=R]\n"
         "                 [--output=profile.csv] [--motifs=K] "
         "[--discords=K] [--repair]\n"
-        "                 [--auto-tiles] [--chains]\n");
+        "                 [--auto-tiles] [--chains]\n"
+        "                 [--faults=SPEC] [--max-retries=N] "
+        "[--escalate-precision]\n"
+        "fault spec: comma-separated kind[@device][:key=value]... with kind\n"
+        "  kernel|copy|offline|nan|bitflip and keys at=N, every=N, p=P,\n"
+        "  frac=F, plus an optional seed=S clause, e.g.\n"
+        "  --faults=seed=7,kernel@0:at=5,offline@1:at=12,nan@0:at=1:frac=0.05\n");
     return args.has("reference") ? 0 : 2;
   }
 
@@ -87,6 +94,15 @@ int run(int argc, char** argv) {
   config.machine = args.get_string("machine", "A100");
   config.exclusion = args.get_int(
       "exclusion", self_join ? std::int64_t(config.window / 2) : 0);
+  config.resilience.max_retries =
+      int(args.get_int("max-retries", config.resilience.max_retries));
+  config.resilience.escalate_precision =
+      args.get_bool("escalate-precision", false);
+  gpusim::FaultInjector injector;
+  if (args.has("faults")) {
+    injector.configure(args.get_string("faults", ""));
+    config.fault_injector = &injector;
+  }
 
   if (args.get_bool("auto-tiles", false)) {
     mp::TileTuningRequest request;
@@ -116,6 +132,10 @@ int run(int argc, char** argv) {
               "%.4f s)\n",
               result.segments, result.dims, result.wall_seconds,
               config.machine.c_str(), result.modeled_total_seconds());
+  if (config.fault_injector != nullptr || result.health.degraded ||
+      !result.health.escalations.empty()) {
+    std::printf("%s", result.health.summary().c_str());
+  }
 
   if (args.has("output")) {
     const auto path = args.get_string("output", "");
