@@ -5,9 +5,11 @@
 // about GPU performance — that is the roofline model's job).
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "gpusim/kernel.hpp"
 #include "mp/kernels.hpp"
 #include "precision/modes.hpp"
@@ -71,6 +73,22 @@ void BM_SortScanRow(benchmark::State& state) {
                           std::int64_t(w * d));
 }
 
+template <typename Traits>
+void BM_Precalc(benchmark::State& state) {
+  using ST = typename Traits::Storage;
+  const std::size_t m = 64, n = 16384;
+  Rng rng(5);
+  std::vector<ST> series(n + m - 1);
+  for (auto& x : series) x = ST(rng.normal(0.0, 1.0));
+  std::vector<ST> mu(n), inv(n), df(n), dg(n);
+  for (auto _ : state) {
+    precalc_dimension<Traits>(series.data(), m, n, mu.data(), inv.data(),
+                              df.data(), dg.data());
+    benchmark::DoNotOptimize(inv.data());
+  }
+  state.SetItemsProcessed(std::int64_t(state.iterations()) * std::int64_t(n));
+}
+
 void BM_Float16Encode(benchmark::State& state) {
   Rng rng(3);
   std::vector<double> values(4096);
@@ -81,6 +99,47 @@ void BM_Float16Encode(benchmark::State& state) {
     benchmark::DoNotOptimize(acc);
   }
   state.SetItemsProcessed(std::int64_t(state.iterations()) * 4096);
+}
+
+void BM_Float16EncodeFast(benchmark::State& state) {
+  // The table-driven branch-light path the float16 constructor uses.
+  Rng rng(3);
+  std::vector<double> values(4096);
+  for (auto& v : values) v = rng.normal(0.0, 100.0);
+  for (auto _ : state) {
+    std::uint32_t acc = 0;
+    for (const double v : values) acc += float16::encode_fast(v);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(std::int64_t(state.iterations()) * 4096);
+}
+
+void BM_Float16Decode(benchmark::State& state) {
+  // half -> double via the 65536-entry decode table (operator double).
+  Rng rng(6);
+  std::vector<float16> values(4096);
+  for (auto& v : values) v = float16{rng.normal(0.0, 100.0)};
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (const float16 v : values) acc += double(v);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(std::int64_t(state.iterations()) * 4096);
+}
+
+void BM_ParallelForDispatch(benchmark::State& state) {
+  // Launch overhead of one parallel_for over a body that does trivial
+  // work: this is the per-kernel dispatch cost paid 3x per tile row.
+  ThreadPool pool;
+  const std::size_t n = std::size_t(state.range(0));
+  std::atomic<std::size_t> sink{0};
+  for (auto _ : state) {
+    pool.parallel_for(n, [&](std::size_t b, std::size_t e) {
+      sink.fetch_add(e - b, std::memory_order_relaxed);
+    });
+  }
+  benchmark::DoNotOptimize(sink.load());
+  state.SetItemsProcessed(std::int64_t(state.iterations()));
 }
 
 void BM_Float16Arithmetic(benchmark::State& state) {
@@ -109,7 +168,13 @@ BENCHMARK(BM_DistCalcRow<F32>);
 BENCHMARK(BM_DistCalcRow<F16>);
 BENCHMARK(BM_SortScanRow<F64>);
 BENCHMARK(BM_SortScanRow<F16>);
+BENCHMARK(BM_Precalc<F64>);
+BENCHMARK(BM_Precalc<F32>);
+BENCHMARK(BM_Precalc<F16>);
 BENCHMARK(BM_Float16Encode);
+BENCHMARK(BM_Float16EncodeFast);
+BENCHMARK(BM_Float16Decode);
 BENCHMARK(BM_Float16Arithmetic);
+BENCHMARK(BM_ParallelForDispatch)->Arg(64)->Arg(4096);
 
 BENCHMARK_MAIN();

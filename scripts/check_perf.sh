@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Guard the execution fast path against silent throughput regressions.
+#
+# Builds Release (unless --build-dir already holds the bench binary), runs
+# bench/micro_engine_throughput with JSON output, and compares every counter
+# tracked in BENCH_micro_engine.json against its committed "after" value.
+# Any counter more than --threshold (default 20%) below baseline fails the
+# check.  Counters with a null baseline (added after the last pinning) are
+# reported but never fail.
+#
+# Usage: scripts/check_perf.sh [--build-dir DIR] [--baseline FILE]
+#                              [--threshold FRACTION] [--smoke]
+#   --smoke   tiny-scale leg for CI (the `perf` CTest label): runs the bench
+#             for ~10ms per counter and verifies every tracked counter is
+#             produced, but never fails on throughput (too noisy at that
+#             scale to gate on).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=build-perf
+BASELINE=BENCH_micro_engine.json
+THRESHOLD=0.20
+SMOKE=0
+MIN_TIME=0.2
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --build-dir) BUILD_DIR=$2; shift 2 ;;
+    --baseline) BASELINE=$2; shift 2 ;;
+    --threshold) THRESHOLD=$2; shift 2 ;;
+    --smoke) SMOKE=1; MIN_TIME=0.01; shift ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+BENCH=$BUILD_DIR/bench/micro_engine_throughput
+if [[ ! -x $BENCH ]]; then
+  cmake -S . -B "$BUILD_DIR" -DCMAKE_BUILD_TYPE=Release -DMPSIM_BUILD_BENCH=ON
+  cmake --build "$BUILD_DIR" --target micro_engine_throughput -j"$(nproc)"
+fi
+
+OUT=$(mktemp)
+trap 'rm -f "$OUT"' EXIT
+"$BENCH" --benchmark_format=json --benchmark_min_time="$MIN_TIME" > "$OUT"
+
+python3 - "$BASELINE" "$OUT" "$THRESHOLD" "$SMOKE" <<'PY'
+import json, sys
+
+baseline_path, head_path, threshold, smoke = sys.argv[1:5]
+threshold = float(threshold)
+smoke = smoke == "1"
+
+base = json.load(open(baseline_path))
+head = {b["name"]: b.get("items_per_second", 0.0)
+        for b in json.load(open(head_path))["benchmarks"]}
+
+failures = []
+for entry in base["micro"]["benchmarks"]:
+    name, ref = entry["name"], entry["after"]
+    got = head.get(name)
+    if got is None:
+        failures.append(f"{name}: missing from HEAD run")
+        continue
+    got /= 1e6
+    verdict = "ok"
+    if ref is not None and got < ref * (1.0 - threshold):
+        verdict = f"REGRESSED (>{threshold:.0%} below baseline)"
+        if not smoke:
+            failures.append(f"{name}: {got:.2f} M/s vs baseline {ref:.2f} M/s")
+    ref_str = "new" if ref is None else f"{ref:.2f}"
+    print(f"  {name:36s} baseline {ref_str:>8} M/s  head {got:8.2f} M/s  {verdict}")
+
+if failures:
+    print("check_perf: FAIL")
+    for f in failures:
+        print("  " + f)
+    sys.exit(1)
+print("check_perf: PASS" + (" (smoke)" if smoke else ""))
+PY

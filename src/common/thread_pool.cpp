@@ -1,7 +1,6 @@
 #include "common/thread_pool.hpp"
 
 #include <algorithm>
-#include <exception>
 
 namespace mpsim {
 
@@ -35,48 +34,137 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
   return future;
 }
 
+bool ThreadPool::claim_chunk_locked(ParallelJob* own, ParallelJob*& job,
+                                    std::size_t& chunk) {
+  ParallelJob* candidate = own != nullptr ? own : job_head_;
+  while (candidate != nullptr) {
+    if (own != nullptr && !candidate->linked) return false;
+    const std::size_t c =
+        candidate->next_chunk.fetch_add(1, std::memory_order_relaxed);
+    if (c < candidate->chunk_count) {
+      if (c + 1 == candidate->chunk_count) unlink_job_locked(candidate);
+      job = candidate;
+      chunk = c;
+      return true;
+    }
+    // Exhausted (a racing claimer got the last chunk): drop it from the
+    // list so sleeping workers stop seeing it, then look further.
+    unlink_job_locked(candidate);
+    candidate = own != nullptr ? nullptr : job_head_;
+  }
+  return false;
+}
+
+void ThreadPool::unlink_job_locked(ParallelJob* job) {
+  if (!job->linked) return;
+  ParallelJob** slot = &job_head_;
+  while (*slot != nullptr && *slot != job) slot = &(*slot)->next;
+  if (*slot == job) {
+    *slot = job->next;
+    if (job_tail_ == job) {
+      job_tail_ = job_head_;
+      while (job_tail_ != nullptr && job_tail_->next != nullptr) {
+        job_tail_ = job_tail_->next;
+      }
+    }
+  }
+  job->linked = false;
+  job->next = nullptr;
+}
+
+void ThreadPool::run_chunk(ParallelJob* job, std::size_t chunk) {
+  const std::size_t begin = chunk * job->chunk_size;
+  const std::size_t end = std::min(job->n, begin + job->chunk_size);
+  try {
+    (*job->body)(begin, end);
+  } catch (...) {
+    std::lock_guard lock(job->done_mutex);
+    if (!job->error) job->error = std::current_exception();
+  }
+  // Completion countdown: the last chunk signals the owner under the
+  // job's mutex, after which the job may be destroyed — nothing below
+  // touches it past the notify.
+  if (job->unfinished.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard lock(job->done_mutex);
+    job->done = true;
+    job->done_cv.notify_all();
+  }
+}
+
 void ThreadPool::parallel_for(
     std::size_t n, const std::function<void(std::size_t, std::size_t)>& body) {
   if (n == 0) return;
   const std::size_t workers = worker_count();
-  if (n == 1 || workers == 1) {
+  if (n <= kInlineMax || workers == 1) {
     body(0, n);
     return;
   }
-  const std::size_t chunks = std::min(workers, n);
-  const std::size_t chunk = (n + chunks - 1) / chunks;
 
-  std::vector<std::future<void>> futures;
-  futures.reserve(chunks);
-  for (std::size_t c = 0; c < chunks; ++c) {
-    const std::size_t begin = c * chunk;
-    const std::size_t end = std::min(n, begin + chunk);
-    if (begin >= end) break;
-    futures.push_back(submit([&body, begin, end] { body(begin, end); }));
-  }
+  ParallelJob job;
+  job.body = &body;
+  job.n = n;
+  const std::size_t target_chunks = std::min(n, kOverDecompose * workers);
+  job.chunk_size = (n + target_chunks - 1) / target_chunks;
+  job.chunk_count = (n + job.chunk_size - 1) / job.chunk_size;
+  job.unfinished.store(job.chunk_count, std::memory_order_relaxed);
 
-  std::exception_ptr first_error;
-  for (auto& f : futures) {
-    try {
-      f.get();
-    } catch (...) {
-      if (!first_error) first_error = std::current_exception();
+  {
+    std::lock_guard lock(mutex_);
+    job.linked = true;
+    job.next = nullptr;
+    if (job_tail_ != nullptr) {
+      job_tail_->next = &job;
+    } else {
+      job_head_ = &job;
     }
+    job_tail_ = &job;
   }
-  if (first_error) std::rethrow_exception(first_error);
+  cv_.notify_all();
+
+  // The caller works its own job down alongside the pool: claim chunks
+  // until none remain, then wait out stragglers on the completion latch.
+  for (;;) {
+    ParallelJob* claimed = nullptr;
+    std::size_t chunk = 0;
+    {
+      std::lock_guard lock(mutex_);
+      if (!claim_chunk_locked(&job, claimed, chunk)) break;
+    }
+    run_chunk(claimed, chunk);
+  }
+  {
+    std::unique_lock lock(job.done_mutex);
+    job.done_cv.wait(lock, [&job] { return job.done; });
+  }
+  if (job.error) std::rethrow_exception(job.error);
 }
 
 void ThreadPool::worker_loop() {
-  while (true) {
+  for (;;) {
     std::packaged_task<void()> task;
+    ParallelJob* job = nullptr;
+    std::size_t chunk = 0;
     {
       std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (stopping_ && queue_.empty()) return;
-      task = std::move(queue_.front());
-      queue_.pop_front();
+      cv_.wait(lock, [this] {
+        return stopping_ || !queue_.empty() || job_head_ != nullptr;
+      });
+      if (claim_chunk_locked(nullptr, job, chunk)) {
+        // fall through with the claimed chunk
+      } else if (!queue_.empty()) {
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      } else if (stopping_) {
+        return;
+      } else {
+        continue;  // raced: another thread drained the work
+      }
     }
-    task();  // exceptions propagate through the packaged_task's future
+    if (job != nullptr) {
+      run_chunk(job, chunk);
+    } else {
+      task();  // exceptions propagate through the packaged_task's future
+    }
   }
 }
 

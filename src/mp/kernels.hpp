@@ -9,6 +9,7 @@
 // dist_calc / update_mat_prof).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <type_traits>
 #include <vector>
@@ -20,65 +21,192 @@
 
 namespace mpsim::mp {
 
+// The kernel bodies run on host threads; the native-type instantiations
+// (float/double) must autovectorize, so their pointer parameters carry
+// restrict qualifiers (every call site passes disjoint buffers) and their
+// inner loops are branch-free selects.
+#if defined(__GNUC__) || defined(__clang__)
+#define MPSIM_RESTRICT __restrict__
+#else
+#define MPSIM_RESTRICT
+#endif
+
 /// Distance of Eq. (1) from a mean-centred dot product and the two inverse
 /// norms: sqrt(2m * (1 - QT * inv_r * inv_q)), clamped at zero when
 /// rounding pushes the correlation above one.  A NaN input (FP16 overflow
 /// or corrupted staging data) must stay NaN rather than clamp to a
 /// perfect-match 0 — update_mat_prof discards NaN distances, and the
 /// resilient scheduler detects the resulting non-finite profile columns.
-/// Shared by the GPU kernel and the CPU reference so their FP64 results
-/// are bit-identical.
+/// The clamp is a select (NaN < 0 is false, so NaN passes through and
+/// propagates through sqrt unchanged); no branch, so the native-type
+/// dist_calc loop vectorizes.  Shared by the GPU kernel and the CPU
+/// reference so their FP64 results are bit-identical.
 template <typename CT>
 CT qt_to_distance(CT qt, CT inv_r, CT inv_q, CT two_m) {
   using std::sqrt;
   const CT corr = qt * inv_r * inv_q;
   const CT val = two_m * (CT(1) - corr);
-  if (!(val == val)) return val;  // NaN propagates
-  return val > CT(0) ? CT(sqrt(val)) : CT(0);
+  const CT clamped = val < CT(0) ? CT(0) : val;  // NaN stays NaN
+  return CT(sqrt(clamped));
 }
+
+// 8-wide F16C path for the emulated-FP16 dist_calc recurrence.  Scalar
+// emulated-half arithmetic cannot autovectorize (every operation funnels
+// through conversion helpers), so the FP16 mode gets a hand-written AVX
+// loop: widen 8 halves with vcvtph2ps (exact), perform ONE binary32
+// operation, round back with vcvtps2ph (RNE).  Per lane this is the
+// identical widen-op-round sequence the scalar float16 operators execute
+// (double rounding through binary32 is innocuous, 24 >= 2*11+2), so the
+// output bits match the scalar loop exactly — including overflow to
+// infinity, subnormal halves and ISA-default generated NaNs.
+#if defined(MPSIM_FLOAT16_HW) && defined(__AVX__)
+#define MPSIM_KERNEL_F16_SIMD 1
+#endif
+
+#ifdef MPSIM_KERNEL_F16_SIMD
+namespace detail {
+
+/// Round every binary32 lane to binary16 and back: the vector image of one
+/// emulated-FP16 operation's result rounding.
+inline __m256 round_lanes_f16(__m256 v) {
+  return _mm256_cvtph_ps(
+      _mm256_cvtps_ph(v, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC));
+}
+
+inline __m256 load_halves(const float16* p) {
+  return _mm256_cvtph_ps(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(p)));
+}
+
+/// Vectorized dist_calc recurrence over columns [x, span_end) of one
+/// dimension row; returns the first unprocessed index (the scalar loop
+/// finishes the tail).  Blocks containing a NaN operand stop the vector
+/// loop: NaN sign propagation must follow float16::finish_binop's
+/// deterministic first-NaN-operand rule, which only the scalar operators
+/// implement — the scalar loop takes over from the first such block.
+inline std::int64_t dist_calc_span_f16(
+    std::int64_t x, std::int64_t span_end, float16 df_ri, float16 dg_ri,
+    float16 inv_ri, float16 two_m, const float16* MPSIM_RESTRICT qt_prev,
+    const float16* MPSIM_RESTRICT df_q, const float16* MPSIM_RESTRICT dg_q,
+    const float16* MPSIM_RESTRICT inv_q, float16* MPSIM_RESTRICT qt_next,
+    float16* MPSIM_RESTRICT dist_row) {
+  constexpr int kRne = _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC;
+  const __m256 v_df_ri = _mm256_set1_ps(float(df_ri));
+  const __m256 v_dg_ri = _mm256_set1_ps(float(dg_ri));
+  const __m256 v_inv_ri = _mm256_set1_ps(float(inv_ri));
+  const __m256 v_two_m = _mm256_set1_ps(float(two_m));
+  const __m256 v_one = _mm256_set1_ps(1.0f);
+  const __m256 v_zero = _mm256_setzero_ps();
+  for (; x + 8 <= span_end; x += 8) {
+    const __m256 prev = load_halves(qt_prev + x - 1);
+    const __m256 dgq = load_halves(dg_q + x);
+    const __m256 dfq = load_halves(df_q + x);
+    const __m256 invq = load_halves(inv_q + x);
+    const __m256 nan_mask = _mm256_or_ps(
+        _mm256_or_ps(_mm256_cmp_ps(prev, prev, _CMP_UNORD_Q),
+                     _mm256_cmp_ps(dgq, dgq, _CMP_UNORD_Q)),
+        _mm256_or_ps(_mm256_cmp_ps(dfq, dfq, _CMP_UNORD_Q),
+                     _mm256_cmp_ps(invq, invq, _CMP_UNORD_Q)));
+    if (_mm256_movemask_ps(nan_mask) != 0) break;
+    // qt = (qt_prev + df_ri * dg_q) + dg_ri * df_q, rounding each step.
+    const __m256 t1 = round_lanes_f16(_mm256_mul_ps(v_df_ri, dgq));
+    const __m256 t2 = round_lanes_f16(_mm256_add_ps(prev, t1));
+    const __m256 t3 = round_lanes_f16(_mm256_mul_ps(v_dg_ri, dfq));
+    const __m128i qt_h = _mm256_cvtps_ph(_mm256_add_ps(t2, t3), kRne);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(qt_next + x), qt_h);
+    const __m256 qt = _mm256_cvtph_ps(qt_h);
+    // qt_to_distance: sqrt(two_m * (1 - qt*inv_r*inv_q)), clamped at 0.
+    const __m256 c1 = round_lanes_f16(_mm256_mul_ps(qt, v_inv_ri));
+    const __m256 corr = round_lanes_f16(_mm256_mul_ps(c1, invq));
+    const __m256 om = round_lanes_f16(_mm256_sub_ps(v_one, corr));
+    const __m256 val = round_lanes_f16(_mm256_mul_ps(v_two_m, om));
+    // val < 0 ? 0 : val — ordered compare, so NaN lanes keep their NaN.
+    const __m256 lt = _mm256_cmp_ps(val, v_zero, _CMP_LT_OQ);
+    const __m256 clamped = _mm256_blendv_ps(val, v_zero, lt);
+    const __m128i dist_h = _mm256_cvtps_ph(_mm256_sqrt_ps(clamped), kRne);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dist_row + x), dist_h);
+  }
+  return x;
+}
+
+}  // namespace detail
+#endif  // MPSIM_KERNEL_F16_SIMD
 
 /// dist_calc, Eq. (1): computes elements [begin, end) of row i of the
 /// distance matrix (elements indexed e = k*w + j over w columns and d
 /// dimensions).  Reads the previous QT row, writes the next QT row and the
 /// distance row.
+///
+/// Iterates per-dimension row spans: the k-dependent operands (df_r, dg_r,
+/// inv_r at k*nr+i) and the e/w, e%w bookkeeping are hoisted out of the
+/// element loop, leaving a streaming inner loop over contiguous indices
+/// whose float/double instantiations autovectorize.  The arithmetic — per
+/// element, per operation, in order — is unchanged, so every precision
+/// mode's output is bit-identical to the element-at-a-time formulation.
 template <typename Traits>
 void dist_calc_body(std::int64_t begin, std::int64_t end, std::size_t i,
                     std::size_t w, std::size_t m,
-                    const typename Traits::Storage* qt_row_seed,  // [k*w+j]
-                    const typename Traits::Storage* qt_col_seed,  // [k*nr+i]
+                    const typename Traits::Storage* MPSIM_RESTRICT
+                        qt_row_seed,  // [k*w+j]
+                    const typename Traits::Storage* MPSIM_RESTRICT
+                        qt_col_seed,  // [k*nr+i]
                     std::size_t nr,
-                    const typename Traits::Storage* df_r,
-                    const typename Traits::Storage* dg_r,
-                    const typename Traits::Storage* inv_r,
-                    const typename Traits::Storage* df_q,
-                    const typename Traits::Storage* dg_q,
-                    const typename Traits::Storage* inv_q,
-                    const typename Traits::Storage* qt_prev,
-                    typename Traits::Storage* qt_next,
-                    typename Traits::Storage* dist_row) {
+                    const typename Traits::Storage* MPSIM_RESTRICT df_r,
+                    const typename Traits::Storage* MPSIM_RESTRICT dg_r,
+                    const typename Traits::Storage* MPSIM_RESTRICT inv_r,
+                    const typename Traits::Storage* MPSIM_RESTRICT df_q,
+                    const typename Traits::Storage* MPSIM_RESTRICT dg_q,
+                    const typename Traits::Storage* MPSIM_RESTRICT inv_q,
+                    const typename Traits::Storage* MPSIM_RESTRICT qt_prev,
+                    typename Traits::Storage* MPSIM_RESTRICT qt_next,
+                    typename Traits::Storage* MPSIM_RESTRICT dist_row) {
   using CT = typename Traits::Compute;
   using ST = typename Traits::Storage;
 
   const CT two_m = CT(double(2 * m));
   std::size_t k = std::size_t(begin) / w;
-  std::size_t j = std::size_t(begin) % w;
-  for (std::int64_t e = begin; e < end; ++e) {
-    CT qt;
+  std::int64_t e = begin;
+  while (e < end) {
+    const auto span_end =
+        std::min<std::int64_t>(end, std::int64_t((k + 1) * w));
+    const std::size_t row = k * nr + i;
+    const CT inv_ri = CT(inv_r[row]);
     if (i == 0) {
-      qt = CT(qt_row_seed[e]);
-    } else if (j == 0) {
-      qt = CT(qt_col_seed[k * nr + i]);
+      // First tile row: QT comes straight from the row seeds.
+      for (std::int64_t x = e; x < span_end; ++x) {
+        const CT qt = CT(qt_row_seed[x]);
+        qt_next[x] = ST(qt);
+        dist_row[x] = ST(qt_to_distance(qt, inv_ri, CT(inv_q[x]), two_m));
+      }
     } else {
-      qt = CT(qt_prev[e - 1]) + CT(df_r[k * nr + i]) * CT(dg_q[e]) +
-           CT(dg_r[k * nr + i]) * CT(df_q[e]);
+      const CT df_ri = CT(df_r[row]);
+      const CT dg_ri = CT(dg_r[row]);
+      std::int64_t x = e;
+      if (std::size_t(x) % w == 0) {
+        // Column 0 of this dimension: QT comes from the column seeds.
+        const CT qt = CT(qt_col_seed[row]);
+        qt_next[x] = ST(qt);
+        dist_row[x] = ST(qt_to_distance(qt, inv_ri, CT(inv_q[x]), two_m));
+        ++x;
+      }
+      // Streaming-dot-product recurrence over the rest of the span.
+#ifdef MPSIM_KERNEL_F16_SIMD
+      if constexpr (std::is_same_v<CT, float16> &&
+                    std::is_same_v<ST, float16>) {
+        x = detail::dist_calc_span_f16(x, span_end, df_ri, dg_ri, inv_ri,
+                                       two_m, qt_prev, df_q, dg_q, inv_q,
+                                       qt_next, dist_row);
+      }
+#endif
+      for (; x < span_end; ++x) {
+        const CT qt = CT(qt_prev[x - 1]) + df_ri * CT(dg_q[x]) +
+                      dg_ri * CT(df_q[x]);
+        qt_next[x] = ST(qt);
+        dist_row[x] = ST(qt_to_distance(qt, inv_ri, CT(inv_q[x]), two_m));
+      }
     }
-    qt_next[e] = ST(qt);
-    dist_row[e] =
-        ST(qt_to_distance(qt, CT(inv_r[k * nr + i]), CT(inv_q[e]), two_m));
-    if (++j == w) {
-      j = 0;
-      ++k;
-    }
+    e = span_end;
+    ++k;
   }
 }
 
@@ -96,13 +224,19 @@ void sort_scan_group_body(gpusim::GroupContext& group, std::size_t w,
   const std::size_t p2 = next_pow2(d);
 
   // Thread-local shared-memory analogue: reused across groups a worker
-  // executes, sized for the padded problem.
+  // executes, sized for the padded problem.  Only the padded tail of
+  // `values` needs initialising (the gather overwrites [0, d), and the
+  // scan writes every scratch element it later reads), so per-group work
+  // is the d + (p2 - d) stores below, not 2*p2 assignments.
   thread_local std::vector<ST> values;
   thread_local std::vector<ST> scratch;
-  values.assign(p2, std::numeric_limits<ST>::infinity());
-  scratch.assign(p2, ST(0));
+  if (values.size() < p2) values.resize(p2);
+  if (scratch.size() < p2) scratch.resize(p2);
 
   for (std::size_t k = 0; k < d; ++k) values[k] = dist_row[k * w + j];
+  for (std::size_t k = d; k < p2; ++k) {
+    values[k] = std::numeric_limits<ST>::infinity();
+  }
   group.barrier();  // gather complete
 
   bitonic_sort(values.data(), p2, [&group] { group.barrier(); });
@@ -116,26 +250,49 @@ void sort_scan_group_body(gpusim::GroupContext& group, std::size_t w,
 /// the running profile (column-wise min / argmin).  Strict less-than keeps
 /// the earliest row on ties.  `exclusion` > 0 skips trivial self-join
 /// matches with |row - column| < exclusion (global segment indices).
+///
+/// The exclusion zone of a row is one contiguous column interval, so it is
+/// resolved to index bounds once per dimension span (no per-element div /
+/// mod / abs), and the merge loop itself is two selects with unconditional
+/// stores — each chunk owns its elements exclusively — which vectorizes
+/// for the native storage types.
 template <typename Traits>
 void update_body(std::int64_t begin, std::int64_t end, std::size_t w,
                  std::int64_t global_row, std::int64_t q_begin,
                  std::int64_t exclusion,
-                 const typename Traits::Storage* scan_row,
-                 typename Traits::Storage* profile, std::int64_t* index) {
-  for (std::int64_t e = begin; e < end; ++e) {
-    const std::int64_t j = e % std::int64_t(w);
+                 const typename Traits::Storage* MPSIM_RESTRICT scan_row,
+                 typename Traits::Storage* MPSIM_RESTRICT profile,
+                 std::int64_t* MPSIM_RESTRICT index) {
+  const auto wi = std::int64_t(w);
+  auto merge = [&](std::int64_t from, std::int64_t to) {
+    for (std::int64_t e = from; e < to; ++e) {
+      // NaN distances (possible after FP16 overflow) never win: the
+      // comparison below is false for NaN.
+      const bool better = scan_row[e] < profile[e];
+      profile[e] = better ? scan_row[e] : profile[e];
+      index[e] = better ? global_row : index[e];
+    }
+  };
+  std::int64_t e = begin;
+  while (e < end) {
+    const std::int64_t k = e / wi;
+    const std::int64_t row_end = std::min(end, (k + 1) * wi);
     if (exclusion > 0) {
-      const std::int64_t col = q_begin + j;
-      const std::int64_t gap =
-          global_row > col ? global_row - col : col - global_row;
-      if (gap < exclusion) continue;
+      // Excluded columns: |global_row - (q_begin + j)| < exclusion, i.e.
+      // j in [g - exclusion + 1, g + exclusion - 1] with g relative to
+      // this tile's columns.
+      const std::int64_t g = global_row - q_begin;
+      const std::int64_t base = k * wi;
+      const std::int64_t ex_begin =
+          std::clamp(base + g - exclusion + 1, e, row_end);
+      const std::int64_t ex_end =
+          std::clamp(base + g + exclusion, e, row_end);
+      merge(e, ex_begin);
+      merge(ex_end, row_end);
+    } else {
+      merge(e, row_end);
     }
-    // NaN distances (possible after FP16 overflow) never win: the
-    // comparison below is false for NaN.
-    if (scan_row[e] < profile[e]) {
-      profile[e] = scan_row[e];
-      index[e] = global_row;
-    }
+    e = row_end;
   }
 }
 

@@ -119,6 +119,7 @@ struct RunContext {
   std::vector<TileResult>* results = nullptr;
   std::vector<int>* executed_device = nullptr;  ///< -1 = CPU fallback
   std::vector<PrecisionMode>* final_mode = nullptr;
+  StagingCache* staging = nullptr;
 };
 
 /// Runs one attempt of a tile on `dev` as a single stream task and
@@ -130,7 +131,8 @@ void execute_attempt(const RunContext& ctx, int dev, PrecisionMode mode,
   dispatch_precision(mode, [&]<typename Traits>() {
     SingleTileEngine<Traits>::enqueue(device, &stream, *ctx.reference,
                                       *ctx.query, ctx.config->window, tile,
-                                      ctx.config->exclusion, result);
+                                      ctx.config->exclusion, result,
+                                      ctx.staging);
   });
   stream.synchronize();
 }
@@ -371,11 +373,16 @@ MatrixProfileResult run_resilient(gpusim::System& system,
     st.queues[std::size_t(tiles[t].device)].push_back(std::move(job));
   }
 
+  // Shared across devices and attempts: series conversion happens once per
+  // storage format for the whole run (retries/escalations reuse it too).
+  StagingCache staging(reference, query);
+
   RunContext ctx;
   ctx.system = &system;
   ctx.reference = &reference;
   ctx.query = &query;
   ctx.config = &config;
+  ctx.staging = &staging;
   for (auto& pool : pools) ctx.pools.push_back(pool.get());
   ctx.tiles = &tiles;
   ctx.results = &results;
@@ -412,8 +419,13 @@ MatrixProfileResult run_resilient(gpusim::System& system,
   }
 
   // ---- CPU merge (Pseudocode 2, lines 6-8). ----
+  // Parallel over output columns; bit-identical to the serial merge (each
+  // column sees the tiles in the same ascending order).
   MatrixProfileResult out;
-  merge_tile_results(tiles, results, n_q, d, out);
+  {
+    ThreadPool merge_pool;
+    merge_tile_results(tiles, results, n_q, d, out, &merge_pool);
+  }
 
   // ---- Modelled makespan (grouped by the device that ran each tile). ----
   std::vector<TileTimes> device_time(std::size_t(system.device_count()));

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <vector>
 
@@ -23,6 +24,7 @@
 #include "gpusim/kernel.hpp"
 #include "mp/kernels.hpp"
 #include "mp/options.hpp"
+#include "mp/staging.hpp"
 #include "mp/tile_plan.hpp"
 #include "tsdata/time_series.hpp"
 
@@ -42,12 +44,16 @@ class SingleTileEngine {
 
   /// Enqueues the whole tile on `stream` (or runs synchronously when
   /// stream is null).  `result` must outlive stream synchronisation.
+  /// `staging` (optional) supplies the series pre-converted to storage
+  /// precision so the tile stages with a memcpy slice; it must outlive the
+  /// stream work too.
   static void enqueue(gpusim::Device& device, gpusim::Stream* stream,
                       const TimeSeries& reference, const TimeSeries& query,
                       std::size_t m, const Tile& tile, std::int64_t exclusion,
-                      TileResult& result) {
-    auto run = [&device, &reference, &query, m, tile, exclusion, &result] {
-      run_tile(device, reference, query, m, tile, exclusion, result);
+                      TileResult& result, StagingCache* staging = nullptr) {
+    auto run = [&device, &reference, &query, m, tile, exclusion, &result,
+                staging] {
+      run_tile(device, reference, query, m, tile, exclusion, result, staging);
     };
     if (stream != nullptr) {
       stream->enqueue(std::move(run));
@@ -60,7 +66,7 @@ class SingleTileEngine {
   static void run_tile(gpusim::Device& device, const TimeSeries& reference,
                        const TimeSeries& query, std::size_t m,
                        const Tile& tile, std::int64_t exclusion,
-                       TileResult& result) {
+                       TileResult& result, StagingCache* staging) {
     const std::size_t d = reference.dims();
     const std::size_t nr = tile.r_count;
     const std::size_t nq = tile.q_count;
@@ -71,15 +77,31 @@ class SingleTileEngine {
     gpusim::KernelLedger* tl = &result.ledger;
 
     // ---- Stage the input tile in storage precision and copy H2D. ----
+    // With a staging cache the series is already in storage precision
+    // (converted once per run per format) and the tile slice is a straight
+    // memcpy; otherwise convert the slice element-wise here.  Both paths
+    // produce identical bytes: the cache applies the same ST() casts.
     std::vector<ST> host_r(len_r * d), host_q(len_q * d);
-    for (std::size_t k = 0; k < d; ++k) {
-      const auto rdim = reference.dim(k);
-      const auto qdim = query.dim(k);
-      for (std::size_t t = 0; t < len_r; ++t) {
-        host_r[k * len_r + t] = ST(rdim[tile.r_begin + t]);
+    if (staging != nullptr) {
+      const auto view = staging->template get<Traits>();
+      for (std::size_t k = 0; k < d; ++k) {
+        std::memcpy(host_r.data() + k * len_r,
+                    view.reference + k * view.reference_len + tile.r_begin,
+                    len_r * sizeof(ST));
+        std::memcpy(host_q.data() + k * len_q,
+                    view.query + k * view.query_len + tile.q_begin,
+                    len_q * sizeof(ST));
       }
-      for (std::size_t t = 0; t < len_q; ++t) {
-        host_q[k * len_q + t] = ST(qdim[tile.q_begin + t]);
+    } else {
+      for (std::size_t k = 0; k < d; ++k) {
+        const auto rdim = reference.dim(k);
+        const auto qdim = query.dim(k);
+        for (std::size_t t = 0; t < len_r; ++t) {
+          host_r[k * len_r + t] = ST(rdim[tile.r_begin + t]);
+        }
+        for (std::size_t t = 0; t < len_q; ++t) {
+          host_q[k * len_q + t] = ST(qdim[tile.q_begin + t]);
+        }
       }
     }
     // Fault injection: value corruption (NaN poisoning / bit flips) hits

@@ -1,0 +1,115 @@
+// Per-run staging cache for the reduced-precision input copies.
+//
+// Every tile attempt needs the reference/query series in the mode's storage
+// format before the H2D copy.  Converting per tile is wasteful twice over:
+// neighbouring tiles overlap by m-1 samples, and a retried or escalated
+// tile reconverts data that never changed.  The cache converts each full
+// series to a storage format exactly once per run (lazily, under a per-slot
+// mutex) and hands out immutable dim-major views; per-tile staging then
+// degenerates to a memcpy slice.
+//
+// Slots are keyed by storage *format*, not by mode: FP16, Mixed and FP16C
+// all store binary16, so an FP16 -> Mixed precision escalation reuses the
+// already-staged bytes.  The conversion applied is identical to the per-tile
+// `ST(sample)` casts it replaces, so staged runs are bit-identical.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "precision/modes.hpp"
+#include "tsdata/time_series.hpp"
+
+namespace mpsim::mp {
+
+class StagingCache {
+ public:
+  StagingCache(const TimeSeries& reference, const TimeSeries& query)
+      : reference_(reference), query_(query) {}
+
+  StagingCache(const StagingCache&) = delete;
+  StagingCache& operator=(const StagingCache&) = delete;
+
+  /// Immutable dim-major view of both staged series: element
+  /// `reference[k * reference_len + t]` is `Storage(reference.dim(k)[t])`.
+  template <typename Traits>
+  struct View {
+    const typename Traits::Storage* reference = nullptr;
+    const typename Traits::Storage* query = nullptr;
+    std::size_t reference_len = 0;
+    std::size_t query_len = 0;
+  };
+
+  /// Returns the staged series for the mode's storage format, converting
+  /// on first use.  Thread-safe; the returned pointers stay valid for the
+  /// cache's lifetime.
+  template <typename Traits>
+  View<Traits> get() {
+    using ST = typename Traits::Storage;
+    Slot& slot = slots_[storage_slot(Traits::kMode)];
+    Staged<ST>* staged = nullptr;
+    {
+      std::lock_guard lock(slot.mutex);
+      staged = static_cast<Staged<ST>*>(slot.data.get());
+      if (staged == nullptr) {
+        auto built = std::make_shared<Staged<ST>>();
+        convert<ST>(reference_, built->reference);
+        convert<ST>(query_, built->query);
+        slot.data = built;
+        staged = built.get();
+      }
+    }
+    View<Traits> view;
+    view.reference = staged->reference.data();
+    view.query = staged->query.data();
+    view.reference_len = reference_.length();
+    view.query_len = query_.length();
+    return view;
+  }
+
+ private:
+  template <typename ST>
+  struct Staged {
+    std::vector<ST> reference;
+    std::vector<ST> query;
+  };
+
+  struct Slot {
+    std::mutex mutex;
+    std::shared_ptr<void> data;  // Staged<ST> for the slot's storage type
+  };
+
+  /// Modes sharing a storage format share a slot (see file comment).
+  static constexpr std::size_t storage_slot(PrecisionMode mode) {
+    switch (mode) {
+      case PrecisionMode::FP64: return 0;
+      case PrecisionMode::FP32: return 1;
+      case PrecisionMode::FP16:
+      case PrecisionMode::Mixed:
+      case PrecisionMode::FP16C: return 2;  // all binary16 storage
+      case PrecisionMode::BF16: return 3;
+      case PrecisionMode::TF32: return 4;
+    }
+    return 5;
+  }
+
+  template <typename ST>
+  static void convert(const TimeSeries& series, std::vector<ST>& out) {
+    const std::size_t n = series.length();
+    const std::size_t d = series.dims();
+    out.resize(n * d);
+    for (std::size_t k = 0; k < d; ++k) {
+      const auto dim = series.dim(k);
+      ST* dst = out.data() + k * n;
+      for (std::size_t t = 0; t < n; ++t) dst[t] = ST(dim[t]);
+    }
+  }
+
+  const TimeSeries& reference_;
+  const TimeSeries& query_;
+  Slot slots_[6];
+};
+
+}  // namespace mpsim::mp

@@ -2,10 +2,12 @@
 // the resilient scheduler and the merge-semantics tests.
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <vector>
 
+#include "common/thread_pool.hpp"
 #include "mp/options.hpp"
 #include "mp/single_tile.hpp"
 #include "mp/tile_plan.hpp"
@@ -18,32 +20,56 @@ namespace mpsim::mp {
 /// multi-tile FP64 matches single-tile FP64.  Non-finite tile values
 /// (NaN after an FP16 overflow or injected corruption) never displace a
 /// finite entry: the strict `<` comparison is false for NaN.
+///
+/// When `pool` is non-null the merge parallelises over disjoint output
+/// column ranges.  Each output column still sees the tiles in ascending
+/// tile order, so the result is bit-identical to the serial merge.
 inline void merge_tile_results(const std::vector<Tile>& tiles,
                                const std::vector<TileResult>& results,
                                std::size_t n_q, std::size_t d,
-                               MatrixProfileResult& out) {
+                               MatrixProfileResult& out,
+                               ThreadPool* pool) {
   out.segments = n_q;
   out.dims = d;
   out.profile.assign(n_q * d, std::numeric_limits<double>::infinity());
   out.index.assign(n_q * d, -1);
-  for (std::size_t t = 0; t < tiles.size(); ++t) {
-    const Tile& tile = tiles[t];
-    const TileResult& r = results[t];
-    for (std::size_t k = 0; k < d; ++k) {
-      for (std::size_t j = 0; j < tile.q_count; ++j) {
-        const std::size_t src = k * tile.q_count + j;
-        const std::size_t dst = k * n_q + (tile.q_begin + j);
-        const double p = r.profile[src];
-        const std::int64_t idx = r.index[src];
-        if (p < out.profile[dst] ||
-            (p == out.profile[dst] && idx >= 0 &&
-             (out.index[dst] < 0 || idx < out.index[dst]))) {
-          out.profile[dst] = p;
-          out.index[dst] = idx;
+  auto merge_columns = [&](std::size_t col_begin, std::size_t col_end) {
+    for (std::size_t t = 0; t < tiles.size(); ++t) {
+      const Tile& tile = tiles[t];
+      const TileResult& r = results[t];
+      const std::size_t jb = std::max(col_begin, tile.q_begin);
+      const std::size_t je = std::min(col_end, tile.q_begin + tile.q_count);
+      if (jb >= je) continue;
+      for (std::size_t k = 0; k < d; ++k) {
+        for (std::size_t col = jb; col < je; ++col) {
+          const std::size_t j = col - tile.q_begin;
+          const std::size_t src = k * tile.q_count + j;
+          const std::size_t dst = k * n_q + col;
+          const double p = r.profile[src];
+          const std::int64_t idx = r.index[src];
+          if (p < out.profile[dst] ||
+              (p == out.profile[dst] && idx >= 0 &&
+               (out.index[dst] < 0 || idx < out.index[dst]))) {
+            out.profile[dst] = p;
+            out.index[dst] = idx;
+          }
         }
       }
     }
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(n_q, merge_columns);
+  } else {
+    merge_columns(0, n_q);
   }
+}
+
+/// Serial merge (the default for tests and small runs).
+inline void merge_tile_results(const std::vector<Tile>& tiles,
+                               const std::vector<TileResult>& results,
+                               std::size_t n_q, std::size_t d,
+                               MatrixProfileResult& out) {
+  merge_tile_results(tiles, results, n_q, d, out, nullptr);
 }
 
 /// Fraction of non-finite (NaN or ±inf) entries in a tile profile — the

@@ -3,8 +3,10 @@
 // The paper's FP16 / Mixed / FP16C modes run on CUDA `__half` hardware.
 // This environment has no GPU, so we reproduce the numerics exactly in
 // software: a 16-bit storage type whose every arithmetic operation computes
-// in binary64 and rounds the result to binary16 with round-to-nearest-even
-// (matching per-operation `__half` arithmetic, which is correctly rounded).
+// in a wider format (binary64, or binary32 on the F16C hardware path — both
+// yield the identical result, see below) and rounds once to binary16 with
+// round-to-nearest-even (matching per-operation `__half` arithmetic, which
+// is correctly rounded).
 //
 // Correctness notes:
 //  * double -> half conversion is implemented directly on the binary64
@@ -19,6 +21,15 @@
 //    through a format with >= 2p+2 significand bits preserves correct
 //    rounding; 53 >= 2*11+2), so every operator below is correctly
 //    rounded.
+//
+// Fast paths: conversions dominate the emulated-FP16 kernels, so the hot
+// half->double direction is a single load from a 65536-entry table and the
+// double->half direction is a branch-free table-driven rounder
+// (encode_fast).  Both tables are constexpr (built at compile time from
+// the reference decode()/encode() semantics), so there is no init-order
+// hazard and no per-call guard; decode()/encode() remain as the reference
+// bit-twiddling implementations and the exhaustive equivalence tests in
+// tests/test_float16.cpp pin the fast paths bit-exact against them.
 #pragma once
 
 #include <bit>
@@ -26,6 +37,17 @@
 #include <cstdint>
 #include <iosfwd>
 #include <limits>
+
+// Hardware half<->single conversion when the build enables it (-mf16c,
+// see MPSIM_ENABLE_F16C).  Used in exactly two bit-safe places: decode
+// (vcvtph2ps is an exact widening) and rounding the binary32 result of an
+// arithmetic operator (innocuous double rounding, 24 >= 2*11+2).  General
+// binary64 -> binary16 conversion still goes through the software tables —
+// see the double-rounding note above encode_fast.
+#if defined(__F16C__) && (defined(__x86_64__) || defined(__i386__))
+#define MPSIM_FLOAT16_HW 1
+#include <immintrin.h>
+#endif
 
 namespace mpsim {
 
@@ -35,7 +57,9 @@ class float16 {
 
   // Implicit construction from the numeric types the kernels mix with,
   // mirroring how __half converts; conversion rounds to nearest-even.
-  float16(double value) : bits_(encode(value)) {}          // NOLINT(google-explicit-constructor)
+  // Defined after the conversion tables below (it routes through
+  // encode_fast, which is bit-identical to encode()).
+  float16(double value);                                   // NOLINT(google-explicit-constructor)
   float16(float value) : float16(double(value)) {}         // NOLINT(google-explicit-constructor)
   float16(int value) : float16(double(value)) {}           // NOLINT(google-explicit-constructor)
   float16(long value) : float16(double(value)) {}          // NOLINT(google-explicit-constructor)
@@ -52,23 +76,47 @@ class float16 {
 
   constexpr std::uint16_t bits() const { return bits_; }
 
-  /// Exact widening conversions.
-  operator double() const { return decode(bits_); }  // NOLINT(google-explicit-constructor)
-  explicit operator float() const { return float(decode(bits_)); }
+  /// Exact widening conversions (table lookup; defined after the tables).
+  operator double() const;  // NOLINT(google-explicit-constructor)
+  explicit operator float() const;
 
-  // Arithmetic: compute in binary64, round once to binary16.
+  // Arithmetic: each operation computes in a wider format and rounds once
+  // to binary16.  The software path widens to binary64.  With F16C the
+  // operands widen to binary32 (exact) and vcvtps2ph rounds the binary32
+  // result; that double rounding is innocuous for the results of +, -, *,
+  // / and sqrt on 11-bit significands (Figueroa: 24 >= 2*11+2), so both
+  // paths produce the identical correctly rounded half — the exhaustive
+  // operator tests in tests/test_float16.cpp pin them against each other.
+  // finish_binop makes NaN results deterministic (see below), since the
+  // compiler may commute the wide operation and x86 NaN propagation is
+  // operand-order dependent.
+#ifdef MPSIM_FLOAT16_HW
   friend float16 operator+(float16 a, float16 b) {
-    return float16(double(a) + double(b));
+    return finish_binop(raw_arith(dec_arith(a) + dec_arith(b)), a, b);
   }
   friend float16 operator-(float16 a, float16 b) {
-    return float16(double(a) - double(b));
+    return finish_binop(raw_arith(dec_arith(a) - dec_arith(b)), a, b);
   }
   friend float16 operator*(float16 a, float16 b) {
-    return float16(double(a) * double(b));
+    return finish_binop(raw_arith(dec_arith(a) * dec_arith(b)), a, b);
   }
   friend float16 operator/(float16 a, float16 b) {
-    return float16(double(a) / double(b));
+    return finish_binop(raw_arith(dec_arith(a) / dec_arith(b)), a, b);
   }
+#else
+  friend float16 operator+(float16 a, float16 b) {
+    return finish_binop(float16(double(a) + double(b)), a, b);
+  }
+  friend float16 operator-(float16 a, float16 b) {
+    return finish_binop(float16(double(a) - double(b)), a, b);
+  }
+  friend float16 operator*(float16 a, float16 b) {
+    return finish_binop(float16(double(a) * double(b)), a, b);
+  }
+  friend float16 operator/(float16 a, float16 b) {
+    return finish_binop(float16(double(a) / double(b)), a, b);
+  }
+#endif
   friend float16 operator-(float16 a) {
     return from_bits(std::uint16_t(a.bits_ ^ 0x8000u));
   }
@@ -101,11 +149,18 @@ class float16 {
   }
   friend bool operator>=(float16 a, float16 b) { return b <= a; }
 
+  /// Branch-free table-driven double -> binary16 rounding; bit-identical
+  /// to encode() over every input (exhaustively tested) but with the
+  /// per-exponent classification folded into three 2048-entry tables.
+  /// This is what the float16(double) constructor — every emulated FP16
+  /// operation's final rounding — actually runs.
+  static std::uint16_t encode_fast(double value);
+
   /// Round a binary64 value to binary16 (round-to-nearest, ties-to-even).
-  /// Implemented directly on the binary64 bit representation — no
-  /// intermediate binary32, hence no double rounding — and inline because
-  /// it sits on the hot path of every emulated FP16 operation.
-  static std::uint16_t encode(double value) {
+  /// Reference implementation, directly on the binary64 bit representation
+  /// — no intermediate binary32, hence no double rounding.  constexpr so
+  /// the encode_fast tables can be checked against it at compile time.
+  static constexpr std::uint16_t encode(double value) {
     const std::uint64_t bits = std::bit_cast<std::uint64_t>(value);
     const auto sign = std::uint16_t((bits >> 48) & 0x8000u);
     const int exp_field = int((bits >> 52) & 0x7ff);
@@ -150,8 +205,10 @@ class float16 {
     return std::uint16_t(sign | std::uint16_t(keep));
   }
 
-  /// Exact binary16 -> binary64.
-  static double decode(std::uint16_t bits) {
+  /// Exact binary16 -> binary64.  Reference implementation; the hot
+  /// conversion operator reads the precomputed 65536-entry table instead
+  /// (built from this function at compile time).
+  static constexpr double decode(std::uint16_t bits) {
     const std::uint64_t sign = std::uint64_t(bits & 0x8000u) << 48;
     const int exp_field = (bits & 0x7c00u) >> 10;
     const std::uint64_t mant = bits & 0x03ffu;
@@ -178,6 +235,46 @@ class float16 {
   static constexpr double epsilon() { return 0x1.0p-11; }  // 2^-11 = half ulp of 1
 
  private:
+#ifdef MPSIM_FLOAT16_HW
+  friend float16 sqrt(float16 x);
+
+  /// Raw vcvtph2ps widening for arithmetic operands.  Unlike operator
+  /// float it does NOT canonicalise NaN payloads — the payload rides
+  /// through the binary32 operation and finish_binop canonicalises the
+  /// result once, which is one never-taken branch per operation instead
+  /// of one per operand decode.
+  static float dec_arith(float16 h) { return _cvtsh_ss(h.bits_); }
+
+  /// Round a binary32 arithmetic result to binary16 (RNE) with vcvtps2ph.
+  /// Only valid for operation RESULTS whose operands were halves — an
+  /// arbitrary binary64 value must go through encode_fast instead (see the
+  /// double-rounding note above encode_fast).
+  static float16 raw_arith(float result) {
+    return from_bits(std::uint16_t(
+        _cvtss_sh(result, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC)));
+  }
+#endif
+
+  /// Pin NaN results of binary operations to a deterministic bit pattern:
+  /// sign of the first NaN operand (quiet, canonical payload), or — for
+  /// hardware-generated NaNs like inf - inf and 0 / 0 — the default
+  /// QNaN's sign, which the ISA fixes.  Without this the result would
+  /// depend on which operand the compiler placed in src1 of the SSE
+  /// instruction (x86 propagates src1's NaN and the compiler may commute),
+  /// so the software and F16C paths could disagree.  One predicted
+  /// never-taken branch on clean data.
+  static float16 finish_binop(float16 r, float16 a, float16 b) {
+    if (is_nan_bits(r.bits_)) [[unlikely]] {
+      std::uint16_t sign = std::uint16_t(r.bits_ & 0x8000u);
+      if (is_nan_bits(a.bits_)) {
+        sign = std::uint16_t(a.bits_ & 0x8000u);
+      } else if (is_nan_bits(b.bits_)) {
+        sign = std::uint16_t(b.bits_ & 0x8000u);
+      }
+      r.bits_ = std::uint16_t(sign | 0x7e00u);
+    }
+    return r;
+  }
   static constexpr bool is_nan_bits(std::uint16_t b) {
     return (b & 0x7fffu) > 0x7c00u;
   }
@@ -192,7 +289,138 @@ class float16 {
   std::uint16_t bits_ = 0;
 };
 
+namespace detail {
+
+/// Conversion tables of the float16 fast paths.
+///
+///  * decode[b]    — the binary64 value of half bit pattern b (all 65536).
+///  * enc_shift[f] / enc_base[f] / enc_nan[f] — per binary64 exponent
+///    field f: how many significand bits to shift away, the magnitude
+///    bias to add, and the quiet bit to OR in for NaNs.  The half
+///    encoding is continuous across the subnormal/normal boundary and
+///    the implicit bit of a shifted normal significand lands on the
+///    exponent field, so `base + (sig >> shift) + round` is the correct
+///    RNE result in every class: rounding carries propagate from the
+///    mantissa into the exponent (and from the top normal into infinity)
+///    by plain integer addition.
+struct Float16Tables {
+  double decode[1 << 16] = {};
+  std::uint16_t enc_base[1 << 11] = {};
+  std::uint8_t enc_shift[1 << 11] = {};
+  std::uint16_t enc_nan[1 << 11] = {};
+};
+
+constexpr Float16Tables make_float16_tables() {
+  Float16Tables t;
+  for (std::uint32_t b = 0; b < (1u << 16); ++b) {
+    t.decode[b] = float16::decode(std::uint16_t(b));
+  }
+  for (std::uint32_t f = 0; f < (1u << 11); ++f) {
+    const int e = int(f) - 1023;  // unbiased binary64 exponent
+    std::uint8_t shift = 63;      // sig >> 63 == 0: rounds to signed zero
+    std::uint16_t base = 0;
+    std::uint16_t nan = 0;
+    if (f == 0x7ff) {             // binary64 inf / NaN
+      base = 0x7c00;
+      nan = 0x0200;
+    } else if (f != 0 && e > 15) {  // overflow -> inf
+      base = 0x7c00;
+    } else if (f != 0 && e >= -14) {  // candidate normal half
+      shift = 42;
+      base = std::uint16_t((e + 14) << 10);  // implicit bit folds in
+    } else if (f != 0 && e >= -25) {  // subnormal half (or sticky zero)
+      shift = std::uint8_t(28 - e);   // = 42 + (-14 - e), in [43, 53]
+    }
+    t.enc_shift[f] = shift;
+    t.enc_base[f] = base;
+    t.enc_nan[f] = nan;
+  }
+  return t;
+}
+
+inline constexpr Float16Tables kFloat16Tables = make_float16_tables();
+
+}  // namespace detail
+
+#ifdef MPSIM_FLOAT16_HW
+
+// Hardware decode: vcvtph2ps is an exact widening, identical to the table
+// for every non-NaN pattern.  decode() canonicalises NaN payloads where
+// the hardware would preserve them, so NaNs (only reachable via fault
+// injection or overflow) branch to the canonical constant — never taken
+// on clean data, perfectly predicted.
+inline float16::operator double() const {
+  if (is_nan_bits(bits_)) {
+    return std::bit_cast<double>((std::uint64_t(bits_ & 0x8000u) << 48) |
+                                 0x7ff8000000000000ULL);
+  }
+  return double(_cvtsh_ss(bits_));
+}
+
+inline float16::operator float() const {
+  if (is_nan_bits(bits_)) {
+    return std::bit_cast<float>((std::uint32_t(bits_ & 0x8000u) << 16) |
+                                0x7fc00000u);
+  }
+  return _cvtsh_ss(bits_);
+}
+
+#else  // software decode: the 65536-entry constexpr table
+
+inline float16::operator double() const {
+  return detail::kFloat16Tables.decode[bits_];
+}
+
+inline float16::operator float() const {
+  return float(detail::kFloat16Tables.decode[bits_]);
+}
+
+#endif  // MPSIM_FLOAT16_HW
+
+// Note: double -> half ALWAYS takes the table rounder below, never the
+// hardware vcvtps2ph.  The hardware converts binary32, and rounding an
+// arbitrary binary64 value through binary32 first is NOT innocuous double
+// rounding (a value epsilon away from a half-rounding midpoint collapses
+// onto the midpoint in binary32 and then ties the wrong way).  Only the
+// arithmetic operators may use the hardware instruction, because there the
+// binary32 value is itself the correctly rounded result of an elementary
+// operation on half operands, where Figueroa's 2p+2 theorem applies.
+inline std::uint16_t float16::encode_fast(double value) {
+  const std::uint64_t bits = std::bit_cast<std::uint64_t>(value);
+  const auto f = unsigned(bits >> 52) & 0x7ffu;
+  const auto sign = std::uint16_t((bits >> 48) & 0x8000u);
+  const std::uint64_t mant = bits & 0xfffffffffffffULL;
+  // The implicit bit is OR'd in unconditionally: for the classes where it
+  // is wrong (zeros, binary64 subnormals, inf/NaN) the table entry shifts
+  // the whole significand away, so it never reaches the result.
+  const std::uint64_t sig = mant | (1ULL << 52);
+  const unsigned shift = detail::kFloat16Tables.enc_shift[f];
+  const std::uint64_t keep = sig >> shift;
+  const std::uint64_t rem = sig & ((1ULL << shift) - 1ULL);
+  const std::uint64_t half = 1ULL << (shift - 1);
+  const std::uint64_t round =
+      std::uint64_t((rem > half) | ((rem == half) & (keep & 1)));
+  std::uint32_t mag = std::uint32_t(detail::kFloat16Tables.enc_base[f]) +
+                      std::uint32_t(keep + round);
+  mag |= std::uint32_t(detail::kFloat16Tables.enc_nan[f]) &
+         std::uint32_t(-std::int32_t(mant != 0));
+  return std::uint16_t(sign | mag);
+}
+
+inline float16::float16(double value) : bits_(encode_fast(value)) {}
+
+#ifdef MPSIM_FLOAT16_HW
+inline float16 sqrt(float16 x) {
+  // sqrt of an 11-bit significand rounded in binary32 then binary16 is
+  // correctly rounded (24 >= 2*11+2).  finish_binop(r, x, x) canonicalises
+  // a NaN result exactly like the software path: operand NaN keeps its
+  // sign, sqrt-of-negative yields the ISA-fixed default QNaN sign.
+  return float16::finish_binop(
+      float16::raw_arith(std::sqrt(float16::dec_arith(x))), x, x);
+}
+#else
 inline float16 sqrt(float16 x) { return float16(std::sqrt(double(x))); }
+#endif
 inline float16 abs(float16 x) {
   return float16::from_bits(std::uint16_t(x.bits() & 0x7fffu));
 }

@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <mutex>
 #include <set>
+#include <thread>
 
 #include "common/cli.hpp"
 #include "common/error.hpp"
@@ -121,6 +124,56 @@ TEST(ThreadPool, ManyConcurrentParallelForsFromSubmitters) {
   }
   for (auto& d : drivers) d.join();
   EXPECT_EQ(total.load(), 4L * 50 * 64);
+}
+
+TEST(ThreadPool, ParallelForRebalancesLongTail) {
+  // One index is ~100x more expensive than the rest.  Over-decomposed
+  // chunk claiming must let the other workers drain the cheap chunks while
+  // one worker is stuck, instead of pinning an equal share to each worker
+  // up front.  We verify both coverage and that more than one distinct
+  // thread executed chunks (i.e. the slow chunk did not serialize the run).
+  ThreadPool pool(4);
+  const std::size_t n = 4096;
+  std::vector<std::atomic<int>> hits(n);
+  for (auto& h : hits) h.store(0);
+  std::mutex ids_mutex;
+  std::set<std::thread::id> ids;
+  pool.parallel_for(n, [&](std::size_t b, std::size_t e) {
+    {
+      std::lock_guard lock(ids_mutex);
+      ids.insert(std::this_thread::get_id());
+    }
+    for (std::size_t i = b; i < e; ++i) {
+      if (i == 0) {
+        // Busy-wait so the first chunk is a genuine straggler.
+        const auto until =
+            std::chrono::steady_clock::now() + std::chrono::milliseconds(20);
+        while (std::chrono::steady_clock::now() < until) {
+        }
+      }
+      hits[i].fetch_add(1);
+    }
+  });
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+  // Over-decomposition guarantees more chunks than workers, so with a
+  // 20ms straggler at index 0 at least one other thread must have claimed
+  // work (the caller itself participates, so >= 2 is always achievable).
+  EXPECT_GE(ids.size(), 2u);
+}
+
+TEST(ThreadPool, ParallelForSmallRangeRunsInline) {
+  // Spans at or below the inline threshold run directly in the caller.
+  ThreadPool pool(4);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::thread::id seen;
+  pool.parallel_for(ThreadPool::kInlineMax, [&](std::size_t b, std::size_t e) {
+    EXPECT_EQ(b, 0u);
+    EXPECT_EQ(e, ThreadPool::kInlineMax);
+    seen = std::this_thread::get_id();
+  });
+  EXPECT_EQ(seen, caller);
 }
 
 TEST(Table, AlignsAndCounts) {

@@ -5,6 +5,7 @@
 // inputs.
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cfenv>
 #include <cmath>
 #include <cstdint>
@@ -220,6 +221,149 @@ TEST(Float16, MonotoneEncodeOverIncreasingDoubles) {
     const double v2 = v1 + std::fabs(rng.normal(0.0, 1.0));
     const float16 h1{v1}, h2{v2};
     EXPECT_LE(double(h1), double(h2)) << v1 << " " << v2;
+  }
+}
+
+// ---- Fast-path equivalence: the table-driven decode and the branch-light
+// encode_fast are the production hot path; they must be bit-exact against
+// the constexpr reference decode()/encode() on EVERY input, not just on
+// values that happen to occur in test data.
+
+TEST(Float16, LutDecodeBitExactForAllPatterns) {
+  // operator double() reads the 65536-entry table; decode() recomputes
+  // from the bit fields.  Compare the raw binary64 bits so NaN payloads,
+  // -0.0 and every subnormal are checked exactly.
+  for (std::uint32_t b = 0; b <= 0xffff; ++b) {
+    const auto bits = std::uint16_t(b);
+    const double table = double(float16::from_bits(bits));
+    const double reference = float16::decode(bits);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(table),
+              std::bit_cast<std::uint64_t>(reference))
+        << "bits=0x" << std::hex << b;
+  }
+}
+
+TEST(Float16, FastEncodeBitExactOnAllRoundTrips) {
+  // Every representable half value (including NaNs and infinities) must
+  // encode back through the fast path exactly as through the reference.
+  for (std::uint32_t b = 0; b <= 0xffff; ++b) {
+    const auto bits = std::uint16_t(b);
+    const double v = float16::decode(bits);
+    EXPECT_EQ(float16::encode_fast(v), float16::encode(v))
+        << "bits=0x" << std::hex << b;
+  }
+}
+
+TEST(Float16, FastEncodeBitExactOnRandomBitPatterns) {
+  // Uniform random binary64 bit patterns cover NaN payloads, binary64
+  // subnormals, huge magnitudes and every exponent, most of which never
+  // appear in round-trip data.
+  Rng rng(424242);
+  for (int i = 0; i < 500000; ++i) {
+    const std::uint64_t hi = std::uint64_t(rng.uniform_index(1u << 22));
+    const std::uint64_t mid = std::uint64_t(rng.uniform_index(1u << 21));
+    const std::uint64_t lo = std::uint64_t(rng.uniform_index(1u << 21));
+    const std::uint64_t pattern = (hi << 42) | (mid << 21) | lo;
+    const double v = std::bit_cast<double>(pattern);
+    EXPECT_EQ(float16::encode_fast(v), float16::encode(v))
+        << "pattern=0x" << std::hex << pattern;
+  }
+}
+
+TEST(Float16, FastEncodeBitExactOnRneMidpoints) {
+  // The exact midpoint between every pair of consecutive finite halves is
+  // the hardest rounding case (ties-to-even); sweep them all, both signs,
+  // plus the values one binary64 ulp to either side.
+  for (std::uint32_t b = 0; b < 0x7c00; ++b) {
+    const double lo = float16::decode(std::uint16_t(b));
+    const double hi = float16::decode(std::uint16_t(b + 1));
+    const double mid = 0.5 * (lo + hi);  // exact in binary64
+    for (const double v :
+         {mid, std::nextafter(mid, lo), std::nextafter(mid, hi)}) {
+      EXPECT_EQ(float16::encode_fast(v), float16::encode(v)) << "v=" << v;
+      EXPECT_EQ(float16::encode_fast(-v), float16::encode(-v)) << "v=" << -v;
+    }
+  }
+}
+
+TEST(Float16, FastEncodeSpecialValues) {
+  const double specials[] = {0.0,
+                             -0.0,
+                             std::numeric_limits<double>::infinity(),
+                             -std::numeric_limits<double>::infinity(),
+                             std::numeric_limits<double>::quiet_NaN(),
+                             std::numeric_limits<double>::denorm_min(),
+                             -std::numeric_limits<double>::denorm_min(),
+                             std::numeric_limits<double>::max(),
+                             0x1.0p-25,
+                             -0x1.0p-25,
+                             65520.0,
+                             -65520.0,
+                             1e300,
+                             -1e300};
+  for (const double v : specials) {
+    EXPECT_EQ(float16::encode_fast(v), float16::encode(v)) << "v=" << v;
+  }
+}
+
+// The arithmetic operators may compute in binary32 on the F16C hardware
+// path.  That is only legitimate if every operator result is bit-identical
+// to the binary64 software reference (rounding an operation on 11-bit
+// operands through binary32 is innocuous double rounding: 24 >= 2*11+2).
+// Pin it: exhaustive over all operands for sqrt, randomized pairs plus
+// adversarial neighbours for + - * /.
+TEST(Float16, OperatorsBitExactAgainstDoubleReference) {
+  // Reference: round the binary64 result with the reference encoder, then
+  // apply the operators' documented deterministic NaN rule (the first NaN
+  // operand's sign with canonical payload; a NaN generated from non-NaN
+  // operands keeps the default QNaN's ISA-fixed sign).
+  const auto is_nan16 = [](std::uint16_t b) { return (b & 0x7fffu) > 0x7c00u; };
+  const auto ref = [&](double r, std::uint16_t ab, std::uint16_t bb) {
+    std::uint16_t e = float16::encode(r);
+    if (is_nan16(e)) {
+      auto sign = std::uint16_t(e & 0x8000u);
+      if (is_nan16(ab)) {
+        sign = std::uint16_t(ab & 0x8000u);
+      } else if (is_nan16(bb)) {
+        sign = std::uint16_t(bb & 0x8000u);
+      }
+      e = std::uint16_t(sign | 0x7e00u);
+    }
+    return e;
+  };
+  Rng rng(2026);
+  const std::uint32_t kPairs = 400000;
+  for (std::uint32_t i = 0; i < kPairs; ++i) {
+    const auto ab = std::uint16_t(rng.uniform_index(1u << 16));
+    const auto bb = std::uint16_t(rng.uniform_index(1u << 16));
+    const float16 a = float16::from_bits(ab);
+    const float16 b = float16::from_bits(bb);
+    const double ad = float16::decode(ab);
+    const double bd = float16::decode(bb);
+    ASSERT_EQ((a + b).bits(), ref(ad + bd, ab, bb)) << ab << " + " << bb;
+    ASSERT_EQ((a - b).bits(), ref(ad - bd, ab, bb)) << ab << " - " << bb;
+    ASSERT_EQ((a * b).bits(), ref(ad * bd, ab, bb)) << ab << " * " << bb;
+    ASSERT_EQ((a / b).bits(), ref(ad / bd, ab, bb)) << ab << " / " << bb;
+  }
+  // Adjacent operands stress rounding at the tie boundaries.
+  for (std::uint32_t ab = 0; ab < (1u << 16); ++ab) {
+    const auto bb = std::uint16_t(ab ^ 1u);
+    const float16 a = float16::from_bits(std::uint16_t(ab));
+    const float16 b = float16::from_bits(bb);
+    const double ad = float16::decode(std::uint16_t(ab));
+    const double bd = float16::decode(bb);
+    ASSERT_EQ((a + b).bits(), ref(ad + bd, std::uint16_t(ab), bb)) << ab;
+    ASSERT_EQ((a * b).bits(), ref(ad * bd, std::uint16_t(ab), bb)) << ab;
+    ASSERT_EQ((a / b).bits(), ref(ad / bd, std::uint16_t(ab), bb)) << ab;
+  }
+}
+
+TEST(Float16, SqrtBitExactForAllOperands) {
+  for (std::uint32_t b = 0; b < (1u << 16); ++b) {
+    const float16 x = float16::from_bits(std::uint16_t(b));
+    const std::uint16_t expected =
+        float16::encode(std::sqrt(float16::decode(std::uint16_t(b))));
+    ASSERT_EQ(sqrt(x).bits(), expected) << "bits=" << b;
   }
 }
 
