@@ -78,3 +78,52 @@ if failures:
     sys.exit(1)
 print("check_perf: PASS" + (" (smoke)" if smoke else ""))
 PY
+
+# ---- Runtime-metrics counter diff -----------------------------------------
+# The observability counters of a fully deterministic scenario (fixed CSV,
+# fixed tiling, at=-triggered fault) are exact machine-independent numbers:
+# any drift in staging traffic or retry behaviour is a functional change,
+# so they are diffed exactly against the "metrics" baseline in the
+# committed BENCH file (smoke and full legs both gate on this — it is not
+# a throughput number, so it is never noisy).
+CLI=$BUILD_DIR/tools/mpsim_cli
+if [[ ! -x $CLI ]]; then
+  cmake --build "$BUILD_DIR" --target mpsim_cli -j"$(nproc)"
+fi
+WORK=$(mktemp -d)
+trap 'rm -f "$OUT"; rm -rf "$WORK"' EXIT
+awk 'BEGIN {
+  srand(5); print "a,b";
+  for (t = 0; t < 500; ++t) {
+    a = sin(t / 9.0) + (rand() - 0.5) * 0.4;
+    b = cos(t / 13.0) + (rand() - 0.5) * 0.4;
+    printf "%.6f,%.6f\n", a, b;
+  }
+}' > "$WORK/ref.csv"
+"$CLI" --reference="$WORK/ref.csv" --self-join --window=32 --mode=Mixed \
+    --tiles=4 --faults="seed=3,kernel@0:at=2" \
+    --metrics-out="$WORK/metrics.json" --motifs=0 > /dev/null
+
+python3 - "$BASELINE" "$WORK/metrics.json" <<'PY'
+import json, sys
+
+baseline_path, metrics_path = sys.argv[1:3]
+base = json.load(open(baseline_path)).get("metrics", {}).get("counters", {})
+head = json.load(open(metrics_path))["counters"]
+
+failures = []
+for name, ref in sorted(base.items()):
+    got = head.get(name)
+    verdict = "ok"
+    if got != ref:
+        verdict = "CHANGED"
+        failures.append(f"{name}: {got} vs baseline {ref}")
+    print(f"  {name:36s} baseline {ref:>12}  head {got!s:>12}  {verdict}")
+
+if failures:
+    print("check_perf metrics diff: FAIL")
+    for f in failures:
+        print("  " + f)
+    sys.exit(1)
+print("check_perf metrics diff: PASS")
+PY

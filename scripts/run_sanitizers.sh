@@ -27,6 +27,13 @@ run_one() {
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build "$dir" -j "$(nproc)"
   ctest --test-dir "$dir" --output-on-failure -j "$(nproc)"
+  if [ "$kind" = thread ]; then
+    # Hammer the lock-free metrics registry beyond the single CTest pass:
+    # repeated runs of the concurrent-recording tests give TSan many more
+    # thread interleavings of the relaxed-atomic hot path to inspect.
+    "$dir"/tests/test_runtime_metrics \
+        --gtest_filter='RuntimeMetrics.Concurrent*' --gtest_repeat=25
+  fi
 }
 
 if [ $# -eq 0 ]; then

@@ -1,0 +1,206 @@
+#include "common/metrics.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace mpsim {
+
+namespace {
+
+// min/max start at +/-inf (construction and reset) so the first recorded
+// value wins unconditionally; CAS loops converge them under contention.
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+void atomic_min(std::atomic<double>& slot, double value) {
+  double seen = slot.load(std::memory_order_relaxed);
+  while (value < seen &&
+         !slot.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& slot, double value) {
+  double seen = slot.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !slot.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+void append_json_escaped(std::ostringstream& os, const std::string& text) {
+  for (const char c : text) {
+    if (c == '"' || c == '\\') {
+      os << '\\' << c;
+    } else if (c == '\n') {
+      os << "\\n";
+    } else {
+      os << c;
+    }
+  }
+}
+
+}  // namespace
+
+void Histogram::record(double value) {
+  if (!enabled_->load(std::memory_order_relaxed)) return;
+  if (!(value >= 0.0)) return;  // negatives and NaN carry no information
+  buckets_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  atomic_min(min_, value);
+  atomic_max(max_, value);
+}
+
+double Histogram::bucket_floor(std::size_t b) {
+  return std::ldexp(1.0, int(b) + kMinExponent);
+}
+
+std::size_t Histogram::bucket_index(double value) {
+  if (value < bucket_floor(0)) return 0;  // zero and subnormal-small values
+  const int exponent = std::ilogb(value) - kMinExponent;
+  if (exponent < 0) return 0;
+  if (std::size_t(exponent) >= kBucketCount) return kBucketCount - 1;
+  return std::size_t(exponent);
+}
+
+void Histogram::reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(kInf, std::memory_order_relaxed);
+  max_.store(-kInf, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry instance;
+  return instance;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  MPSIM_CHECK(gauges_.count(name) == 0 && histograms_.count(name) == 0,
+              "metric '" << name << "' already registered as another kind");
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    counter_storage_.emplace_back(&enabled_);
+    it = counters_.emplace(name, &counter_storage_.back()).first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  MPSIM_CHECK(counters_.count(name) == 0 && histograms_.count(name) == 0,
+              "metric '" << name << "' already registered as another kind");
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    gauge_storage_.emplace_back(&enabled_);
+    it = gauges_.emplace(name, &gauge_storage_.back()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  MPSIM_CHECK(counters_.count(name) == 0 && gauges_.count(name) == 0,
+              "metric '" << name << "' already registered as another kind");
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    histogram_storage_.emplace_back(&enabled_);
+    it = histograms_.emplace(name, &histogram_storage_.back()).first;
+  }
+  return *it->second;
+}
+
+void MetricsRegistry::record_event(TraceEvent event) {
+  if (!enabled()) return;
+  std::lock_guard lock(mutex_);
+  timeline_.add(std::move(event));
+}
+
+Timeline MetricsRegistry::timeline() const {
+  std::lock_guard lock(mutex_);
+  return timeline_;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard lock(mutex_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace_back(name, c->value());
+  }
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.emplace_back(name, g->value());
+  }
+  for (const auto& [name, h] : histograms_) {
+    MetricsSnapshot::HistogramData data;
+    data.name = name;
+    data.count = h->count();
+    data.sum = h->sum();
+    data.min = data.count > 0 ? h->min() : 0.0;
+    data.max = data.count > 0 ? h->max() : 0.0;
+    for (std::size_t b = 0; b < Histogram::kBucketCount; ++b) {
+      const std::uint64_t n = h->bucket(b);
+      if (n > 0) data.buckets.emplace_back(Histogram::bucket_floor(b), n);
+    }
+    snap.histograms.push_back(std::move(data));
+  }
+  return snap;
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::ostringstream os;
+  os.precision(17);
+  os << "{\n  \"schema\": \"mpsim-metrics-v1\",\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    os << (first ? "\n" : ",\n") << "    \"";
+    append_json_escaped(os, name);
+    os << "\": " << value;
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    os << (first ? "\n" : ",\n") << "    \"";
+    append_json_escaped(os, name);
+    os << "\": " << value;
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& h : histograms) {
+    os << (first ? "\n" : ",\n") << "    \"";
+    append_json_escaped(os, h.name);
+    os << "\": {\"count\": " << h.count << ", \"sum\": " << h.sum
+       << ", \"min\": " << h.min << ", \"max\": " << h.max
+       << ", \"buckets\": [";
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      os << (b == 0 ? "" : ", ") << "{\"ge\": " << h.buckets[b].first
+         << ", \"count\": " << h.buckets[b].second << "}";
+    }
+    os << "]}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "}\n}\n";
+  return os.str();
+}
+
+void MetricsRegistry::write_json(const std::string& path) const {
+  std::ofstream out(path);
+  MPSIM_CHECK(out.good(), "cannot open '" << path << "' for writing");
+  out << snapshot().to_json();
+  MPSIM_CHECK(out.good(), "write to '" << path << "' failed");
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard lock(mutex_);
+  for (auto& c : counter_storage_) c.reset();
+  for (auto& g : gauge_storage_) g.reset();
+  for (auto& h : histogram_storage_) h.reset();
+  timeline_ = Timeline();
+  epoch_.reset();
+}
+
+}  // namespace mpsim

@@ -1,0 +1,244 @@
+// Runtime observability: a low-overhead, thread-safe metrics registry
+// plus a structured wall-clock event recorder.
+//
+// The modelled schedule has always been observable (gpusim::KernelLedger,
+// mp::model_timeline), but the *actual* execution path — the resilient
+// scheduler's retries and escalations, the staging cache, the thread-pool
+// dispatch — was not.  This registry closes that gap with three
+// instrument kinds:
+//
+//   * Counter   — monotonically increasing u64 (events, bytes, retries),
+//   * Gauge     — last-written double (queue depth, hit rate),
+//   * Histogram — fixed log2-bucket distribution of non-negative doubles
+//                 (tile seconds, dispatch sizes); bucket b counts values
+//                 in [2^(b+kMinExponent), 2^(b+1+kMinExponent)).
+//
+// Hot-path contract: recording is a handful of relaxed atomics, performs
+// ZERO heap allocation, and degenerates to one relaxed bool load when the
+// registry is disabled (the default), so instrumented code pays nothing
+// in production-off builds.  Instrument registration (by name) allocates
+// and takes a mutex — do it once at setup, keep the returned reference.
+//
+// Wall-clock events reuse the Timeline type of the modelled schedule
+// (common/trace.hpp), so `--trace-out` of a real run and a modelled
+// schedule load into the same Chrome-tracing/Perfetto view.
+//
+// The process-wide instance is MetricsRegistry::global(), disabled until
+// someone (e.g. mpsim_cli --metrics-out) enables it.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/stopwatch.hpp"
+#include "common/trace.hpp"
+
+namespace mpsim {
+
+class MetricsRegistry;
+
+/// Monotonic event counter.  add() is wait-free and allocation-free.
+/// Instruments are created by (and belong to) a MetricsRegistry; the
+/// constructors are public only because container emplacement needs them.
+class Counter {
+ public:
+  explicit Counter(const std::atomic<bool>* enabled) : enabled_(enabled) {}
+
+  void add(std::uint64_t n = 1) {
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+  const std::atomic<bool>* enabled_;
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written value.  set() is wait-free and allocation-free.
+class Gauge {
+ public:
+  explicit Gauge(const std::atomic<bool>* enabled) : enabled_(enabled) {}
+
+  void set(double v) {
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    value_.store(v, std::memory_order_relaxed);
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+  const std::atomic<bool>* enabled_;
+  std::atomic<double> value_{0.0};
+};
+
+/// Distribution over fixed log2 buckets.  record() is lock-free and
+/// allocation-free (a bucket index plus four relaxed atomics).
+class Histogram {
+ public:
+  /// Bucket 0 starts at 2^kMinExponent (~9.3e-10: sub-nanosecond seconds
+  /// and sub-element counts both land in bucket 0); 64 buckets reach
+  /// 2^34 ≈ 1.7e10, far beyond any duration or size recorded here.
+  static constexpr int kMinExponent = -30;
+  static constexpr std::size_t kBucketCount = 64;
+
+  explicit Histogram(const std::atomic<bool>* enabled) : enabled_(enabled) {}
+
+  void record(double value);
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double min() const { return min_.load(std::memory_order_relaxed); }
+  double max() const { return max_.load(std::memory_order_relaxed); }
+  std::uint64_t bucket(std::size_t b) const {
+    return buckets_[b].load(std::memory_order_relaxed);
+  }
+
+  /// Lower edge of bucket b (2^(b + kMinExponent)).
+  static double bucket_floor(std::size_t b);
+  /// Bucket a value falls into (clamped to [0, kBucketCount)).
+  static std::size_t bucket_index(double value);
+
+ private:
+  friend class MetricsRegistry;
+  void reset();
+
+  const std::atomic<bool>* enabled_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+  std::array<std::atomic<std::uint64_t>, kBucketCount> buckets_{};
+};
+
+/// Point-in-time copy of every instrument, for reporting.
+struct MetricsSnapshot {
+  struct HistogramData {
+    std::string name;
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    /// (bucket floor, count) for every non-empty bucket, ascending.
+    std::vector<std::pair<double, std::uint64_t>> buckets;
+
+    double mean() const { return count > 0 ? sum / double(count) : 0.0; }
+  };
+
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramData> histograms;
+
+  /// Versioned JSON document ("mpsim-metrics-v1"); see docs/API.md.
+  std::string to_json() const;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry every built-in instrumentation site uses.
+  /// Disabled by default.
+  static MetricsRegistry& global();
+
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Look up or create an instrument.  Takes the registry mutex and may
+  /// allocate; returned references stay valid for the registry's
+  /// lifetime.  Looking up one name as two different kinds throws.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// Appends a measured wall-clock event (no-op when disabled).
+  /// start_seconds is relative to the registry's epoch (see now_seconds).
+  void record_event(TraceEvent event);
+
+  /// Seconds since the registry's monotonic epoch (construction or the
+  /// last reset()); the time base of every recorded event.
+  double now_seconds() const { return epoch_.seconds(); }
+
+  /// Copy of the recorded wall-clock timeline (Chrome-tracing
+  /// serialisable, same format as mp::model_timeline's output).
+  Timeline timeline() const;
+
+  MetricsSnapshot snapshot() const;
+
+  /// snapshot().to_json() written to `path`; throws on I/O failure.
+  void write_json(const std::string& path) const;
+
+  /// Zeroes every instrument, clears the timeline and restarts the epoch.
+  /// Instrument references stay valid.
+  void reset();
+
+ private:
+  std::atomic<bool> enabled_{false};
+
+  mutable std::mutex mutex_;
+  // Deques give stable element addresses across registration.
+  std::deque<Counter> counter_storage_;
+  std::deque<Gauge> gauge_storage_;
+  std::deque<Histogram> histogram_storage_;
+  std::map<std::string, Counter*> counters_;
+  std::map<std::string, Gauge*> gauges_;
+  std::map<std::string, Histogram*> histograms_;
+  Timeline timeline_;
+  Stopwatch epoch_;
+};
+
+/// RAII wall-clock span: records a TraceEvent (and optionally a seconds
+/// histogram sample) over its lifetime.  When the registry is disabled at
+/// construction the whole object is inert — no strings are copied.
+class ScopedEvent {
+ public:
+  ScopedEvent(MetricsRegistry& registry, std::string name, int device,
+              std::string lane, Histogram* seconds_histogram = nullptr)
+      : registry_(registry.enabled() ? &registry : nullptr),
+        histogram_(seconds_histogram) {
+    if (registry_ == nullptr) return;
+    name_ = std::move(name);
+    lane_ = std::move(lane);
+    device_ = device;
+    start_ = registry_->now_seconds();
+  }
+
+  ScopedEvent(const ScopedEvent&) = delete;
+  ScopedEvent& operator=(const ScopedEvent&) = delete;
+
+  ~ScopedEvent() {
+    if (registry_ == nullptr) return;
+    const double duration = registry_->now_seconds() - start_;
+    if (histogram_ != nullptr) histogram_->record(duration);
+    registry_->record_event(
+        {std::move(name_), device_, std::move(lane_), start_, duration});
+  }
+
+ private:
+  MetricsRegistry* registry_;
+  Histogram* histogram_;
+  std::string name_;
+  std::string lane_;
+  int device_ = 0;
+  double start_ = 0.0;
+};
+
+}  // namespace mpsim

@@ -2,7 +2,35 @@
 
 #include <algorithm>
 
+#include "common/metrics.hpp"
+
 namespace mpsim {
+
+namespace {
+
+/// parallel_for dispatch instruments, registered once (registration takes
+/// a lock; the per-call cost is relaxed atomics only, nothing when the
+/// global registry is disabled).
+struct DispatchMetrics {
+  Counter& dispatches;
+  Counter& inline_runs;
+  Counter& chunks;
+  Histogram& items;
+  Histogram& caller_share;
+
+  static DispatchMetrics& get() {
+    static DispatchMetrics m{
+        MetricsRegistry::global().counter("thread_pool.parallel_for.dispatches"),
+        MetricsRegistry::global().counter("thread_pool.parallel_for.inline_runs"),
+        MetricsRegistry::global().counter("thread_pool.parallel_for.chunks"),
+        MetricsRegistry::global().histogram("thread_pool.parallel_for.items"),
+        MetricsRegistry::global().histogram(
+            "thread_pool.parallel_for.caller_chunk_share")};
+    return m;
+  }
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t workers) {
   if (workers == 0) {
@@ -94,11 +122,15 @@ void ThreadPool::run_chunk(ParallelJob* job, std::size_t chunk) {
 void ThreadPool::parallel_for(
     std::size_t n, const std::function<void(std::size_t, std::size_t)>& body) {
   if (n == 0) return;
+  DispatchMetrics& metrics = DispatchMetrics::get();
+  metrics.items.record(double(n));
   const std::size_t workers = worker_count();
   if (n <= kInlineMax || workers == 1) {
+    metrics.inline_runs.add();
     body(0, n);
     return;
   }
+  metrics.dispatches.add();
 
   ParallelJob job;
   job.body = &body;
@@ -123,6 +155,7 @@ void ThreadPool::parallel_for(
 
   // The caller works its own job down alongside the pool: claim chunks
   // until none remain, then wait out stragglers on the completion latch.
+  std::size_t caller_chunks = 0;
   for (;;) {
     ParallelJob* claimed = nullptr;
     std::size_t chunk = 0;
@@ -131,11 +164,18 @@ void ThreadPool::parallel_for(
       if (!claim_chunk_locked(&job, claimed, chunk)) break;
     }
     run_chunk(claimed, chunk);
+    ++caller_chunks;
   }
   {
     std::unique_lock lock(job.done_mutex);
     job.done_cv.wait(lock, [&job] { return job.done; });
   }
+  // Imbalance signal: the share of chunks the caller had to absorb.  A
+  // healthy pool leaves the caller ~1/(workers+1); a starved or skewed
+  // pool pushes it toward 100%.
+  metrics.chunks.add(job.chunk_count);
+  metrics.caller_share.record(100.0 * double(caller_chunks) /
+                              double(job.chunk_count));
   if (job.error) std::rethrow_exception(job.error);
 }
 

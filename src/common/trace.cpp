@@ -1,4 +1,4 @@
-#include "gpusim/trace.hpp"
+#include "common/trace.hpp"
 
 #include <algorithm>
 #include <fstream>
@@ -6,7 +6,7 @@
 
 #include "common/error.hpp"
 
-namespace mpsim::gpusim {
+namespace mpsim {
 
 void Timeline::add(TraceEvent event) {
   MPSIM_CHECK(event.duration_seconds >= 0.0, "negative event duration");
@@ -52,4 +52,4 @@ void Timeline::write_chrome_json(const std::string& path) const {
   MPSIM_CHECK(out.good(), "write to '" << path << "' failed");
 }
 
-}  // namespace mpsim::gpusim
+}  // namespace mpsim

@@ -4,11 +4,50 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "common/metrics.hpp"
+
 namespace mpsim::gpusim {
 
 namespace {
 
 constexpr int kSiteClassCount = 3;  // kernel, copy, staging
+
+/// Counts every fault that actually fired, by kind, in the global metrics
+/// registry (alongside the FaultInjector's own event list, which carries
+/// the full detail).
+void count_fault(FaultKind kind, std::size_t corrupted_elements) {
+  struct FaultMetrics {
+    Counter& injected;
+    Counter& kernel;
+    Counter& copy;
+    Counter& offline;
+    Counter& corruption;
+    Counter& corrupted_elements;
+
+    static FaultMetrics& get() {
+      auto& reg = MetricsRegistry::global();
+      static FaultMetrics m{reg.counter("faults.injected"),
+                            reg.counter("faults.kernel_launch"),
+                            reg.counter("faults.copy"),
+                            reg.counter("faults.device_offline"),
+                            reg.counter("faults.corruption"),
+                            reg.counter("faults.corrupted_elements")};
+      return m;
+    }
+  };
+  FaultMetrics& m = FaultMetrics::get();
+  m.injected.add();
+  switch (kind) {
+    case FaultKind::kKernelLaunch: m.kernel.add(); break;
+    case FaultKind::kCopy: m.copy.add(); break;
+    case FaultKind::kDeviceOffline: m.offline.add(); break;
+    case FaultKind::kNaNPoison:
+    case FaultKind::kBitFlip:
+      m.corruption.add();
+      m.corrupted_elements.add(corrupted_elements);
+      break;
+  }
+}
 
 FaultKind parse_kind(const std::string& word) {
   if (word == "kernel") return FaultKind::kKernelLaunch;
@@ -171,6 +210,7 @@ void FaultInjector::fire(FaultSite site, int device,
     if (!rule_fires(rule, n)) continue;
 
     events_.push_back(FaultEvent{rule.kind, device, detail, n, 0});
+    count_fault(rule.kind, 0);
     if (rule.kind == FaultKind::kDeviceOffline) {
       offline_.insert(device);
       throw DeviceFailedError("device " + std::to_string(device) +
@@ -219,6 +259,7 @@ FaultInjector::CorruptionPlan FaultInjector::plan_corruption(
     }
     events_.push_back(
         FaultEvent{rule.kind, device, "staging", n, plan.indices.size()});
+    count_fault(rule.kind, plan.indices.size());
     return plan;  // first matching rule wins for this event
   }
   return plan;

@@ -1,51 +1,17 @@
 // Execution-timeline tracing for the modelled schedule.
 //
-// The ledger aggregates per-kernel totals; a Timeline keeps the
-// individual intervals — which device, which engine lane (compute or
-// copy), when — and serialises them in the Chrome tracing format
-// (chrome://tracing, Perfetto, speedscope all read it), the standard way
-// GPU schedules are inspected.  mp::model_timeline() builds one for a
-// multi-tile run without executing anything.
+// The implementation moved to common/trace.hpp so the runtime metrics
+// layer (common/metrics.hpp) can record measured wall-clock events into
+// the same Timeline type the modelled schedule uses — real runs and
+// modelled schedules serialize to the same Chrome-tracing JSON.  This
+// header keeps the historical mpsim::gpusim spelling working.
 #pragma once
 
-#include <cstdint>
-#include <string>
-#include <vector>
+#include "common/trace.hpp"
 
 namespace mpsim::gpusim {
 
-struct TraceEvent {
-  std::string name;     ///< e.g. "tile 3 dist_calc"
-  int device = 0;       ///< pid in the trace
-  std::string lane;     ///< tid: "compute" or "copy"
-  double start_seconds = 0.0;
-  double duration_seconds = 0.0;
-
-  double end_seconds() const { return start_seconds + duration_seconds; }
-};
-
-class Timeline {
- public:
-  void add(TraceEvent event);
-
-  const std::vector<TraceEvent>& events() const { return events_; }
-  bool empty() const { return events_.empty(); }
-
-  /// Latest event end across all devices and lanes.
-  double makespan_seconds() const;
-
-  /// End of the last event on one device's lane (0 if none).
-  double lane_end_seconds(int device, const std::string& lane) const;
-
-  /// Chrome tracing JSON (an array of "X" complete events; timestamps in
-  /// microseconds as the format requires).
-  std::string to_chrome_json() const;
-
-  /// Writes the JSON to a file; throws on I/O failure.
-  void write_chrome_json(const std::string& path) const;
-
- private:
-  std::vector<TraceEvent> events_;
-};
+using mpsim::TraceEvent;
+using mpsim::Timeline;
 
 }  // namespace mpsim::gpusim

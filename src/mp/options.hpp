@@ -73,6 +73,30 @@ struct MatrixProfileConfig {
   gpusim::FaultInjector* fault_injector = nullptr;
 };
 
+/// One typed scheduler event of a resilient run (what used to be a free-
+/// form log string).  Machine-readable — the CLI's metrics/trace outputs
+/// and tests consume the fields; to_string() renders the human line.
+struct RunEvent {
+  enum class Kind {
+    kRetry,             ///< transient failure, retrying on the same device
+    kRetriesExhausted,  ///< retry budget spent on one device
+    kReassigned,        ///< tile moved to another device's queue
+    kStolen,            ///< tile work-stolen from a blacklisted device
+    kBlacklisted,       ///< device removed from scheduling
+    kDeferredToCpu,     ///< no healthy device left for this tile
+    kCpuFallback,       ///< tile completed on the CPU reference path
+    kEscalated,         ///< tile re-run one precision rung up
+  };
+
+  Kind kind = Kind::kRetry;
+  int tile_id = -1;    ///< -1 when the event is device- not tile-scoped
+  int device = -1;     ///< -1 = none / CPU
+  std::string detail;  ///< error text, retry budget, modes, ...
+
+  /// The chronological-log line this event renders as.
+  std::string to_string() const;
+};
+
 /// Health report of one resilient run: every injected fault, retry,
 /// blacklist event and precision escalation, plus per-device status.
 struct RunHealth {
@@ -97,7 +121,7 @@ struct RunHealth {
   int cpu_fallback_tiles = 0;  ///< tiles completed on the CPU reference
   std::vector<Escalation> escalations;
   std::vector<DeviceStatus> devices;
-  std::vector<std::string> log;  ///< chronological human-readable events
+  std::vector<RunEvent> events;  ///< chronological typed scheduler events
   bool degraded = false;  ///< run survived faults / lost devices
 
   /// Multi-line human-readable report (what mpsim_cli prints).

@@ -9,6 +9,7 @@
 #include <thread>
 #include <utility>
 
+#include "common/metrics.hpp"
 #include "common/stopwatch.hpp"
 #include "gpusim/faults.hpp"
 #include "gpusim/stream.hpp"
@@ -49,6 +50,33 @@ struct TileJob {
   std::set<int> exhausted;     ///< devices whose retry budget this tile spent
 };
 
+/// Counters + histograms of the resilient scheduler, registered once in
+/// the global registry (per-call cost: relaxed atomics, nothing when the
+/// registry is disabled).
+struct SchedulerMetrics {
+  Counter& tiles_completed;
+  Counter& attempts;
+  Counter& retries;
+  Counter& reassigned;
+  Counter& blacklists;
+  Counter& cpu_fallback;
+  Counter& escalations;
+  Histogram& tile_seconds;
+
+  static SchedulerMetrics& get() {
+    auto& reg = MetricsRegistry::global();
+    static SchedulerMetrics m{reg.counter("resilient.tiles_completed"),
+                              reg.counter("resilient.attempts"),
+                              reg.counter("resilient.retries"),
+                              reg.counter("resilient.reassigned_tiles"),
+                              reg.counter("resilient.blacklist_events"),
+                              reg.counter("resilient.cpu_fallback_tiles"),
+                              reg.counter("resilient.escalations"),
+                              reg.histogram("resilient.tile_seconds")};
+    return m;
+  }
+};
+
 /// Shared scheduler state, guarded by one mutex.
 struct SchedulerState {
   std::mutex mutex;
@@ -61,8 +89,8 @@ struct SchedulerState {
   RunHealth health;
 };
 
-void log_event(SchedulerState& st, const std::string& line) {
-  st.health.log.push_back(line);
+void log_event(SchedulerState& st, RunEvent event) {
+  st.health.events.push_back(std::move(event));
 }
 
 /// Picks the healthiest destination queue for a requeued job (fewest
@@ -83,14 +111,13 @@ void requeue_locked(SchedulerState& st, TileJob job, int tile_id) {
   }
   job.retries_here = 0;
   st.health.reassigned_tiles += 1;
+  SchedulerMetrics::get().reassigned.add();
   if (target < 0) {
-    log_event(st, "tile " + std::to_string(tile_id) +
-                      ": no healthy device left, deferring to CPU fallback");
+    log_event(st, {RunEvent::Kind::kDeferredToCpu, tile_id, -1, ""});
     st.outstanding -= 1;  // leaves the device scheduler's responsibility
     st.cpu_jobs.push_back(std::move(job));
   } else {
-    log_event(st, "tile " + std::to_string(tile_id) +
-                      ": reassigned to device " + std::to_string(target));
+    log_event(st, {RunEvent::Kind::kReassigned, tile_id, target, ""});
     st.queues[std::size_t(target)].push_back(std::move(job));
   }
 }
@@ -102,10 +129,11 @@ void blacklist_locked(SchedulerState& st, int dev, bool offline,
                       const std::string& why) {
   st.blacklisted[std::size_t(dev)] = 1;
   st.health.blacklist_events += 1;
+  SchedulerMetrics::get().blacklists.add();
   auto& status = st.health.devices[std::size_t(dev)];
   status.blacklisted = true;
   status.offline = offline;
-  log_event(st, "device " + std::to_string(dev) + " blacklisted: " + why);
+  log_event(st, {RunEvent::Kind::kBlacklisted, -1, dev, why});
 }
 
 /// Everything the per-device workers need to execute tiles.
@@ -182,8 +210,8 @@ void device_worker(const RunContext& ctx, SchedulerState& st, int dev) {
     if (stolen) {
       std::lock_guard lock(st.mutex);
       st.health.reassigned_tiles += 1;
-      log_event(st, "tile " + std::to_string(tile.id) +
-                        ": stolen by device " + std::to_string(dev));
+      SchedulerMetrics::get().reassigned.add();
+      log_event(st, {RunEvent::Kind::kStolen, tile.id, dev, ""});
     }
 
     // ---- Attempt loop: retries and precision escalations. ----
@@ -196,6 +224,13 @@ void device_worker(const RunContext& ctx, SchedulerState& st, int dev) {
       attempt.index.clear();
       attempt.ledger.reset();
       try {
+        // Measured wall-clock span of this attempt: the trace line every
+        // Fig.4/Fig.5-style analysis of a *real* run is built from.
+        ScopedEvent span(MetricsRegistry::global(),
+                         "tile " + std::to_string(tile.id) + " " +
+                             to_string(job.mode),
+                         dev, "tile", &SchedulerMetrics::get().tile_seconds);
+        SchedulerMetrics::get().attempts.add();
         execute_attempt(ctx, dev, job.mode, tile, attempt);
       } catch (const DeviceFailedError& e) {
         std::lock_guard lock(st.mutex);
@@ -210,10 +245,11 @@ void device_worker(const RunContext& ctx, SchedulerState& st, int dev) {
         if (job.retries_here < rc.max_retries) {
           job.retries_here += 1;
           st.health.retries += 1;
-          log_event(st, "tile " + std::to_string(tile.id) + ": " + e.what() +
-                            " — retry " + std::to_string(job.retries_here) +
-                            "/" + std::to_string(rc.max_retries) +
-                            " on device " + std::to_string(dev));
+          SchedulerMetrics::get().retries.add();
+          log_event(st, {RunEvent::Kind::kRetry, tile.id, dev,
+                         std::string(e.what()) + " — retry " +
+                             std::to_string(job.retries_here) + "/" +
+                             std::to_string(rc.max_retries)});
           lock.unlock();
           const double ms =
               rc.backoff_ms * double(1 << (job.retries_here - 1));
@@ -224,9 +260,8 @@ void device_worker(const RunContext& ctx, SchedulerState& st, int dev) {
         // Retry budget spent here: the device failed this whole tile.
         st.consecutive_failed_tiles[std::size_t(dev)] += 1;
         job.exhausted.insert(dev);
-        log_event(st, "tile " + std::to_string(tile.id) +
-                          ": retries exhausted on device " +
-                          std::to_string(dev) + " (" + e.what() + ")");
+        log_event(st,
+                  {RunEvent::Kind::kRetriesExhausted, tile.id, dev, e.what()});
         const bool drop =
             st.consecutive_failed_tiles[std::size_t(dev)] >=
             rc.blacklist_after;
@@ -249,10 +284,11 @@ void device_worker(const RunContext& ctx, SchedulerState& st, int dev) {
           std::lock_guard lock(st.mutex);
           st.health.escalations.push_back(
               RunHealth::Escalation{tile.id, job.mode, next, bad});
-          log_event(st, "tile " + std::to_string(tile.id) + ": " +
-                            std::to_string(int(100.0 * bad)) +
-                            "% non-finite, escalating " +
-                            to_string(job.mode) + " -> " + to_string(next));
+          SchedulerMetrics::get().escalations.add();
+          log_event(st, {RunEvent::Kind::kEscalated, tile.id, dev,
+                         std::to_string(int(100.0 * bad)) +
+                             "% non-finite, escalating " +
+                             to_string(job.mode) + " -> " + to_string(next)});
           job.mode = next;
           continue;  // re-run one rung up
         }
@@ -263,6 +299,7 @@ void device_worker(const RunContext& ctx, SchedulerState& st, int dev) {
         (*ctx.final_mode)[job.index] = job.mode;
         st.consecutive_failed_tiles[std::size_t(dev)] = 0;
         st.health.devices[std::size_t(dev)].tiles_completed += 1;
+        SchedulerMetrics::get().tiles_completed.add();
         st.outstanding -= 1;
         st.cv.notify_all();
       }
@@ -300,6 +337,30 @@ void cpu_fallback_tile(const TimeSeries& reference, const TimeSeries& query,
 
 }  // namespace
 
+std::string RunEvent::to_string() const {
+  const std::string tile = "tile " + std::to_string(tile_id);
+  const std::string dev = "device " + std::to_string(device);
+  switch (kind) {
+    case Kind::kRetry:
+      return tile + ": " + detail + " on " + dev;
+    case Kind::kRetriesExhausted:
+      return tile + ": retries exhausted on " + dev + " (" + detail + ")";
+    case Kind::kReassigned:
+      return tile + ": reassigned to " + dev;
+    case Kind::kStolen:
+      return tile + ": stolen by " + dev;
+    case Kind::kBlacklisted:
+      return dev + " blacklisted: " + detail;
+    case Kind::kDeferredToCpu:
+      return tile + ": no healthy device left, deferring to CPU fallback";
+    case Kind::kCpuFallback:
+      return tile + ": completed on the CPU reference path (FP64)";
+    case Kind::kEscalated:
+      return tile + ": " + detail;
+  }
+  return detail;
+}
+
 std::string RunHealth::summary() const {
   std::ostringstream os;
   os << "run health: " << (degraded ? "DEGRADED" : "clean") << " — "
@@ -318,8 +379,8 @@ std::string RunHealth::summary() const {
        << " -> " << to_string(esc.to) << " ("
        << int(100.0 * esc.non_finite_fraction) << "% non-finite)\n";
   }
-  for (const auto& line : log) {
-    os << "  | " << line << "\n";
+  for (const auto& event : events) {
+    os << "  | " << event.to_string() << "\n";
   }
   return os.str();
 }
@@ -336,6 +397,7 @@ MatrixProfileResult run_resilient(gpusim::System& system,
               "window " << m << " longer than the input series");
 
   Stopwatch wall;
+  ScopedEvent run_span(MetricsRegistry::global(), "run_resilient", -1, "cpu");
 
   auto tiles = compute_tile_list(n_r, n_q, config.tiles);
   if (config.assignment == TileAssignment::kLpt) {
@@ -409,13 +471,19 @@ MatrixProfileResult run_resilient(gpusim::System& system,
   }
   for (auto& job : leftovers) {
     const Tile& tile = tiles[job.index];
-    cpu_fallback_tile(reference, query, m, tile, config.exclusion,
-                      results[job.index]);
+    {
+      ScopedEvent span(MetricsRegistry::global(),
+                       "tile " + std::to_string(tile.id) + " cpu-fallback",
+                       -1, "cpu",
+                       &SchedulerMetrics::get().tile_seconds);
+      cpu_fallback_tile(reference, query, m, tile, config.exclusion,
+                        results[job.index]);
+    }
     executed_device[job.index] = -1;
     final_mode[job.index] = PrecisionMode::FP64;
     st.health.cpu_fallback_tiles += 1;
-    log_event(st, "tile " + std::to_string(tile.id) +
-                      ": completed on the CPU reference path (FP64)");
+    SchedulerMetrics::get().cpu_fallback.add();
+    log_event(st, {RunEvent::Kind::kCpuFallback, tile.id, -1, ""});
   }
 
   // ---- CPU merge (Pseudocode 2, lines 6-8). ----
@@ -423,6 +491,8 @@ MatrixProfileResult run_resilient(gpusim::System& system,
   // column sees the tiles in the same ascending order).
   MatrixProfileResult out;
   {
+    ScopedEvent span(MetricsRegistry::global(), "merge_tile_results", -1,
+                     "cpu");
     ThreadPool merge_pool;
     merge_tile_results(tiles, results, n_q, d, out, &merge_pool);
   }
@@ -460,6 +530,20 @@ MatrixProfileResult run_resilient(gpusim::System& system,
   for (const auto& [name, stats] : merged.all()) {
     out.breakdown.push_back(KernelBreakdownEntry{
         name, stats.launches, stats.modeled_seconds, stats.measured_seconds});
+  }
+  // Per-kernel accounting in the registry: measured wall seconds next to
+  // the roofline-modelled seconds of the same launches (registration cost
+  // only here, at end of run; nothing when the registry is disabled).
+  if (MetricsRegistry::global().enabled()) {
+    auto& reg = MetricsRegistry::global();
+    for (const auto& entry : out.breakdown) {
+      reg.counter("kernel." + entry.name + ".launches")
+          .add(std::uint64_t(entry.launches));
+      reg.gauge("kernel." + entry.name + ".wall_seconds")
+          .set(entry.measured_seconds);
+      reg.gauge("kernel." + entry.name + ".modeled_seconds")
+          .set(entry.modeled_seconds);
+    }
   }
 
   // ---- Health report. ----

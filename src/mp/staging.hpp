@@ -19,6 +19,7 @@
 #include <mutex>
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "precision/modes.hpp"
 #include "tsdata/time_series.hpp"
 
@@ -59,6 +60,11 @@ class StagingCache {
         convert<ST>(query_, built->query);
         slot.data = built;
         staged = built.get();
+        Metrics::get().misses.add();
+        Metrics::get().bytes_converted.add(
+            (built->reference.size() + built->query.size()) * sizeof(ST));
+      } else {
+        Metrics::get().hits.add();
       }
     }
     View<Traits> view;
@@ -70,6 +76,23 @@ class StagingCache {
   }
 
  private:
+  /// Cache traffic instruments: one miss per (storage format, run) is the
+  /// healthy pattern; every retry, escalation and extra tile shows up as
+  /// a hit instead of a reconversion.
+  struct Metrics {
+    Counter& hits;
+    Counter& misses;
+    Counter& bytes_converted;
+
+    static Metrics& get() {
+      static Metrics m{MetricsRegistry::global().counter("staging.hits"),
+                       MetricsRegistry::global().counter("staging.misses"),
+                       MetricsRegistry::global().counter(
+                           "staging.bytes_converted")};
+      return m;
+    }
+  };
+
   template <typename ST>
   struct Staged {
     std::vector<ST> reference;

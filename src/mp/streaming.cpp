@@ -29,6 +29,8 @@ StreamingMatrixProfile::StreamingMatrixProfile(const TimeSeries& reference,
                             pre_r_.dg.data() + k * n_r_);
   }
   query_.resize(dims_);
+  col_profile_.resize(dims_);
+  col_index_.resize(dims_);
   cum1_.assign(dims_, {0.0});
   cum2_.assign(dims_, {0.0});
   qt_prev_.assign(dims_, {});
@@ -109,17 +111,25 @@ void StreamingMatrixProfile::complete_segment() {
   }
 
   // Column j of the profile: per reference row, gather the d distances,
-  // sort, progressive-average, and min-merge (same helpers as the batch
-  // engines, so the floating-point order matches).
+  // sort, progressive-average, and min-merge.  The sort is the shared
+  // Bitonic network of sort_scan_group_body — padded to the next power of
+  // two with +inf — not std::sort: the network's compare-exchanges stay
+  // deterministic when a distance is NaN, whereas NaN violates std::sort's
+  // strict-weak-ordering contract (UB), and the batch engines' ordering of
+  // NaN columns is reproduced exactly.
+  const std::size_t p2 = next_pow2(dims_);
   std::vector<double> best(dims_, std::numeric_limits<double>::infinity());
   std::vector<std::int64_t> best_idx(dims_, -1);
-  std::vector<double> dists(dims_), scratch(dims_);
+  std::vector<double> dists(p2), scratch(dims_);
   for (std::size_t i = 0; i < n_r_; ++i) {
     for (std::size_t k = 0; k < dims_; ++k) {
       dists[k] = qt_to_distance(qt_new[k][i], double(pre_r_.inv[k * n_r_ + i]),
                                 inv_q[k], two_m);
     }
-    std::sort(dists.begin(), dists.end());
+    for (std::size_t k = dims_; k < p2; ++k) {
+      dists[k] = std::numeric_limits<double>::infinity();
+    }
+    bitonic_sort(dists.data(), p2);
     inclusive_scan_average(dists.data(), scratch.data(), dims_);
     for (std::size_t k = 0; k < dims_; ++k) {
       if (dists[k] < best[k]) {
@@ -129,24 +139,30 @@ void StreamingMatrixProfile::complete_segment() {
     }
   }
 
-  // Grow the dimension-major result arrays by one column.
-  const std::size_t new_segments = segments_ + 1;
-  std::vector<double> profile(new_segments * dims_);
-  std::vector<std::int64_t> index(new_segments * dims_);
+  // Append the new column to the per-dimension growable arrays — O(d)
+  // amortised, instead of reallocating and copying the whole flat
+  // dimension-major layout every segment (O(segments * d), i.e. O(n^2)
+  // over a stream).  The flat view is materialised lazily on demand.
   for (std::size_t k = 0; k < dims_; ++k) {
-    std::copy(profile_.begin() + std::ptrdiff_t(k * segments_),
-              profile_.begin() + std::ptrdiff_t((k + 1) * segments_),
-              profile.begin() + std::ptrdiff_t(k * new_segments));
-    std::copy(index_.begin() + std::ptrdiff_t(k * segments_),
-              index_.begin() + std::ptrdiff_t((k + 1) * segments_),
-              index.begin() + std::ptrdiff_t(k * new_segments));
-    profile[k * new_segments + segments_] = best[k];
-    index[k * new_segments + segments_] = best_idx[k];
+    col_profile_[k].push_back(best[k]);
+    col_index_[k].push_back(best_idx[k]);
   }
-  profile_ = std::move(profile);
-  index_ = std::move(index);
+  flat_dirty_ = true;
   for (std::size_t k = 0; k < dims_; ++k) qt_prev_[k] = std::move(qt_new[k]);
-  segments_ = new_segments;
+  ++segments_;
+}
+
+void StreamingMatrixProfile::materialize() const {
+  if (!flat_dirty_) return;
+  flat_profile_.resize(segments_ * dims_);
+  flat_index_.resize(segments_ * dims_);
+  for (std::size_t k = 0; k < dims_; ++k) {
+    std::copy(col_profile_[k].begin(), col_profile_[k].end(),
+              flat_profile_.begin() + std::ptrdiff_t(k * segments_));
+    std::copy(col_index_[k].begin(), col_index_[k].end(),
+              flat_index_.begin() + std::ptrdiff_t(k * segments_));
+  }
+  flat_dirty_ = false;
 }
 
 }  // namespace mpsim::mp

@@ -40,19 +40,29 @@ class StreamingMatrixProfile {
   void append_series(const TimeSeries& samples);
 
   /// Profile/index of the streamed query so far, dimension-major
-  /// [k * segments() + j] — same layout as MatrixProfileResult.
-  const std::vector<double>& profile() const { return profile_; }
-  const std::vector<std::int64_t>& index() const { return index_; }
+  /// [k * segments() + j] — same layout as MatrixProfileResult.  The flat
+  /// view is materialised lazily from the per-dimension columns (results
+  /// are stored column-wise so appending a segment is O(d) amortised); the
+  /// returned reference stays valid until the next append.
+  const std::vector<double>& profile() const {
+    materialize();
+    return flat_profile_;
+  }
+  const std::vector<std::int64_t>& index() const {
+    materialize();
+    return flat_index_;
+  }
 
   double at(std::size_t j, std::size_t k) const {
-    return profile_[k * segments_ + j];
+    return col_profile_[k][j];
   }
   std::int64_t index_at(std::size_t j, std::size_t k) const {
-    return index_[k * segments_ + j];
+    return col_index_[k][j];
   }
 
  private:
   void complete_segment();
+  void materialize() const;
 
   using Fp64 = PrecisionTraits<PrecisionMode::FP64>;
 
@@ -77,8 +87,13 @@ class StreamingMatrixProfile {
   std::vector<std::vector<double>> qt_prev_;  // [k][i]
   std::vector<double> mu_prev_;               // mean of previous segment
 
-  std::vector<double> profile_;      // [k * segments_ + j]
-  std::vector<std::int64_t> index_;
+  // Results grow column-wise per dimension; the flat dimension-major view
+  // (same layout as MatrixProfileResult) is rebuilt on demand only.
+  std::vector<std::vector<double>> col_profile_;      // [k][j]
+  std::vector<std::vector<std::int64_t>> col_index_;  // [k][j]
+  mutable std::vector<double> flat_profile_;      // [k * segments_ + j]
+  mutable std::vector<std::int64_t> flat_index_;
+  mutable bool flat_dirty_ = true;
 };
 
 }  // namespace mpsim::mp

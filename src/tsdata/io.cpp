@@ -3,18 +3,27 @@
 #include <cctype>
 #include <cstdlib>
 #include <fstream>
-#include <sstream>
 
 #include "common/error.hpp"
 
 namespace mpsim {
 namespace {
 
+// Splits on ',' keeping empty cells — including a trailing one, which
+// istringstream+getline silently drops ("1,2," must be three cells so the
+// width check can reject it instead of mis-parsing the row).
 std::vector<std::string> split_csv_line(const std::string& line) {
   std::vector<std::string> cells;
-  std::string cell;
-  std::istringstream ss(line);
-  while (std::getline(ss, cell, ',')) cells.push_back(cell);
+  std::size_t begin = 0;
+  while (true) {
+    const std::size_t end = line.find(',', begin);
+    if (end == std::string::npos) {
+      cells.push_back(line.substr(begin));
+      break;
+    }
+    cells.push_back(line.substr(begin, end - begin));
+    begin = end + 1;
+  }
   return cells;
 }
 
@@ -54,23 +63,31 @@ TimeSeries read_csv(const std::string& path) {
   std::string line;
   bool first = true;
   std::size_t dims = 0;
+  std::size_t line_no = 0;
   while (std::getline(in, line)) {
+    ++line_no;
+    // getline splits on '\n' only; strip the '\r' of CRLF files so blank
+    // lines are recognised and the last cell does not carry a stray '\r'.
+    if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty()) continue;
     const auto cells = split_csv_line(line);
     if (first) {
       first = false;
       dims = cells.size();
-      if (!cells.empty() && !looks_numeric(cells[0])) continue;  // header
+      if (!looks_numeric(cells[0])) continue;  // header
     }
     MPSIM_CHECK(cells.size() == dims,
-                "row with " << cells.size() << " cells in a " << dims
-                            << "-column file: '" << line << "'");
+                path << ":" << line_no << ": row with " << cells.size()
+                     << " cells in a " << dims << "-column file: '" << line
+                     << "'");
     std::vector<double> row;
     row.reserve(dims);
     for (const auto& cell : cells) {
       char* end = nullptr;
       const double v = std::strtod(cell.c_str(), &end);
-      MPSIM_CHECK(end != cell.c_str(), "non-numeric cell '" << cell << "'");
+      MPSIM_CHECK(end != cell.c_str(),
+                  path << ":" << line_no << ": non-numeric cell '" << cell
+                       << "'");
       row.push_back(v);
     }
     rows.push_back(std::move(row));

@@ -2,6 +2,9 @@
 // matrix profile.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "mp/analysis.hpp"
@@ -240,6 +243,80 @@ TEST(Streaming, ValidatesInput) {
   EXPECT_THROW(streaming.append({1.0}), Error);  // wrong dimensionality
   EXPECT_THROW(StreamingMatrixProfile(reference, 2), Error);
   EXPECT_THROW(StreamingMatrixProfile(reference, 1000), Error);
+}
+
+TEST(Streaming, LongStreamMatchesBatchBitExact) {
+  // >= 512 completed segments: exercises the per-dimension growable
+  // columns (the old flat layout re-copied the whole profile per segment,
+  // O(n^2) over a stream) and pins that the lazy flat view is still
+  // bit-identical to the batch CPU reference.
+  SyntheticSpec spec;
+  spec.segments = 560;
+  spec.dims = 2;
+  spec.window = 16;
+  spec.injections_per_dim = 2;
+  const auto data = make_synthetic_dataset(spec);
+
+  StreamingMatrixProfile streaming(data.reference, 16);
+  streaming.append_series(data.query);
+  ASSERT_GE(streaming.segments(), 512u);
+  ASSERT_EQ(streaming.segments(), data.query.segment_count(16));
+
+  CpuReferenceConfig config;
+  config.window = 16;
+  const auto batch =
+      compute_matrix_profile_cpu(data.reference, data.query, config);
+  ASSERT_EQ(streaming.profile().size(), batch.profile.size());
+  for (std::size_t e = 0; e < batch.profile.size(); ++e) {
+    ASSERT_EQ(streaming.profile()[e], batch.profile[e]) << "entry " << e;
+    ASSERT_EQ(streaming.index()[e], batch.index[e]) << "entry " << e;
+  }
+  // at()/index_at() read the growable columns directly; they must agree
+  // with the materialised flat view.
+  for (std::size_t j = 0; j < streaming.segments(); j += 37) {
+    for (std::size_t k = 0; k < streaming.dims(); ++k) {
+      EXPECT_EQ(streaming.at(j, k),
+                streaming.profile()[k * streaming.segments() + j]);
+      EXPECT_EQ(streaming.index_at(j, k),
+                streaming.index()[k * streaming.segments() + j]);
+    }
+  }
+}
+
+TEST(Streaming, NanSamplesMatchBatchFp64Engine) {
+  // A NaN sample poisons the distances of the affected query segments;
+  // std::sort on NaN-containing ranges is undefined behaviour, so the
+  // streaming path sorts with the shared Bitonic network.  The result
+  // must match the batch FP64 engine (which uses the same network)
+  // bit-for-bit, NaN placement included.
+  SyntheticSpec spec;
+  spec.segments = 80;
+  spec.dims = 3;
+  spec.window = 16;
+  spec.injections_per_dim = 1;
+  auto data = make_synthetic_dataset(spec);
+  TimeSeries query = data.query;
+  query.at(20, 1) = std::numeric_limits<double>::quiet_NaN();
+  query.at(45, 0) = std::numeric_limits<double>::quiet_NaN();
+
+  StreamingMatrixProfile streaming(data.reference, 16);
+  streaming.append_series(query);
+
+  MatrixProfileConfig config;
+  config.window = 16;
+  config.mode = PrecisionMode::FP64;
+  const auto batch = compute_matrix_profile(data.reference, query, config);
+  ASSERT_EQ(streaming.profile().size(), batch.profile.size());
+  for (std::size_t e = 0; e < batch.profile.size(); ++e) {
+    const double got = streaming.profile()[e];
+    const double want = batch.profile[e];
+    if (std::isnan(want)) {
+      ASSERT_TRUE(std::isnan(got)) << "entry " << e;
+    } else {
+      ASSERT_EQ(got, want) << "entry " << e;
+    }
+    ASSERT_EQ(streaming.index()[e], batch.index[e]) << "entry " << e;
+  }
 }
 
 }  // namespace

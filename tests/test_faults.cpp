@@ -181,7 +181,18 @@ TEST(ResilientScheduler, Fp64SurvivesFaultsBitIdentically) {
   EXPECT_TRUE(health.devices[1].blacklisted);
   EXPECT_TRUE(health.devices[1].offline);
   EXPECT_FALSE(health.devices[0].blacklisted);
-  EXPECT_FALSE(health.log.empty());
+  EXPECT_FALSE(health.events.empty());
+  // Typed events: the retry lines carry the tile/device they happened on.
+  bool saw_retry = false;
+  for (const auto& event : health.events) {
+    if (event.kind == RunEvent::Kind::kRetry) {
+      saw_retry = true;
+      EXPECT_GE(event.tile_id, 0);
+      EXPECT_GE(event.device, 0);
+      EXPECT_NE(event.to_string().find("retry"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(saw_retry);
   EXPECT_TRUE(injector.device_offline(1));
   EXPECT_EQ(health.escalations.size(), 0u);
 }

@@ -1,0 +1,188 @@
+// Tests for the runtime observability layer (common/metrics.hpp):
+// counter/gauge/histogram semantics, concurrent recording, disabled-mode
+// no-ops, JSON serialisation and the wall-clock event recorder.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/metrics.hpp"
+
+namespace mpsim {
+namespace {
+
+TEST(RuntimeMetrics, CounterCountsWhenEnabled) {
+  MetricsRegistry registry;
+  registry.set_enabled(true);
+  Counter& c = registry.counter("test.counter");
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  // Same name resolves to the same instrument.
+  EXPECT_EQ(&registry.counter("test.counter"), &c);
+}
+
+TEST(RuntimeMetrics, DisabledRegistryRecordsNothing) {
+  MetricsRegistry registry;  // disabled by default
+  Counter& c = registry.counter("test.counter");
+  Gauge& g = registry.gauge("test.gauge");
+  Histogram& h = registry.histogram("test.hist");
+  c.add(7);
+  g.set(3.5);
+  h.record(1.0);
+  { ScopedEvent span(registry, "noop", 0, "lane"); }
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_TRUE(registry.timeline().events().empty());
+
+  // Flipping the switch arms the existing instrument references.
+  registry.set_enabled(true);
+  c.add(7);
+  EXPECT_EQ(c.value(), 7u);
+}
+
+TEST(RuntimeMetrics, ConcurrentCounterIncrementsAreLossless) {
+  MetricsRegistry registry;
+  registry.set_enabled(true);
+  Counter& c = registry.counter("test.concurrent");
+  Histogram& h = registry.histogram("test.concurrent_hist");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c, &h] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.add();
+        h.record(1.0);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), std::uint64_t(kThreads) * kPerThread);
+  EXPECT_EQ(h.count(), std::uint64_t(kThreads) * kPerThread);
+  EXPECT_EQ(h.sum(), double(kThreads) * kPerThread);
+  EXPECT_EQ(h.min(), 1.0);
+  EXPECT_EQ(h.max(), 1.0);
+}
+
+TEST(RuntimeMetrics, HistogramBucketing) {
+  // Bucket b covers [2^(b + kMinExponent), 2^(b + 1 + kMinExponent)).
+  EXPECT_EQ(Histogram::bucket_index(1.0), std::size_t(-Histogram::kMinExponent));
+  EXPECT_EQ(Histogram::bucket_index(2.0),
+            std::size_t(-Histogram::kMinExponent) + 1);
+  EXPECT_EQ(Histogram::bucket_index(3.9),
+            std::size_t(-Histogram::kMinExponent) + 1);
+  EXPECT_EQ(Histogram::bucket_index(0.5),
+            std::size_t(-Histogram::kMinExponent) - 1);
+  // Extremes clamp to the edge buckets instead of overflowing.
+  EXPECT_EQ(Histogram::bucket_index(0.0), 0u);
+  EXPECT_EQ(Histogram::bucket_index(1e300), Histogram::kBucketCount - 1);
+  EXPECT_EQ(Histogram::bucket_floor(std::size_t(-Histogram::kMinExponent)),
+            1.0);
+
+  MetricsRegistry registry;
+  registry.set_enabled(true);
+  Histogram& h = registry.histogram("test.buckets");
+  h.record(1.0);
+  h.record(1.5);
+  h.record(8.0);
+  h.record(-1.0);                                        // ignored
+  h.record(std::numeric_limits<double>::quiet_NaN());    // ignored
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.min(), 1.0);
+  EXPECT_EQ(h.max(), 8.0);
+  EXPECT_EQ(h.sum(), 10.5);
+  EXPECT_EQ(h.bucket(Histogram::bucket_index(1.0)), 2u);
+  EXPECT_EQ(h.bucket(Histogram::bucket_index(8.0)), 1u);
+}
+
+TEST(RuntimeMetrics, NameCollisionAcrossKindsThrows) {
+  MetricsRegistry registry;
+  registry.counter("shared.name");
+  EXPECT_THROW(registry.gauge("shared.name"), Error);
+  EXPECT_THROW(registry.histogram("shared.name"), Error);
+}
+
+TEST(RuntimeMetrics, SnapshotAndJson) {
+  MetricsRegistry registry;
+  registry.set_enabled(true);
+  registry.counter("c.one").add(3);
+  registry.gauge("g.one").set(2.25);
+  registry.histogram("h.one").record(4.0);
+
+  const auto snap = registry.snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].first, "c.one");
+  EXPECT_EQ(snap.counters[0].second, 3u);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].second, 2.25);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].count, 1u);
+  EXPECT_EQ(snap.histograms[0].mean(), 4.0);
+
+  const std::string json = snap.to_json();
+  EXPECT_NE(json.find("\"schema\": \"mpsim-metrics-v1\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"c.one\": 3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"h.one\""), std::string::npos) << json;
+}
+
+TEST(RuntimeMetrics, ScopedEventRecordsTimelineSpan) {
+  MetricsRegistry registry;
+  registry.set_enabled(true);
+  Histogram& seconds = registry.histogram("span.seconds");
+  {
+    ScopedEvent span(registry, "unit-span", 2, "test-lane", &seconds);
+  }
+  const auto timeline = registry.timeline();
+  ASSERT_EQ(timeline.events().size(), 1u);
+  const auto& e = timeline.events()[0];
+  EXPECT_EQ(e.name, "unit-span");
+  EXPECT_EQ(e.device, 2);
+  EXPECT_EQ(e.lane, "test-lane");
+  EXPECT_GE(e.start_seconds, 0.0);
+  EXPECT_GE(e.duration_seconds, 0.0);
+  EXPECT_EQ(seconds.count(), 1u);
+
+  const std::string chrome = timeline.to_chrome_json();
+  EXPECT_NE(chrome.find("\"ph\""), std::string::npos) << chrome;
+  EXPECT_NE(chrome.find("unit-span"), std::string::npos) << chrome;
+}
+
+TEST(RuntimeMetrics, ResetZeroesInstrumentsAndTimeline) {
+  MetricsRegistry registry;
+  registry.set_enabled(true);
+  Counter& c = registry.counter("reset.counter");
+  Histogram& h = registry.histogram("reset.hist");
+  c.add(5);
+  h.record(1.0);
+  { ScopedEvent span(registry, "span", 0, "lane"); }
+  registry.reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), std::numeric_limits<double>::infinity());
+  EXPECT_TRUE(registry.timeline().events().empty());
+  // Instrument references stay valid and usable after reset.
+  c.add(2);
+  EXPECT_EQ(c.value(), 2u);
+}
+
+TEST(RuntimeMetrics, GlobalRegistryIsDisabledByDefault) {
+  // The process-wide instance must not record unless explicitly armed
+  // (production code runs with it off).  Restore state for other tests.
+  MetricsRegistry& reg = MetricsRegistry::global();
+  const bool was_enabled = reg.enabled();
+  reg.set_enabled(false);
+  Counter& c = reg.counter("test.global_default_off");
+  c.add();
+  EXPECT_EQ(c.value(), 0u);
+  reg.set_enabled(was_enabled);
+}
+
+}  // namespace
+}  // namespace mpsim

@@ -427,5 +427,73 @@ TEST(CsvIo, HeaderlessAndErrors) {
   EXPECT_THROW(read_csv((dir / "does_not_exist.csv").string()), Error);
 }
 
+TEST(CsvIo, CrlfLineEndingsAndBlankLines) {
+  const auto dir = std::filesystem::temp_directory_path();
+  const auto path = (dir / "mpsim_io_crlf.csv").string();
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    // CRLF file: header row, a blank CRLF-only line mid-file, data rows.
+    std::fputs("alpha,beta\r\n1.5,2.5\r\n\r\n3.5,4.5\r\n", f);
+    std::fclose(f);
+  }
+  const TimeSeries ts = read_csv(path);
+  EXPECT_EQ(ts.length(), 2u);
+  EXPECT_EQ(ts.dims(), 2u);
+  EXPECT_DOUBLE_EQ(ts.at(0, 0), 1.5);
+  EXPECT_DOUBLE_EQ(ts.at(1, 1), 4.5);
+  std::remove(path.c_str());
+}
+
+TEST(CsvIo, TrailingCommaIsAnErrorWithLineNumber) {
+  const auto dir = std::filesystem::temp_directory_path();
+  const auto path = (dir / "mpsim_io_trailing.csv").string();
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("1.0,2.0\n3.0,4.0,\n", f);
+    std::fclose(f);
+  }
+  // The trailing comma makes row 2 a three-cell row: it must be rejected
+  // (not silently read as two cells), and the error names the line.
+  try {
+    read_csv(path);
+    FAIL() << "trailing comma did not raise";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find(":2:"), std::string::npos)
+        << e.what();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CsvIo, NonNumericCellReportsLineNumber) {
+  const auto dir = std::filesystem::temp_directory_path();
+  const auto path = (dir / "mpsim_io_nonnum.csv").string();
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("1.0,2.0\n3.0,oops\n", f);
+    std::fclose(f);
+  }
+  try {
+    read_csv(path);
+    FAIL() << "non-numeric cell did not raise";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(":2:"), std::string::npos) << what;
+    EXPECT_NE(what.find("oops"), std::string::npos) << what;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CsvIo, HeaderOnlyFileIsAnError) {
+  const auto dir = std::filesystem::temp_directory_path();
+  const auto path = (dir / "mpsim_io_headeronly.csv").string();
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("alpha,beta\n", f);
+    std::fclose(f);
+  }
+  EXPECT_THROW(read_csv(path), Error);
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace mpsim

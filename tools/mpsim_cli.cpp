@@ -15,6 +15,7 @@
 
 #include "common/cli.hpp"
 #include "common/error.hpp"
+#include "common/metrics.hpp"
 #include "common/table.hpp"
 #include "gpusim/faults.hpp"
 #include "mp/analysis.hpp"
@@ -52,7 +53,8 @@ int run(int argc, char** argv) {
   args.check_known({"reference", "query", "window", "mode", "tiles",
                     "devices", "machine", "self-join", "exclusion", "output",
                     "motifs", "discords", "repair", "auto-tiles", "chains",
-                    "faults", "max-retries", "escalate-precision", "help"});
+                    "faults", "max-retries", "escalate-precision",
+                    "metrics-out", "trace-out", "help"});
   if (args.get_bool("help", false) || !args.has("reference")) {
     std::printf(
         "usage: mpsim_cli --reference=ref.csv [--query=query.csv] "
@@ -64,11 +66,23 @@ int run(int argc, char** argv) {
         "                 [--auto-tiles] [--chains]\n"
         "                 [--faults=SPEC] [--max-retries=N] "
         "[--escalate-precision]\n"
+        "                 [--metrics-out=FILE.json] [--trace-out=FILE.json]\n"
         "fault spec: comma-separated kind[@device][:key=value]... with kind\n"
         "  kernel|copy|offline|nan|bitflip and keys at=N, every=N, p=P,\n"
         "  frac=F, plus an optional seed=S clause, e.g.\n"
-        "  --faults=seed=7,kernel@0:at=5,offline@1:at=12,nan@0:at=1:frac=0.05\n");
+        "  --faults=seed=7,kernel@0:at=5,offline@1:at=12,nan@0:at=1:frac=0.05\n"
+        "observability: --metrics-out writes the runtime metrics registry\n"
+        "  (counters/gauges/histograms, mpsim-metrics-v1 JSON) and\n"
+        "  --trace-out writes the measured wall-clock timeline as\n"
+        "  Chrome-tracing JSON (load in Perfetto / chrome://tracing)\n");
     return args.has("reference") ? 0 : 2;
+  }
+
+  // Observability must be armed before any instrumented work runs.
+  const bool want_metrics = args.has("metrics-out") || args.has("trace-out");
+  if (want_metrics) {
+    MetricsRegistry::global().reset();
+    MetricsRegistry::global().set_enabled(true);
   }
 
   TimeSeries reference = read_csv(args.get_string("reference", ""));
@@ -141,6 +155,37 @@ int run(int argc, char** argv) {
     const auto path = args.get_string("output", "");
     write_profile_csv(path, result);
     std::printf("profile written to %s\n", path.c_str());
+  }
+
+  if (want_metrics) {
+    const auto snap = MetricsRegistry::global().snapshot();
+    Table counters({"counter", "value"});
+    for (const auto& [name, value] : snap.counters) {
+      if (value == 0) continue;  // keep the summary to what happened
+      counters.add_row({name, std::to_string(value)});
+    }
+    std::printf("\nruntime metrics (counters):\n%s",
+                counters.to_string().c_str());
+    Table histograms({"histogram", "count", "mean", "min", "max"});
+    for (const auto& h : snap.histograms) {
+      if (h.count == 0) continue;
+      histograms.add_row({h.name, std::to_string(h.count),
+                          fmt_sci(h.mean()), fmt_sci(h.min),
+                          fmt_sci(h.max)});
+    }
+    std::printf("\nruntime metrics (histograms):\n%s",
+                histograms.to_string().c_str());
+    if (args.has("metrics-out")) {
+      const auto path = args.get_string("metrics-out", "");
+      MetricsRegistry::global().write_json(path);
+      std::printf("metrics written to %s\n", path.c_str());
+    }
+    if (args.has("trace-out")) {
+      const auto path = args.get_string("trace-out", "");
+      MetricsRegistry::global().timeline().write_chrome_json(path);
+      std::printf("trace written to %s (open in Perfetto or "
+                  "chrome://tracing)\n", path.c_str());
+    }
   }
 
   const auto k_motifs = std::size_t(args.get_int("motifs", 3));
