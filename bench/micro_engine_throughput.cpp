@@ -57,8 +57,10 @@ void BM_DistCalcRow(benchmark::State& state) {
 
 template <typename Traits>
 void BM_SortScanRow(benchmark::State& state) {
+  // The cooperative path's per-column group bodies (gather + Bitonic +
+  // scan + scatter), over one tile row of w columns at d dimensions.
   using ST = typename Traits::Storage;
-  const std::size_t w = 4096, d = 8;
+  const std::size_t w = 4096, d = std::size_t(state.range(0));
   Rng rng(2);
   std::vector<ST> dist(w * d), scan(w * d);
   for (auto& x : dist) x = ST(rng.uniform(0.0, 10.0));
@@ -68,6 +70,86 @@ void BM_SortScanRow(benchmark::State& state) {
       sort_scan_group_body<Traits>(group, w, d, dist.data(), scan.data());
     }
     benchmark::DoNotOptimize(scan.data());
+  }
+  state.SetItemsProcessed(std::int64_t(state.iterations()) *
+                          std::int64_t(w * d));
+}
+
+template <typename Traits>
+void BM_FusedSortScan(benchmark::State& state) {
+  // The fused path's image of the same work: row-wise copy of the
+  // distance rows into the transposed column block, pad, block sort/scan,
+  // row-wise copy out — what replaces the per-column group bodies above.
+  using ST = typename Traits::Storage;
+  const std::size_t w = 4096, d = std::size_t(state.range(0));
+  const std::size_t p2 = next_pow2(d);
+  const std::size_t bcols = kFusedBlockElems / p2;
+  Rng rng(2);
+  std::vector<ST> dist(w * d), scan(w * d);
+  for (auto& x : dist) x = ST(rng.uniform(0.0, 10.0));
+  alignas(32) ST blk[kFusedBlockElems];
+  const ST inf = std::numeric_limits<ST>::infinity();
+  for (auto _ : state) {
+    for (std::size_t j0 = 0; j0 < w; j0 += bcols) {
+      const std::size_t bn = std::min(bcols, w - j0);
+      for (std::size_t k = 0; k < d; ++k) {
+        for (std::size_t jj = 0; jj < bn; ++jj) {
+          blk[k * bcols + jj] = dist[k * w + j0 + jj];
+        }
+      }
+      for (std::size_t k = d; k < p2; ++k) {
+        for (std::size_t jj = 0; jj < bn; ++jj) blk[k * bcols + jj] = inf;
+      }
+      sort_scan_block(blk, bcols, bn, d);
+      for (std::size_t k = 0; k < d; ++k) {
+        for (std::size_t jj = 0; jj < bn; ++jj) {
+          scan[k * w + j0 + jj] = blk[k * bcols + jj];
+        }
+      }
+    }
+    benchmark::DoNotOptimize(scan.data());
+  }
+  state.SetItemsProcessed(std::int64_t(state.iterations()) *
+                          std::int64_t(w * d));
+}
+
+template <typename Traits>
+void BM_FusedRow(benchmark::State& state) {
+  // One full fused tile row: dist_calc recurrence + block sort/scan +
+  // profile merge in a single pass (what the fused engine runs per row,
+  // replacing BM_DistCalcRow + BM_SortScanRow + the update sweep).
+  using ST = typename Traits::Storage;
+  const std::size_t w = 4096, d = std::size_t(state.range(0)), nr = 4096,
+                    m = 64;
+  Rng rng(1);
+  auto fill = [&](std::vector<ST>& v, double scale) {
+    for (auto& x : v) x = ST(rng.normal(0.0, scale));
+  };
+  std::vector<ST> qt_row(w * d), qt_col(nr * d), df_r(nr * d), dg_r(nr * d),
+      inv_r(nr * d), df_q(w * d), dg_q(w * d), inv_q(w * d), prev(w * d),
+      next(w * d), profile(w * d, std::numeric_limits<ST>::infinity());
+  std::vector<std::int64_t> index(w * d, -1);
+  fill(qt_row, 1.0);
+  fill(qt_col, 1.0);
+  fill(df_r, 0.05);
+  fill(dg_r, 0.05);
+  fill(inv_r, 0.2);
+  fill(df_q, 0.05);
+  fill(dg_q, 0.05);
+  fill(inv_q, 0.2);
+  fill(prev, 1.0);
+
+  std::size_t i = 1;
+  for (auto _ : state) {
+    fused_row_body<Traits>(0, std::int64_t(w), i, w, m, d, qt_row.data(),
+                           qt_col.data(), nr, df_r.data(), dg_r.data(),
+                           inv_r.data(), df_q.data(), dg_q.data(),
+                           inv_q.data(), prev.data(), next.data(),
+                           std::int64_t(i), 0, 0, profile.data(),
+                           index.data());
+    std::swap(prev, next);
+    i = i % (nr - 1) + 1;
+    benchmark::DoNotOptimize(profile.data());
   }
   state.SetItemsProcessed(std::int64_t(state.iterations()) *
                           std::int64_t(w * d));
@@ -166,8 +248,13 @@ using F16 = PrecisionTraits<PrecisionMode::FP16>;
 BENCHMARK(BM_DistCalcRow<F64>);
 BENCHMARK(BM_DistCalcRow<F32>);
 BENCHMARK(BM_DistCalcRow<F16>);
-BENCHMARK(BM_SortScanRow<F64>);
-BENCHMARK(BM_SortScanRow<F16>);
+BENCHMARK(BM_SortScanRow<F64>)->Arg(2)->Arg(3)->Arg(4)->Arg(6)->Arg(8);
+BENCHMARK(BM_SortScanRow<F16>)->Arg(2)->Arg(3)->Arg(4)->Arg(6)->Arg(8);
+BENCHMARK(BM_FusedSortScan<F64>)->Arg(2)->Arg(3)->Arg(4)->Arg(6)->Arg(8);
+BENCHMARK(BM_FusedSortScan<F16>)->Arg(2)->Arg(3)->Arg(4)->Arg(6)->Arg(8);
+BENCHMARK(BM_FusedRow<F64>)->Arg(2)->Arg(4)->Arg(8);
+BENCHMARK(BM_FusedRow<F32>)->Arg(2)->Arg(4)->Arg(8);
+BENCHMARK(BM_FusedRow<F16>)->Arg(2)->Arg(4)->Arg(8);
 BENCHMARK(BM_Precalc<F64>);
 BENCHMARK(BM_Precalc<F32>);
 BENCHMARK(BM_Precalc<F16>);

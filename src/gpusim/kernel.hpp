@@ -101,6 +101,46 @@ inline void record_launch(Device& device, const std::string& name,
 
 }  // namespace detail
 
+/// Validates that a cooperative launch's per-group scratchpad fits the
+/// device's shared memory: groups resident per SM = resident threads /
+/// lanes, all holding their buffers simultaneously.  Throws like a failed
+/// CUDA launch otherwise.  Shared by launch_cooperative and the engine's
+/// fused row pipeline, which replaces the launch but models (and must
+/// reject) the same kernel.
+inline void validate_group_shared_mem(const Device& device,
+                                      const std::string& name,
+                                      std::int64_t lane_count,
+                                      std::size_t shared_bytes_per_group) {
+  if (shared_bytes_per_group == 0) return;
+  const auto& spec = device.spec();
+  const std::size_t groups_per_sm = std::max<std::size_t>(
+      1, std::size_t(spec.max_threads_per_sm) /
+             std::size_t(std::max<std::int64_t>(1, lane_count)));
+  const std::size_t needed = groups_per_sm * shared_bytes_per_group;
+  MPSIM_CHECK(needed <= spec.shared_mem_per_sm_bytes,
+              "cooperative kernel '"
+                  << name << "' needs " << needed
+                  << " bytes of shared memory per SM but " << spec.name
+                  << " provides " << spec.shared_mem_per_sm_bytes
+                  << "; reduce the group size or dimensionality");
+}
+
+/// Records a logical kernel launch that was executed as part of a fused
+/// host pass rather than through launch_grid_stride/launch_cooperative:
+/// the ledger entry (modeled seconds from `cost`, measured share of the
+/// fused pass's wall clock) is indistinguishable from an unfused launch,
+/// which keeps perf-model figures and metrics/trace span shapes stable
+/// across execution paths.  `cost.barrier_rounds` must be pre-filled by
+/// the caller for cooperative kernels (the fused pass runs no simulated
+/// barriers to measure).
+inline void record_fused_launch(Device& device, const std::string& name,
+                                const LaunchConfig& config, KernelCost cost,
+                                KernelLedger* extra_ledger,
+                                double measured_seconds) {
+  cost.occupancy = config.occupancy(device.spec());
+  detail::record_launch(device, name, cost, extra_ledger, measured_seconds);
+}
+
 /// Launches an embarrassingly parallel kernel over [0, n).
 /// `body(begin, end)` processes a contiguous chunk; it is invoked
 /// concurrently from the device pool.  If `stream` is non-null, the launch
@@ -143,22 +183,7 @@ inline void launch_cooperative(
     KernelCost cost, std::function<void(GroupContext&)> body,
     KernelLedger* extra_ledger = nullptr,
     std::size_t shared_bytes_per_group = 0) {
-  if (shared_bytes_per_group > 0) {
-    // Groups resident per SM = resident threads / lanes; all of them hold
-    // their scratchpad buffers simultaneously.
-    const auto& spec = device.spec();
-    const std::size_t groups_per_sm = std::max<std::size_t>(
-        1, std::size_t(spec.max_threads_per_sm) /
-               std::size_t(std::max<std::int64_t>(1, lane_count)));
-    const std::size_t needed = groups_per_sm * shared_bytes_per_group;
-    MPSIM_CHECK(needed <= spec.shared_mem_per_sm_bytes,
-                "cooperative kernel '"
-                    << name << "' needs " << needed
-                    << " bytes of shared memory per SM but "
-                    << spec.name << " provides "
-                    << spec.shared_mem_per_sm_bytes
-                    << "; reduce the group size or dimensionality");
-  }
+  validate_group_shared_mem(device, name, lane_count, shared_bytes_per_group);
   cost.occupancy = config.occupancy(device.spec());
   auto run = [&device, name, cost, group_count, lane_count,
               body = std::move(body), extra_ledger]() mutable {

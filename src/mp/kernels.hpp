@@ -78,18 +78,23 @@ inline __m256 load_halves(const float16* p) {
       _mm_loadu_si128(reinterpret_cast<const __m128i*>(p)));
 }
 
-/// Vectorized dist_calc recurrence over columns [x, span_end) of one
-/// dimension row; returns the first unprocessed index (the scalar loop
-/// finishes the tail).  Blocks containing a NaN operand stop the vector
-/// loop: NaN sign propagation must follow float16::finish_binop's
-/// deterministic first-NaN-operand rule, which only the scalar operators
-/// implement — the scalar loop takes over from the first such block.
+/// Vectorized dist_calc recurrence over `n` contiguous columns of one
+/// dimension row; returns the count of columns processed (a multiple of
+/// 8 — the scalar loop finishes the tail).  Pointers are span-relative:
+/// lane t reads qt_prev_m1[t] (the previous QT row already shifted one
+/// column left), df_q[t], ..., and writes qt_next[t] / dist[t], so the
+/// distance sink may live at a different offset than the QT rows (the
+/// fused row pipeline writes distances into a stack block).  Blocks
+/// containing a NaN operand stop the vector loop: NaN sign propagation
+/// must follow float16::finish_binop's deterministic first-NaN-operand
+/// rule, which only the scalar operators implement — the scalar loop
+/// takes over from the first such block.
 inline std::int64_t dist_calc_span_f16(
-    std::int64_t x, std::int64_t span_end, float16 df_ri, float16 dg_ri,
-    float16 inv_ri, float16 two_m, const float16* MPSIM_RESTRICT qt_prev,
+    std::int64_t n, float16 df_ri, float16 dg_ri, float16 inv_ri,
+    float16 two_m, const float16* MPSIM_RESTRICT qt_prev_m1,
     const float16* MPSIM_RESTRICT df_q, const float16* MPSIM_RESTRICT dg_q,
     const float16* MPSIM_RESTRICT inv_q, float16* MPSIM_RESTRICT qt_next,
-    float16* MPSIM_RESTRICT dist_row) {
+    float16* MPSIM_RESTRICT dist) {
   constexpr int kRne = _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC;
   const __m256 v_df_ri = _mm256_set1_ps(float(df_ri));
   const __m256 v_dg_ri = _mm256_set1_ps(float(dg_ri));
@@ -97,11 +102,12 @@ inline std::int64_t dist_calc_span_f16(
   const __m256 v_two_m = _mm256_set1_ps(float(two_m));
   const __m256 v_one = _mm256_set1_ps(1.0f);
   const __m256 v_zero = _mm256_setzero_ps();
-  for (; x + 8 <= span_end; x += 8) {
-    const __m256 prev = load_halves(qt_prev + x - 1);
-    const __m256 dgq = load_halves(dg_q + x);
-    const __m256 dfq = load_halves(df_q + x);
-    const __m256 invq = load_halves(inv_q + x);
+  std::int64_t t = 0;
+  for (; t + 8 <= n; t += 8) {
+    const __m256 prev = load_halves(qt_prev_m1 + t);
+    const __m256 dgq = load_halves(dg_q + t);
+    const __m256 dfq = load_halves(df_q + t);
+    const __m256 invq = load_halves(inv_q + t);
     const __m256 nan_mask = _mm256_or_ps(
         _mm256_or_ps(_mm256_cmp_ps(prev, prev, _CMP_UNORD_Q),
                      _mm256_cmp_ps(dgq, dgq, _CMP_UNORD_Q)),
@@ -113,7 +119,7 @@ inline std::int64_t dist_calc_span_f16(
     const __m256 t2 = round_lanes_f16(_mm256_add_ps(prev, t1));
     const __m256 t3 = round_lanes_f16(_mm256_mul_ps(v_dg_ri, dfq));
     const __m128i qt_h = _mm256_cvtps_ph(_mm256_add_ps(t2, t3), kRne);
-    _mm_storeu_si128(reinterpret_cast<__m128i*>(qt_next + x), qt_h);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(qt_next + t), qt_h);
     const __m256 qt = _mm256_cvtph_ps(qt_h);
     // qt_to_distance: sqrt(two_m * (1 - qt*inv_r*inv_q)), clamped at 0.
     const __m256 c1 = round_lanes_f16(_mm256_mul_ps(qt, v_inv_ri));
@@ -124,9 +130,54 @@ inline std::int64_t dist_calc_span_f16(
     const __m256 lt = _mm256_cmp_ps(val, v_zero, _CMP_LT_OQ);
     const __m256 clamped = _mm256_blendv_ps(val, v_zero, lt);
     const __m128i dist_h = _mm256_cvtps_ph(_mm256_sqrt_ps(clamped), kRne);
-    _mm_storeu_si128(reinterpret_cast<__m128i*>(dist_row + x), dist_h);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dist + t), dist_h);
   }
-  return x;
+  return t;
+}
+
+/// Row-wise Bitonic compare-exchange between two block rows of emulated
+/// halves, 8 columns per step.  The comparison widens to binary32
+/// (vcvtph2ps is exact, so f32 `<` on the widened lanes equals the scalar
+/// float16 operator< — NaN compares false, +-0 compare equal) and the
+/// winning 16-bit payloads are blended RAW: no arithmetic touches the
+/// values, so NaN payloads and signed zeros move verbatim, exactly like
+/// the scalar std::swap.  No NaN fallback is needed here.
+inline void cmpex_rows_f16(float16* MPSIM_RESTRICT ra,
+                           float16* MPSIM_RESTRICT rb, std::size_t bn,
+                           bool ascending) {
+  std::size_t jj = 0;
+  for (; jj + 8 <= bn; jj += 8) {
+    const __m128i a16 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(ra + jj));
+    const __m128i b16 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(rb + jj));
+    const __m256 a = _mm256_cvtph_ps(a16);
+    const __m256 b = _mm256_cvtph_ps(b16);
+    // Mask lanes where the pair is out of order (swap wanted).
+    const __m256 m = ascending ? _mm256_cmp_ps(b, a, _CMP_LT_OQ)
+                               : _mm256_cmp_ps(a, b, _CMP_LT_OQ);
+    // Narrow the 32-bit lane masks to 16 bits (AVX-only: split the f32
+    // mask register and saturate-pack; 0 -> 0, -1 -> -1).
+    const __m128i lo = _mm_castps_si128(_mm256_castps256_ps128(m));
+    const __m128i hi = _mm_castps_si128(_mm256_extractf128_ps(m, 1));
+    const __m128i m16 = _mm_packs_epi32(lo, hi);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(ra + jj),
+                     _mm_blendv_epi8(a16, b16, m16));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(rb + jj),
+                     _mm_blendv_epi8(b16, a16, m16));
+  }
+  for (; jj < bn; ++jj) {
+    const bool out_of_order =
+        ascending ? (rb[jj] < ra[jj]) : (ra[jj] < rb[jj]);
+    if (out_of_order) std::swap(ra[jj], rb[jj]);
+  }
+}
+
+/// True if any of the 8 halves starting at p is NaN.
+inline bool any_nan_halves(const float16* p) {
+  const __m256 v = _mm256_cvtph_ps(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(p)));
+  return _mm256_movemask_ps(_mm256_cmp_ps(v, v, _CMP_UNORD_Q)) != 0;
 }
 
 }  // namespace detail
@@ -193,9 +244,10 @@ void dist_calc_body(std::int64_t begin, std::int64_t end, std::size_t i,
 #ifdef MPSIM_KERNEL_F16_SIMD
       if constexpr (std::is_same_v<CT, float16> &&
                     std::is_same_v<ST, float16>) {
-        x = detail::dist_calc_span_f16(x, span_end, df_ri, dg_ri, inv_ri,
-                                       two_m, qt_prev, df_q, dg_q, inv_q,
-                                       qt_next, dist_row);
+        x += detail::dist_calc_span_f16(span_end - x, df_ri, dg_ri, inv_ri,
+                                        two_m, qt_prev + x - 1, df_q + x,
+                                        dg_q + x, inv_q + x, qt_next + x,
+                                        dist_row + x);
       }
 #endif
       for (; x < span_end; ++x) {
@@ -293,6 +345,341 @@ void update_body(std::int64_t begin, std::int64_t end, std::size_t w,
       merge(e, row_end);
     }
     e = row_end;
+  }
+}
+
+// --- Fused row pipeline ---------------------------------------------------
+//
+// The cooperative path above makes three full sweeps over nq*d per tile
+// row (dist_calc -> sort_&_incl_scan -> update_mat_prof), bouncing the
+// distance and scan rows through device buffers and paying a simulated
+// group barrier per Bitonic stage per column.  The fused path processes a
+// block of columns end-to-end in one pass: distances land in a
+// stack-resident transposed block, the Bitonic network and Hillis–Steele
+// scan-average run ROW-WISE across the block (a network stage becomes an
+// elementwise select over two contiguous rows, which autovectorizes for
+// the native storage types), and the min/argmin merge follows immediately
+// while the block is cache-hot.  Columns are independent in every stage,
+// so batching them per stage performs the exact scalar operation sequence
+// of sort_scan_column on each column — bit-identical by construction.
+
+/// Dimension cap of the fused path (p2 <= 64 keeps the column block and
+/// the per-column scratch on the stack).  Larger d falls back to the
+/// cooperative path.
+inline constexpr std::size_t kMaxFusedRowDims = 64;
+
+/// Stack budget of the fused column block, in elements: next_pow2(d) rows
+/// of kFusedBlockElems / next_pow2(d) columns.
+inline constexpr std::size_t kFusedBlockElems = 2048;
+
+namespace detail {
+
+/// One Bitonic compare-exchange stage applied row-wise across a column
+/// block: every column jj experiences exactly bitonic_stage's (size,
+/// stride) compare-exchange.  Branchless selects, so the native-type
+/// instantiations vectorize.
+template <typename T>
+inline void bitonic_stage_rows(T* blk, std::size_t bstride, std::size_t bn,
+                               std::size_t p2, std::size_t size,
+                               std::size_t stride) {
+  for (std::size_t i = 0; i < p2; ++i) {
+    const std::size_t partner = i ^ stride;
+    if (partner <= i) continue;
+    const bool ascending = (i & size) == 0;
+    T* MPSIM_RESTRICT ra = blk + i * bstride;
+    T* MPSIM_RESTRICT rb = blk + partner * bstride;
+    for (std::size_t jj = 0; jj < bn; ++jj) {
+      const T a = ra[jj];
+      const T b = rb[jj];
+      const bool sw = ascending ? (b < a) : (a < b);
+      ra[jj] = sw ? b : a;
+      rb[jj] = sw ? a : b;
+    }
+  }
+}
+
+template <typename T>
+inline void row_add(T* MPSIM_RESTRICT a, const T* MPSIM_RESTRICT b,
+                    std::size_t bn) {
+  for (std::size_t jj = 0; jj < bn; ++jj) a[jj] = T(a[jj] + b[jj]);
+}
+
+template <typename T>
+inline void row_divide(T* MPSIM_RESTRICT a, T div, std::size_t bn) {
+  for (std::size_t jj = 0; jj < bn; ++jj) a[jj] = a[jj] / div;
+}
+
+/// Row-wise sort + scan-average with compile-time network bounds (the
+/// block-level image of sort_scan_column's fixed dispatch).  The scan
+/// updates rows high-to-low, so row l-offset still holds the previous
+/// step's value when row l reads it — same trick as scan_average_column.
+template <std::size_t D, std::size_t P2, typename T>
+void sort_scan_rows_fixed(T* blk, std::size_t bstride, std::size_t bn) {
+  for (std::size_t size = 2; size <= P2; size <<= 1) {
+    for (std::size_t stride = size >> 1; stride > 0; stride >>= 1) {
+      bitonic_stage_rows(blk, bstride, bn, P2, size, stride);
+    }
+  }
+  for (std::size_t offset = 1; offset < D; offset <<= 1) {
+    for (std::size_t l = D; l-- > offset;) {
+      row_add(blk + l * bstride, blk + (l - offset) * bstride, bn);
+    }
+  }
+  for (std::size_t l = 0; l < D; ++l) {
+    row_divide(blk + l * bstride, T(double(l + 1)), bn);
+  }
+}
+
+/// Runtime-d version of the above for d > 8.
+template <typename T>
+void sort_scan_rows_generic(T* blk, std::size_t bstride, std::size_t bn,
+                            std::size_t d) {
+  const std::size_t p2 = next_pow2(d);
+  for (std::size_t size = 2; size <= p2; size <<= 1) {
+    for (std::size_t stride = size >> 1; stride > 0; stride >>= 1) {
+      bitonic_stage_rows(blk, bstride, bn, p2, size, stride);
+    }
+  }
+  for (std::size_t offset = 1; offset < d; offset <<= 1) {
+    for (std::size_t l = d; l-- > offset;) {
+      row_add(blk + l * bstride, blk + (l - offset) * bstride, bn);
+    }
+  }
+  for (std::size_t l = 0; l < d; ++l) {
+    row_divide(blk + l * bstride, T(double(l + 1)), bn);
+  }
+}
+
+template <typename T>
+void sort_scan_rows(T* blk, std::size_t bstride, std::size_t bn,
+                    std::size_t d) {
+  switch (d) {
+    case 2: return sort_scan_rows_fixed<2, 2>(blk, bstride, bn);
+    case 3: return sort_scan_rows_fixed<3, 4>(blk, bstride, bn);
+    case 4: return sort_scan_rows_fixed<4, 4>(blk, bstride, bn);
+    case 5: return sort_scan_rows_fixed<5, 8>(blk, bstride, bn);
+    case 6: return sort_scan_rows_fixed<6, 8>(blk, bstride, bn);
+    case 7: return sort_scan_rows_fixed<7, 8>(blk, bstride, bn);
+    case 8: return sort_scan_rows_fixed<8, 8>(blk, bstride, bn);
+    default: return sort_scan_rows_generic(blk, bstride, bn, d);
+  }
+}
+
+#ifdef MPSIM_KERNEL_F16_SIMD
+
+/// Scalar column fallback of the f16 block scan: gather, run the exact
+/// scalar float16 scan-average (finish_binop NaN rule included), scatter.
+inline void scan_column_f16(float16* blk, std::size_t bstride, std::size_t d,
+                            std::size_t jj) {
+  float16 vals[kMaxFusedRowDims];
+  for (std::size_t l = 0; l < d; ++l) vals[l] = blk[l * bstride + jj];
+  scan_average_column(vals, d);
+  for (std::size_t l = 0; l < d; ++l) blk[l * bstride + jj] = vals[l];
+}
+
+/// F16C block sort + scan-average.  The sort is blend-only (see
+/// cmpex_rows_f16), so it needs no NaN fallback; the scan does arithmetic,
+/// so any 8-column group holding a NaN distance drops to the scalar
+/// column path (finish_binop's first-NaN-operand sign rule only the
+/// scalar operators implement).  NaN cannot APPEAR mid-scan from clean
+/// inputs — distances are non-negative, so no inf - inf — which is why
+/// one pre-scan of the d input rows suffices.
+inline void sort_scan_rows_f16(float16* blk, std::size_t bstride,
+                               std::size_t bn, std::size_t d) {
+  constexpr int kRne = _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC;
+  const std::size_t p2 = next_pow2(d);
+  for (std::size_t size = 2; size <= p2; size <<= 1) {
+    for (std::size_t stride = size >> 1; stride > 0; stride >>= 1) {
+      for (std::size_t i = 0; i < p2; ++i) {
+        const std::size_t partner = i ^ stride;
+        if (partner <= i) continue;
+        cmpex_rows_f16(blk + i * bstride, blk + partner * bstride, bn,
+                       (i & size) == 0);
+      }
+    }
+  }
+  std::size_t jj = 0;
+  for (; jj + 8 <= bn; jj += 8) {
+    bool has_nan = false;
+    for (std::size_t l = 0; l < d && !has_nan; ++l) {
+      has_nan = any_nan_halves(blk + l * bstride + jj);
+    }
+    if (has_nan) {
+      for (std::size_t c = jj; c < jj + 8; ++c) scan_column_f16(blk, bstride, d, c);
+      continue;
+    }
+    for (std::size_t offset = 1; offset < d; offset <<= 1) {
+      for (std::size_t l = d; l-- > offset;) {
+        const __m256 a = load_halves(blk + l * bstride + jj);
+        const __m256 b = load_halves(blk + (l - offset) * bstride + jj);
+        _mm_storeu_si128(
+            reinterpret_cast<__m128i*>(blk + l * bstride + jj),
+            _mm256_cvtps_ph(_mm256_add_ps(a, b), kRne));
+      }
+    }
+    for (std::size_t l = 0; l < d; ++l) {
+      const __m256 a = load_halves(blk + l * bstride + jj);
+      // l+1 <= kMaxFusedRowDims is exact in binary16, so this equals the
+      // scalar divisor float16(double(l + 1)) widened to binary32.
+      const __m256 divv = _mm256_set1_ps(float(l + 1));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(blk + l * bstride + jj),
+                       _mm256_cvtps_ph(_mm256_div_ps(a, divv), kRne));
+    }
+  }
+  for (; jj < bn; ++jj) scan_column_f16(blk, bstride, d, jj);
+}
+
+#endif  // MPSIM_KERNEL_F16_SIMD
+
+}  // namespace detail
+
+/// Sort + progressive average of a column block in transposed layout
+/// (blk[k*bstride + jj], dimension row k, block column jj): each column
+/// experiences exactly sort_scan_column's operation sequence, so the
+/// result is bit-identical to the cooperative per-column kernel.  Rows
+/// [d, next_pow2(d)) must be pre-padded with +inf by the caller, and
+/// d must be >= 2 (the engine elides the sort kernel for d == 1).
+template <typename ST>
+void sort_scan_block(ST* blk, std::size_t bstride, std::size_t bn,
+                     std::size_t d) {
+  if constexpr (std::is_floating_point_v<ST>) {
+    detail::sort_scan_rows(blk, bstride, bn, d);
+  } else {
+#ifdef MPSIM_KERNEL_F16_SIMD
+    if constexpr (std::is_same_v<ST, float16>) {
+      detail::sort_scan_rows_f16(blk, bstride, bn, d);
+      return;
+    }
+#endif
+    // Emulated scalar fallback (BF16 / TF32 / software float16): gather
+    // each padded column, run the fixed network, scatter the averages.
+    const std::size_t p2 = next_pow2(d);
+    for (std::size_t jj = 0; jj < bn; ++jj) {
+      ST vals[kMaxFusedRowDims];
+      for (std::size_t l = 0; l < p2; ++l) vals[l] = blk[l * bstride + jj];
+      sort_scan_column(vals, d);
+      for (std::size_t l = 0; l < d; ++l) blk[l * bstride + jj] = vals[l];
+    }
+  }
+}
+
+/// Fused per-row pipeline over columns [begin, end): Eq. (1) recurrence +
+/// distances into a stack block, Eq. (2) block sort/scan, Eq. (3) merge —
+/// one pass, no device-buffer round-trips, no simulated group barriers.
+/// Chunks partition the COLUMN range, so qt_next / profile / index writes
+/// are disjoint across chunks in every dimension row.  Per element and
+/// per operation the arithmetic (and its order) matches dist_calc_body ->
+/// sort_scan_group_body -> update_body exactly; see each pass for why.
+template <typename Traits>
+void fused_row_body(
+    std::int64_t begin, std::int64_t end, std::size_t i, std::size_t w,
+    std::size_t m, std::size_t d,
+    const typename Traits::Storage* MPSIM_RESTRICT qt_row_seed,
+    const typename Traits::Storage* MPSIM_RESTRICT qt_col_seed,
+    std::size_t nr, const typename Traits::Storage* MPSIM_RESTRICT df_r,
+    const typename Traits::Storage* MPSIM_RESTRICT dg_r,
+    const typename Traits::Storage* MPSIM_RESTRICT inv_r,
+    const typename Traits::Storage* MPSIM_RESTRICT df_q,
+    const typename Traits::Storage* MPSIM_RESTRICT dg_q,
+    const typename Traits::Storage* MPSIM_RESTRICT inv_q,
+    const typename Traits::Storage* MPSIM_RESTRICT qt_prev,
+    typename Traits::Storage* MPSIM_RESTRICT qt_next,
+    std::int64_t global_row, std::int64_t q_begin, std::int64_t exclusion,
+    typename Traits::Storage* MPSIM_RESTRICT profile,
+    std::int64_t* MPSIM_RESTRICT index) {
+  using CT = typename Traits::Compute;
+  using ST = typename Traits::Storage;
+  MPSIM_CHECK(d >= 1 && d <= kMaxFusedRowDims,
+              "fused_row_body: d out of range");
+
+  const CT two_m = CT(double(2 * m));
+  const std::size_t p2 = next_pow2(d);
+  const std::size_t bcols = kFusedBlockElems / p2;
+  const ST inf = std::numeric_limits<ST>::infinity();
+  const std::int64_t g = global_row - q_begin;
+  alignas(32) ST blk[kFusedBlockElems];
+
+  for (std::int64_t j0 = begin; j0 < end; j0 += std::int64_t(bcols)) {
+    const std::int64_t j1 = std::min<std::int64_t>(end, j0 + std::int64_t(bcols));
+    const std::size_t bn = std::size_t(j1 - j0);
+
+    // Pass 1 — dist_calc: same per-dimension span structure (and hence
+    // the same scalar/vector op sequence per element) as dist_calc_body;
+    // only the distance sink differs (stack block instead of dist_row).
+    for (std::size_t k = 0; k < d; ++k) {
+      ST* MPSIM_RESTRICT dblk = blk + k * bcols;
+      const std::size_t xbase = k * w;
+      const std::size_t row = k * nr + i;
+      const CT inv_ri = CT(inv_r[row]);
+      if (i == 0) {
+        for (std::size_t jj = 0; jj < bn; ++jj) {
+          const std::size_t x = xbase + std::size_t(j0) + jj;
+          const CT qt = CT(qt_row_seed[x]);
+          qt_next[x] = ST(qt);
+          dblk[jj] = ST(qt_to_distance(qt, inv_ri, CT(inv_q[x]), two_m));
+        }
+        continue;
+      }
+      const CT df_ri = CT(df_r[row]);
+      const CT dg_ri = CT(dg_r[row]);
+      std::size_t jj = 0;
+      if (j0 == 0) {
+        const CT qt = CT(qt_col_seed[row]);
+        qt_next[xbase] = ST(qt);
+        dblk[0] = ST(qt_to_distance(qt, inv_ri, CT(inv_q[xbase]), two_m));
+        jj = 1;
+      }
+#ifdef MPSIM_KERNEL_F16_SIMD
+      if constexpr (std::is_same_v<CT, float16> &&
+                    std::is_same_v<ST, float16>) {
+        const std::size_t x0 = xbase + std::size_t(j0) + jj;
+        jj += std::size_t(detail::dist_calc_span_f16(
+            std::int64_t(bn - jj), df_ri, dg_ri, inv_ri, two_m,
+            qt_prev + x0 - 1, df_q + x0, dg_q + x0, inv_q + x0, qt_next + x0,
+            dblk + jj));
+      }
+#endif
+      for (; jj < bn; ++jj) {
+        const std::size_t x = xbase + std::size_t(j0) + jj;
+        const CT qt = CT(qt_prev[x - 1]) + df_ri * CT(dg_q[x]) +
+                      dg_ri * CT(df_q[x]);
+        qt_next[x] = ST(qt);
+        dblk[jj] = ST(qt_to_distance(qt, inv_ri, CT(inv_q[x]), two_m));
+      }
+    }
+
+    // Pass 2 — sort_&_incl_scan (elided for d == 1, matching the
+    // engine's skip_sort kernel elision).
+    if (d >= 2) {
+      for (std::size_t k = d; k < p2; ++k) {
+        ST* MPSIM_RESTRICT pad = blk + k * bcols;
+        for (std::size_t jj = 0; jj < bn; ++jj) pad[jj] = inf;
+      }
+      sort_scan_block(blk, bcols, bn, d);
+    }
+
+    // Pass 3 — update_mat_prof: same selects as update_body's merge,
+    // with the row's exclusion interval clipped to this block.
+    std::int64_t exb = j1, exe = j1;
+    if (exclusion > 0) {
+      exb = std::clamp<std::int64_t>(g - exclusion + 1, j0, j1);
+      exe = std::clamp<std::int64_t>(g + exclusion, j0, j1);
+    }
+    for (std::size_t k = 0; k < d; ++k) {
+      const ST* MPSIM_RESTRICT src = blk + k * bcols;
+      ST* MPSIM_RESTRICT prow = profile + k * w + std::size_t(j0);
+      std::int64_t* MPSIM_RESTRICT irow = index + k * w + std::size_t(j0);
+      const auto merge = [&](std::int64_t from, std::int64_t to) {
+        for (std::int64_t j = from; j < to; ++j) {
+          const std::size_t c = std::size_t(j - j0);
+          const bool better = src[c] < prow[c];
+          prow[c] = better ? src[c] : prow[c];
+          irow[c] = better ? global_row : irow[c];
+        }
+      };
+      merge(j0, exb);
+      merge(exe, j1);
+    }
   }
 }
 

@@ -19,6 +19,36 @@ namespace mpsim::mp {
 /// imbalance it observes at odd device counts.
 enum class TileAssignment { kRoundRobin, kLpt };
 
+/// Execution path of the single-tile engine's per-row pipeline.
+///
+///  * kCooperative — three separate kernels per tile row (dist_calc,
+///    cooperative sort_&_incl_scan, update_mat_prof), distance and scan
+///    rows round-tripping through device buffers.  The literal Pseudocode
+///    1 structure.
+///  * kFused — one column-blocked pass per row computing distances, the
+///    small-d Bitonic network + scan-average, and the profile merge while
+///    the block is register/cache resident.  Bit-identical outputs; the
+///    three logical kernels are still modeled and recorded individually.
+///  * kAuto — fused whenever the dimensionality supports it (the default).
+enum class RowPath { kAuto, kFused, kCooperative };
+
+inline std::string to_string(RowPath path) {
+  switch (path) {
+    case RowPath::kAuto: return "auto";
+    case RowPath::kFused: return "fused";
+    case RowPath::kCooperative: return "cooperative";
+  }
+  return "auto";
+}
+
+inline RowPath parse_row_path(const std::string& name) {
+  if (name == "auto") return RowPath::kAuto;
+  if (name == "fused") return RowPath::kFused;
+  if (name == "cooperative") return RowPath::kCooperative;
+  throw ConfigError("unknown row path '" + name +
+                    "' (expected auto|fused|cooperative)");
+}
+
 /// Fault-tolerance knobs of the resilient multi-tile scheduler.
 struct ResilienceConfig {
   /// Bounded retries of a tile on one device after transient faults
@@ -64,6 +94,10 @@ struct MatrixProfileConfig {
 
   /// Host worker threads backing the simulated devices (0 = all cores).
   std::size_t workers = 0;
+
+  /// Per-row execution path of the tile engine (see RowPath).  Outputs are
+  /// bit-identical across paths; this is a performance/debugging knob.
+  RowPath row_path = RowPath::kAuto;
 
   /// Fault-tolerance policy of the resilient scheduler.
   ResilienceConfig resilience;

@@ -160,7 +160,7 @@ void execute_attempt(const RunContext& ctx, int dev, PrecisionMode mode,
     SingleTileEngine<Traits>::enqueue(device, &stream, *ctx.reference,
                                       *ctx.query, ctx.config->window, tile,
                                       ctx.config->exclusion, result,
-                                      ctx.staging);
+                                      ctx.staging, ctx.config->row_path);
   });
   stream.synchronize();
 }

@@ -26,6 +26,7 @@
 #include "mp/options.hpp"
 #include "mp/staging.hpp"
 #include "mp/tile_plan.hpp"
+#include "mp/tuning.hpp"
 #include "tsdata/time_series.hpp"
 
 namespace mpsim::mp {
@@ -46,14 +47,17 @@ class SingleTileEngine {
   /// stream is null).  `result` must outlive stream synchronisation.
   /// `staging` (optional) supplies the series pre-converted to storage
   /// precision so the tile stages with a memcpy slice; it must outlive the
-  /// stream work too.
+  /// stream work too.  `row_path` selects the per-row execution path
+  /// (fused vs cooperative; identical output bits either way).
   static void enqueue(gpusim::Device& device, gpusim::Stream* stream,
                       const TimeSeries& reference, const TimeSeries& query,
                       std::size_t m, const Tile& tile, std::int64_t exclusion,
-                      TileResult& result, StagingCache* staging = nullptr) {
+                      TileResult& result, StagingCache* staging = nullptr,
+                      RowPath row_path = RowPath::kAuto) {
     auto run = [&device, &reference, &query, m, tile, exclusion, &result,
-                staging] {
-      run_tile(device, reference, query, m, tile, exclusion, result, staging);
+                staging, row_path] {
+      run_tile(device, reference, query, m, tile, exclusion, result, staging,
+               row_path);
     };
     if (stream != nullptr) {
       stream->enqueue(std::move(run));
@@ -66,7 +70,8 @@ class SingleTileEngine {
   static void run_tile(gpusim::Device& device, const TimeSeries& reference,
                        const TimeSeries& query, std::size_t m,
                        const Tile& tile, std::int64_t exclusion,
-                       TileResult& result, StagingCache* staging) {
+                       TileResult& result, StagingCache* staging,
+                       RowPath row_path) {
     const std::size_t d = reference.dims();
     const std::size_t nr = tile.r_count;
     const std::size_t nq = tile.q_count;
@@ -75,6 +80,7 @@ class SingleTileEngine {
     const gpusim::LaunchConfig config =
         gpusim::LaunchConfig::tuned_for(device.spec());
     gpusim::KernelLedger* tl = &result.ledger;
+    const bool fused = use_fused_row_path(row_path, d);
 
     // ---- Stage the input tile in storage precision and copy H2D. ----
     // With a staging cache the series is already in storage precision
@@ -125,8 +131,10 @@ class SingleTileEngine {
         df_q(device, nq * d), dg_q(device, nq * d);
     gpusim::DeviceBuffer<ST> qt_row(device, nq * d), qt_col(device, nr * d);
     gpusim::DeviceBuffer<ST> qt_a(device, nq * d), qt_b(device, nq * d);
-    gpusim::DeviceBuffer<ST> dist_row(device, nq * d),
-        scan_row(device, nq * d);
+    // The fused path never materialises the distance / scan rows — their
+    // elimination is the point — so the buffers stay unallocated there.
+    gpusim::DeviceBuffer<ST> dist_row(device, fused ? 0 : nq * d),
+        scan_row(device, fused ? 0 : nq * d);
     gpusim::DeviceBuffer<ST> profile(device, nq * d);
     gpusim::DeviceBuffer<std::int64_t> index(device, nq * d);
     for (std::size_t e = 0; e < nq * d; ++e) {
@@ -199,6 +207,77 @@ class SingleTileEngine {
     // kernel either).  update_mat_prof consumes the distance row directly.
     const bool skip_sort = d == 1;
 
+    if (fused) {
+      // Fused row pipeline: one column-blocked host pass per tile row
+      // performs all three kernels' work (see fused_row_body).  The three
+      // logical kernels are still modeled, fault-injected and recorded
+      // individually, in launch order, so ledgers, perf-model figures,
+      // metrics counters and fault-injection schedules are identical to
+      // the cooperative path's.
+      const std::size_t lanes = next_pow2(d);
+      if (!skip_sort) {
+        // Same shared-memory feasibility contract as the cooperative
+        // launch (values + scratch, p2 elements each per group).
+        const std::size_t shared_bytes =
+            2 * lanes * storage_bytes(Traits::kMode);
+        gpusim::validate_group_shared_mem(device, "sort_&_incl_scan",
+                                          std::int64_t(lanes), shared_bytes);
+      }
+      // The cooperative launch measures its device-wide barrier rounds
+      // from the group bodies; the fused pass runs no simulated barriers,
+      // so the sort's record carries the closed form instead — pinned
+      // equal to the measured count by tests and mirrored in mp/model.cpp.
+      auto sort_cost_fused = sort_cost;
+      sort_cost_fused.barrier_rounds =
+          sort_scan_barrier_rounds(d) *
+          device.spec().wave_count(std::int64_t(nq) * std::int64_t(lanes));
+      // Apportion each row's measured wall clock onto the three records
+      // proportionally to their modeled times.
+      const auto modeled = [&](gpusim::KernelCost c) {
+        c.occupancy = config.occupancy(device.spec());
+        return gpusim::modeled_seconds(device.spec(), c);
+      };
+      const double md = modeled(dist_cost);
+      const double ms = skip_sort ? 0.0 : modeled(sort_cost_fused);
+      const double mu = modeled(upd_cost);
+      const double msum = std::max(md + ms + mu, 1e-300);
+
+      for (std::size_t i = 0; i < nr; ++i) {
+        device.fault_point(gpusim::FaultSite::kKernelLaunch, "dist_calc");
+        if (!skip_sort) {
+          device.fault_point(gpusim::FaultSite::kKernelLaunch,
+                             "sort_&_incl_scan");
+        }
+        device.fault_point(gpusim::FaultSite::kKernelLaunch,
+                           "update_mat_prof");
+        Stopwatch watch;
+        device.pool().parallel_for(
+            nq, [&, i, qt_prev, qt_next](std::size_t begin, std::size_t end) {
+              fused_row_body<Traits>(
+                  std::int64_t(begin), std::int64_t(end), i, nq, m, d,
+                  qt_row.data(), qt_col.data(), nr, df_r.data(), dg_r.data(),
+                  inv_r.data(), df_q.data(), dg_q.data(), inv_q.data(),
+                  qt_prev, qt_next, std::int64_t(tile.r_begin + i),
+                  std::int64_t(tile.q_begin), exclusion, profile.data(),
+                  index.data());
+            });
+        const double measured = watch.seconds();
+        gpusim::record_fused_launch(device, "dist_calc", config, dist_cost,
+                                    tl, measured * md / msum);
+        if (!skip_sort) {
+          gpusim::record_fused_launch(device, "sort_&_incl_scan", config,
+                                      sort_cost_fused, tl,
+                                      measured * ms / msum);
+        }
+        gpusim::record_fused_launch(device, "update_mat_prof", config,
+                                    upd_cost, tl, measured * mu / msum);
+        std::swap(qt_prev, qt_next);
+      }
+
+      finish_tile(device, nq, d, profile, index, result, tl);
+      return;
+    }
+
     for (std::size_t i = 0; i < nr; ++i) {
       gpusim::launch_grid_stride(
           device, nullptr, "dist_calc", config, std::int64_t(nq * d),
@@ -242,7 +321,16 @@ class SingleTileEngine {
       std::swap(qt_prev, qt_next);
     }
 
-    // ---- D2H of the tile profile/index (Pseudocode 1, line 8). ----
+    finish_tile(device, nq, d, profile, index, result, tl);
+  }
+
+  /// D2H of the tile profile/index (Pseudocode 1, line 8) + the binary64
+  /// widening of the host-side result.  Shared epilogue of both row paths.
+  static void finish_tile(gpusim::Device& device, std::size_t nq,
+                          std::size_t d,
+                          const gpusim::DeviceBuffer<ST>& profile,
+                          const gpusim::DeviceBuffer<std::int64_t>& index,
+                          TileResult& result, gpusim::KernelLedger* tl) {
     std::vector<ST> host_profile(nq * d);
     result.index.assign(nq * d, -1);
     gpusim::async_copy_d2h(device, nullptr, profile, host_profile.data(),

@@ -12,6 +12,7 @@
 // CPU-based implementation", §V-B).
 #pragma once
 
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <limits>
@@ -19,18 +20,15 @@
 
 namespace mpsim::mp {
 
-/// Smallest power of two >= n (n >= 1).
-inline std::size_t next_pow2(std::size_t n) {
-  std::size_t p = 1;
-  while (p < n) p <<= 1;
-  return p;
-}
+/// Smallest power of two >= n (n >= 1).  Bit-twiddled (std::bit_ceil);
+/// these helpers run inside per-group kernel bodies, so they must not
+/// loop over the bit width.
+inline std::size_t next_pow2(std::size_t n) { return std::bit_ceil(n); }
 
-/// log2 of a power of two.
+/// log2 of a power of two (ceil(log2(n)) for any n >= 1, matching the
+/// historical loop-based behaviour for non-power inputs).
 inline int log2_pow2(std::size_t p2) {
-  int lg = 0;
-  while ((std::size_t(1) << lg) < p2) ++lg;
-  return lg;
+  return p2 <= 1 ? 0 : int(std::bit_width(p2 - 1));
 }
 
 /// Number of compare-exchange stages (== cooperative barrier rounds) of a
@@ -104,6 +102,98 @@ void inclusive_scan_average(T* x, T* scratch, std::size_t d,
 template <typename T>
 void inclusive_scan_average(T* x, T* scratch, std::size_t d) {
   inclusive_scan_average(x, scratch, d, [] {});
+}
+
+/// Scan-average of one already-sorted column, in place and scratch-free:
+/// the Hillis–Steele steps update l from high to low, so x[l - offset]
+/// is still the previous step's value when x[l] reads it.  Produces the
+/// same value sequence (same adds, same divides, same order) as
+/// inclusive_scan_average — only the scratch round-trip is gone.
+template <typename T>
+inline void scan_average_column(T* x, std::size_t d) {
+  for (std::size_t offset = 1; offset < d; offset <<= 1) {
+    for (std::size_t l = d; l-- > offset;) x[l] = T(x[l] + x[l - offset]);
+  }
+  for (std::size_t l = 0; l < d; ++l) x[l] = x[l] / T(double(l + 1));
+}
+
+/// Compile-time-specialized ascending Bitonic sort of buf[0..P2).  The
+/// loops are the exact loops of bitonic_sort with constexpr bounds, so
+/// every column experiences the identical compare-exchange sequence; the
+/// compiler fully unrolls the network for the small sizes the fused row
+/// pipeline cares about.
+template <std::size_t P2, typename T>
+inline void bitonic_sort_fixed(T* buf) {
+  static_assert(P2 >= 1 && (P2 & (P2 - 1)) == 0, "P2 must be a power of two");
+  for (std::size_t size = 2; size <= P2; size <<= 1) {
+    for (std::size_t stride = size >> 1; stride > 0; stride >>= 1) {
+      for (std::size_t i = 0; i < P2; ++i) {
+        const std::size_t partner = i ^ stride;
+        if (partner <= i) continue;
+        const bool ascending = (i & size) == 0;
+        const bool out_of_order = ascending ? (buf[partner] < buf[i])
+                                            : (buf[i] < buf[partner]);
+        if (out_of_order) std::swap(buf[i], buf[partner]);
+      }
+    }
+  }
+}
+
+/// Compile-time-specialized scan_average_column.
+template <std::size_t D, typename T>
+inline void inclusive_scan_average_fixed(T* x) {
+  for (std::size_t offset = 1; offset < D; offset <<= 1) {
+    for (std::size_t l = D; l-- > offset;) x[l] = T(x[l] + x[l - offset]);
+  }
+  for (std::size_t l = 0; l < D; ++l) x[l] = x[l] / T(double(l + 1));
+}
+
+/// Sort + progressive average of one column of d per-dimension distances,
+/// dispatching to the fixed networks for the paper's small-d workloads
+/// (d <= 8) and to the generic primitives beyond.  values[d..next_pow2(d))
+/// must be pre-padded with +inf by the caller for non-power-of-two d.
+/// Bit-identical to bitonic_sort + inclusive_scan_average for every d,
+/// including the d == 1 divide-by-one (which canonicalises NaN payloads
+/// for the emulated types and therefore must not be skipped here).
+template <typename T>
+inline void sort_scan_column(T* values, std::size_t d) {
+  switch (d) {
+    case 1:
+      values[0] = values[0] / T(1.0);
+      return;
+    case 2:
+      bitonic_sort_fixed<2>(values);
+      inclusive_scan_average_fixed<2>(values);
+      return;
+    case 3:
+      bitonic_sort_fixed<4>(values);
+      inclusive_scan_average_fixed<3>(values);
+      return;
+    case 4:
+      bitonic_sort_fixed<4>(values);
+      inclusive_scan_average_fixed<4>(values);
+      return;
+    case 5:
+      bitonic_sort_fixed<8>(values);
+      inclusive_scan_average_fixed<5>(values);
+      return;
+    case 6:
+      bitonic_sort_fixed<8>(values);
+      inclusive_scan_average_fixed<6>(values);
+      return;
+    case 7:
+      bitonic_sort_fixed<8>(values);
+      inclusive_scan_average_fixed<7>(values);
+      return;
+    case 8:
+      bitonic_sort_fixed<8>(values);
+      inclusive_scan_average_fixed<8>(values);
+      return;
+    default:
+      bitonic_sort(values, next_pow2(d));
+      scan_average_column(values, d);
+      return;
+  }
 }
 
 }  // namespace mpsim::mp

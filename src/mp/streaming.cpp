@@ -111,16 +111,17 @@ void StreamingMatrixProfile::complete_segment() {
   }
 
   // Column j of the profile: per reference row, gather the d distances,
-  // sort, progressive-average, and min-merge.  The sort is the shared
-  // Bitonic network of sort_scan_group_body — padded to the next power of
-  // two with +inf — not std::sort: the network's compare-exchanges stay
-  // deterministic when a distance is NaN, whereas NaN violates std::sort's
-  // strict-weak-ordering contract (UB), and the batch engines' ordering of
-  // NaN columns is reproduced exactly.
+  // sort, progressive-average, and min-merge.  sort_scan_column is the
+  // batch engines' shared Bitonic network + scan (small d dispatches to
+  // the fixed networks) — padded to the next power of two with +inf — not
+  // std::sort: the network's compare-exchanges stay deterministic when a
+  // distance is NaN, whereas NaN violates std::sort's strict-weak-ordering
+  // contract (UB), and the batch engines' ordering of NaN columns is
+  // reproduced exactly.
   const std::size_t p2 = next_pow2(dims_);
   std::vector<double> best(dims_, std::numeric_limits<double>::infinity());
   std::vector<std::int64_t> best_idx(dims_, -1);
-  std::vector<double> dists(p2), scratch(dims_);
+  std::vector<double> dists(p2);
   for (std::size_t i = 0; i < n_r_; ++i) {
     for (std::size_t k = 0; k < dims_; ++k) {
       dists[k] = qt_to_distance(qt_new[k][i], double(pre_r_.inv[k * n_r_ + i]),
@@ -129,8 +130,7 @@ void StreamingMatrixProfile::complete_segment() {
     for (std::size_t k = dims_; k < p2; ++k) {
       dists[k] = std::numeric_limits<double>::infinity();
     }
-    bitonic_sort(dists.data(), p2);
-    inclusive_scan_average(dists.data(), scratch.data(), dims_);
+    sort_scan_column(dists.data(), dims_);
     for (std::size_t k = 0; k < dims_; ++k) {
       if (dists[k] < best[k]) {
         best[k] = dists[k];

@@ -4,9 +4,18 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "mp/kernels.hpp"
 #include "mp/tile_plan.hpp"
 
 namespace mpsim::mp {
+
+bool use_fused_row_path(RowPath requested, std::size_t dims) {
+  if (requested == RowPath::kCooperative) return false;
+  // kAuto and kFused: the fused block pipeline supports every mode and
+  // every d up to its stack-block cap; beyond that only the cooperative
+  // path works, so both requests resolve to it.
+  return dims <= kMaxFusedRowDims;
+}
 
 std::size_t tile_working_set_bytes(std::size_t tile_rows,
                                    std::size_t tile_cols, std::size_t dims,

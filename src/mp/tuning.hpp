@@ -60,4 +60,13 @@ std::size_t tile_working_set_bytes(std::size_t tile_rows,
                                    std::size_t tile_cols, std::size_t dims,
                                    std::size_t window, PrecisionMode mode);
 
+/// Path-selection heuristic of the per-row pipeline: the fused path wins
+/// whenever it supports the dimensionality (its column block and network
+/// specialisations cap out at kMaxFusedRowDims), so kAuto resolves to
+/// fused below the cap and cooperative above it.  An explicit kFused
+/// request also falls back to cooperative above the cap — the request is
+/// a performance knob, not a correctness one, and both paths produce
+/// bit-identical output.
+bool use_fused_row_path(RowPath requested, std::size_t dims);
+
 }  // namespace mpsim::mp

@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# CTest smoke leg of the fused row pipeline: run mpsim_cli once with each
+# per-row execution path forced and diff the profiles byte-for-byte — the
+# fused path's bit-identity contract, checked end-to-end through the CLI.
+# Covers a multi-dimensional padded case (d=3), the d=1 skip-sort path,
+# reduced precision, and a NaN fault-injected run.  $1 = build dir.
+set -euo pipefail
+BUILD=$1
+WORK=$(mktemp -d)
+
+cleanup() {
+  status=$?
+  if [ "$status" -ne 0 ]; then
+    echo "cli_rowpath_test FAILED (exit $status) at line ${FAILED_LINE:-?}" >&2
+    for log in "$WORK"/*.log; do
+      [ -f "$log" ] || continue
+      echo "--- $log:" >&2
+      cat "$log" >&2
+    done
+  fi
+  rm -rf "$WORK"
+  exit "$status"
+}
+trap 'FAILED_LINE=$LINENO' ERR
+trap cleanup EXIT
+
+# Three-sensor CSV (d=3 pads the Bitonic network to 4) and a single-sensor
+# projection for the d=1 path.
+awk 'BEGIN {
+  srand(5); print "a,b,c";
+  for (t = 0; t < 400; ++t) {
+    a = sin(t / 9.0) + (rand() - 0.5) * 0.4;
+    b = cos(t / 13.0) + (rand() - 0.5) * 0.4;
+    c = sin(t / 5.0) * 0.7 + (rand() - 0.5) * 0.3;
+    printf "%.6f,%.6f,%.6f\n", a, b, c;
+  }
+}' > "$WORK/ref3.csv"
+cut -d, -f1 "$WORK/ref3.csv" > "$WORK/ref1.csv"
+
+run() {  # run <path> <outfile> <extra args...>
+  local path=$1 out=$2
+  shift 2
+  "$BUILD/tools/mpsim_cli" --row-path="$path" --output="$out" "$@" \
+      > "${out%.csv}.log"
+}
+
+# d=3 self-join, FP64 and FP16, both paths must agree byte-for-byte.
+for mode in FP64 FP16 Mixed; do
+  run fused "$WORK/f_$mode.csv" --reference="$WORK/ref3.csv" --self-join \
+      --window=32 --mode="$mode" --tiles=2
+  run cooperative "$WORK/c_$mode.csv" --reference="$WORK/ref3.csv" \
+      --self-join --window=32 --mode="$mode" --tiles=2
+  cmp "$WORK/f_$mode.csv" "$WORK/c_$mode.csv"
+done
+
+# d=1: the sort kernel is skipped on both paths.
+run fused "$WORK/f_d1.csv" --reference="$WORK/ref1.csv" --self-join \
+    --window=32
+run cooperative "$WORK/c_d1.csv" --reference="$WORK/ref1.csv" --self-join \
+    --window=32
+cmp "$WORK/f_d1.csv" "$WORK/c_d1.csv"
+
+# NaN-poisoned staged inputs: the same injector seed corrupts the same
+# bytes, so the poisoned profiles must still match across paths.
+for path in fused cooperative; do
+  run "$path" "$WORK/${path}_nan.csv" --reference="$WORK/ref3.csv" \
+      --self-join --window=32 --mode=FP16 \
+      --faults="seed=9,nan@0:at=1:frac=0.05"
+done
+cmp "$WORK/fused_nan.csv" "$WORK/cooperative_nan.csv"
+
+# --row-path=auto resolves to fused at this dimensionality.
+run auto "$WORK/a_FP64.csv" --reference="$WORK/ref3.csv" --self-join \
+    --window=32 --tiles=2
+cmp "$WORK/a_FP64.csv" "$WORK/f_FP64.csv"
+
+echo "cli row-path OK"

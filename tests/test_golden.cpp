@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "gpusim/faults.hpp"
 #include "mp/kernels.hpp"
 #include "mp/matrix_profile.hpp"
 #include "precision/modes.hpp"
@@ -58,16 +59,22 @@ void check_goldens(int tiles, int devices, const GoldenEntry (&golden)[5]) {
   const auto data = make_synthetic_dataset(spec);
 
   for (const GoldenEntry& entry : golden) {
-    mp::MatrixProfileConfig config;
-    config.window = 32;
-    config.mode = entry.mode;
-    config.tiles = tiles;
-    config.devices = devices;
-    const auto r =
-        mp::compute_matrix_profile(data.reference, data.query, config);
-    EXPECT_EQ(result_checksum(r), entry.checksum)
-        << to_string(entry.mode) << " tiles=" << tiles
-        << " devices=" << devices;
+    // Both per-row execution paths must hit the pinned checksum: the fused
+    // pipeline is bit-identical to the cooperative kernels by contract.
+    for (const mp::RowPath path :
+         {mp::RowPath::kFused, mp::RowPath::kCooperative}) {
+      mp::MatrixProfileConfig config;
+      config.window = 32;
+      config.mode = entry.mode;
+      config.tiles = tiles;
+      config.devices = devices;
+      config.row_path = path;
+      const auto r =
+          mp::compute_matrix_profile(data.reference, data.query, config);
+      EXPECT_EQ(result_checksum(r), entry.checksum)
+          << to_string(entry.mode) << " tiles=" << tiles
+          << " devices=" << devices << " row_path=" << to_string(path);
+    }
   }
 }
 
@@ -148,6 +155,67 @@ TEST(GoldenChecksums, SingleTileSingleDeviceAllModes) {
       {PrecisionMode::FP16C, 0x7d29ecfcb7b60248ull},
   };
   check_goldens(/*tiles=*/1, /*devices=*/1, kGolden);
+}
+
+// ---- Fused-vs-cooperative path equality ----------------------------------
+
+std::uint64_t run_with_path(const TimeSeries& reference,
+                            const TimeSeries& query, PrecisionMode mode,
+                            mp::RowPath path, const char* fault_spec) {
+  mp::MatrixProfileConfig config;
+  config.window = 32;
+  config.mode = mode;
+  config.tiles = 1;  // single stream: deterministic fault-injection order
+  config.devices = 1;
+  gpusim::FaultInjector injector;
+  if (fault_spec != nullptr) {
+    injector.configure(fault_spec);
+    config.fault_injector = &injector;
+  }
+  config.row_path = path;
+  return result_checksum(mp::compute_matrix_profile(reference, query, config));
+}
+
+void check_paths_equal(std::size_t dims, const char* fault_spec) {
+  SyntheticSpec spec;
+  spec.segments = 300;
+  spec.dims = dims;
+  spec.window = 32;
+  spec.injections_per_dim = 2;
+  spec.seed = 123;
+  const auto data = make_synthetic_dataset(spec);
+  for (const PrecisionMode mode : kAllPrecisionModes) {
+    const auto fused = run_with_path(data.reference, data.query, mode,
+                                     mp::RowPath::kFused, fault_spec);
+    const auto coop = run_with_path(data.reference, data.query, mode,
+                                    mp::RowPath::kCooperative, fault_spec);
+    EXPECT_EQ(fused, coop) << to_string(mode) << " dims=" << dims
+                           << (fault_spec ? fault_spec : " clean");
+  }
+}
+
+TEST(RowPathEquality, PaddedNonPowerOfTwoDims) { check_paths_equal(3, nullptr); }
+
+TEST(RowPathEquality, PowerOfTwoDims) { check_paths_equal(4, nullptr); }
+
+TEST(RowPathEquality, FiveDimsGenericPadding) { check_paths_equal(5, nullptr); }
+
+TEST(RowPathEquality, SingleDimSkipSortPath) { check_paths_equal(1, nullptr); }
+
+TEST(RowPathEquality, NanPoisonedDistanceRows) {
+  // Staged-input NaN corruption (fault-injector path): the poison reaches
+  // the distance rows, exercising the fused sort's blend-moves-NaN stages
+  // and the f16 vector scan's scalar NaN fallback.  Identical injector
+  // seed + single stream means both paths see identical corrupted bytes.
+  check_paths_equal(4, "seed=9,nan@0:at=1:frac=0.05");
+  check_paths_equal(3, "seed=9,nan@0:at=1:frac=0.10");
+}
+
+TEST(RowPathEquality, KernelFaultRetryPath) {
+  // A transient kernel fault mid-tile: the attempt restarts, and both
+  // paths must emit the same fault_point sequence so the Nth launch fails
+  // in both (and the retried result stays bit-identical).
+  check_paths_equal(4, "seed=3,kernel@0:at=2");
 }
 
 }  // namespace

@@ -3,11 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstring>
 #include <vector>
 
 #include "common/rng.hpp"
+#include "mp/kernels.hpp"
 #include "mp/sort_scan.hpp"
 #include "precision/float16.hpp"
+#include "precision/modes.hpp"
 
 namespace mpsim::mp {
 namespace {
@@ -20,6 +23,36 @@ TEST(Pow2Helpers, NextPow2AndLog) {
   EXPECT_EQ(next_pow2(65), 128u);
   EXPECT_EQ(log2_pow2(1), 0);
   EXPECT_EQ(log2_pow2(64), 6);
+}
+
+TEST(Pow2Helpers, BitTwiddledBoundaryValues) {
+  // next_pow2 must keep the historical loop semantics on every boundary,
+  // including n = 0 (the loop returned 1 there).
+  EXPECT_EQ(next_pow2(0), 1u);
+  EXPECT_EQ(next_pow2(4), 4u);
+  EXPECT_EQ(next_pow2(5), 8u);
+  EXPECT_EQ(next_pow2(7), 8u);
+  EXPECT_EQ(next_pow2(8), 8u);
+  EXPECT_EQ(next_pow2(9), 16u);
+  EXPECT_EQ(next_pow2(1023), 1024u);
+  EXPECT_EQ(next_pow2(1024), 1024u);
+  EXPECT_EQ(next_pow2(1025), 2048u);
+  EXPECT_EQ(next_pow2((std::size_t(1) << 31) - 1), std::size_t(1) << 31);
+  EXPECT_EQ(next_pow2((std::size_t(1) << 31) + 1), std::size_t(1) << 32);
+  EXPECT_EQ(next_pow2(std::size_t(1) << 62), std::size_t(1) << 62);
+
+  // log2_pow2 is ceil(log2(n)) for any n >= 1, like the old loop.
+  EXPECT_EQ(log2_pow2(0), 0);
+  EXPECT_EQ(log2_pow2(2), 1);
+  EXPECT_EQ(log2_pow2(3), 2);
+  EXPECT_EQ(log2_pow2(4), 2);
+  EXPECT_EQ(log2_pow2(5), 3);
+  EXPECT_EQ(log2_pow2(7), 3);
+  EXPECT_EQ(log2_pow2(8), 3);
+  EXPECT_EQ(log2_pow2(9), 4);
+  EXPECT_EQ(log2_pow2(1024), 10);
+  EXPECT_EQ(log2_pow2(1025), 11);
+  EXPECT_EQ(log2_pow2(std::size_t(1) << 62), 62);
 }
 
 TEST(BitonicStages, CountFormula) {
@@ -145,6 +178,130 @@ TEST(Scan, IdenticalOrderForCpuAndKernelUse) {
   inclusive_scan_average(a.data(), scratch.data(), 64);
   inclusive_scan_average(b.data(), scratch.data(), 64);
   EXPECT_EQ(a, b);
+}
+
+// ---- Fixed-network / fused-block bit-equality ----------------------------
+
+// Fills a padded column with a mix of normals, infinities and raw-bit NaNs
+// (exercising payload preservation), padding [d, p2) with +inf.
+template <typename T>
+void fill_column(Rng& rng, T* vals, std::size_t d, std::size_t p2) {
+  for (std::size_t i = 0; i < d; ++i) {
+    const double r = rng.uniform(0.0, 1.0);
+    if (r < 0.06) {
+      vals[i] = std::numeric_limits<T>::quiet_NaN();
+    } else if (r < 0.12) {
+      vals[i] = std::numeric_limits<T>::infinity();
+    } else {
+      vals[i] = T(rng.uniform(0.0, 10.0));
+    }
+  }
+  for (std::size_t i = d; i < p2; ++i) {
+    vals[i] = std::numeric_limits<T>::infinity();
+  }
+}
+
+template <typename T>
+void expect_bytes_equal(const T* a, const T* b, std::size_t n,
+                        const char* what) {
+  EXPECT_EQ(std::memcmp(a, b, n * sizeof(T)), 0) << what;
+}
+
+// sort_scan_column (fixed networks for d <= 8, generic beyond, divide-by-1
+// for d == 1) must be byte-identical to the generic
+// bitonic_sort + inclusive_scan_average sequence — NaN payloads included.
+template <typename T>
+void check_column_matches_generic(std::size_t d) {
+  const std::size_t p2 = next_pow2(d);
+  Rng rng(4000 + d);
+  for (int rep = 0; rep < 200; ++rep) {
+    std::vector<T> fixed(p2), generic(p2), scratch(p2);
+    fill_column(rng, generic.data(), d, p2);
+    fixed = generic;
+    sort_scan_column(fixed.data(), d);
+    bitonic_sort(generic.data(), p2);
+    inclusive_scan_average(generic.data(), scratch.data(), d);
+    expect_bytes_equal(fixed.data(), generic.data(), d, "sort_scan_column");
+  }
+}
+
+class FixedNetworkSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(FixedNetworkSizes, ColumnMatchesGenericDouble) {
+  check_column_matches_generic<double>(std::size_t(GetParam()));
+}
+
+TEST_P(FixedNetworkSizes, ColumnMatchesGenericFloat16) {
+  check_column_matches_generic<float16>(std::size_t(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSmallAndGenericSizes, FixedNetworkSizes,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 12, 13,
+                                           16, 64));
+
+// The fused engine's block sort/scan (row-wise networks, F16C vector path
+// for float16, scalar fallback for the other emulated types) must be
+// byte-identical, column for column, to sort_scan_column — on a block
+// width that is not a lane multiple and with NaN/inf-laced rows.
+template <typename T>
+void check_block_matches_columns(std::size_t d) {
+  const std::size_t p2 = next_pow2(d);
+  const std::size_t bn = 101;  // not a multiple of the 8-wide f16 groups
+  Rng rng(5000 + d);
+  std::vector<T> blk(p2 * bn);
+  for (std::size_t jj = 0; jj < bn; ++jj) {
+    std::vector<T> col(p2);
+    fill_column(rng, col.data(), d, p2);
+    for (std::size_t l = 0; l < p2; ++l) blk[l * bn + jj] = col[l];
+  }
+  std::vector<T> expect_blk = blk;
+
+  sort_scan_block(blk.data(), bn, bn, d);
+
+  for (std::size_t jj = 0; jj < bn; ++jj) {
+    std::vector<T> col(p2);
+    for (std::size_t l = 0; l < p2; ++l) col[l] = expect_blk[l * bn + jj];
+    sort_scan_column(col.data(), d);
+    for (std::size_t l = 0; l < d; ++l) {
+      expect_bytes_equal(&blk[l * bn + jj], &col[l], 1, "sort_scan_block");
+    }
+  }
+}
+
+class FusedBlockSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(FusedBlockSizes, MatchesPerColumnDouble) {
+  check_block_matches_columns<double>(std::size_t(GetParam()));
+}
+
+TEST_P(FusedBlockSizes, MatchesPerColumnFloat) {
+  check_block_matches_columns<float>(std::size_t(GetParam()));
+}
+
+TEST_P(FusedBlockSizes, MatchesPerColumnFloat16) {
+  check_block_matches_columns<float16>(std::size_t(GetParam()));
+}
+
+TEST_P(FusedBlockSizes, MatchesPerColumnBfloat16) {
+  using BT = PrecisionTraits<PrecisionMode::BF16>::Storage;
+  check_block_matches_columns<BT>(std::size_t(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(PaddedAndPowerSizes, FusedBlockSizes,
+                         ::testing::Values(2, 3, 4, 5, 6, 7, 8, 12, 16));
+
+TEST(ScanAverageColumn, MatchesScratchVersion) {
+  // The in-place descending update must reproduce the scratch round-trip
+  // version byte for byte (it feeds the f16 NaN fallback and the generic
+  // column path).
+  for (std::size_t d : {1u, 2u, 3u, 5u, 8u, 13u, 64u}) {
+    Rng rng(6000 + d);
+    std::vector<double> a(d), b(d), scratch(d);
+    for (std::size_t i = 0; i < d; ++i) a[i] = b[i] = rng.uniform(0.0, 10.0);
+    scan_average_column(a.data(), d);
+    inclusive_scan_average(b.data(), scratch.data(), d);
+    expect_bytes_equal(a.data(), b.data(), d, "scan_average_column");
+  }
 }
 
 }  // namespace

@@ -54,7 +54,7 @@ int run(int argc, char** argv) {
                     "devices", "machine", "self-join", "exclusion", "output",
                     "motifs", "discords", "repair", "auto-tiles", "chains",
                     "faults", "max-retries", "escalate-precision",
-                    "metrics-out", "trace-out", "help"});
+                    "metrics-out", "trace-out", "row-path", "help"});
   if (args.get_bool("help", false) || !args.has("reference")) {
     std::printf(
         "usage: mpsim_cli --reference=ref.csv [--query=query.csv] "
@@ -67,6 +67,7 @@ int run(int argc, char** argv) {
         "                 [--faults=SPEC] [--max-retries=N] "
         "[--escalate-precision]\n"
         "                 [--metrics-out=FILE.json] [--trace-out=FILE.json]\n"
+        "                 [--row-path=auto|fused|cooperative]\n"
         "fault spec: comma-separated kind[@device][:key=value]... with kind\n"
         "  kernel|copy|offline|nan|bitflip and keys at=N, every=N, p=P,\n"
         "  frac=F, plus an optional seed=S clause, e.g.\n"
@@ -112,6 +113,7 @@ int run(int argc, char** argv) {
       int(args.get_int("max-retries", config.resilience.max_retries));
   config.resilience.escalate_precision =
       args.get_bool("escalate-precision", false);
+  config.row_path = mp::parse_row_path(args.get_string("row-path", "auto"));
   gpusim::FaultInjector injector;
   if (args.has("faults")) {
     injector.configure(args.get_string("faults", ""));
