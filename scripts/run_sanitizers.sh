@@ -33,6 +33,14 @@ run_one() {
     # thread interleavings of the relaxed-atomic hot path to inspect.
     "$dir"/tests/test_runtime_metrics \
         --gtest_filter='RuntimeMetrics.Concurrent*' --gtest_repeat=25
+    # The watchdog/speculation/cancellation machinery is the raciest code
+    # in the tree (monitor thread + per-device workers + first-finisher
+    # commits); soak it repeatedly under TSan, then run the full chaos
+    # script against the sanitized CLI.
+    "$dir"/tests/test_faults \
+        --gtest_filter='ResilientScheduler.Watchdog*:ResilientScheduler.RepeatedHangs*' \
+        --gtest_repeat=5
+    bash tests/chaos_soak_test.sh "$dir"
   fi
 }
 

@@ -46,6 +46,31 @@ class TransientFaultError : public Error {
   explicit TransientFaultError(const std::string& what) : Error(what) {}
 };
 
+/// Raised when in-flight work observes its cooperative cancellation token.
+/// Not a fault: the scheduler cancels attempts it no longer needs (a
+/// speculative race was lost, a hung device was blacklisted, the run is
+/// shutting down) and the unwound attempt is simply discarded.
+class CancelledError : public Error {
+ public:
+  explicit CancelledError(const std::string& what) : Error(what) {}
+};
+
+/// Raised when a run stops early because shutdown was requested (SIGINT /
+/// SIGTERM or an injected kill).  The scheduler flushes its checkpoint
+/// before throwing; callers flush observability output and exit.
+class InterruptedError : public Error {
+ public:
+  explicit InterruptedError(const std::string& what) : Error(what) {}
+};
+
+/// Raised when a checkpoint journal cannot be read (truncated, corrupt,
+/// wrong version, or written for different inputs).  Resume treats it as
+/// "no checkpoint" after reporting the reason; a fresh run proceeds.
+class CheckpointError : public Error {
+ public:
+  explicit CheckpointError(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 [[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
                                              int line, const std::string& msg) {

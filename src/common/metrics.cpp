@@ -152,7 +152,7 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
 std::string MetricsSnapshot::to_json() const {
   std::ostringstream os;
   os.precision(17);
-  os << "{\n  \"schema\": \"mpsim-metrics-v1\",\n  \"counters\": {";
+  os << "{\n  \"schema\": \"mpsim-metrics-v2\",\n  \"counters\": {";
   bool first = true;
   for (const auto& [name, value] : counters) {
     os << (first ? "\n" : ",\n") << "    \"";

@@ -143,7 +143,10 @@ struct MetricsSnapshot {
   std::vector<std::pair<std::string, double>> gauges;
   std::vector<HistogramData> histograms;
 
-  /// Versioned JSON document ("mpsim-metrics-v1"); see docs/API.md.
+  /// Versioned JSON document ("mpsim-metrics-v2"; v2 added the
+  /// resilient.checkpoint_* / watchdog / speculation / tile-split
+  /// counters — purely additive, v1 consumers only need to accept the
+  /// new schema string).  See docs/API.md.
   std::string to_json() const;
 };
 

@@ -1,0 +1,34 @@
+#include "common/shutdown.hpp"
+
+#include <atomic>
+#include <csignal>
+#include <cstdlib>
+
+namespace mpsim {
+
+namespace {
+
+std::atomic<bool> g_shutdown{false};
+
+void handle_signal(int) {
+  // Second signal: the graceful path is stuck (or the user is impatient);
+  // bail out the only async-signal-safe way.
+  if (g_shutdown.exchange(true)) _Exit(130);
+}
+
+}  // namespace
+
+void install_signal_handlers() {
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+}
+
+bool shutdown_requested() {
+  return g_shutdown.load(std::memory_order_relaxed);
+}
+
+void request_shutdown() { g_shutdown.store(true); }
+
+void clear_shutdown() { g_shutdown.store(false); }
+
+}  // namespace mpsim

@@ -1,0 +1,31 @@
+// Process-wide graceful-shutdown flag.
+//
+// Signal handlers must not touch files or locks, so the SIGINT/SIGTERM
+// handlers installed by install_signal_handlers() only set an atomic
+// flag (and hard-exit on a second signal, so a stuck run can still be
+// killed interactively).  Long-running work — the resilient scheduler —
+// polls shutdown_requested(), cancels its in-flight attempts, flushes its
+// checkpoint and unwinds with InterruptedError; the CLI then flushes
+// metrics/trace output and exits with the conventional 130.
+//
+// Tests drive the same path deterministically through request_shutdown()
+// (no signal involved); clear_shutdown() re-arms the process for the next
+// run in the same test binary.
+#pragma once
+
+namespace mpsim {
+
+/// Installs SIGINT/SIGTERM handlers that request a graceful shutdown.
+/// Idempotent.  A second signal after the first exits immediately (130).
+void install_signal_handlers();
+
+/// True once a shutdown has been requested (signal or request_shutdown).
+bool shutdown_requested();
+
+/// Requests a graceful shutdown programmatically (what the handlers do).
+void request_shutdown();
+
+/// Clears the flag (between runs in one process, e.g. tests).
+void clear_shutdown();
+
+}  // namespace mpsim

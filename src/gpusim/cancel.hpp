@@ -1,0 +1,51 @@
+// Cooperative cancellation of in-flight simulated-device work.
+//
+// A CancellationToken is owned by whoever supervises an attempt (the
+// resilient scheduler's watchdog) and observed by the work itself: kernel
+// launches, copies and the tile engine's row loop poll `cancelled()` at
+// natural checkpoints and unwind with CancelledError.  This mirrors how a
+// real GPU port cancels a straggler — the host stops feeding the stream
+// and the in-flight kernel's result is discarded — and is exactly the
+// mechanism speculative re-execution needs: first finisher wins, losers
+// observe their token and abandon the tile.
+//
+// The token is a single relaxed atomic; polling it on a per-row cadence is
+// free next to the row's arithmetic, and cancellation latency is bounded
+// by one row (or, inside an injected hang, by the injector's poll period).
+#pragma once
+
+#include <atomic>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace mpsim::gpusim {
+
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+
+  CancellationToken(const CancellationToken&) = delete;
+  CancellationToken& operator=(const CancellationToken&) = delete;
+
+  void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// Re-arms a token for reuse across attempts of the same slot.
+  void reset() { cancelled_.store(false, std::memory_order_relaxed); }
+
+  /// Throws CancelledError when the token has been cancelled; `where`
+  /// names the checkpoint for the discard log line.
+  void poll(const char* where) const {
+    if (cancelled()) {
+      throw CancelledError(std::string("attempt cancelled at ") + where);
+    }
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+}  // namespace mpsim::gpusim

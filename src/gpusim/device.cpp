@@ -27,9 +27,10 @@ void Device::allocate_bytes(std::size_t bytes) {
 
 void Device::free_bytes(std::size_t bytes) { bytes_in_use_.fetch_sub(bytes); }
 
-void Device::fault_point(FaultSite site, const std::string& detail) {
+void Device::fault_point(FaultSite site, const std::string& detail,
+                         const CancellationToken* cancel) {
   FaultInjector* injector = fault_injector_.load();
-  if (injector != nullptr) injector->fire(site, index_, detail);
+  if (injector != nullptr) injector->fire(site, index_, detail, cancel);
 }
 
 System::System(const MachineSpec& device_spec, int device_count,

@@ -22,6 +22,7 @@
 namespace mpsim::gpusim {
 
 class FaultInjector;
+class CancellationToken;
 enum class FaultSite : int;
 
 class Device {
@@ -51,8 +52,10 @@ class Device {
 
   /// Fault hook evaluated when a kernel launch or copy executes.  Throws
   /// TransientFaultError / DeviceFailedError when an attached injector
-  /// fires; a no-op without an injector.
-  void fault_point(FaultSite site, const std::string& detail);
+  /// fires; a no-op without an injector.  `cancel` (optional) lets an
+  /// injected hang/slowdown stall unwind early with CancelledError.
+  void fault_point(FaultSite site, const std::string& detail,
+                   const CancellationToken* cancel = nullptr);
 
  private:
   MachineSpec spec_;

@@ -1,10 +1,13 @@
 #include "gpusim/faults.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <sstream>
+#include <thread>
 
 #include "common/metrics.hpp"
+#include "gpusim/cancel.hpp"
 
 namespace mpsim::gpusim {
 
@@ -23,6 +26,8 @@ void count_fault(FaultKind kind, std::size_t corrupted_elements) {
     Counter& offline;
     Counter& corruption;
     Counter& corrupted_elements;
+    Counter& hangs;
+    Counter& slowdowns;
 
     static FaultMetrics& get() {
       auto& reg = MetricsRegistry::global();
@@ -31,7 +36,9 @@ void count_fault(FaultKind kind, std::size_t corrupted_elements) {
                             reg.counter("faults.copy"),
                             reg.counter("faults.device_offline"),
                             reg.counter("faults.corruption"),
-                            reg.counter("faults.corrupted_elements")};
+                            reg.counter("faults.corrupted_elements"),
+                            reg.counter("faults.hangs"),
+                            reg.counter("faults.slowdowns")};
       return m;
     }
   };
@@ -46,6 +53,8 @@ void count_fault(FaultKind kind, std::size_t corrupted_elements) {
       m.corruption.add();
       m.corrupted_elements.add(corrupted_elements);
       break;
+    case FaultKind::kHang: m.hangs.add(); break;
+    case FaultKind::kSlowdown: m.slowdowns.add(); break;
   }
 }
 
@@ -55,8 +64,18 @@ FaultKind parse_kind(const std::string& word) {
   if (word == "offline") return FaultKind::kDeviceOffline;
   if (word == "nan") return FaultKind::kNaNPoison;
   if (word == "bitflip") return FaultKind::kBitFlip;
+  if (word == "hang") return FaultKind::kHang;
+  if (word == "slow") return FaultKind::kSlowdown;
   throw ConfigError("unknown fault kind '" + word +
-                    "' (expected kernel|copy|offline|nan|bitflip)");
+                    "' (expected kernel|copy|offline|nan|bitflip|hang|slow)");
+}
+
+/// Stall a matching hang/slowdown rule injects, in milliseconds.  A hang
+/// defaults to "forever" on the scale of any test or run (the watchdog or
+/// a cancellation is the only way out); a slowdown to a visible stutter.
+double rule_delay_ms(const FaultRule& rule) {
+  if (rule.delay_ms >= 0.0) return rule.delay_ms;
+  return rule.kind == FaultKind::kHang ? 3600e3 : 100.0;
 }
 
 std::uint64_t parse_u64(const std::string& text, const std::string& what) {
@@ -101,6 +120,8 @@ std::string to_string(FaultKind kind) {
     case FaultKind::kDeviceOffline: return "device-offline";
     case FaultKind::kNaNPoison: return "nan-poison";
     case FaultKind::kBitFlip: return "bit-flip";
+    case FaultKind::kHang: return "hang";
+    case FaultKind::kSlowdown: return "slowdown";
   }
   return "unknown";
 }
@@ -138,9 +159,11 @@ FaultSpec parse_fault_spec(const std::string& spec) {
         rule.probability = parse_real(value, "probability");
       } else if (key == "frac") {
         rule.fraction = parse_real(value, "fraction");
+      } else if (key == "ms") {
+        rule.delay_ms = parse_real(value, "delay in milliseconds");
       } else {
         throw ConfigError("unknown fault option '" + key +
-                          "' (expected at|every|p|frac)");
+                          "' (expected at|every|p|frac|ms)");
       }
     }
     if (rule.at == 0 && rule.every == 0 && rule.probability <= 0.0) {
@@ -187,40 +210,73 @@ bool FaultInjector::rule_fires(const FaultRule& rule, std::uint64_t sequence) {
 }
 
 void FaultInjector::fire(FaultSite site, int device,
-                         const std::string& detail) {
-  std::unique_lock lock(mutex_);
-  if (offline_.count(device) != 0) {
-    throw DeviceFailedError("device " + std::to_string(device) +
-                            " is offline (injected fault)");
-  }
-  const int cls = site_class(site);
-  auto& per_device = counters_[std::size_t(cls)];
-  if (per_device.size() <= std::size_t(device)) {
-    per_device.resize(std::size_t(device) + 1, 0);
-  }
-  const std::uint64_t n = ++per_device[std::size_t(device)];
-
-  for (const FaultRule& rule : rules_) {
-    if (rule.device >= 0 && rule.device != device) continue;
-    const bool kind_matches =
-        (cls == 0 && (rule.kind == FaultKind::kKernelLaunch ||
-                      rule.kind == FaultKind::kDeviceOffline)) ||
-        (cls == 1 && rule.kind == FaultKind::kCopy);
-    if (!kind_matches) continue;
-    if (!rule_fires(rule, n)) continue;
-
-    events_.push_back(FaultEvent{rule.kind, device, detail, n, 0});
-    count_fault(rule.kind, 0);
-    if (rule.kind == FaultKind::kDeviceOffline) {
-      offline_.insert(device);
+                         const std::string& detail,
+                         const CancellationToken* cancel) {
+  double stall_ms = -1.0;
+  {
+    std::unique_lock lock(mutex_);
+    if (offline_.count(device) != 0) {
       throw DeviceFailedError("device " + std::to_string(device) +
-                              " went offline at " + detail + " (event " +
-                              std::to_string(n) + ")");
+                              " is offline (injected fault)");
     }
-    throw TransientFaultError("injected " + to_string(rule.kind) +
-                              " fault on device " + std::to_string(device) +
-                              " at " + detail + " (event " +
-                              std::to_string(n) + ")");
+    const int cls = site_class(site);
+    auto& per_device = counters_[std::size_t(cls)];
+    if (per_device.size() <= std::size_t(device)) {
+      per_device.resize(std::size_t(device) + 1, 0);
+    }
+    const std::uint64_t n = ++per_device[std::size_t(device)];
+
+    for (const FaultRule& rule : rules_) {
+      if (rule.device >= 0 && rule.device != device) continue;
+      const bool kind_matches =
+          (cls == 0 && (rule.kind == FaultKind::kKernelLaunch ||
+                        rule.kind == FaultKind::kDeviceOffline ||
+                        rule.kind == FaultKind::kHang ||
+                        rule.kind == FaultKind::kSlowdown)) ||
+          (cls == 1 && rule.kind == FaultKind::kCopy);
+      if (!kind_matches) continue;
+      if (!rule_fires(rule, n)) continue;
+
+      events_.push_back(FaultEvent{rule.kind, device, detail, n, 0});
+      count_fault(rule.kind, 0);
+      if (rule.kind == FaultKind::kDeviceOffline) {
+        offline_.insert(device);
+        throw DeviceFailedError("device " + std::to_string(device) +
+                                " went offline at " + detail + " (event " +
+                                std::to_string(n) + ")");
+      }
+      if (rule.kind == FaultKind::kHang ||
+          rule.kind == FaultKind::kSlowdown) {
+        // Stall outside the lock: a hang must pin only this attempt, not
+        // every other device's fault points.
+        stall_ms = rule_delay_ms(rule);
+        break;
+      }
+      throw TransientFaultError("injected " + to_string(rule.kind) +
+                                " fault on device " + std::to_string(device) +
+                                " at " + detail + " (event " +
+                                std::to_string(n) + ")");
+    }
+  }
+  if (stall_ms < 0.0) return;
+
+  // Cancellable stall: nothing fails here — the launch just takes `ms`
+  // longer, which only a deadline watchdog can notice.  Poll the token so
+  // a cancelled attempt unwinds within one poll period.
+  using clock = std::chrono::steady_clock;
+  const auto until =
+      clock::now() + std::chrono::duration_cast<clock::duration>(
+                         std::chrono::duration<double, std::milli>(stall_ms));
+  constexpr auto kPoll = std::chrono::milliseconds(2);
+  for (;;) {
+    if (cancel != nullptr && cancel->cancelled()) {
+      throw CancelledError("injected stall at " + detail +
+                           " on device " + std::to_string(device) +
+                           " cancelled");
+    }
+    const auto now = clock::now();
+    if (now >= until) break;
+    std::this_thread::sleep_for(std::min<clock::duration>(kPoll, until - now));
   }
 }
 

@@ -11,7 +11,13 @@
 //    gone offline every subsequent launch/copy on it fails too,
 //  * value corruption         — NaN poisoning or bit flips applied to the
 //    staged (reduced-precision) input buffers of a tile, modelling FP16
-//    overflow and memory corruption.
+//    overflow and memory corruption,
+//  * hangs and slowdowns      — the kernel-launch event stalls in a
+//    cancellable sleep (`ms` long; a hang defaults to effectively forever,
+//    a slowdown to a short stutter) and then proceeds *successfully*.
+//    Nothing throws, so only a liveness mechanism — the resilient
+//    scheduler's deadline watchdog — can detect it; cancelling the
+//    attempt's CancellationToken unwinds the sleeper with CancelledError.
 //
 // Rules trigger either at exact per-device event counts (`at`, `every` —
 // fully deterministic, used by the fault-tolerance tests) or with a seeded
@@ -25,10 +31,12 @@
 //   seed=S
 //   kind[@device][:key=value]...
 //
-// with kind in {kernel, copy, offline, nan, bitflip}, device an integer
-// (default: any device), and keys at=N, every=N, p=P, frac=F.  Example:
+// with kind in {kernel, copy, offline, nan, bitflip, hang, slow}, device
+// an integer (default: any device), and keys at=N, every=N, p=P, frac=F,
+// ms=D (hang/slow stall duration in milliseconds).  Example:
 //
 //   --faults=seed=7,kernel@0:at=5,offline@1:at=12,nan@0:at=1:frac=0.05
+//   --faults=hang@0:at=3:ms=60000,slow@1:p=0.01:ms=50
 #pragma once
 
 #include <cstdint>
@@ -44,6 +52,8 @@
 
 namespace mpsim::gpusim {
 
+class CancellationToken;
+
 /// Where in the execution a fault hook is being evaluated.
 enum class FaultSite : int { kKernelLaunch, kCopyH2D, kCopyD2H, kStaging };
 
@@ -54,6 +64,8 @@ enum class FaultKind : int {
   kDeviceOffline, ///< permanent device loss (fires on a kernel-launch event)
   kNaNPoison,     ///< overwrite staged values with quiet NaNs
   kBitFlip,       ///< flip one random bit per selected staged value
+  kHang,          ///< kernel-launch stalls (cancellable sleep), then proceeds
+  kSlowdown,      ///< kernel-launch stutters briefly, then proceeds
 };
 
 std::string to_string(FaultKind kind);
@@ -68,6 +80,7 @@ struct FaultRule {
   std::uint64_t every = 0;     ///< fire on every Nth matching event
   double probability = 0.0;    ///< seeded per-event probability
   double fraction = 0.0;       ///< corruption: fraction of elements hit
+  double delay_ms = -1.0;      ///< hang/slow stall (<0 = kind's default)
 };
 
 /// A fault that actually fired.
@@ -100,7 +113,12 @@ class FaultInjector {
   /// Hook called by kernel launches and copies when their work executes.
   /// Throws DeviceFailedError if `device` is offline (or goes offline on
   /// this event) and TransientFaultError when a transient rule fires.
-  void fire(FaultSite site, int device, const std::string& detail);
+  /// A matching hang/slowdown rule stalls in a cancellable sleep (outside
+  /// the injector lock, so only this attempt blocks) and then returns
+  /// normally; when `cancel` flips mid-stall the sleeper unwinds with
+  /// CancelledError.
+  void fire(FaultSite site, int device, const std::string& detail,
+            const CancellationToken* cancel = nullptr);
 
   /// Applies any matching corruption rule to a staged buffer; returns the
   /// number of elements corrupted.  T must be trivially copyable (all the

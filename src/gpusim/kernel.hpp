@@ -29,6 +29,7 @@
 #include <utility>
 
 #include "common/stopwatch.hpp"
+#include "gpusim/cancel.hpp"
 #include "gpusim/device.hpp"
 #include "gpusim/faults.hpp"
 #include "gpusim/stream.hpp"
@@ -147,14 +148,19 @@ inline void record_fused_launch(Device& device, const std::string& name,
 /// is enqueued asynchronously; otherwise it runs synchronously.
 /// `extra_ledger` (optional) additionally receives the launch record —
 /// the multi-tile scheduler uses it for per-tile makespan accounting.
+/// `cancel` (optional) is polled when the launch's work starts: a
+/// cancelled attempt unwinds with CancelledError instead of executing.
 inline void launch_grid_stride(
     Device& device, Stream* stream, const std::string& name,
     LaunchConfig config, std::int64_t n, KernelCost cost,
     std::function<void(std::int64_t, std::int64_t)> body,
-    KernelLedger* extra_ledger = nullptr) {
+    KernelLedger* extra_ledger = nullptr,
+    const CancellationToken* cancel = nullptr) {
   cost.occupancy = config.occupancy(device.spec());
-  auto run = [&device, name, cost, n, body = std::move(body), extra_ledger] {
-    device.fault_point(FaultSite::kKernelLaunch, name);
+  auto run = [&device, name, cost, n, body = std::move(body), extra_ledger,
+              cancel] {
+    if (cancel != nullptr) cancel->poll(name.c_str());
+    device.fault_point(FaultSite::kKernelLaunch, name, cancel);
     Stopwatch watch;
     device.pool().parallel_for(
         std::size_t(n), [&body](std::size_t begin, std::size_t end) {
@@ -182,12 +188,14 @@ inline void launch_cooperative(
     LaunchConfig config, std::int64_t group_count, std::int64_t lane_count,
     KernelCost cost, std::function<void(GroupContext&)> body,
     KernelLedger* extra_ledger = nullptr,
-    std::size_t shared_bytes_per_group = 0) {
+    std::size_t shared_bytes_per_group = 0,
+    const CancellationToken* cancel = nullptr) {
   validate_group_shared_mem(device, name, lane_count, shared_bytes_per_group);
   cost.occupancy = config.occupancy(device.spec());
   auto run = [&device, name, cost, group_count, lane_count,
-              body = std::move(body), extra_ledger]() mutable {
-    device.fault_point(FaultSite::kKernelLaunch, name);
+              body = std::move(body), extra_ledger, cancel]() mutable {
+    if (cancel != nullptr) cancel->poll(name.c_str());
+    device.fault_point(FaultSite::kKernelLaunch, name, cancel);
     Stopwatch watch;
     std::atomic<std::int64_t> max_barriers{0};
     device.pool().parallel_for(
@@ -223,9 +231,11 @@ inline void launch_cooperative(
 template <typename T>
 void async_copy_h2d(Device& device, Stream* stream, const T* host,
                     DeviceBuffer<T>& dst, std::size_t count,
-                    KernelLedger* extra_ledger = nullptr) {
-  auto run = [&device, host, &dst, count, extra_ledger] {
-    device.fault_point(FaultSite::kCopyH2D, "memcpy_h2d");
+                    KernelLedger* extra_ledger = nullptr,
+                    const CancellationToken* cancel = nullptr) {
+  auto run = [&device, host, &dst, count, extra_ledger, cancel] {
+    if (cancel != nullptr) cancel->poll("memcpy_h2d");
+    device.fault_point(FaultSite::kCopyH2D, "memcpy_h2d", cancel);
     MPSIM_CHECK(count <= dst.size(), "h2d copy overruns device buffer");
     std::copy(host, host + count, dst.data());
     const auto bytes = std::int64_t(count * sizeof(T));
@@ -248,9 +258,11 @@ void async_copy_h2d(Device& device, Stream* stream, const T* host,
 template <typename T>
 void async_copy_d2h(Device& device, Stream* stream, const DeviceBuffer<T>& src,
                     T* host, std::size_t count,
-                    KernelLedger* extra_ledger = nullptr) {
-  auto run = [&device, &src, host, count, extra_ledger] {
-    device.fault_point(FaultSite::kCopyD2H, "memcpy_d2h");
+                    KernelLedger* extra_ledger = nullptr,
+                    const CancellationToken* cancel = nullptr) {
+  auto run = [&device, &src, host, count, extra_ledger, cancel] {
+    if (cancel != nullptr) cancel->poll("memcpy_d2h");
+    device.fault_point(FaultSite::kCopyD2H, "memcpy_d2h", cancel);
     MPSIM_CHECK(count <= src.size(), "d2h copy overruns device buffer");
     std::copy(src.data(), src.data() + count, host);
     const auto bytes = std::int64_t(count * sizeof(T));

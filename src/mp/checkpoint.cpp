@@ -1,0 +1,196 @@
+#include "mp/checkpoint.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <type_traits>
+
+#include "common/error.hpp"
+
+namespace mpsim::mp {
+
+namespace {
+
+constexpr char kMagic[] = "mpsim-ckpt-v1\n";
+constexpr std::size_t kMagicLen = sizeof(kMagic) - 1;
+
+std::uint64_t fnv1a(const void* data, std::size_t bytes,
+                    std::uint64_t hash = 1469598103934665603ULL) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    hash ^= p[i];
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+/// Append-only little-endian serialiser over a byte buffer.
+struct Writer {
+  std::string buf;
+
+  template <typename T>
+  void put(T value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    buf.append(reinterpret_cast<const char*>(&value), sizeof(T));
+  }
+  template <typename T>
+  void put_span(const T* data, std::size_t count) {
+    put(std::uint64_t(count));
+    buf.append(reinterpret_cast<const char*>(data), count * sizeof(T));
+  }
+};
+
+/// Bounds-checked reader; every short read is a truncation error.
+struct Reader {
+  const std::string& buf;
+  std::size_t pos = 0;
+
+  template <typename T>
+  T get() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (pos + sizeof(T) > buf.size()) {
+      throw CheckpointError("checkpoint truncated at byte " +
+                            std::to_string(pos));
+    }
+    T value;
+    std::memcpy(&value, buf.data() + pos, sizeof(T));
+    pos += sizeof(T);
+    return value;
+  }
+  template <typename T>
+  std::vector<T> get_span() {
+    const auto count = std::size_t(get<std::uint64_t>());
+    if (count > (buf.size() - pos) / sizeof(T)) {
+      throw CheckpointError("checkpoint truncated: span of " +
+                            std::to_string(count) + " elements at byte " +
+                            std::to_string(pos) + " overruns the file");
+    }
+    std::vector<T> out(count);
+    std::memcpy(out.data(), buf.data() + pos, count * sizeof(T));
+    pos += count * sizeof(T);
+    return out;
+  }
+  std::string get_string() {
+    const auto bytes = get_span<char>();
+    return std::string(bytes.begin(), bytes.end());
+  }
+};
+
+}  // namespace
+
+std::uint64_t checkpoint_fingerprint(const TimeSeries& reference,
+                                     const TimeSeries& query,
+                                     const MatrixProfileConfig& config) {
+  std::uint64_t h = fnv1a(kMagic, kMagicLen);
+  const std::uint64_t shape[] = {
+      std::uint64_t(reference.length()), std::uint64_t(reference.dims()),
+      std::uint64_t(query.length()),     std::uint64_t(config.window),
+      std::uint64_t(int(config.mode)),   std::uint64_t(config.tiles),
+      std::uint64_t(config.exclusion)};
+  h = fnv1a(shape, sizeof(shape), h);
+  h = fnv1a(reference.raw().data(), reference.raw().size() * sizeof(double),
+            h);
+  h = fnv1a(query.raw().data(), query.raw().size() * sizeof(double), h);
+  return h;
+}
+
+void write_checkpoint(const std::string& path, const CheckpointData& data) {
+  Writer w;
+  w.buf.append(kMagic, kMagicLen);
+  w.put(data.fingerprint);
+  w.put(data.tile_count);
+  w.put(std::uint64_t(data.tiles.size()));
+  for (const CheckpointTile& tile : data.tiles) {
+    w.put(tile.tile_index);
+    w.put(tile.tile_id);
+    w.put(tile.device);
+    w.put(std::int32_t(tile.mode));
+    w.put_span(tile.profile.data(), tile.profile.size());
+    w.put_span(tile.index.data(), tile.index.size());
+  }
+  w.put(std::uint64_t(data.events.size()));
+  for (const RunEvent& event : data.events) {
+    w.put(std::int32_t(event.kind));
+    w.put(std::int32_t(event.tile_id));
+    w.put(std::int32_t(event.device));
+    w.put_span(event.detail.data(), event.detail.size());
+  }
+  w.put(fnv1a(w.buf.data(), w.buf.size()));
+
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    MPSIM_CHECK(out.good(), "cannot open '" << tmp << "' for writing");
+    out.write(w.buf.data(), std::streamsize(w.buf.size()));
+    MPSIM_CHECK(out.good(), "write to '" << tmp << "' failed");
+  }
+  MPSIM_CHECK(std::rename(tmp.c_str(), path.c_str()) == 0,
+              "cannot rename '" << tmp << "' over '" << path << "'");
+}
+
+CheckpointData read_checkpoint(const std::string& path) {
+  std::string buf;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (!in.good()) {
+      throw CheckpointError("cannot open checkpoint '" + path + "'");
+    }
+    std::ostringstream os;
+    os << in.rdbuf();
+    buf = os.str();
+  }
+  if (buf.size() < kMagicLen + sizeof(std::uint64_t) ||
+      std::memcmp(buf.data(), kMagic, kMagicLen) != 0) {
+    throw CheckpointError("'" + path +
+                          "' is not an mpsim-ckpt-v1 checkpoint (bad or "
+                          "missing magic)");
+  }
+  // Checksum covers everything up to the trailing hash itself.
+  const std::size_t payload = buf.size() - sizeof(std::uint64_t);
+  std::uint64_t stored;
+  std::memcpy(&stored, buf.data() + payload, sizeof(stored));
+  if (fnv1a(buf.data(), payload) != stored) {
+    throw CheckpointError("checkpoint '" + path +
+                          "' failed its checksum (corrupt or truncated)");
+  }
+
+  Reader r{buf, kMagicLen};
+  CheckpointData data;
+  data.fingerprint = r.get<std::uint64_t>();
+  data.tile_count = r.get<std::uint64_t>();
+  const auto tile_entries = r.get<std::uint64_t>();
+  for (std::uint64_t t = 0; t < tile_entries; ++t) {
+    CheckpointTile tile;
+    tile.tile_index = r.get<std::uint64_t>();
+    tile.tile_id = r.get<std::int32_t>();
+    tile.device = r.get<std::int32_t>();
+    tile.mode = PrecisionMode(r.get<std::int32_t>());
+    tile.profile = r.get_span<double>();
+    tile.index = r.get_span<std::int64_t>();
+    if (tile.tile_index >= data.tile_count ||
+        tile.profile.size() != tile.index.size()) {
+      throw CheckpointError("checkpoint '" + path +
+                            "' has an inconsistent tile entry (index " +
+                            std::to_string(tile.tile_index) + ")");
+    }
+    data.tiles.push_back(std::move(tile));
+  }
+  const auto event_entries = r.get<std::uint64_t>();
+  for (std::uint64_t e = 0; e < event_entries; ++e) {
+    RunEvent event;
+    event.kind = RunEvent::Kind(r.get<std::int32_t>());
+    event.tile_id = r.get<std::int32_t>();
+    event.device = r.get<std::int32_t>();
+    event.detail = r.get_string();
+    data.events.push_back(std::move(event));
+  }
+  if (r.pos != payload) {
+    throw CheckpointError("checkpoint '" + path + "' has " +
+                          std::to_string(payload - r.pos) +
+                          " trailing bytes before its checksum");
+  }
+  return data;
+}
+
+}  // namespace mpsim::mp

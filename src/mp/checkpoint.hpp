@@ -1,0 +1,63 @@
+// Durable checkpoint journal of the resilient scheduler.
+//
+// Format `mpsim-ckpt-v1`: a little-endian binary journal holding, for
+// every completed tile, the tile's merged profile slice (binary64 bits +
+// global nearest-neighbour indices — exactly the TileResult the merge
+// consumes, so a resumed run reproduces the uninterrupted run's output
+// bit for bit) plus the RunEvent history, and a trailing FNV-1a checksum
+// over the whole payload.  Writes are atomic: the journal is written to
+// `<path>.tmp` and renamed over `path`, so a crash mid-write leaves the
+// previous journal intact.
+//
+// A fingerprint of the inputs and the output-affecting configuration
+// (series bytes, window, mode, tiling, exclusion) is embedded; resuming
+// against a journal written for different inputs is rejected the same way
+// as a corrupt file — read_checkpoint throws CheckpointError and the
+// caller proceeds with a fresh run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mp/options.hpp"
+#include "tsdata/time_series.hpp"
+
+namespace mpsim::mp {
+
+/// One completed tile as journalled: its slot in the run's tile list, the
+/// device and precision rung that produced it, and the merged result.
+struct CheckpointTile {
+  std::uint64_t tile_index = 0;  ///< into the run's tile/result arrays
+  std::int32_t tile_id = 0;
+  std::int32_t device = -1;      ///< executing device (-1 = CPU fallback)
+  PrecisionMode mode = PrecisionMode::FP64;
+  std::vector<double> profile;
+  std::vector<std::int64_t> index;
+};
+
+struct CheckpointData {
+  std::uint64_t fingerprint = 0;  ///< inputs + config hash (see below)
+  std::uint64_t tile_count = 0;   ///< total tiles of the journalled run
+  std::vector<CheckpointTile> tiles;  ///< completed tiles, any order
+  std::vector<RunEvent> events;       ///< RunEvent history at write time
+};
+
+/// Hash of everything that determines the run's output bits: the raw
+/// series samples and the shape/precision/tiling configuration.  Knobs
+/// that cannot change the output (row path, device count, resilience
+/// policy) are deliberately excluded so a resumed run may e.g. use fewer
+/// devices than the interrupted one.
+std::uint64_t checkpoint_fingerprint(const TimeSeries& reference,
+                                     const TimeSeries& query,
+                                     const MatrixProfileConfig& config);
+
+/// Serialises and atomically replaces `path` (write temp + rename).
+/// Throws Error on I/O failure.
+void write_checkpoint(const std::string& path, const CheckpointData& data);
+
+/// Parses a journal; throws CheckpointError when the file is missing,
+/// truncated, checksum-corrupt or not an `mpsim-ckpt-v1` document.
+CheckpointData read_checkpoint(const std::string& path);
+
+}  // namespace mpsim::mp

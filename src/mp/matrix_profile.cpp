@@ -56,6 +56,16 @@ void validate_config(const TimeSeries& reference, const TimeSeries& query,
   if (config.resilience.blacklist_after < 1) {
     throw ConfigError("resilience.blacklist_after must be >= 1");
   }
+  if (config.resilience.watchdog_slack <= 0.0 ||
+      config.resilience.watchdog_poll_ms <= 0.0) {
+    throw ConfigError("watchdog slack and poll period must be > 0");
+  }
+  if (config.resilience.max_tile_splits < 0) {
+    throw ConfigError("resilience.max_tile_splits must be >= 0");
+  }
+  if (config.checkpoint.interval_tiles < 1) {
+    throw ConfigError("checkpoint.interval_tiles must be >= 1");
+  }
 }
 
 MatrixProfileResult compute_matrix_profile(gpusim::System& system,
@@ -71,8 +81,11 @@ MatrixProfileResult compute_matrix_profile(const TimeSeries& reference,
                                            const TimeSeries& query,
                                            const MatrixProfileConfig& config) {
   validate_config(reference, query, config);
-  gpusim::System system(gpusim::spec_by_name(config.machine), config.devices,
-                        config.workers);
+  gpusim::MachineSpec spec = gpusim::spec_by_name(config.machine);
+  if (config.device_memory_bytes != 0) {
+    spec.memory_capacity_bytes = config.device_memory_bytes;
+  }
+  gpusim::System system(spec, config.devices, config.workers);
   return compute_matrix_profile(system, reference, query, config);
 }
 

@@ -167,4 +167,14 @@ gpusim::Timeline model_timeline(const ModelConfig& config) {
   return timeline;
 }
 
+double model_tile_seconds(const gpusim::MachineSpec& spec, const Tile& tile,
+                          std::size_t dims, std::size_t window,
+                          PrecisionMode mode) {
+  const TileModel tm = dispatch_precision(
+      mode, [&]<typename Traits>() {
+        return model_tile<Traits>(spec, tile, dims, window);
+      });
+  return tm.kernel_seconds + tm.copy_seconds;
+}
+
 }  // namespace mpsim::mp

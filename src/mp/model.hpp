@@ -54,4 +54,14 @@ gpusim::Timeline model_timeline(const ModelConfig& config);
 double model_merge_seconds(std::size_t tile_count,
                            std::size_t q_count_per_tile, std::size_t dims);
 
+struct Tile;
+
+/// Modelled device seconds (kernels + copies) of one tile — the same
+/// accounting model_matrix_profile sums per device.  The resilient
+/// scheduler's watchdog derives per-tile deadlines from it: modelled
+/// seconds × a calibrated wall-per-modelled ratio × a slack factor.
+double model_tile_seconds(const gpusim::MachineSpec& spec, const Tile& tile,
+                          std::size_t dims, std::size_t window,
+                          PrecisionMode mode);
+
 }  // namespace mpsim::mp

@@ -74,6 +74,46 @@ struct ResilienceConfig {
   /// When every device has failed, finish the remaining tiles on the CPU
   /// reference path instead of aborting the run.
   bool cpu_fallback = true;
+
+  /// Hung-tile watchdog: a monitor thread gives every in-flight attempt a
+  /// deadline of `watchdog_slack` × the tile's modelled seconds × a
+  /// wall-per-modelled ratio calibrated from completed attempts (floored
+  /// at `watchdog_min_deadline_ms`).  An overdue attempt triggers a
+  /// speculative backup on another healthy device (first finisher wins,
+  /// the loser's cancellation token unwinds it); repeated fires on one
+  /// device feed the blacklist exactly like failed tiles.  Off by default:
+  /// without injected hangs it only adds a sleeping thread, but the knob
+  /// stays opt-in like the rest of the fault-tolerance surface.
+  bool watchdog = false;
+  double watchdog_slack = 8.0;
+  double watchdog_min_deadline_ms = 100.0;
+  double watchdog_poll_ms = 10.0;
+  /// Launch speculative backups for overdue attempts (requires watchdog).
+  bool speculate = true;
+
+  /// Memory-pressure degradation: when a tile's working set exceeds the
+  /// device's capacity, split it along the row axis (each half restarts
+  /// from its own precalculation) up to this many times before giving up
+  /// and treating the allocation failure like any other fault.
+  int max_tile_splits = 8;
+};
+
+/// Durable checkpoint/resume of the resilient scheduler.  The journal
+/// (format `mpsim-ckpt-v1`, see mp/checkpoint.hpp) records every
+/// completed tile's merged profile slice and the RunEvent history; it is
+/// written atomically (temp + rename) every `interval_tiles` completed
+/// tiles, at the end of the run, and when a shutdown is requested.
+struct CheckpointConfig {
+  std::string write_path;   ///< journal destination ("" = checkpointing off)
+  std::string resume_path;  ///< journal to restore from ("" = fresh run)
+  int interval_tiles = 4;   ///< K — commit cadence of the journal
+
+  /// Chaos hook: request a shutdown after this many tile commits, exactly
+  /// as SIGTERM would (0 = never).  Gives tests and the chaos soak a
+  /// deterministic mid-run kill.
+  int kill_after_tiles = 0;
+
+  bool enabled() const { return !write_path.empty(); }
 };
 
 /// User-facing configuration of one matrix-profile computation
@@ -102,6 +142,16 @@ struct MatrixProfileConfig {
   /// Fault-tolerance policy of the resilient scheduler.
   ResilienceConfig resilience;
 
+  /// Durable checkpoint/resume policy (off unless write_path/resume_path
+  /// are set).
+  CheckpointConfig checkpoint;
+
+  /// Overrides every device's memory capacity in bytes (0 = the machine
+  /// spec's capacity).  Exists to exercise memory-pressure tile splitting
+  /// at test scale; only honoured by the entry points that construct the
+  /// System themselves.
+  std::size_t device_memory_bytes = 0;
+
   /// Optional fault injector (not owned; must outlive the computation).
   /// Attached to every device of the system the run executes on.
   gpusim::FaultInjector* fault_injector = nullptr;
@@ -120,6 +170,14 @@ struct RunEvent {
     kDeferredToCpu,     ///< no healthy device left for this tile
     kCpuFallback,       ///< tile completed on the CPU reference path
     kEscalated,         ///< tile re-run one precision rung up
+    kWatchdogFired,     ///< in-flight attempt exceeded its deadline
+    kSpeculated,        ///< backup attempt launched on another device
+    kSpeculationWon,    ///< backup finished first; primary cancelled
+    kSpeculationLost,   ///< backup cancelled; primary finished first
+    kTileSplit,         ///< tile split into row sub-tiles (memory pressure)
+    kResumed,           ///< tile restored from a checkpoint journal
+    kCheckpointWritten, ///< journal flushed to disk
+    kInterrupted,       ///< shutdown requested; run stopped early
   };
 
   Kind kind = Kind::kRetry;
@@ -153,6 +211,12 @@ struct RunHealth {
   int reassigned_tiles = 0;    ///< tiles moved off their assigned device
   int blacklist_events = 0;    ///< devices removed mid-run
   int cpu_fallback_tiles = 0;  ///< tiles completed on the CPU reference
+  int resumed_tiles = 0;       ///< tiles restored from a checkpoint journal
+  int checkpoint_writes = 0;   ///< journal flushes this run
+  int watchdog_fires = 0;      ///< attempts that exceeded their deadline
+  int speculative_wins = 0;    ///< tiles won by a backup attempt
+  int speculative_losses = 0;  ///< backups cancelled by the primary
+  int tile_splits = 0;         ///< memory-pressure row splits
   std::vector<Escalation> escalations;
   std::vector<DeviceStatus> devices;
   std::vector<RunEvent> events;  ///< chronological typed scheduler events

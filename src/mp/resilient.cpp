@@ -3,6 +3,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <map>
 #include <mutex>
 #include <set>
 #include <sstream>
@@ -10,9 +11,12 @@
 #include <utility>
 
 #include "common/metrics.hpp"
+#include "common/shutdown.hpp"
 #include "common/stopwatch.hpp"
+#include "gpusim/cancel.hpp"
 #include "gpusim/faults.hpp"
 #include "gpusim/stream.hpp"
+#include "mp/checkpoint.hpp"
 #include "mp/cpu_reference.hpp"
 #include "mp/model.hpp"
 #include "mp/single_tile.hpp"
@@ -47,6 +51,7 @@ struct TileJob {
   std::size_t index = 0;       ///< into the tile/result arrays
   PrecisionMode mode = PrecisionMode::FP64;
   int retries_here = 0;        ///< attempts burned on the current device
+  bool speculative = false;    ///< watchdog-launched backup attempt
   std::set<int> exhausted;     ///< devices whose retry budget this tile spent
 };
 
@@ -61,6 +66,12 @@ struct SchedulerMetrics {
   Counter& blacklists;
   Counter& cpu_fallback;
   Counter& escalations;
+  Counter& checkpoint_writes;
+  Counter& tiles_resumed;
+  Counter& watchdog_fires;
+  Counter& speculative_wins;
+  Counter& speculative_losses;
+  Counter& tile_splits;
   Histogram& tile_seconds;
 
   static SchedulerMetrics& get() {
@@ -72,9 +83,30 @@ struct SchedulerMetrics {
                               reg.counter("resilient.blacklist_events"),
                               reg.counter("resilient.cpu_fallback_tiles"),
                               reg.counter("resilient.escalations"),
+                              reg.counter("resilient.checkpoint_writes"),
+                              reg.counter("resilient.tiles_resumed"),
+                              reg.counter("resilient.watchdog_fires"),
+                              reg.counter("resilient.speculative_wins"),
+                              reg.counter("resilient.speculative_losses"),
+                              reg.counter("resilient.tile_splits"),
                               reg.histogram("resilient.tile_seconds")};
     return m;
   }
+};
+
+/// One in-flight attempt, visible to the watchdog monitor.  The token is
+/// owned by the executing worker's stack frame; the record is erased
+/// before that frame unwinds, so the pointer cannot dangle.
+struct AttemptRecord {
+  std::size_t job_index = 0;
+  int tile_id = 0;
+  int device = -1;
+  PrecisionMode mode = PrecisionMode::FP64;
+  double start_seconds = 0.0;    ///< run-clock time the attempt started
+  double modeled_seconds = 0.0;  ///< perf-model estimate for the deadline
+  gpusim::CancellationToken* token = nullptr;
+  bool speculative = false;
+  bool fired = false;            ///< watchdog already flagged this attempt
 };
 
 /// Shared scheduler state, guarded by one mutex.
@@ -87,6 +119,19 @@ struct SchedulerState {
   std::vector<int> consecutive_failed_tiles;
   std::size_t outstanding = 0;  ///< jobs neither committed nor sent to CPU
   RunHealth health;
+
+  // ---- Durability & liveness layer. ----
+  std::vector<char> committed;       ///< per tile: result is final
+  std::vector<int> backups_inflight; ///< per tile: queued/running backups
+  std::vector<int> watchdog_strikes; ///< per device: deadline overruns
+  std::uint64_t next_attempt_id = 0;
+  std::map<std::uint64_t, AttemptRecord> inflight;
+  double wall_per_modeled = 0.0;  ///< EWMA calibration of the perf model
+  bool interrupted = false;       ///< shutdown observed; run is unwinding
+  bool stop_monitor = false;
+  std::size_t total_commits = 0;
+  std::size_t commits_since_checkpoint = 0;
+  std::mutex checkpoint_mutex;    ///< serialises journal writes (I/O only)
 };
 
 void log_event(SchedulerState& st, RunEvent event) {
@@ -98,6 +143,13 @@ void log_event(SchedulerState& st, RunEvent event) {
 /// already exhausted); pushes to the CPU-fallback list when none remain.
 /// Caller holds the lock.
 void requeue_locked(SchedulerState& st, TileJob job, int tile_id) {
+  if (st.committed[job.index]) return;  // another attempt already won
+  if (job.speculative) {
+    // A requeued backup becomes an ordinary job; the backup slot frees up
+    // so the watchdog may speculate again if the primary stays stuck.
+    st.backups_inflight[job.index] -= 1;
+    job.speculative = false;
+  }
   int target = -1;
   std::size_t best = 0;
   for (int dev = 0; dev < int(st.queues.size()); ++dev) {
@@ -113,6 +165,9 @@ void requeue_locked(SchedulerState& st, TileJob job, int tile_id) {
   st.health.reassigned_tiles += 1;
   SchedulerMetrics::get().reassigned.add();
   if (target < 0) {
+    for (const TileJob& queued : st.cpu_jobs) {
+      if (queued.index == job.index) return;  // already deferred once
+    }
     log_event(st, {RunEvent::Kind::kDeferredToCpu, tile_id, -1, ""});
     st.outstanding -= 1;  // leaves the device scheduler's responsibility
     st.cpu_jobs.push_back(std::move(job));
@@ -148,29 +203,246 @@ struct RunContext {
   std::vector<int>* executed_device = nullptr;  ///< -1 = CPU fallback
   std::vector<PrecisionMode>* final_mode = nullptr;
   StagingCache* staging = nullptr;
+  const Stopwatch* clock = nullptr;   ///< run clock (watchdog time base)
+  std::uint64_t fingerprint = 0;      ///< checkpoint identity of this run
 };
 
 /// Runs one attempt of a tile on `dev` as a single stream task and
 /// synchronizes that stream, so any failure is attributed to this tile.
 void execute_attempt(const RunContext& ctx, int dev, PrecisionMode mode,
-                     const Tile& tile, TileResult& result) {
+                     const Tile& tile, TileResult& result,
+                     const gpusim::CancellationToken* cancel) {
   gpusim::Device& device = ctx.system->device(dev);
   gpusim::Stream& stream = ctx.pools[std::size_t(dev)]->next();
   dispatch_precision(mode, [&]<typename Traits>() {
     SingleTileEngine<Traits>::enqueue(device, &stream, *ctx.reference,
                                       *ctx.query, ctx.config->window, tile,
                                       ctx.config->exclusion, result,
-                                      ctx.staging, ctx.config->row_path);
+                                      ctx.staging, ctx.config->row_path,
+                                      cancel);
   });
   stream.synchronize();
+}
+
+/// Column-wise min/argmin merge of row sub-tiles into their parent tile's
+/// result slot.  The sub-tiles cover disjoint reference rows of the same
+/// query columns, so entries align 1:1; the tie rule is exactly
+/// merge_tile_results' (smaller distance wins; on equal distance the
+/// smaller non-negative index wins; NaN never displaces), and because the
+/// rule is a lexicographic min it is associative — merging sub-tiles here
+/// and then tiles at run level is bit-identical to merging the sub-tiles
+/// as planner tiles directly.
+void merge_sub_tiles(const TileResult& left, const TileResult& right,
+                     TileResult& out) {
+  const std::size_t entries = left.profile.size();
+  out.profile.assign(entries, std::numeric_limits<double>::infinity());
+  out.index.assign(entries, -1);
+  for (const TileResult* sub : {&left, &right}) {
+    for (std::size_t e = 0; e < entries; ++e) {
+      const double p = sub->profile[e];
+      const std::int64_t idx = sub->index[e];
+      if (p < out.profile[e] ||
+          (p == out.profile[e] && idx >= 0 &&
+           (out.index[e] < 0 || idx < out.index[e]))) {
+        out.profile[e] = p;
+        out.index[e] = idx;
+      }
+    }
+  }
+  out.ledger.reset();
+  out.ledger.merge_from(left.ledger);
+  out.ledger.merge_from(right.ledger);
+}
+
+/// Executes a tile, degrading under memory pressure: when the device
+/// cannot hold the tile's working set, split it along the row axis with
+/// the planner's split_range boundaries (first half takes the extra row)
+/// and run the halves sequentially, each restarting from its own
+/// precalculation.  Recurses until the pieces fit or the split budget is
+/// spent (then the DeviceMemoryError propagates like any other fault).
+void execute_with_split(const RunContext& ctx, SchedulerState& st, int dev,
+                        PrecisionMode mode, const Tile& tile,
+                        TileResult& result,
+                        const gpusim::CancellationToken* cancel, int depth) {
+  try {
+    execute_attempt(ctx, dev, mode, tile, result, cancel);
+    return;
+  } catch (const DeviceMemoryError& e) {
+    const ResilienceConfig& rc = ctx.config->resilience;
+    if (depth >= rc.max_tile_splits || tile.r_count < 2) throw;
+    Tile left = tile;
+    Tile right = tile;
+    left.r_count = tile.r_count - tile.r_count / 2;
+    right.r_begin = tile.r_begin + left.r_count;
+    right.r_count = tile.r_count - left.r_count;
+    {
+      std::lock_guard lock(st.mutex);
+      st.health.tile_splits += 1;
+      SchedulerMetrics::get().tile_splits.add();
+      log_event(st, {RunEvent::Kind::kTileSplit, tile.id, dev,
+                     "rows [" + std::to_string(tile.r_begin) + ", +" +
+                         std::to_string(tile.r_count) + ") split at +" +
+                         std::to_string(left.r_count) + ": " + e.what()});
+    }
+    TileResult left_result, right_result;
+    execute_with_split(ctx, st, dev, mode, left, left_result, cancel,
+                       depth + 1);
+    execute_with_split(ctx, st, dev, mode, right, right_result, cancel,
+                       depth + 1);
+    merge_sub_tiles(left_result, right_result, result);
+  }
+}
+
+/// Snapshot of every committed tile + the event history, written as an
+/// mpsim-ckpt-v1 journal.  The copy is taken under the scheduler lock;
+/// the file I/O runs outside it (serialised by checkpoint_mutex so
+/// concurrent committers cannot interleave temp files).
+void write_checkpoint_now(const RunContext& ctx, SchedulerState& st) {
+  const std::string& path = ctx.config->checkpoint.write_path;
+  if (path.empty()) return;
+  std::lock_guard io(st.checkpoint_mutex);
+  CheckpointData data;
+  data.fingerprint = ctx.fingerprint;
+  data.tile_count = ctx.tiles->size();
+  {
+    std::lock_guard lock(st.mutex);
+    for (std::size_t t = 0; t < ctx.tiles->size(); ++t) {
+      if (!st.committed[t]) continue;
+      CheckpointTile entry;
+      entry.tile_index = t;
+      entry.tile_id = std::int32_t((*ctx.tiles)[t].id);
+      entry.device = std::int32_t((*ctx.executed_device)[t]);
+      entry.mode = (*ctx.final_mode)[t];
+      entry.profile = (*ctx.results)[t].profile;
+      entry.index = (*ctx.results)[t].index;
+      data.tiles.push_back(std::move(entry));
+    }
+    data.events = st.health.events;
+    st.commits_since_checkpoint = 0;
+  }
+  write_checkpoint(path, data);
+  {
+    std::lock_guard lock(st.mutex);
+    st.health.checkpoint_writes += 1;
+    SchedulerMetrics::get().checkpoint_writes.add();
+    log_event(st, {RunEvent::Kind::kCheckpointWritten, -1, -1,
+                   std::to_string(data.tiles.size()) + "/" +
+                       std::to_string(data.tile_count) + " tiles -> " +
+                       path});
+  }
+}
+
+/// Watchdog + shutdown monitor.  Wakes every watchdog_poll_ms: propagates
+/// a requested shutdown to every in-flight attempt (cancel + unwind), and
+/// — when the watchdog is enabled — flags attempts that overran their
+/// deadline, launches speculative backups on other healthy devices, and
+/// blacklists devices that keep hanging.
+void monitor_thread(const RunContext& ctx, SchedulerState& st) {
+  const ResilienceConfig& rc = ctx.config->resilience;
+  const auto poll = std::chrono::duration<double, std::milli>(
+      rc.watchdog_poll_ms);
+  std::unique_lock lock(st.mutex);
+  while (!st.stop_monitor) {
+    st.cv.wait_for(lock, poll, [&] { return st.stop_monitor; });
+    if (st.stop_monitor) break;
+
+    if (!st.interrupted && shutdown_requested()) {
+      st.interrupted = true;
+      log_event(st, {RunEvent::Kind::kInterrupted, -1, -1,
+                     std::to_string(st.total_commits) + "/" +
+                         std::to_string(ctx.tiles->size()) +
+                         " tiles committed"});
+      for (auto& [id, attempt] : st.inflight) attempt.token->cancel();
+      st.cv.notify_all();
+    }
+    if (!rc.watchdog || st.interrupted) continue;
+    if (st.wall_per_modeled <= 0.0) continue;  // no calibration yet
+
+    const double now = ctx.clock->seconds();
+    for (auto& [id, attempt] : st.inflight) {
+      if (attempt.fired) continue;
+      const double deadline =
+          std::max(rc.watchdog_min_deadline_ms * 1e-3,
+                   rc.watchdog_slack * st.wall_per_modeled *
+                       attempt.modeled_seconds);
+      const double elapsed = now - attempt.start_seconds;
+      if (elapsed < deadline) continue;
+
+      attempt.fired = true;
+      st.health.watchdog_fires += 1;
+      SchedulerMetrics::get().watchdog_fires.add();
+      log_event(st, {RunEvent::Kind::kWatchdogFired, attempt.tile_id,
+                     attempt.device,
+                     "attempt overran its deadline (" +
+                         std::to_string(elapsed) + " s vs " +
+                         std::to_string(deadline) + " s)"});
+      if (MetricsRegistry::global().enabled()) {
+        auto& reg = MetricsRegistry::global();
+        reg.record_event({"watchdog fire tile " +
+                              std::to_string(attempt.tile_id),
+                          attempt.device, "watchdog", reg.now_seconds(),
+                          0.0});
+      }
+
+      // Repeated hangs feed the blacklist exactly like failed tiles.
+      st.watchdog_strikes[std::size_t(attempt.device)] += 1;
+      const bool drop =
+          st.blacklisted[std::size_t(attempt.device)] == 0 &&
+          st.watchdog_strikes[std::size_t(attempt.device)] >=
+              rc.blacklist_after;
+      if (drop) {
+        blacklist_locked(st, attempt.device, /*offline=*/false,
+                         std::to_string(rc.blacklist_after) +
+                             " watchdog deadline overruns");
+        for (auto& [other_id, other] : st.inflight) {
+          if (other.device == attempt.device) other.token->cancel();
+        }
+      }
+
+      // Speculative re-execution: one backup per tile at a time, on the
+      // least-loaded healthy device that is not the overdue one.  With no
+      // such device the overdue attempt is cancelled instead, turning the
+      // hang into an ordinary retry on whatever device remains.
+      if (rc.speculate && st.committed[attempt.job_index] == 0 &&
+          st.backups_inflight[attempt.job_index] == 0) {
+        int target = -1;
+        std::size_t best = 0;
+        for (int dev = 0; dev < int(st.queues.size()); ++dev) {
+          if (dev == attempt.device) continue;
+          if (st.blacklisted[std::size_t(dev)] != 0) continue;
+          const std::size_t depth = st.queues[std::size_t(dev)].size();
+          if (target < 0 || depth < best) {
+            target = dev;
+            best = depth;
+          }
+        }
+        if (target >= 0) {
+          TileJob backup;
+          backup.index = attempt.job_index;
+          backup.mode = attempt.mode;
+          backup.speculative = true;
+          st.backups_inflight[attempt.job_index] += 1;
+          st.queues[std::size_t(target)].push_back(std::move(backup));
+          log_event(st, {RunEvent::Kind::kSpeculated, attempt.tile_id,
+                         target,
+                         "backup of the attempt on device " +
+                             std::to_string(attempt.device)});
+        } else if (!drop) {
+          attempt.token->cancel();
+        }
+      }
+      st.cv.notify_all();
+    }
+  }
 }
 
 /// Per-device supervisor: pulls tiles from its own queue (or steals
 /// orphans from blacklisted devices' queues), retries transient faults
 /// with exponential backoff, escalates numerically poisoned tiles, and
-/// exits when blacklisted or when no work can remain.
+/// exits when blacklisted, interrupted, or when no work can remain.
 void device_worker(const RunContext& ctx, SchedulerState& st, int dev) {
   const ResilienceConfig& rc = ctx.config->resilience;
+  gpusim::CancellationToken token;
   for (;;) {
     TileJob job;
     bool stolen = false;
@@ -178,7 +450,7 @@ void device_worker(const RunContext& ctx, SchedulerState& st, int dev) {
       std::unique_lock lock(st.mutex);
       st.cv.wait(lock, [&] {
         if (st.blacklisted[std::size_t(dev)] != 0) return true;
-        if (st.outstanding == 0) return true;
+        if (st.outstanding == 0 || st.interrupted) return true;
         if (!st.queues[std::size_t(dev)].empty()) return true;
         for (int other = 0; other < int(st.queues.size()); ++other) {
           if (st.blacklisted[std::size_t(other)] != 0 &&
@@ -188,7 +460,8 @@ void device_worker(const RunContext& ctx, SchedulerState& st, int dev) {
         }
         return false;
       });
-      if (st.blacklisted[std::size_t(dev)] != 0 || st.outstanding == 0) {
+      if (st.blacklisted[std::size_t(dev)] != 0 || st.outstanding == 0 ||
+          st.interrupted) {
         return;
       }
       if (!st.queues[std::size_t(dev)].empty()) {
@@ -205,6 +478,12 @@ void device_worker(const RunContext& ctx, SchedulerState& st, int dev) {
           }
         }
       }
+      // Stale work: the tile was committed (by a primary or a backup)
+      // while this job sat in a queue.
+      if (st.committed[job.index]) {
+        if (job.speculative) st.backups_inflight[job.index] -= 1;
+        continue;
+      }
     }
     const Tile& tile = (*ctx.tiles)[job.index];
     if (stolen) {
@@ -216,24 +495,66 @@ void device_worker(const RunContext& ctx, SchedulerState& st, int dev) {
 
     // ---- Attempt loop: retries and precision escalations. ----
     for (;;) {
-      // TileResult is pinned in place (its ledger holds a mutex); the job
-      // holder has exclusive access to its slot, so attempts run directly
-      // into it, clearing any partial state from a failed try first.
-      TileResult& attempt = (*ctx.results)[job.index];
-      attempt.profile.clear();
-      attempt.index.clear();
-      attempt.ledger.reset();
+      // Attempts run into a local result so concurrent attempts of the
+      // same tile (primary + speculative backup) never share state; the
+      // winner moves its vectors into the pinned slot under the lock.
+      TileResult attempt;
+      token.reset();
+      std::uint64_t attempt_id;
+      const double modeled_seconds = model_tile_seconds(
+          ctx.system->device(dev).spec(), tile, ctx.reference->dims(),
+          ctx.config->window, job.mode);
+      {
+        std::lock_guard lock(st.mutex);
+        if (st.committed[job.index] || st.interrupted) {
+          if (job.speculative) st.backups_inflight[job.index] -= 1;
+          break;
+        }
+        attempt_id = st.next_attempt_id++;
+        st.inflight.emplace(
+            attempt_id,
+            AttemptRecord{job.index, tile.id, dev, job.mode,
+                          ctx.clock->seconds(), modeled_seconds, &token,
+                          job.speculative, false});
+      }
+      Stopwatch attempt_wall;
       try {
         // Measured wall-clock span of this attempt: the trace line every
         // Fig.4/Fig.5-style analysis of a *real* run is built from.
         ScopedEvent span(MetricsRegistry::global(),
                          "tile " + std::to_string(tile.id) + " " +
-                             to_string(job.mode),
+                             to_string(job.mode) +
+                             (job.speculative ? " speculative" : ""),
                          dev, "tile", &SchedulerMetrics::get().tile_seconds);
         SchedulerMetrics::get().attempts.add();
-        execute_attempt(ctx, dev, job.mode, tile, attempt);
+        execute_with_split(ctx, st, dev, job.mode, tile, attempt, &token, 0);
+      } catch (const CancelledError&) {
+        // Not a fault: the scheduler itself withdrew this attempt.
+        std::lock_guard lock(st.mutex);
+        st.inflight.erase(attempt_id);
+        if (st.committed[job.index]) {
+          if (job.speculative) {
+            st.backups_inflight[job.index] -= 1;
+            st.health.speculative_losses += 1;
+            SchedulerMetrics::get().speculative_losses.add();
+            log_event(st,
+                      {RunEvent::Kind::kSpeculationLost, tile.id, dev, ""});
+          }
+          break;  // tile done elsewhere; fetch the next job
+        }
+        if (st.interrupted) {
+          if (job.speculative) st.backups_inflight[job.index] -= 1;
+          break;  // run is unwinding; the wait predicate exits the worker
+        }
+        if (st.blacklisted[std::size_t(dev)] != 0) {
+          requeue_locked(st, std::move(job), tile.id);
+          st.cv.notify_all();
+          return;  // this worker is done for good
+        }
+        continue;  // cancelled to break a hang: retry on the same device
       } catch (const DeviceFailedError& e) {
         std::lock_guard lock(st.mutex);
+        st.inflight.erase(attempt_id);
         st.health.devices[std::size_t(dev)].faults += 1;
         blacklist_locked(st, dev, /*offline=*/true, e.what());
         requeue_locked(st, std::move(job), tile.id);
@@ -241,6 +562,7 @@ void device_worker(const RunContext& ctx, SchedulerState& st, int dev) {
         return;  // this worker is done for good
       } catch (const std::exception& e) {
         std::unique_lock lock(st.mutex);
+        st.inflight.erase(attempt_id);
         st.health.devices[std::size_t(dev)].faults += 1;
         if (job.retries_here < rc.max_retries) {
           job.retries_here += 1;
@@ -275,6 +597,7 @@ void device_worker(const RunContext& ctx, SchedulerState& st, int dev) {
         if (drop) return;
         break;  // fetch the next job
       }
+      const double attempt_seconds = attempt_wall.seconds();
 
       // ---- Success: numerical self-healing, then commit. ----
       const double bad = non_finite_fraction(attempt.profile);
@@ -282,6 +605,7 @@ void device_worker(const RunContext& ctx, SchedulerState& st, int dev) {
         const PrecisionMode next = escalated_precision(job.mode);
         if (next != job.mode) {
           std::lock_guard lock(st.mutex);
+          st.inflight.erase(attempt_id);
           st.health.escalations.push_back(
               RunHealth::Escalation{tile.id, job.mode, next, bad});
           SchedulerMetrics::get().escalations.add();
@@ -293,16 +617,66 @@ void device_worker(const RunContext& ctx, SchedulerState& st, int dev) {
           continue;  // re-run one rung up
         }
       }
+      bool checkpoint_due = false;
+      bool kill_due = false;
       {
         std::lock_guard lock(st.mutex);
+        st.inflight.erase(attempt_id);
+        if (job.speculative) st.backups_inflight[job.index] -= 1;
+        if (st.committed[job.index]) {
+          // Lost the race against a concurrent attempt of the same tile.
+          if (job.speculative) {
+            st.health.speculative_losses += 1;
+            SchedulerMetrics::get().speculative_losses.add();
+            log_event(st,
+                      {RunEvent::Kind::kSpeculationLost, tile.id, dev, ""});
+          }
+          break;
+        }
+        st.committed[job.index] = 1;
+        TileResult& slot = (*ctx.results)[job.index];
+        slot.profile = std::move(attempt.profile);
+        slot.index = std::move(attempt.index);
+        slot.ledger.reset();
+        slot.ledger.merge_from(attempt.ledger);
         (*ctx.executed_device)[job.index] = dev;
         (*ctx.final_mode)[job.index] = job.mode;
         st.consecutive_failed_tiles[std::size_t(dev)] = 0;
+        st.watchdog_strikes[std::size_t(dev)] = 0;
         st.health.devices[std::size_t(dev)].tiles_completed += 1;
         SchedulerMetrics::get().tiles_completed.add();
+        if (job.speculative) {
+          st.health.speculative_wins += 1;
+          SchedulerMetrics::get().speculative_wins.add();
+          log_event(st, {RunEvent::Kind::kSpeculationWon, tile.id, dev, ""});
+        }
+        // First finisher wins: withdraw every other attempt of this tile.
+        for (auto& [other_id, other] : st.inflight) {
+          if (other.job_index == job.index) other.token->cancel();
+        }
+        // Calibrate the watchdog's wall-per-modelled ratio from real
+        // completions (EWMA; hung attempts never get here, so a hang
+        // cannot poison the deadline upward).
+        if (modeled_seconds > 0.0 && attempt_seconds > 0.0) {
+          const double rate = attempt_seconds / modeled_seconds;
+          st.wall_per_modeled = st.wall_per_modeled <= 0.0
+                                    ? rate
+                                    : 0.7 * st.wall_per_modeled + 0.3 * rate;
+        }
         st.outstanding -= 1;
+        st.total_commits += 1;
+        st.commits_since_checkpoint += 1;
+        checkpoint_due =
+            ctx.config->checkpoint.enabled() &&
+            st.commits_since_checkpoint >=
+                std::size_t(ctx.config->checkpoint.interval_tiles);
+        kill_due = ctx.config->checkpoint.kill_after_tiles > 0 &&
+                   st.total_commits ==
+                       std::size_t(ctx.config->checkpoint.kill_after_tiles);
         st.cv.notify_all();
       }
+      if (checkpoint_due) write_checkpoint_now(ctx, st);
+      if (kill_due) request_shutdown();
       break;  // fetch the next job
     }
   }
@@ -357,6 +731,24 @@ std::string RunEvent::to_string() const {
       return tile + ": completed on the CPU reference path (FP64)";
     case Kind::kEscalated:
       return tile + ": " + detail;
+    case Kind::kWatchdogFired:
+      return tile + ": watchdog fired on " + dev + " (" + detail + ")";
+    case Kind::kSpeculated:
+      return tile + ": speculative backup launched on " + dev + " (" +
+             detail + ")";
+    case Kind::kSpeculationWon:
+      return tile + ": speculative backup on " + dev + " won";
+    case Kind::kSpeculationLost:
+      return tile + ": attempt on " + dev + " cancelled, tile won elsewhere";
+    case Kind::kTileSplit:
+      return tile + ": memory pressure on " + dev + ", " + detail;
+    case Kind::kResumed:
+      return detail.empty() ? tile + ": restored from checkpoint"
+                            : "checkpoint resume: " + detail;
+    case Kind::kCheckpointWritten:
+      return "checkpoint written (" + detail + ")";
+    case Kind::kInterrupted:
+      return "shutdown requested, stopping (" + detail + ")";
   }
   return detail;
 }
@@ -368,6 +760,14 @@ std::string RunHealth::summary() const {
      << reassigned_tiles << " reassignment(s), " << blacklist_events
      << " blacklist(s), " << cpu_fallback_tiles << " CPU-fallback tile(s), "
      << escalations.size() << " escalation(s)\n";
+  if (resumed_tiles > 0 || checkpoint_writes > 0 || watchdog_fires > 0 ||
+      speculative_wins > 0 || speculative_losses > 0 || tile_splits > 0) {
+    os << "  durability: " << resumed_tiles << " tile(s) resumed, "
+       << checkpoint_writes << " checkpoint write(s), " << watchdog_fires
+       << " watchdog fire(s), " << speculative_wins << " speculative win(s)/"
+       << speculative_losses << " loss(es), " << tile_splits
+       << " tile split(s)\n";
+  }
   for (const auto& dev : devices) {
     os << "  device " << dev.device << ": " << dev.tiles_completed
        << " tile(s), " << dev.faults << " fault(s)"
@@ -422,17 +822,13 @@ MatrixProfileResult run_resilient(gpusim::System& system,
   st.queues.resize(std::size_t(system.device_count()));
   st.blacklisted.assign(std::size_t(system.device_count()), 0);
   st.consecutive_failed_tiles.assign(std::size_t(system.device_count()), 0);
-  st.outstanding = tiles.size();
+  st.watchdog_strikes.assign(std::size_t(system.device_count()), 0);
+  st.committed.assign(tiles.size(), 0);
+  st.backups_inflight.assign(tiles.size(), 0);
   for (int dev = 0; dev < system.device_count(); ++dev) {
     RunHealth::DeviceStatus status;
     status.device = dev;
     st.health.devices.push_back(status);
-  }
-  for (std::size_t t = 0; t < tiles.size(); ++t) {
-    TileJob job;
-    job.index = t;
-    job.mode = config.mode;
-    st.queues[std::size_t(tiles[t].device)].push_back(std::move(job));
   }
 
   // Shared across devices and attempts: series conversion happens once per
@@ -450,14 +846,94 @@ MatrixProfileResult run_resilient(gpusim::System& system,
   ctx.results = &results;
   ctx.executed_device = &executed_device;
   ctx.final_mode = &final_mode;
+  ctx.clock = &wall;
+  ctx.fingerprint = checkpoint_fingerprint(reference, query, config);
 
-  std::vector<std::thread> workers;
-  workers.reserve(std::size_t(system.device_count()));
-  for (int dev = 0; dev < system.device_count(); ++dev) {
-    workers.emplace_back(
-        [&ctx, &st, dev] { device_worker(ctx, st, dev); });
+  // ---- Resume: restore committed tiles from the journal. ----
+  std::size_t resumed = 0;
+  if (!config.checkpoint.resume_path.empty()) {
+    try {
+      CheckpointData data = read_checkpoint(config.checkpoint.resume_path);
+      if (data.fingerprint != ctx.fingerprint) {
+        throw CheckpointError(
+            "checkpoint '" + config.checkpoint.resume_path +
+            "' was written for different inputs or configuration");
+      }
+      if (data.tile_count != tiles.size()) {
+        throw CheckpointError("checkpoint '" + config.checkpoint.resume_path +
+                              "' journals " + std::to_string(data.tile_count) +
+                              " tiles but this run has " +
+                              std::to_string(tiles.size()));
+      }
+      for (CheckpointTile& entry : data.tiles) {
+        const std::size_t t = std::size_t(entry.tile_index);
+        const std::size_t expect = tiles[t].q_count * d;
+        if (entry.profile.size() != expect || st.committed[t]) {
+          throw CheckpointError(
+              "checkpoint '" + config.checkpoint.resume_path +
+              "' has a malformed entry for tile index " + std::to_string(t));
+        }
+        st.committed[t] = 1;
+        results[t].profile = std::move(entry.profile);
+        results[t].index = std::move(entry.index);
+        executed_device[t] = entry.device;
+        final_mode[t] = entry.mode;
+        resumed += 1;
+      }
+      st.health.events = std::move(data.events);
+      st.health.resumed_tiles = int(resumed);
+      st.total_commits = resumed;
+      SchedulerMetrics::get().tiles_resumed.add(resumed);
+      log_event(st, {RunEvent::Kind::kResumed, -1, -1,
+                     std::to_string(resumed) + "/" +
+                         std::to_string(tiles.size()) + " tiles from " +
+                         config.checkpoint.resume_path});
+    } catch (const CheckpointError& e) {
+      // A bad journal must not take the run down: report and start fresh.
+      log_event(st, {RunEvent::Kind::kResumed, -1, -1,
+                     std::string("resume rejected, starting fresh: ") +
+                         e.what()});
+    }
   }
-  for (auto& w : workers) w.join();
+
+  st.outstanding = tiles.size() - resumed;
+  for (std::size_t t = 0; t < tiles.size(); ++t) {
+    if (st.committed[t]) continue;
+    TileJob job;
+    job.index = t;
+    job.mode = config.mode;
+    st.queues[std::size_t(tiles[t].device)].push_back(std::move(job));
+  }
+
+  if (st.outstanding > 0) {
+    std::vector<std::thread> workers;
+    workers.reserve(std::size_t(system.device_count()));
+    for (int dev = 0; dev < system.device_count(); ++dev) {
+      workers.emplace_back(
+          [&ctx, &st, dev] { device_worker(ctx, st, dev); });
+    }
+    std::thread monitor([&ctx, &st] { monitor_thread(ctx, st); });
+    for (auto& w : workers) w.join();
+    {
+      std::lock_guard lock(st.mutex);
+      st.stop_monitor = true;
+    }
+    st.cv.notify_all();
+    monitor.join();
+  }
+
+  // ---- Interruption: flush the journal and unwind. ----
+  if (st.interrupted) {
+    write_checkpoint_now(ctx, st);
+    std::string what = "run interrupted: " +
+                       std::to_string(st.total_commits) + "/" +
+                       std::to_string(tiles.size()) + " tiles committed";
+    if (config.checkpoint.enabled()) {
+      what += "; checkpoint flushed to " + config.checkpoint.write_path +
+              " (resume with --resume=" + config.checkpoint.write_path + ")";
+    }
+    throw InterruptedError(what);
+  }
 
   // ---- Graceful degradation: finish orphans on the CPU reference. ----
   std::vector<TileJob> leftovers = std::move(st.cpu_jobs);
@@ -470,6 +946,7 @@ MatrixProfileResult run_resilient(gpusim::System& system,
                 std::to_string(leftovers.size()) + " tiles incomplete)");
   }
   for (auto& job : leftovers) {
+    if (st.committed[job.index]) continue;  // stale queue remnant
     const Tile& tile = tiles[job.index];
     {
       ScopedEvent span(MetricsRegistry::global(),
@@ -479,12 +956,17 @@ MatrixProfileResult run_resilient(gpusim::System& system,
       cpu_fallback_tile(reference, query, m, tile, config.exclusion,
                         results[job.index]);
     }
+    st.committed[job.index] = 1;
+    st.total_commits += 1;
     executed_device[job.index] = -1;
     final_mode[job.index] = PrecisionMode::FP64;
     st.health.cpu_fallback_tiles += 1;
     SchedulerMetrics::get().cpu_fallback.add();
     log_event(st, {RunEvent::Kind::kCpuFallback, tile.id, -1, ""});
   }
+
+  // ---- Final journal: a complete run leaves a complete checkpoint. ----
+  if (config.checkpoint.enabled()) write_checkpoint_now(ctx, st);
 
   // ---- CPU merge (Pseudocode 2, lines 6-8). ----
   // Parallel over output columns; bit-identical to the serial merge (each
@@ -555,7 +1037,9 @@ MatrixProfileResult run_resilient(gpusim::System& system,
   out.health.degraded = out.health.blacklist_events > 0 ||
                         out.health.cpu_fallback_tiles > 0 ||
                         out.health.retries > 0 ||
-                        out.health.reassigned_tiles > 0;
+                        out.health.reassigned_tiles > 0 ||
+                        out.health.watchdog_fires > 0 ||
+                        out.health.tile_splits > 0;
 
   out.wall_seconds = wall.seconds();
   return out;

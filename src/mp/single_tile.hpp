@@ -48,16 +48,20 @@ class SingleTileEngine {
   /// `staging` (optional) supplies the series pre-converted to storage
   /// precision so the tile stages with a memcpy slice; it must outlive the
   /// stream work too.  `row_path` selects the per-row execution path
-  /// (fused vs cooperative; identical output bits either way).
+  /// (fused vs cooperative; identical output bits either way).  `cancel`
+  /// (optional) is polled once per tile row and inside every launch: a
+  /// cancelled attempt unwinds with CancelledError — polling never touches
+  /// the arithmetic, so outputs stay bit-identical with or without it.
   static void enqueue(gpusim::Device& device, gpusim::Stream* stream,
                       const TimeSeries& reference, const TimeSeries& query,
                       std::size_t m, const Tile& tile, std::int64_t exclusion,
                       TileResult& result, StagingCache* staging = nullptr,
-                      RowPath row_path = RowPath::kAuto) {
+                      RowPath row_path = RowPath::kAuto,
+                      const gpusim::CancellationToken* cancel = nullptr) {
     auto run = [&device, &reference, &query, m, tile, exclusion, &result,
-                staging, row_path] {
+                staging, row_path, cancel] {
       run_tile(device, reference, query, m, tile, exclusion, result, staging,
-               row_path);
+               row_path, cancel);
     };
     if (stream != nullptr) {
       stream->enqueue(std::move(run));
@@ -71,7 +75,8 @@ class SingleTileEngine {
                        const TimeSeries& query, std::size_t m,
                        const Tile& tile, std::int64_t exclusion,
                        TileResult& result, StagingCache* staging,
-                       RowPath row_path) {
+                       RowPath row_path,
+                       const gpusim::CancellationToken* cancel) {
     const std::size_t d = reference.dims();
     const std::size_t nr = tile.r_count;
     const std::size_t nq = tile.q_count;
@@ -120,9 +125,9 @@ class SingleTileEngine {
     gpusim::DeviceBuffer<ST> dev_r(device, host_r.size());
     gpusim::DeviceBuffer<ST> dev_q(device, host_q.size());
     gpusim::async_copy_h2d(device, nullptr, host_r.data(), dev_r,
-                           host_r.size(), tl);
+                           host_r.size(), tl, cancel);
     gpusim::async_copy_h2d(device, nullptr, host_q.data(), dev_q,
-                           host_q.size(), tl);
+                           host_q.size(), tl, cancel);
 
     // ---- Device working set. ----
     gpusim::DeviceBuffer<ST> mu_r(device, nr * d), inv_r(device, nr * d),
@@ -168,7 +173,7 @@ class SingleTileEngine {
       gpusim::launch_grid_stride(device, nullptr, "precalculation", config,
                                  std::int64_t(2 * d),
                                  gpusim::KernelCost{},  // costed below
-                                 body, tl);
+                                 body, tl, cancel);
 
       // QT seeds: first row (all query columns) and first column (all
       // reference rows) as naive mean-centred dot products.
@@ -192,7 +197,7 @@ class SingleTileEngine {
       gpusim::launch_grid_stride(device, nullptr, "precalculation", config,
                                  std::int64_t(nr + nq),
                                  precalc_cost<Traits>(nr, nq, d, m), seeds,
-                                 tl);
+                                 tl, cancel);
     }
 
     // ---- Main iteration loop (Pseudocode 1, lines 3-7). ----
@@ -243,13 +248,15 @@ class SingleTileEngine {
       const double msum = std::max(md + ms + mu, 1e-300);
 
       for (std::size_t i = 0; i < nr; ++i) {
-        device.fault_point(gpusim::FaultSite::kKernelLaunch, "dist_calc");
+        if (cancel != nullptr) cancel->poll("fused row");
+        device.fault_point(gpusim::FaultSite::kKernelLaunch, "dist_calc",
+                           cancel);
         if (!skip_sort) {
           device.fault_point(gpusim::FaultSite::kKernelLaunch,
-                             "sort_&_incl_scan");
+                             "sort_&_incl_scan", cancel);
         }
         device.fault_point(gpusim::FaultSite::kKernelLaunch,
-                           "update_mat_prof");
+                           "update_mat_prof", cancel);
         Stopwatch watch;
         device.pool().parallel_for(
             nq, [&, i, qt_prev, qt_next](std::size_t begin, std::size_t end) {
@@ -274,11 +281,12 @@ class SingleTileEngine {
         std::swap(qt_prev, qt_next);
       }
 
-      finish_tile(device, nq, d, profile, index, result, tl);
+      finish_tile(device, nq, d, profile, index, result, tl, cancel);
       return;
     }
 
     for (std::size_t i = 0; i < nr; ++i) {
+      if (cancel != nullptr) cancel->poll("row loop");
       gpusim::launch_grid_stride(
           device, nullptr, "dist_calc", config, std::int64_t(nq * d),
           dist_cost,
@@ -289,7 +297,7 @@ class SingleTileEngine {
                                    dg_q.data(), inv_q.data(), qt_prev,
                                    qt_next, dist_row.data());
           },
-          tl);
+          tl, cancel);
 
       if (!skip_sort) {
         // Each group keeps its padded value and scratch buffers in
@@ -303,7 +311,7 @@ class SingleTileEngine {
               sort_scan_group_body<Traits>(group, nq, d, dist_row.data(),
                                            scan_row.data());
             },
-            tl, shared_bytes);
+            tl, shared_bytes, cancel);
       }
 
       const ST* scanned = skip_sort ? dist_row.data() : scan_row.data();
@@ -316,12 +324,12 @@ class SingleTileEngine {
                                 std::int64_t(tile.q_begin), exclusion,
                                 scanned, profile.data(), index.data());
           },
-          tl);
+          tl, cancel);
 
       std::swap(qt_prev, qt_next);
     }
 
-    finish_tile(device, nq, d, profile, index, result, tl);
+    finish_tile(device, nq, d, profile, index, result, tl, cancel);
   }
 
   /// D2H of the tile profile/index (Pseudocode 1, line 8) + the binary64
@@ -330,13 +338,14 @@ class SingleTileEngine {
                           std::size_t d,
                           const gpusim::DeviceBuffer<ST>& profile,
                           const gpusim::DeviceBuffer<std::int64_t>& index,
-                          TileResult& result, gpusim::KernelLedger* tl) {
+                          TileResult& result, gpusim::KernelLedger* tl,
+                          const gpusim::CancellationToken* cancel) {
     std::vector<ST> host_profile(nq * d);
     result.index.assign(nq * d, -1);
     gpusim::async_copy_d2h(device, nullptr, profile, host_profile.data(),
-                           host_profile.size(), tl);
+                           host_profile.size(), tl, cancel);
     gpusim::async_copy_d2h(device, nullptr, index, result.index.data(),
-                           result.index.size(), tl);
+                           result.index.size(), tl, cancel);
     result.profile.resize(nq * d);
     for (std::size_t e = 0; e < nq * d; ++e) {
       result.profile[e] = double(host_profile[e]);

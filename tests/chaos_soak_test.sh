@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# Chaos soak: mpsim_cli must survive seeded randomized fault storms —
+# transient kernel faults, minute-long hangs rescued by the watchdog,
+# probabilistic slowdowns, and a mid-run kill resumed from its checkpoint
+# — and still emit a byte-identical profile CSV to the clean run every
+# time.  Driven by CTest; $1 = build dir with the tools.
+set -euo pipefail
+BUILD=$1
+WORK=$(mktemp -d)
+CLI="$BUILD/tools/mpsim_cli"
+
+cleanup() {
+  status=$?
+  if [ "$status" -ne 0 ]; then
+    echo "chaos_soak_test FAILED (exit $status) at line ${FAILED_LINE:-?}" >&2
+    for f in "$WORK"/*.log; do
+      [ -f "$f" ] || continue
+      echo "--- $f:" >&2
+      cat "$f" >&2
+    done
+  fi
+  rm -rf "$WORK"
+  exit "$status"
+}
+trap 'FAILED_LINE=$LINENO' ERR
+trap cleanup EXIT
+
+awk 'BEGIN {
+  srand(11); print "a,b";
+  for (t = 0; t < 600; ++t) {
+    a = sin(t / 7.0) + (rand() - 0.5) * 0.4;
+    b = cos(t / 11.0) + (rand() - 0.5) * 0.4;
+    printf "%.6f,%.6f\n", a, b;
+  }
+}' > "$WORK/ref.csv"
+
+COMMON=(--reference="$WORK/ref.csv" --self-join --window=32 --tiles=6
+        --devices=2 --motifs=0)
+
+"$CLI" "${COMMON[@]}" --output="$WORK/clean.csv" > "$WORK/clean.log"
+
+# --- Leg 1: mid-run kill + resume (with a transient kernel fault on top).
+# The in-process kill behaves exactly like SIGTERM: graceful checkpoint
+# flush and exit 130.  A fast run may commit everything before the monitor
+# observes the request, in which case it exits 0 with a complete journal —
+# both are valid chaos outcomes, and the resumed run must converge to the
+# clean bytes either way.
+status=0
+"$CLI" "${COMMON[@]}" --checkpoint="$WORK/run.ckpt" --checkpoint-interval=1 \
+    --kill-after-tiles=3 --faults="seed=2,kernel@0:at=4" \
+    > "$WORK/killed.log" || status=$?
+if [ "$status" -ne 0 ] && [ "$status" -ne 130 ]; then
+  echo "kill leg: expected exit 0 or 130, got $status" >&2
+  exit 1
+fi
+[ -f "$WORK/run.ckpt" ]
+
+"$CLI" "${COMMON[@]}" --resume="$WORK/run.ckpt" --checkpoint="$WORK/run.ckpt" \
+    --output="$WORK/resumed.csv" > "$WORK/resumed.log"
+cmp "$WORK/clean.csv" "$WORK/resumed.csv"
+grep -Eq "durability: [1-9][0-9]* tile\(s\) resumed" "$WORK/resumed.log"
+
+# --- Leg 2: seeded fault storms under the watchdog.  Each seed mixes
+# deterministic hangs (rescued by speculative re-execution), transient
+# kernel faults and probabilistic slowdowns; the profile bytes must never
+# change.
+for seed in 3 5 9; do
+  "$CLI" "${COMMON[@]}" --watchdog --output="$WORK/chaos$seed.csv" \
+      --faults="seed=$seed,hang@1:at=3:ms=60000,kernel@0:at=7,slow@0:p=0.2:ms=5" \
+      > "$WORK/chaos$seed.log"
+  cmp "$WORK/clean.csv" "$WORK/chaos$seed.csv"
+done
+
+# --- Leg 3: kill during a fault storm, then resume under the watchdog.
+status=0
+"$CLI" "${COMMON[@]}" --watchdog --checkpoint="$WORK/storm.ckpt" \
+    --checkpoint-interval=1 --kill-after-tiles=2 \
+    --faults="seed=4,kernel@1:at=6,slow@0:p=0.3:ms=5" \
+    > "$WORK/storm_killed.log" || status=$?
+if [ "$status" -ne 0 ] && [ "$status" -ne 130 ]; then
+  echo "storm kill leg: expected exit 0 or 130, got $status" >&2
+  exit 1
+fi
+"$CLI" "${COMMON[@]}" --watchdog --resume="$WORK/storm.ckpt" \
+    --output="$WORK/storm_resumed.csv" > "$WORK/storm_resumed.log"
+cmp "$WORK/clean.csv" "$WORK/storm_resumed.csv"
+
+echo "chaos soak OK"

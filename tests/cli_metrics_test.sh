@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Metrics-enabled CLI leg: run mpsim_cli under deterministic fault
 # injection with --metrics-out/--trace-out and validate both documents —
-# the metrics JSON against the mpsim-metrics-v1 schema (including the
+# the metrics JSON against the mpsim-metrics-v2 schema (including the
 # fault/retry/staging counters the run must have produced) and the trace
 # JSON as a Chrome-tracing array of complete ("ph": "X") events.
 # Driven by CTest; $1 = build dir with the tools.
@@ -53,7 +53,7 @@ python3 - "$WORK/metrics.json" "$WORK/trace.json" <<'EOF'
 import json, sys
 
 metrics = json.load(open(sys.argv[1]))
-assert metrics["schema"] == "mpsim-metrics-v1", metrics.get("schema")
+assert metrics["schema"] == "mpsim-metrics-v2", metrics.get("schema")
 for key in ("counters", "gauges", "histograms"):
     assert key in metrics, f"missing top-level key {key!r}"
 
@@ -67,6 +67,12 @@ assert c.get("staging.misses", 0) >= 1, c
 assert c.get("staging.bytes_converted", 0) > 0, c
 assert any(k.startswith("kernel.") and k.endswith(".launches") and v > 0
            for k, v in c.items()), c
+# v2 durability counters are registered (all zero in this non-watchdog,
+# non-checkpointed run).
+for key in ("resilient.checkpoint_writes", "resilient.tiles_resumed",
+            "resilient.watchdog_fires", "resilient.speculative_wins",
+            "resilient.speculative_losses", "resilient.tile_splits"):
+    assert c.get(key, None) == 0, (key, c.get(key))
 
 h = metrics["histograms"]
 tile = h.get("resilient.tile_seconds")

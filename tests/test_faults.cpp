@@ -6,10 +6,15 @@
 // precision rung and re-run.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 #include <cstring>
+#include <thread>
 
+#include "common/stopwatch.hpp"
+#include "gpusim/cancel.hpp"
 #include "gpusim/faults.hpp"
+#include "gpusim/spec.hpp"
 #include "mp/matrix_profile.hpp"
 #include "mp/tile_merge.hpp"
 #include "tsdata/synthetic.hpp"
@@ -67,6 +72,21 @@ TEST(FaultSpecParsing, ParsesFullSpec) {
   EXPECT_EQ(spec.rules[4].kind, FaultKind::kBitFlip);
   EXPECT_EQ(spec.rules[4].device, 3);
   EXPECT_DOUBLE_EQ(spec.rules[4].fraction, 1.0);
+}
+
+TEST(FaultSpecParsing, ParsesHangAndSlowdownRules) {
+  const FaultSpec spec =
+      parse_fault_spec("hang@0:at=3:ms=60000,slow@1:p=0.5:ms=25,slow:every=4");
+  ASSERT_EQ(spec.rules.size(), 3u);
+  EXPECT_EQ(spec.rules[0].kind, FaultKind::kHang);
+  EXPECT_EQ(spec.rules[0].device, 0);
+  EXPECT_EQ(spec.rules[0].at, 3u);
+  EXPECT_DOUBLE_EQ(spec.rules[0].delay_ms, 60000.0);
+  EXPECT_EQ(spec.rules[1].kind, FaultKind::kSlowdown);
+  EXPECT_DOUBLE_EQ(spec.rules[1].delay_ms, 25.0);
+  // No ms= → the kind's default (an hour-scale stall for hangs, a small
+  // perturbation for slowdowns).
+  EXPECT_LT(spec.rules[2].delay_ms, 0.0);
 }
 
 TEST(FaultSpecParsing, RejectsMalformedSpecs) {
@@ -293,6 +313,205 @@ TEST(ResilientScheduler, EscalationOffByDefaultKeepsReducedPrecision) {
   const auto result = compute_matrix_profile(data.reference, data.query,
                                              config);
   EXPECT_EQ(result.health.escalations.size(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Hangs, the watchdog, and speculative re-execution.
+// ---------------------------------------------------------------------
+
+TEST(FaultInjectorBasics, SlowdownStallsButReturns) {
+  FaultInjector injector;
+  injector.configure("slow@0:at=1:ms=30");
+  Stopwatch sw;
+  EXPECT_NO_THROW(injector.fire(FaultSite::kKernelLaunch, 0, "k"));
+  EXPECT_GE(sw.seconds(), 0.025);
+  ASSERT_EQ(injector.events().size(), 1u);
+  EXPECT_EQ(injector.events()[0].kind, FaultKind::kSlowdown);
+}
+
+TEST(FaultInjectorBasics, HangIsCancellable) {
+  FaultInjector injector;
+  injector.configure("hang@0:at=1:ms=60000");
+  gpusim::CancellationToken token;
+  std::thread canceller([&token] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    token.cancel();
+  });
+  Stopwatch sw;
+  EXPECT_THROW(injector.fire(FaultSite::kKernelLaunch, 0, "k", &token),
+               CancelledError);
+  canceller.join();
+  // The minute-long stall unwound within the cancellation latency, not
+  // the rule's duration.
+  EXPECT_LT(sw.seconds(), 10.0);
+}
+
+TEST(FaultInjectorBasics, HangDoesNotStallOtherDevices) {
+  // The stall must happen outside the injector's lock: while device 0
+  // hangs, device 1's fault points keep flowing.
+  FaultInjector injector;
+  injector.configure("hang@0:at=1:ms=400");
+  std::thread hung([&injector] {
+    injector.fire(FaultSite::kKernelLaunch, 0, "k");
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  Stopwatch sw;
+  EXPECT_NO_THROW(injector.fire(FaultSite::kKernelLaunch, 1, "k"));
+  EXPECT_LT(sw.seconds(), 0.2);
+  hung.join();
+}
+
+TEST(ResilientScheduler, WatchdogSpeculationBeatsHungDevice) {
+  const auto data = small_dataset(160, 2, 16, 11);
+  MatrixProfileConfig config;
+  config.window = 16;
+  config.mode = PrecisionMode::FP64;
+  config.tiles = 4;
+  config.devices = 2;
+  config.resilience.watchdog = true;
+  config.resilience.watchdog_poll_ms = 5.0;
+
+  const auto clean = compute_matrix_profile(data.reference, data.query,
+                                            config);
+
+  // Device 0's second kernel launch stalls for a minute — without the
+  // watchdog the run would take that long.  The backup on device 1 wins
+  // and the hung attempt is cancelled, so the whole run stays well under
+  // the stall duration.
+  FaultInjector injector;
+  injector.configure("hang@0:at=2:ms=60000");
+  config.fault_injector = &injector;
+  Stopwatch sw;
+  const auto faulty = compute_matrix_profile(data.reference, data.query,
+                                             config);
+  EXPECT_LT(sw.seconds(), 30.0);
+
+  EXPECT_EQ(faulty.profile, clean.profile);
+  EXPECT_EQ(faulty.index, clean.index);
+  EXPECT_TRUE(faulty.health.degraded);
+  EXPECT_GE(faulty.health.watchdog_fires, 1);
+  EXPECT_GE(faulty.health.speculative_wins + faulty.health.retries, 1);
+  bool saw_fire = false;
+  for (const auto& event : faulty.health.events) {
+    if (event.kind == RunEvent::Kind::kWatchdogFired) {
+      saw_fire = true;
+      EXPECT_EQ(event.device, 0);
+      EXPECT_NE(event.to_string().find("watchdog"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(saw_fire);
+}
+
+TEST(ResilientScheduler, RepeatedHangsBlacklistTheDevice) {
+  const auto data = small_dataset(160, 2, 16, 12);
+  MatrixProfileConfig config;
+  config.window = 16;
+  config.mode = PrecisionMode::FP64;
+  config.tiles = 6;
+  config.devices = 2;
+  config.resilience.watchdog = true;
+  config.resilience.watchdog_poll_ms = 5.0;
+  config.resilience.blacklist_after = 2;
+
+  const auto clean = compute_matrix_profile(data.reference, data.query,
+                                            config);
+
+  // Every kernel launch on device 0 hangs: after blacklist_after deadline
+  // overruns the device is dropped and its tiles finish on device 1.
+  FaultInjector injector;
+  injector.configure("hang@0:every=1:ms=60000");
+  config.fault_injector = &injector;
+  Stopwatch sw;
+  const auto faulty = compute_matrix_profile(data.reference, data.query,
+                                             config);
+  EXPECT_LT(sw.seconds(), 60.0);
+
+  EXPECT_EQ(faulty.profile, clean.profile);
+  EXPECT_EQ(faulty.index, clean.index);
+  EXPECT_GE(faulty.health.watchdog_fires, 2);
+  ASSERT_EQ(faulty.health.devices.size(), 2u);
+  EXPECT_TRUE(faulty.health.devices[0].blacklisted);
+  EXPECT_FALSE(faulty.health.devices[0].offline);
+  EXPECT_EQ(faulty.health.devices[0].tiles_completed, 0);
+  EXPECT_GE(faulty.health.devices[1].tiles_completed, 6);
+}
+
+// ---------------------------------------------------------------------
+// Memory-pressure tile splitting.
+// ---------------------------------------------------------------------
+
+TEST(ResilientScheduler, MemoryPressureSplitsTileBitIdentically) {
+  const auto data = small_dataset(200, 2, 16, 13);
+  MatrixProfileConfig config;
+  config.window = 16;
+  config.mode = PrecisionMode::FP64;
+  config.tiles = 1;
+
+  // Measure the single-tile working set on an unconstrained device, then
+  // rerun with the capacity one byte short of it: the tile cannot fit and
+  // must split along the row axis instead of failing.
+  gpusim::MachineSpec spec = gpusim::spec_by_name("A100");
+  spec.memory_capacity_bytes = 0;
+  gpusim::System unlimited(spec, 1, 2);
+  const auto one_tile = compute_matrix_profile(unlimited, data.reference,
+                                               data.query, config);
+  const std::size_t peak = unlimited.device(0).peak_bytes();
+  ASSERT_GT(peak, 0u);
+
+  // The splitter halves the row range on the planner's split_range
+  // boundaries (first half takes the extra row), so one forced split of
+  // the single tile is the planner's tiles=2 run (a 2x1 grid): each row
+  // sub-tile restarts the QT recurrence from its own precalculation
+  // exactly like a planner tile does.  That run is the bit-identity
+  // baseline; the unsplit single-tile run legitimately differs, because
+  // row partitioning changes where the recurrence restarts.
+  MatrixProfileConfig two_tiles = config;
+  two_tiles.tiles = 2;
+  gpusim::System half_system(spec, 1, 2);
+  const auto planner = compute_matrix_profile(half_system, data.reference,
+                                              data.query, two_tiles);
+  const std::size_t half_peak = half_system.device(0).peak_bytes();
+  ASSERT_LT(half_peak, peak);
+
+  // Capacity between the half-tile and full-tile working sets: the full
+  // tile must split exactly once, and both halves must then fit.
+  config.device_memory_bytes = half_peak + (peak - half_peak) / 2;
+  const auto squeezed = compute_matrix_profile(data.reference, data.query,
+                                               config);
+  EXPECT_GE(squeezed.health.tile_splits, 1);
+  EXPECT_TRUE(squeezed.health.degraded);
+  EXPECT_EQ(squeezed.profile, planner.profile);
+  EXPECT_EQ(squeezed.index, planner.index);
+  EXPECT_EQ(squeezed.segments, one_tile.segments);
+  bool saw_split = false;
+  for (const auto& event : squeezed.health.events) {
+    if (event.kind == RunEvent::Kind::kTileSplit) {
+      saw_split = true;
+      EXPECT_NE(event.to_string().find("memory pressure"),
+                std::string::npos);
+    }
+  }
+  EXPECT_TRUE(saw_split);
+}
+
+TEST(ResilientScheduler, HopelessMemoryPressureFallsBackToCpu) {
+  const auto data = small_dataset(120, 2, 16, 14);
+  MatrixProfileConfig config;
+  config.window = 16;
+  config.tiles = 1;
+  // A few kilobytes cannot hold any sub-tile at any split depth; the
+  // allocation failure ends up a normal fault and the CPU finishes.
+  config.device_memory_bytes = 4096;
+  const auto result = compute_matrix_profile(data.reference, data.query,
+                                             config);
+  EXPECT_GE(result.health.cpu_fallback_tiles, 1);
+
+  MatrixProfileConfig unlimited = config;
+  unlimited.device_memory_bytes = 0;
+  const auto clean = compute_matrix_profile(data.reference, data.query,
+                                            unlimited);
+  EXPECT_EQ(result.profile, clean.profile);
+  EXPECT_EQ(result.index, clean.index);
 }
 
 // ---------------------------------------------------------------------

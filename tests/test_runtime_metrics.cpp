@@ -126,7 +126,7 @@ TEST(RuntimeMetrics, SnapshotAndJson) {
   EXPECT_EQ(snap.histograms[0].mean(), 4.0);
 
   const std::string json = snap.to_json();
-  EXPECT_NE(json.find("\"schema\": \"mpsim-metrics-v1\""), std::string::npos)
+  EXPECT_NE(json.find("\"schema\": \"mpsim-metrics-v2\""), std::string::npos)
       << json;
   EXPECT_NE(json.find("\"c.one\": 3"), std::string::npos) << json;
   EXPECT_NE(json.find("\"h.one\""), std::string::npos) << json;

@@ -16,6 +16,7 @@
 #include "common/cli.hpp"
 #include "common/error.hpp"
 #include "common/metrics.hpp"
+#include "common/shutdown.hpp"
 #include "common/table.hpp"
 #include "gpusim/faults.hpp"
 #include "mp/analysis.hpp"
@@ -54,7 +55,10 @@ int run(int argc, char** argv) {
                     "devices", "machine", "self-join", "exclusion", "output",
                     "motifs", "discords", "repair", "auto-tiles", "chains",
                     "faults", "max-retries", "escalate-precision",
-                    "metrics-out", "trace-out", "row-path", "help"});
+                    "metrics-out", "trace-out", "row-path", "checkpoint",
+                    "resume", "checkpoint-interval", "kill-after-tiles",
+                    "watchdog", "watchdog-slack", "device-memory-mb",
+                    "help"});
   if (args.get_bool("help", false) || !args.has("reference")) {
     std::printf(
         "usage: mpsim_cli --reference=ref.csv [--query=query.csv] "
@@ -68,14 +72,21 @@ int run(int argc, char** argv) {
         "[--escalate-precision]\n"
         "                 [--metrics-out=FILE.json] [--trace-out=FILE.json]\n"
         "                 [--row-path=auto|fused|cooperative]\n"
+        "                 [--checkpoint=FILE.ckpt] [--resume=FILE.ckpt]\n"
+        "                 [--checkpoint-interval=K] [--watchdog]\n"
+        "                 [--watchdog-slack=S] [--device-memory-mb=M]\n"
         "fault spec: comma-separated kind[@device][:key=value]... with kind\n"
-        "  kernel|copy|offline|nan|bitflip and keys at=N, every=N, p=P,\n"
-        "  frac=F, plus an optional seed=S clause, e.g.\n"
-        "  --faults=seed=7,kernel@0:at=5,offline@1:at=12,nan@0:at=1:frac=0.05\n"
+        "  kernel|copy|offline|nan|bitflip|hang|slow and keys at=N, every=N,\n"
+        "  p=P, frac=F, ms=D, plus an optional seed=S clause, e.g.\n"
+        "  --faults=seed=7,kernel@0:at=5,offline@1:at=12,hang@0:at=3:ms=60000\n"
         "observability: --metrics-out writes the runtime metrics registry\n"
-        "  (counters/gauges/histograms, mpsim-metrics-v1 JSON) and\n"
+        "  (counters/gauges/histograms, mpsim-metrics-v2 JSON) and\n"
         "  --trace-out writes the measured wall-clock timeline as\n"
-        "  Chrome-tracing JSON (load in Perfetto / chrome://tracing)\n");
+        "  Chrome-tracing JSON (load in Perfetto / chrome://tracing)\n"
+        "durability: --checkpoint journals completed tiles every K commits\n"
+        "  (atomic write; SIGINT/SIGTERM flush it before exit, status 130)\n"
+        "  and --resume restores them, skipping finished tiles; --watchdog\n"
+        "  re-executes hung tiles speculatively on another device\n");
     return args.has("reference") ? 0 : 2;
   }
 
@@ -114,6 +125,17 @@ int run(int argc, char** argv) {
   config.resilience.escalate_precision =
       args.get_bool("escalate-precision", false);
   config.row_path = mp::parse_row_path(args.get_string("row-path", "auto"));
+  config.checkpoint.write_path = args.get_string("checkpoint", "");
+  config.checkpoint.resume_path = args.get_string("resume", "");
+  config.checkpoint.interval_tiles = int(args.get_int(
+      "checkpoint-interval", config.checkpoint.interval_tiles));
+  config.checkpoint.kill_after_tiles =
+      int(args.get_int("kill-after-tiles", 0));
+  config.resilience.watchdog = args.get_bool("watchdog", false);
+  config.resilience.watchdog_slack = args.get_double(
+      "watchdog-slack", config.resilience.watchdog_slack);
+  config.device_memory_bytes =
+      std::size_t(args.get_int("device-memory-mb", 0)) << 20;
   gpusim::FaultInjector injector;
   if (args.has("faults")) {
     injector.configure(args.get_string("faults", ""));
@@ -143,23 +165,10 @@ int run(int argc, char** argv) {
               config.window, to_string(config.mode).c_str(), config.tiles,
               config.devices);
 
-  const auto result = mp::compute_matrix_profile(reference, query, config);
-  std::printf("computed %zu x %zu profile in %.2f s (modeled %s time: "
-              "%.4f s)\n",
-              result.segments, result.dims, result.wall_seconds,
-              config.machine.c_str(), result.modeled_total_seconds());
-  if (config.fault_injector != nullptr || result.health.degraded ||
-      !result.health.escalations.empty()) {
-    std::printf("%s", result.health.summary().c_str());
-  }
-
-  if (args.has("output")) {
-    const auto path = args.get_string("output", "");
-    write_profile_csv(path, result);
-    std::printf("profile written to %s\n", path.c_str());
-  }
-
-  if (want_metrics) {
+  // Observability must flush on every exit path — an interrupted run's
+  // metrics and trace are exactly what a post-mortem needs.
+  const auto flush_observability = [&] {
+    if (!want_metrics) return;
     const auto snap = MetricsRegistry::global().snapshot();
     Table counters({"counter", "value"});
     for (const auto& [name, value] : snap.counters) {
@@ -188,7 +197,37 @@ int run(int argc, char** argv) {
       std::printf("trace written to %s (open in Perfetto or "
                   "chrome://tracing)\n", path.c_str());
     }
+  };
+
+  // SIGINT/SIGTERM request a graceful stop: the scheduler flushes its
+  // checkpoint and unwinds with InterruptedError, we flush observability
+  // and exit 130 (a second signal exits immediately).
+  install_signal_handlers();
+  mp::MatrixProfileResult result;
+  try {
+    result = mp::compute_matrix_profile(reference, query, config);
+  } catch (const InterruptedError& e) {
+    std::printf("%s\n", e.what());
+    flush_observability();
+    return 130;
   }
+  std::printf("computed %zu x %zu profile in %.2f s (modeled %s time: "
+              "%.4f s)\n",
+              result.segments, result.dims, result.wall_seconds,
+              config.machine.c_str(), result.modeled_total_seconds());
+  if (config.fault_injector != nullptr || result.health.degraded ||
+      result.health.resumed_tiles > 0 ||
+      !result.health.escalations.empty()) {
+    std::printf("%s", result.health.summary().c_str());
+  }
+
+  if (args.has("output")) {
+    const auto path = args.get_string("output", "");
+    write_profile_csv(path, result);
+    std::printf("profile written to %s\n", path.c_str());
+  }
+
+  flush_observability();
 
   const auto k_motifs = std::size_t(args.get_int("motifs", 3));
   if (k_motifs > 0) {
