@@ -224,6 +224,29 @@ void BM_ParallelForDispatch(benchmark::State& state) {
   state.SetItemsProcessed(std::int64_t(state.iterations()));
 }
 
+void BM_RowBatchDispatch(benchmark::State& state) {
+  // Dispatch-overhead amortisation of the diagonal-batched row executor:
+  // one grained parallel_for over the nq + bt - 1 diagonals of a bt-row
+  // batch replaces bt plain per-row dispatches.  bt == 1 is the unbatched
+  // per-row cost; larger bt shows the per-ROW dispatch cost shrinking.
+  // items/s counts ROWS retired per second, so the sweep is comparable
+  // across batch sizes.
+  ThreadPool pool;
+  const std::size_t nq = 64;  // small tile: the dispatch-bound regime
+  const std::size_t bt = std::size_t(state.range(0));
+  std::atomic<std::size_t> sink{0};
+  for (auto _ : state) {
+    pool.parallel_for_grained(nq + bt - 1, bt,
+                              [&](std::size_t b, std::size_t e) {
+                                sink.fetch_add(e - b,
+                                               std::memory_order_relaxed);
+                              });
+  }
+  benchmark::DoNotOptimize(sink.load());
+  state.SetItemsProcessed(std::int64_t(state.iterations()) *
+                          std::int64_t(bt));
+}
+
 void BM_Float16Arithmetic(benchmark::State& state) {
   Rng rng(4);
   std::vector<float16> a(4096), b(4096);
@@ -242,12 +265,16 @@ void BM_Float16Arithmetic(benchmark::State& state) {
 using F64 = PrecisionTraits<PrecisionMode::FP64>;
 using F32 = PrecisionTraits<PrecisionMode::FP32>;
 using F16 = PrecisionTraits<PrecisionMode::FP16>;
+using BF16 = PrecisionTraits<PrecisionMode::BF16>;
+using TF32 = PrecisionTraits<PrecisionMode::TF32>;
 
 }  // namespace
 
 BENCHMARK(BM_DistCalcRow<F64>);
 BENCHMARK(BM_DistCalcRow<F32>);
 BENCHMARK(BM_DistCalcRow<F16>);
+BENCHMARK(BM_DistCalcRow<BF16>);
+BENCHMARK(BM_DistCalcRow<TF32>);
 BENCHMARK(BM_SortScanRow<F64>)->Arg(2)->Arg(3)->Arg(4)->Arg(6)->Arg(8);
 BENCHMARK(BM_SortScanRow<F16>)->Arg(2)->Arg(3)->Arg(4)->Arg(6)->Arg(8);
 BENCHMARK(BM_FusedSortScan<F64>)->Arg(2)->Arg(3)->Arg(4)->Arg(6)->Arg(8);
@@ -263,5 +290,6 @@ BENCHMARK(BM_Float16EncodeFast);
 BENCHMARK(BM_Float16Decode);
 BENCHMARK(BM_Float16Arithmetic);
 BENCHMARK(BM_ParallelForDispatch)->Arg(64)->Arg(4096);
+BENCHMARK(BM_RowBatchDispatch)->Arg(1)->Arg(8)->Arg(32);
 
 BENCHMARK_MAIN();

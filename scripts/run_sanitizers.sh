@@ -27,6 +27,15 @@ run_one() {
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build "$dir" -j "$(nproc)"
   ctest --test-dir "$dir" --output-on-failure -j "$(nproc)"
+  # The explicit SIMD kernels do raw intrinsic loads/stores and the
+  # diagonal-batched executor claims row chunks across pool workers; run
+  # the dispatch bit-equality suite once per MPSIM_SIMD level so the env
+  # request path and every kernel variant sit under the sanitizer (the
+  # level clamps to the host, so this is safe on any machine).
+  for level in scalar f16c avx2; do
+    MPSIM_SIMD=$level "$dir"/tests/test_simd_dispatch \
+        --gtest_filter='SimdDispatchEquality.PaperModesNanPoisoned:SimdDispatchEquality.BatchedVersusUnbatchedRows'
+  done
   if [ "$kind" = thread ]; then
     # Hammer the lock-free metrics registry beyond the single CTest pass:
     # repeated runs of the concurrent-recording tests give TSan many more

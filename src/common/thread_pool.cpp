@@ -121,11 +121,18 @@ void ThreadPool::run_chunk(ParallelJob* job, std::size_t chunk) {
 
 void ThreadPool::parallel_for(
     std::size_t n, const std::function<void(std::size_t, std::size_t)>& body) {
+  parallel_for_grained(n, 1, body);
+}
+
+void ThreadPool::parallel_for_grained(
+    std::size_t n, std::size_t min_grain,
+    const std::function<void(std::size_t, std::size_t)>& body) {
   if (n == 0) return;
+  if (min_grain == 0) min_grain = 1;
   DispatchMetrics& metrics = DispatchMetrics::get();
   metrics.items.record(double(n));
   const std::size_t workers = worker_count();
-  if (n <= kInlineMax || workers == 1) {
+  if (n <= kInlineMax || workers == 1 || n <= min_grain) {
     metrics.inline_runs.add();
     body(0, n);
     return;
@@ -136,7 +143,8 @@ void ThreadPool::parallel_for(
   job.body = &body;
   job.n = n;
   const std::size_t target_chunks = std::min(n, kOverDecompose * workers);
-  job.chunk_size = (n + target_chunks - 1) / target_chunks;
+  job.chunk_size =
+      std::max(min_grain, (n + target_chunks - 1) / target_chunks);
   job.chunk_count = (n + job.chunk_size - 1) / job.chunk_size;
   job.unfinished.store(job.chunk_count, std::memory_order_relaxed);
 

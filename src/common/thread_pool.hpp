@@ -62,6 +62,16 @@ class ThreadPool {
   void parallel_for(std::size_t n,
                     const std::function<void(std::size_t, std::size_t)>& body);
 
+  /// parallel_for with a minimum chunk granularity: every chunk spans at
+  /// least `min_grain` consecutive indices (the last one may be shorter).
+  /// Used by callers whose items carry per-chunk setup cost (the
+  /// diagonal-batched row executor re-derives its band geometry per
+  /// chunk), and to keep an index space from being split finer than a
+  /// correctness-relevant unit.  min_grain == 1 is exactly parallel_for.
+  void parallel_for_grained(
+      std::size_t n, std::size_t min_grain,
+      const std::function<void(std::size_t, std::size_t)>& body);
+
  private:
   /// Stack-allocated parallel_for job: an atomic cursor hands out chunk
   /// indices, a countdown of unfinished chunks gates completion.

@@ -16,6 +16,7 @@
 
 #include "gpusim/kernel.hpp"
 #include "mp/precalc.hpp"
+#include "mp/simd/span.hpp"
 #include "mp/sort_scan.hpp"
 #include "precision/modes.hpp"
 
@@ -50,138 +51,15 @@ CT qt_to_distance(CT qt, CT inv_r, CT inv_q, CT two_m) {
   return CT(sqrt(clamped));
 }
 
-// 8-wide F16C path for the emulated-FP16 dist_calc recurrence.  Scalar
-// emulated-half arithmetic cannot autovectorize (every operation funnels
-// through conversion helpers), so the FP16 mode gets a hand-written AVX
-// loop: widen 8 halves with vcvtph2ps (exact), perform ONE binary32
-// operation, round back with vcvtps2ph (RNE).  Per lane this is the
-// identical widen-op-round sequence the scalar float16 operators execute
-// (double rounding through binary32 is innocuous, 24 >= 2*11+2), so the
-// output bits match the scalar loop exactly — including overflow to
-// infinity, subnormal halves and ISA-default generated NaNs.
-#if defined(MPSIM_FLOAT16_HW) && defined(__AVX__)
-#define MPSIM_KERNEL_F16_SIMD 1
-#endif
-
-#ifdef MPSIM_KERNEL_F16_SIMD
-namespace detail {
-
-/// Round every binary32 lane to binary16 and back: the vector image of one
-/// emulated-FP16 operation's result rounding.
-inline __m256 round_lanes_f16(__m256 v) {
-  return _mm256_cvtph_ps(
-      _mm256_cvtps_ph(v, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC));
-}
-
-inline __m256 load_halves(const float16* p) {
-  return _mm256_cvtph_ps(
-      _mm_loadu_si128(reinterpret_cast<const __m128i*>(p)));
-}
-
-/// Vectorized dist_calc recurrence over `n` contiguous columns of one
-/// dimension row; returns the count of columns processed (a multiple of
-/// 8 — the scalar loop finishes the tail).  Pointers are span-relative:
-/// lane t reads qt_prev_m1[t] (the previous QT row already shifted one
-/// column left), df_q[t], ..., and writes qt_next[t] / dist[t], so the
-/// distance sink may live at a different offset than the QT rows (the
-/// fused row pipeline writes distances into a stack block).  Blocks
-/// containing a NaN operand stop the vector loop: NaN sign propagation
-/// must follow float16::finish_binop's deterministic first-NaN-operand
-/// rule, which only the scalar operators implement — the scalar loop
-/// takes over from the first such block.
-inline std::int64_t dist_calc_span_f16(
-    std::int64_t n, float16 df_ri, float16 dg_ri, float16 inv_ri,
-    float16 two_m, const float16* MPSIM_RESTRICT qt_prev_m1,
-    const float16* MPSIM_RESTRICT df_q, const float16* MPSIM_RESTRICT dg_q,
-    const float16* MPSIM_RESTRICT inv_q, float16* MPSIM_RESTRICT qt_next,
-    float16* MPSIM_RESTRICT dist) {
-  constexpr int kRne = _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC;
-  const __m256 v_df_ri = _mm256_set1_ps(float(df_ri));
-  const __m256 v_dg_ri = _mm256_set1_ps(float(dg_ri));
-  const __m256 v_inv_ri = _mm256_set1_ps(float(inv_ri));
-  const __m256 v_two_m = _mm256_set1_ps(float(two_m));
-  const __m256 v_one = _mm256_set1_ps(1.0f);
-  const __m256 v_zero = _mm256_setzero_ps();
-  std::int64_t t = 0;
-  for (; t + 8 <= n; t += 8) {
-    const __m256 prev = load_halves(qt_prev_m1 + t);
-    const __m256 dgq = load_halves(dg_q + t);
-    const __m256 dfq = load_halves(df_q + t);
-    const __m256 invq = load_halves(inv_q + t);
-    const __m256 nan_mask = _mm256_or_ps(
-        _mm256_or_ps(_mm256_cmp_ps(prev, prev, _CMP_UNORD_Q),
-                     _mm256_cmp_ps(dgq, dgq, _CMP_UNORD_Q)),
-        _mm256_or_ps(_mm256_cmp_ps(dfq, dfq, _CMP_UNORD_Q),
-                     _mm256_cmp_ps(invq, invq, _CMP_UNORD_Q)));
-    if (_mm256_movemask_ps(nan_mask) != 0) break;
-    // qt = (qt_prev + df_ri * dg_q) + dg_ri * df_q, rounding each step.
-    const __m256 t1 = round_lanes_f16(_mm256_mul_ps(v_df_ri, dgq));
-    const __m256 t2 = round_lanes_f16(_mm256_add_ps(prev, t1));
-    const __m256 t3 = round_lanes_f16(_mm256_mul_ps(v_dg_ri, dfq));
-    const __m128i qt_h = _mm256_cvtps_ph(_mm256_add_ps(t2, t3), kRne);
-    _mm_storeu_si128(reinterpret_cast<__m128i*>(qt_next + t), qt_h);
-    const __m256 qt = _mm256_cvtph_ps(qt_h);
-    // qt_to_distance: sqrt(two_m * (1 - qt*inv_r*inv_q)), clamped at 0.
-    const __m256 c1 = round_lanes_f16(_mm256_mul_ps(qt, v_inv_ri));
-    const __m256 corr = round_lanes_f16(_mm256_mul_ps(c1, invq));
-    const __m256 om = round_lanes_f16(_mm256_sub_ps(v_one, corr));
-    const __m256 val = round_lanes_f16(_mm256_mul_ps(v_two_m, om));
-    // val < 0 ? 0 : val — ordered compare, so NaN lanes keep their NaN.
-    const __m256 lt = _mm256_cmp_ps(val, v_zero, _CMP_LT_OQ);
-    const __m256 clamped = _mm256_blendv_ps(val, v_zero, lt);
-    const __m128i dist_h = _mm256_cvtps_ph(_mm256_sqrt_ps(clamped), kRne);
-    _mm_storeu_si128(reinterpret_cast<__m128i*>(dist + t), dist_h);
-  }
-  return t;
-}
-
-/// Row-wise Bitonic compare-exchange between two block rows of emulated
-/// halves, 8 columns per step.  The comparison widens to binary32
-/// (vcvtph2ps is exact, so f32 `<` on the widened lanes equals the scalar
-/// float16 operator< — NaN compares false, +-0 compare equal) and the
-/// winning 16-bit payloads are blended RAW: no arithmetic touches the
-/// values, so NaN payloads and signed zeros move verbatim, exactly like
-/// the scalar std::swap.  No NaN fallback is needed here.
-inline void cmpex_rows_f16(float16* MPSIM_RESTRICT ra,
-                           float16* MPSIM_RESTRICT rb, std::size_t bn,
-                           bool ascending) {
-  std::size_t jj = 0;
-  for (; jj + 8 <= bn; jj += 8) {
-    const __m128i a16 =
-        _mm_loadu_si128(reinterpret_cast<const __m128i*>(ra + jj));
-    const __m128i b16 =
-        _mm_loadu_si128(reinterpret_cast<const __m128i*>(rb + jj));
-    const __m256 a = _mm256_cvtph_ps(a16);
-    const __m256 b = _mm256_cvtph_ps(b16);
-    // Mask lanes where the pair is out of order (swap wanted).
-    const __m256 m = ascending ? _mm256_cmp_ps(b, a, _CMP_LT_OQ)
-                               : _mm256_cmp_ps(a, b, _CMP_LT_OQ);
-    // Narrow the 32-bit lane masks to 16 bits (AVX-only: split the f32
-    // mask register and saturate-pack; 0 -> 0, -1 -> -1).
-    const __m128i lo = _mm_castps_si128(_mm256_castps256_ps128(m));
-    const __m128i hi = _mm_castps_si128(_mm256_extractf128_ps(m, 1));
-    const __m128i m16 = _mm_packs_epi32(lo, hi);
-    _mm_storeu_si128(reinterpret_cast<__m128i*>(ra + jj),
-                     _mm_blendv_epi8(a16, b16, m16));
-    _mm_storeu_si128(reinterpret_cast<__m128i*>(rb + jj),
-                     _mm_blendv_epi8(b16, a16, m16));
-  }
-  for (; jj < bn; ++jj) {
-    const bool out_of_order =
-        ascending ? (rb[jj] < ra[jj]) : (ra[jj] < rb[jj]);
-    if (out_of_order) std::swap(ra[jj], rb[jj]);
-  }
-}
-
-/// True if any of the 8 halves starting at p is NaN.
-inline bool any_nan_halves(const float16* p) {
-  const __m256 v = _mm256_cvtph_ps(
-      _mm_loadu_si128(reinterpret_cast<const __m128i*>(p)));
-  return _mm256_movemask_ps(_mm256_cmp_ps(v, v, _CMP_UNORD_Q)) != 0;
-}
-
-}  // namespace detail
-#endif  // MPSIM_KERNEL_F16_SIMD
+// The hand-written SIMD kernels live in mp/simd/ (kernels_f16.hpp: F16C
+// half-precision spans; kernels_native.hpp: AVX f64/f32 dist_calc spans;
+// kernels_avx2.hpp: BF16/TF32 payload kernels and vector merges), behind
+// the runtime CPU-feature dispatch of mp/simd/dispatch.hpp.  The kernel
+// bodies below call the typed span gates of mp/simd/span.hpp and keep
+// their scalar loops as the tail / fallback, so every mode works — and is
+// bit-identical — at every dispatch level.
+static_assert(simd::kMaxSortRows == 64,
+              "mp/simd scratch sizing must cover kMaxFusedRowDims");
 
 /// dist_calc, Eq. (1): computes elements [begin, end) of row i of the
 /// distance matrix (elements indexed e = k*w + j over w columns and d
@@ -240,16 +118,15 @@ void dist_calc_body(std::int64_t begin, std::int64_t end, std::size_t i,
         dist_row[x] = ST(qt_to_distance(qt, inv_ri, CT(inv_q[x]), two_m));
         ++x;
       }
-      // Streaming-dot-product recurrence over the rest of the span.
-#ifdef MPSIM_KERNEL_F16_SIMD
-      if constexpr (std::is_same_v<CT, float16> &&
-                    std::is_same_v<ST, float16>) {
-        x += detail::dist_calc_span_f16(span_end - x, df_ri, dg_ri, inv_ri,
-                                        two_m, qt_prev + x - 1, df_q + x,
-                                        dg_q + x, inv_q + x, qt_next + x,
-                                        dist_row + x);
+      // Streaming-dot-product recurrence over the rest of the span.  The
+      // SIMD span handles the Compute == Storage modes (all but Mixed)
+      // when the dispatch level allows; the scalar loop finishes the tail.
+      if constexpr (std::is_same_v<CT, ST>) {
+        x += simd::dist_calc_span<CT>(span_end - x, df_ri, dg_ri, inv_ri,
+                                      two_m, qt_prev + x - 1, df_q + x,
+                                      dg_q + x, inv_q + x, qt_next + x,
+                                      dist_row + x);
       }
-#endif
       for (; x < span_end; ++x) {
         const CT qt = CT(qt_prev[x - 1]) + df_ri * CT(dg_q[x]) +
                       dg_ri * CT(df_q[x]);
@@ -372,6 +249,11 @@ inline constexpr std::size_t kMaxFusedRowDims = 64;
 /// of kFusedBlockElems / next_pow2(d) columns.
 inline constexpr std::size_t kFusedBlockElems = 2048;
 
+// The SIMD layer's column scratch (per-lane NaN fallbacks) is sized for
+// this dimension cap.
+static_assert(kMaxFusedRowDims == simd::kMaxSortRows,
+              "mp/simd scratch sizing must cover kMaxFusedRowDims");
+
 namespace detail {
 
 /// One Bitonic compare-exchange stage applied row-wise across a column
@@ -465,72 +347,6 @@ void sort_scan_rows(T* blk, std::size_t bstride, std::size_t bn,
   }
 }
 
-#ifdef MPSIM_KERNEL_F16_SIMD
-
-/// Scalar column fallback of the f16 block scan: gather, run the exact
-/// scalar float16 scan-average (finish_binop NaN rule included), scatter.
-inline void scan_column_f16(float16* blk, std::size_t bstride, std::size_t d,
-                            std::size_t jj) {
-  float16 vals[kMaxFusedRowDims];
-  for (std::size_t l = 0; l < d; ++l) vals[l] = blk[l * bstride + jj];
-  scan_average_column(vals, d);
-  for (std::size_t l = 0; l < d; ++l) blk[l * bstride + jj] = vals[l];
-}
-
-/// F16C block sort + scan-average.  The sort is blend-only (see
-/// cmpex_rows_f16), so it needs no NaN fallback; the scan does arithmetic,
-/// so any 8-column group holding a NaN distance drops to the scalar
-/// column path (finish_binop's first-NaN-operand sign rule only the
-/// scalar operators implement).  NaN cannot APPEAR mid-scan from clean
-/// inputs — distances are non-negative, so no inf - inf — which is why
-/// one pre-scan of the d input rows suffices.
-inline void sort_scan_rows_f16(float16* blk, std::size_t bstride,
-                               std::size_t bn, std::size_t d) {
-  constexpr int kRne = _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC;
-  const std::size_t p2 = next_pow2(d);
-  for (std::size_t size = 2; size <= p2; size <<= 1) {
-    for (std::size_t stride = size >> 1; stride > 0; stride >>= 1) {
-      for (std::size_t i = 0; i < p2; ++i) {
-        const std::size_t partner = i ^ stride;
-        if (partner <= i) continue;
-        cmpex_rows_f16(blk + i * bstride, blk + partner * bstride, bn,
-                       (i & size) == 0);
-      }
-    }
-  }
-  std::size_t jj = 0;
-  for (; jj + 8 <= bn; jj += 8) {
-    bool has_nan = false;
-    for (std::size_t l = 0; l < d && !has_nan; ++l) {
-      has_nan = any_nan_halves(blk + l * bstride + jj);
-    }
-    if (has_nan) {
-      for (std::size_t c = jj; c < jj + 8; ++c) scan_column_f16(blk, bstride, d, c);
-      continue;
-    }
-    for (std::size_t offset = 1; offset < d; offset <<= 1) {
-      for (std::size_t l = d; l-- > offset;) {
-        const __m256 a = load_halves(blk + l * bstride + jj);
-        const __m256 b = load_halves(blk + (l - offset) * bstride + jj);
-        _mm_storeu_si128(
-            reinterpret_cast<__m128i*>(blk + l * bstride + jj),
-            _mm256_cvtps_ph(_mm256_add_ps(a, b), kRne));
-      }
-    }
-    for (std::size_t l = 0; l < d; ++l) {
-      const __m256 a = load_halves(blk + l * bstride + jj);
-      // l+1 <= kMaxFusedRowDims is exact in binary16, so this equals the
-      // scalar divisor float16(double(l + 1)) widened to binary32.
-      const __m256 divv = _mm256_set1_ps(float(l + 1));
-      _mm_storeu_si128(reinterpret_cast<__m128i*>(blk + l * bstride + jj),
-                       _mm256_cvtps_ph(_mm256_div_ps(a, divv), kRne));
-    }
-  }
-  for (; jj < bn; ++jj) scan_column_f16(blk, bstride, d, jj);
-}
-
-#endif  // MPSIM_KERNEL_F16_SIMD
-
 }  // namespace detail
 
 /// Sort + progressive average of a column block in transposed layout
@@ -545,14 +361,12 @@ void sort_scan_block(ST* blk, std::size_t bstride, std::size_t bn,
   if constexpr (std::is_floating_point_v<ST>) {
     detail::sort_scan_rows(blk, bstride, bn, d);
   } else {
-#ifdef MPSIM_KERNEL_F16_SIMD
-    if constexpr (std::is_same_v<ST, float16>) {
-      detail::sort_scan_rows_f16(blk, bstride, bn, d);
-      return;
-    }
-#endif
-    // Emulated scalar fallback (BF16 / TF32 / software float16): gather
-    // each padded column, run the fixed network, scatter the averages.
+    // Vector variants for the emulated types (F16C halves, AVX2 BF16/TF32
+    // payload kernels), gated on the runtime dispatch level.
+    if (simd::sort_scan_rows_emulated(blk, bstride, bn, d)) return;
+    // Emulated scalar fallback (software float16 / scalar dispatch):
+    // gather each padded column, run the fixed network, scatter the
+    // averages.
     const std::size_t p2 = next_pow2(d);
     for (std::size_t jj = 0; jj < bn; ++jj) {
       ST vals[kMaxFusedRowDims];
@@ -629,16 +443,13 @@ void fused_row_body(
         dblk[0] = ST(qt_to_distance(qt, inv_ri, CT(inv_q[xbase]), two_m));
         jj = 1;
       }
-#ifdef MPSIM_KERNEL_F16_SIMD
-      if constexpr (std::is_same_v<CT, float16> &&
-                    std::is_same_v<ST, float16>) {
+      if constexpr (std::is_same_v<CT, ST>) {
         const std::size_t x0 = xbase + std::size_t(j0) + jj;
-        jj += std::size_t(detail::dist_calc_span_f16(
+        jj += std::size_t(simd::dist_calc_span<CT>(
             std::int64_t(bn - jj), df_ri, dg_ri, inv_ri, two_m,
             qt_prev + x0 - 1, df_q + x0, dg_q + x0, inv_q + x0, qt_next + x0,
             dblk + jj));
       }
-#endif
       for (; jj < bn; ++jj) {
         const std::size_t x = xbase + std::size_t(j0) + jj;
         const CT qt = CT(qt_prev[x - 1]) + df_ri * CT(dg_q[x]) +
@@ -670,7 +481,16 @@ void fused_row_body(
       ST* MPSIM_RESTRICT prow = profile + k * w + std::size_t(j0);
       std::int64_t* MPSIM_RESTRICT irow = index + k * w + std::size_t(j0);
       const auto merge = [&](std::int64_t from, std::int64_t to) {
-        for (std::int64_t j = from; j < to; ++j) {
+        std::int64_t j = from;
+        if (to > from) {
+          // Vector merge prefix for the emulated types (raw-payload
+          // blends; strict < keeps NaN out and the earliest row on ties,
+          // exactly like the scalar selects below).
+          const std::size_t c0 = std::size_t(from - j0);
+          j += simd::merge_rows(src + c0, prow + c0, irow + c0, to - from,
+                                global_row);
+        }
+        for (; j < to; ++j) {
           const std::size_t c = std::size_t(j - j0);
           const bool better = src[c] < prow[c];
           prow[c] = better ? src[c] : prow[c];
@@ -679,6 +499,194 @@ void fused_row_body(
       };
       merge(j0, exb);
       merge(exe, j1);
+    }
+  }
+}
+
+// --- Diagonal-batched fused execution -------------------------------------
+//
+// The fused path above dispatches one parallel_for per tile row, so a tile
+// with small nq pays the per-item dispatch overhead (~87 M items/s on the
+// simulated device) once per row — the dominant cost when nq is a few
+// hundred columns.  The batched executor processes BT consecutive tile
+// rows per dispatch round instead, restructured around the QT dependency
+// QT(r, j) -> QT(r-1, j-1): diagonals j - r = const form independent
+// dependency chains, so a work item becomes one diagonal of the BT-row
+// parallelogram and a chunk of consecutive diagonals is a band that one
+// worker sweeps row-major (each row's leftmost cell depends on the
+// previous row's leftmost cell, which the same worker just computed).
+//
+// Phase A computes, per band: the QT recurrence (in a thread-local band
+// buffer whose slot s = j - jb_raw(r) is overwritten in place — slot s of
+// row r-1 holds exactly QT(r-1, j-1)), the distances, and the row-wise
+// sort/scan into a per-batch scan buffer.  The last row's QT goes straight
+// to the tile's qt_next buffer (one swap per BATCH instead of per row).
+// Phase B merges the BT scanned rows into the profile, parallel over
+// COLUMNS, rows in ascending order — preserving update_body's
+// earliest-row-wins tie rule exactly.  Per element and per operation both
+// phases replay the unbatched fused pipeline's arithmetic, so the output
+// is bit-identical for every mode and dispatch level.
+
+/// Phase A over diagonals [vbegin, vend) of a BT-row batch starting at
+/// tile row i0.  Diagonal v covers cells (r, j = v - (bt-1) + r); the
+/// scan buffer holds next_pow2(d) rows of w columns per batch row.
+template <typename Traits>
+void batched_rows_phase_a(
+    std::int64_t vbegin, std::int64_t vend, std::size_t bt, std::size_t i0,
+    std::size_t w, std::size_t m, std::size_t d,
+    const typename Traits::Storage* MPSIM_RESTRICT qt_row_seed,
+    const typename Traits::Storage* MPSIM_RESTRICT qt_col_seed,
+    std::size_t nr, const typename Traits::Storage* MPSIM_RESTRICT df_r,
+    const typename Traits::Storage* MPSIM_RESTRICT dg_r,
+    const typename Traits::Storage* MPSIM_RESTRICT inv_r,
+    const typename Traits::Storage* MPSIM_RESTRICT df_q,
+    const typename Traits::Storage* MPSIM_RESTRICT dg_q,
+    const typename Traits::Storage* MPSIM_RESTRICT inv_q,
+    const typename Traits::Storage* MPSIM_RESTRICT qt_prev,
+    typename Traits::Storage* MPSIM_RESTRICT qt_next,
+    typename Traits::Storage* batch_scan) {
+  using CT = typename Traits::Compute;
+  using ST = typename Traits::Storage;
+  MPSIM_CHECK(bt >= 2 && d >= 1 && d <= kMaxFusedRowDims,
+              "batched_rows_phase_a: bad batch shape");
+
+  const CT two_m = CT(double(2 * m));
+  const std::size_t p2 = next_pow2(d);
+  const ST inf = std::numeric_limits<ST>::infinity();
+  const std::size_t width = std::size_t(vend - vbegin);
+
+  // Band buffer: QT values of the previous batch row along this band,
+  // slot s = j - jb_raw(r).  jb_raw shifts by one per row, so slot s of
+  // row r-1 holds QT(r-1, j-1) and each row updates it in place.
+  static thread_local std::vector<ST> band_store;
+  if (band_store.size() < d * width) band_store.resize(d * width);
+  ST* const band = band_store.data();
+
+  for (std::size_t r = 0; r < bt; ++r) {
+    const std::int64_t jb_raw =
+        vbegin - std::int64_t(bt - 1) + std::int64_t(r);
+    const std::int64_t jb = std::max<std::int64_t>(0, jb_raw);
+    const std::int64_t je = std::min<std::int64_t>(
+        std::int64_t(w), vend - std::int64_t(bt - 1) + std::int64_t(r));
+    if (jb >= je) continue;
+    const std::size_t i = i0 + r;
+    const bool last = r + 1 == bt;
+    ST* const scan_base = batch_scan + r * p2 * w;
+
+    for (std::size_t k = 0; k < d; ++k) {
+      ST* const brow = band + k * width;
+      ST* const drow = scan_base + k * w;
+      const std::size_t xbase = k * w;
+      const std::size_t row = k * nr + i;
+      const CT inv_ri = CT(inv_r[row]);
+
+      if (i == 0) {
+        // First tile row overall: QT straight from the row seeds.
+        ST* const qdst =
+            last ? qt_next + xbase + std::size_t(jb) : brow + (jb - jb_raw);
+        for (std::int64_t j = jb; j < je; ++j) {
+          const std::size_t x = xbase + std::size_t(j);
+          const CT qt = CT(qt_row_seed[x]);
+          qdst[j - jb] = ST(qt);
+          drow[j] = ST(qt_to_distance(qt, inv_ri, CT(inv_q[x]), two_m));
+        }
+        continue;
+      }
+
+      const CT df_ri = CT(df_r[row]);
+      const CT dg_ri = CT(dg_r[row]);
+      std::int64_t j = jb;
+      if (j == 0) {
+        // Column 0: QT from the column seeds.  The band slot it lands in
+        // (-jb_raw) held row r-1's value at column -1 — stale, safe to
+        // overwrite.
+        const CT qt = CT(qt_col_seed[row]);
+        (last ? qt_next[xbase] : brow[-jb_raw]) = ST(qt);
+        drow[0] = ST(qt_to_distance(qt, inv_ri, CT(inv_q[xbase]), two_m));
+        ++j;
+      }
+      if (j >= je) continue;
+      // Recurrence span [j, je): the previous row's QT at column j-1 sits
+      // in the band at this row's slot for column j (or in qt_prev for
+      // r == 0); outputs go back to the same slots (in place) — or to the
+      // tile's next-QT buffer for the last batch row.
+      const ST* const prev_span =
+          r == 0 ? qt_prev + xbase + std::size_t(j) - 1
+                 : brow + (j - jb_raw);
+      ST* const next_span =
+          last ? qt_next + xbase + std::size_t(j) : brow + (j - jb_raw);
+      const std::int64_t n = je - j;
+      std::int64_t t = 0;
+      if constexpr (std::is_same_v<CT, ST>) {
+        t = simd::dist_calc_span<CT>(n, df_ri, dg_ri, inv_ri, two_m,
+                                     prev_span, df_q + xbase + j,
+                                     dg_q + xbase + j, inv_q + xbase + j,
+                                     next_span, drow + j);
+      }
+      for (; t < n; ++t) {
+        const std::size_t x = xbase + std::size_t(j + t);
+        const CT qt = CT(prev_span[t]) + df_ri * CT(dg_q[x]) +
+                      dg_ri * CT(df_q[x]);
+        next_span[t] = ST(qt);
+        drow[j + t] = ST(qt_to_distance(qt, inv_ri, CT(inv_q[x]), two_m));
+      }
+    }
+
+    // Row-wise sort + scan-average over this band's columns (elided for
+    // d == 1, matching the engine's skip_sort kernel elision).  Columns
+    // are independent, so the per-band grouping leaves results identical
+    // to the unbatched block sweep.
+    if (d >= 2) {
+      for (std::size_t k = d; k < p2; ++k) {
+        ST* const pad = scan_base + k * w;
+        for (std::int64_t j = jb; j < je; ++j) pad[j] = inf;
+      }
+      sort_scan_block(scan_base + jb, w, std::size_t(je - jb), d);
+    }
+  }
+}
+
+/// Phase B: merge the BT scanned batch rows into the profile over columns
+/// [c0, c1).  Chunks partition the columns, so profile/index writes are
+/// disjoint; rows merge in ascending order, preserving the strict-<
+/// earliest-row-wins tie rule of the sequential per-row merges.
+template <typename Traits>
+void batched_rows_merge(std::int64_t c0, std::int64_t c1, std::size_t bt,
+                        std::size_t i0, std::size_t w, std::size_t d,
+                        std::int64_t row_base, std::int64_t q_begin,
+                        std::int64_t exclusion,
+                        const typename Traits::Storage* batch_scan,
+                        typename Traits::Storage* MPSIM_RESTRICT profile,
+                        std::int64_t* MPSIM_RESTRICT index) {
+  using ST = typename Traits::Storage;
+  const std::size_t p2 = next_pow2(d);
+  for (std::size_t r = 0; r < bt; ++r) {
+    const std::int64_t global_row = row_base + std::int64_t(i0 + r);
+    std::int64_t exb = c1, exe = c1;
+    if (exclusion > 0) {
+      const std::int64_t g = global_row - q_begin;
+      exb = std::clamp(g - exclusion + 1, c0, c1);
+      exe = std::clamp(g + exclusion, c0, c1);
+    }
+    const ST* const scan_base = batch_scan + r * p2 * w;
+    for (std::size_t k = 0; k < d; ++k) {
+      const ST* const src = scan_base + k * w;
+      ST* const prow = profile + k * w;
+      std::int64_t* const irow = index + k * w;
+      const auto merge = [&](std::int64_t from, std::int64_t to) {
+        std::int64_t j = from;
+        if (to > from) {
+          j += simd::merge_rows(src + from, prow + from, irow + from,
+                                to - from, global_row);
+        }
+        for (; j < to; ++j) {
+          const bool better = src[j] < prow[j];
+          prow[j] = better ? src[j] : prow[j];
+          irow[j] = better ? global_row : irow[j];
+        }
+      };
+      merge(c0, exb);
+      merge(exe, c1);
     }
   }
 }

@@ -22,8 +22,10 @@
 
 #include <cmath>
 #include <cstddef>
+#include <type_traits>
 #include <vector>
 
+#include "mp/simd/precalc_f16.hpp"
 #include "precision/kahan.hpp"
 #include "precision/modes.hpp"
 
@@ -69,6 +71,15 @@ void precalc_dimension(const typename Traits::Storage* x, std::size_t m,
   using PC = typename Traits::PrecalcCompute;
   using ST = typename Traits::Storage;
   using std::sqrt;
+
+  // FP16 mode (plain half-precision accumulation end to end): the F16C
+  // fast path replaces the emulated software-table arithmetic with raw
+  // hardware conversions, bit-identically (mp/simd/precalc_f16.hpp).
+  // Mixed / FP16C accumulate in binary32 (+ Kahan) and stay here.
+  if constexpr (std::is_same_v<PC, float16> && std::is_same_v<ST, float16> &&
+                !Traits::kCompensatedPrecalc) {
+    if (simd::precalc_dimension_f16(x, m, nseg, mu, inv, df, dg)) return;
+  }
 
   const std::size_t len = nseg + m - 1;
 

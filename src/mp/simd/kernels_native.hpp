@@ -1,0 +1,200 @@
+// Hand-written AVX dist_calc spans for the native storage types: F64
+// (4-wide) and F32 (8-wide).  The scalar recurrence loop does not
+// autovectorize (the libm sqrt call carries errno side effects) and the
+// build enables no FMA, so explicit FMA-free vector code is both the only
+// way to vectorize it and automatically bit-identical: each lane performs
+// the exact scalar operation sequence
+//
+//   qt   = (qt_prev + df_ri * dg_q) + dg_ri * df_q
+//   corr = (qt * inv_ri) * inv_q
+//   val  = two_m * (1 - corr)
+//   dist = sqrt(val < 0 ? 0 : val)
+//
+// in IEEE round-to-nearest, with vsqrtpd/vsqrtps matching the correctly
+// rounded scalar sqrt.  The mul/add steps stay separate intrinsics —
+// contracting them into FMA would change results and break the pinned
+// goldens.
+//
+// NaN handling: native precalc does NOT canonicalise NaN payloads (unlike
+// the emulated types), so corrupted staging data can put arbitrary NaNs in
+// the row constants or the streamed operands.  With two NaN operands in
+// one operation, x86 propagates src1's payload and the compiler may
+// commute — so the span never COMMITS a result that saw a NaN: NaN row
+// constants return 0 (whole span scalar), and each block is screened at
+// the END of its chain (every streamed operand propagates NaN into the
+// final `val`, so one UNORD test on val covers all four input streams);
+// a poisoned block breaks out before its stores and the scalar tail
+// recomputes it.  Clean-operand blocks commit, and for those vector and
+// scalar agree bit-for-bit — including NaNs GENERATED from clean operands
+// (inf - inf, 0 * inf), which are the ISA-default QNaN either way; such
+// blocks also bail to the scalar tail, merely re-deriving the same bits.
+#pragma once
+
+#include <cstdint>
+
+#include "mp/simd/dispatch.hpp"
+
+#ifdef MPSIM_SIMD_NATIVE
+
+#include <immintrin.h>
+
+#include <cmath>
+
+namespace mpsim::mp::simd {
+
+/// 4-wide F64 dist_calc span, unrolled 2x; same span-relative pointer
+/// contract as dist_calc_span_f16 (qt_prev_m1 pre-shifted one column left,
+/// dist sink may live elsewhere).  qt_prev_m1/qt_next carry no restrict:
+/// the diagonal-batched executor updates its QT band in place, which is
+/// safe because every column block loads all its operands before storing.
+/// The clamp `val < 0 ? 0 : val` is vmaxpd(0, val): identical for
+/// negatives, positives and -0.0 (both-zero returns the second operand),
+/// and no NaN reaches it — poisoned blocks broke out above.  Returns
+/// columns processed (multiple of 4; 0 when a row constant is NaN).
+inline std::int64_t dist_calc_span_f64(
+    std::int64_t n, double df_ri, double dg_ri, double inv_ri, double two_m,
+    const double* qt_prev_m1, const double* MPSIM_SIMD_RESTRICT df_q,
+    const double* MPSIM_SIMD_RESTRICT dg_q,
+    const double* MPSIM_SIMD_RESTRICT inv_q, double* qt_next,
+    double* MPSIM_SIMD_RESTRICT dist) {
+  if (std::isnan(df_ri) || std::isnan(dg_ri) || std::isnan(inv_ri)) return 0;
+  const __m256d v_df_ri = _mm256_set1_pd(df_ri);
+  const __m256d v_dg_ri = _mm256_set1_pd(dg_ri);
+  const __m256d v_inv_ri = _mm256_set1_pd(inv_ri);
+  const __m256d v_two_m = _mm256_set1_pd(two_m);
+  const __m256d v_one = _mm256_set1_pd(1.0);
+  const __m256d v_zero = _mm256_setzero_pd();
+  std::int64_t t = 0;
+  for (; t + 8 <= n; t += 8) {
+    const __m256d prev0 = _mm256_loadu_pd(qt_prev_m1 + t);
+    const __m256d prev1 = _mm256_loadu_pd(qt_prev_m1 + t + 4);
+    const __m256d dgq0 = _mm256_loadu_pd(dg_q + t);
+    const __m256d dgq1 = _mm256_loadu_pd(dg_q + t + 4);
+    const __m256d dfq0 = _mm256_loadu_pd(df_q + t);
+    const __m256d dfq1 = _mm256_loadu_pd(df_q + t + 4);
+    const __m256d invq0 = _mm256_loadu_pd(inv_q + t);
+    const __m256d invq1 = _mm256_loadu_pd(inv_q + t + 4);
+    const __m256d qt0 = _mm256_add_pd(
+        _mm256_add_pd(prev0, _mm256_mul_pd(v_df_ri, dgq0)),
+        _mm256_mul_pd(v_dg_ri, dfq0));
+    const __m256d qt1 = _mm256_add_pd(
+        _mm256_add_pd(prev1, _mm256_mul_pd(v_df_ri, dgq1)),
+        _mm256_mul_pd(v_dg_ri, dfq1));
+    const __m256d val0 = _mm256_mul_pd(
+        v_two_m, _mm256_sub_pd(v_one, _mm256_mul_pd(
+                                          _mm256_mul_pd(qt0, v_inv_ri),
+                                          invq0)));
+    const __m256d val1 = _mm256_mul_pd(
+        v_two_m, _mm256_sub_pd(v_one, _mm256_mul_pd(
+                                          _mm256_mul_pd(qt1, v_inv_ri),
+                                          invq1)));
+    // End-of-chain NaN screen: a NaN in any streamed operand reaches val,
+    // so one UNORD test covers all four streams.  Break BEFORE the stores
+    // — discarded lanes never expose the operand-order NaN hazard.  The
+    // 4-wide cleanup loop below re-finds the poisoned block and salvages
+    // a clean leading half.
+    const __m256d unord =
+        _mm256_or_pd(_mm256_cmp_pd(val0, val0, _CMP_UNORD_Q),
+                     _mm256_cmp_pd(val1, val1, _CMP_UNORD_Q));
+    if (_mm256_movemask_pd(unord) != 0) break;
+    _mm256_storeu_pd(qt_next + t, qt0);
+    _mm256_storeu_pd(qt_next + t + 4, qt1);
+    _mm256_storeu_pd(dist + t, _mm256_sqrt_pd(_mm256_max_pd(v_zero, val0)));
+    _mm256_storeu_pd(dist + t + 4,
+                     _mm256_sqrt_pd(_mm256_max_pd(v_zero, val1)));
+  }
+  for (; t + 4 <= n; t += 4) {
+    const __m256d prev = _mm256_loadu_pd(qt_prev_m1 + t);
+    const __m256d dgq = _mm256_loadu_pd(dg_q + t);
+    const __m256d dfq = _mm256_loadu_pd(df_q + t);
+    const __m256d invq = _mm256_loadu_pd(inv_q + t);
+    const __m256d qt = _mm256_add_pd(
+        _mm256_add_pd(prev, _mm256_mul_pd(v_df_ri, dgq)),
+        _mm256_mul_pd(v_dg_ri, dfq));
+    const __m256d val = _mm256_mul_pd(
+        v_two_m,
+        _mm256_sub_pd(v_one,
+                      _mm256_mul_pd(_mm256_mul_pd(qt, v_inv_ri), invq)));
+    if (_mm256_movemask_pd(_mm256_cmp_pd(val, val, _CMP_UNORD_Q)) != 0) {
+      break;
+    }
+    _mm256_storeu_pd(qt_next + t, qt);
+    _mm256_storeu_pd(dist + t, _mm256_sqrt_pd(_mm256_max_pd(v_zero, val)));
+  }
+  return t;
+}
+
+/// 8-wide F32 dist_calc span, unrolled 2x; contract identical to
+/// dist_calc_span_f64.
+inline std::int64_t dist_calc_span_f32(
+    std::int64_t n, float df_ri, float dg_ri, float inv_ri, float two_m,
+    const float* qt_prev_m1, const float* MPSIM_SIMD_RESTRICT df_q,
+    const float* MPSIM_SIMD_RESTRICT dg_q,
+    const float* MPSIM_SIMD_RESTRICT inv_q, float* qt_next,
+    float* MPSIM_SIMD_RESTRICT dist) {
+  if (std::isnan(df_ri) || std::isnan(dg_ri) || std::isnan(inv_ri)) return 0;
+  const __m256 v_df_ri = _mm256_set1_ps(df_ri);
+  const __m256 v_dg_ri = _mm256_set1_ps(dg_ri);
+  const __m256 v_inv_ri = _mm256_set1_ps(inv_ri);
+  const __m256 v_two_m = _mm256_set1_ps(two_m);
+  const __m256 v_one = _mm256_set1_ps(1.0f);
+  const __m256 v_zero = _mm256_setzero_ps();
+  std::int64_t t = 0;
+  for (; t + 16 <= n; t += 16) {
+    const __m256 prev0 = _mm256_loadu_ps(qt_prev_m1 + t);
+    const __m256 prev1 = _mm256_loadu_ps(qt_prev_m1 + t + 8);
+    const __m256 dgq0 = _mm256_loadu_ps(dg_q + t);
+    const __m256 dgq1 = _mm256_loadu_ps(dg_q + t + 8);
+    const __m256 dfq0 = _mm256_loadu_ps(df_q + t);
+    const __m256 dfq1 = _mm256_loadu_ps(df_q + t + 8);
+    const __m256 invq0 = _mm256_loadu_ps(inv_q + t);
+    const __m256 invq1 = _mm256_loadu_ps(inv_q + t + 8);
+    const __m256 qt0 = _mm256_add_ps(
+        _mm256_add_ps(prev0, _mm256_mul_ps(v_df_ri, dgq0)),
+        _mm256_mul_ps(v_dg_ri, dfq0));
+    const __m256 qt1 = _mm256_add_ps(
+        _mm256_add_ps(prev1, _mm256_mul_ps(v_df_ri, dgq1)),
+        _mm256_mul_ps(v_dg_ri, dfq1));
+    const __m256 val0 = _mm256_mul_ps(
+        v_two_m, _mm256_sub_ps(v_one, _mm256_mul_ps(
+                                          _mm256_mul_ps(qt0, v_inv_ri),
+                                          invq0)));
+    const __m256 val1 = _mm256_mul_ps(
+        v_two_m, _mm256_sub_ps(v_one, _mm256_mul_ps(
+                                          _mm256_mul_ps(qt1, v_inv_ri),
+                                          invq1)));
+    const __m256 unord =
+        _mm256_or_ps(_mm256_cmp_ps(val0, val0, _CMP_UNORD_Q),
+                     _mm256_cmp_ps(val1, val1, _CMP_UNORD_Q));
+    if (_mm256_movemask_ps(unord) != 0) break;
+    _mm256_storeu_ps(qt_next + t, qt0);
+    _mm256_storeu_ps(qt_next + t + 8, qt1);
+    _mm256_storeu_ps(dist + t, _mm256_sqrt_ps(_mm256_max_ps(v_zero, val0)));
+    _mm256_storeu_ps(dist + t + 8,
+                     _mm256_sqrt_ps(_mm256_max_ps(v_zero, val1)));
+  }
+  for (; t + 8 <= n; t += 8) {
+    const __m256 prev = _mm256_loadu_ps(qt_prev_m1 + t);
+    const __m256 dgq = _mm256_loadu_ps(dg_q + t);
+    const __m256 dfq = _mm256_loadu_ps(df_q + t);
+    const __m256 invq = _mm256_loadu_ps(inv_q + t);
+    const __m256 qt = _mm256_add_ps(
+        _mm256_add_ps(prev, _mm256_mul_ps(v_df_ri, dgq)),
+        _mm256_mul_ps(v_dg_ri, dfq));
+    const __m256 val = _mm256_mul_ps(
+        v_two_m,
+        _mm256_sub_ps(v_one,
+                      _mm256_mul_ps(_mm256_mul_ps(qt, v_inv_ri), invq)));
+    // End-of-chain NaN screen; see dist_calc_span_f64.
+    if (_mm256_movemask_ps(_mm256_cmp_ps(val, val, _CMP_UNORD_Q)) != 0) {
+      break;
+    }
+    _mm256_storeu_ps(qt_next + t, qt);
+    _mm256_storeu_ps(dist + t, _mm256_sqrt_ps(_mm256_max_ps(v_zero, val)));
+  }
+  return t;
+}
+
+}  // namespace mpsim::mp::simd
+
+#endif  // MPSIM_SIMD_NATIVE

@@ -1,0 +1,224 @@
+// F16C fast path of the FP16-mode precalculation (PrecalcCompute ==
+// Storage == float16, plain accumulation).  The emulated scalar loop pays
+// the software encode tables on every operation (~24 M/s); this path
+// replaces it with raw hardware conversions while reproducing the scalar
+// result bit-for-bit:
+//
+//  * Cumulative sums are serial, so they run one element at a time — but
+//    with BOTH accumulator chains (sum and sum of squares) packed into
+//    one xmm register, keeping the per-element critical path to exactly
+//    addps -> vcvtps2ph -> vcvtph2ps (the identical widen-op-round
+//    sequence of the float16 operators, never leaving the vector
+//    domain).  The addends v and round(v*v) are precomputed 8-wide per
+//    block, where the input NaN screen also runs 8 lanes at a time.  A
+//    NaN input sample or a NaN accumulator result (inf + -inf) bails to
+//    the exact emulated-operator tail, resuming from the stored prefix —
+//    only the scalar operators implement finish_binop's deterministic
+//    NaN rule.
+//  * The mu/inv and df/dg loops are elementwise, so they run 8-wide with
+//    the same widen-op-round scheme as the dist_calc span.  Any lane
+//    producing NaN sends its whole 8-block to a scalar redo with the
+//    float16 operators (covers NaN inputs from corrupted staging data and
+//    +-inf cancellation, where operand-order-dependent hardware NaN
+//    propagation could otherwise diverge from finish_binop).
+//
+// For non-NaN results raw F16C and the emulated operators agree exactly
+// (Figueroa, 24 >= 2*11+2, for +,-,*,/ and sqrt), so the fallbacks fire
+// only on poisoned data and the clean-path output is bit-identical —
+// the dispatch variant tests pin scalar vs f16c checksums equal.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "mp/simd/dispatch.hpp"
+#include "mp/simd/kernels_f16.hpp"
+#include "precision/float16.hpp"
+
+namespace mpsim::mp::simd {
+
+#ifdef MPSIM_SIMD_F16
+
+/// FP16-mode precalc_dimension body (cumulative sums + mu/inv + df/dg of
+/// one dimension).  Returns false when the active dispatch level keeps it
+/// scalar — the caller then runs the reference loops.
+inline bool precalc_dimension_f16(const float16* x, std::size_t m,
+                                  std::size_t nseg, float16* mu,
+                                  float16* inv, float16* df, float16* dg) {
+  if (active_level() < kF16C) return false;
+  constexpr int kRne = _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC;
+  const std::size_t len = nseg + m - 1;
+
+  // --- cumulative sums (serial; raw F16C with emulated-operator tail) ---
+  // thread_local so the bench/engine steady state pays no allocator churn.
+  static thread_local std::vector<float16> cum1, cum2;
+  cum1.resize(len + 1);
+  cum2.resize(len + 1);
+  cum1[0] = float16(0);
+  cum2[0] = float16(0);
+  std::size_t t = 0;
+  {
+    // Lane 0 carries cum1, lane 1 carries cum2 — both as the exact
+    // binary32 widenings of the current f16 accumulator values.
+    __m128 acc = _mm_setzero_ps();
+    float vbuf[8], vvbuf[8];
+    bool bail = false;
+    while (t < len && !bail) {
+      // Prepare a block of addends off the critical path: the exact
+      // widenings of x[t..t+7] and of the rounded squares, plus the
+      // 8-wide input NaN screen.
+      std::size_t valid = 0;
+      if (len - t >= 8) {
+        const __m256 v8 = load_halves(x + t);
+        const unsigned nan = unsigned(
+            _mm256_movemask_ps(_mm256_cmp_ps(v8, v8, _CMP_UNORD_Q)));
+        _mm256_storeu_ps(vbuf, v8);
+        _mm256_storeu_ps(vvbuf, round_lanes_f16(_mm256_mul_ps(v8, v8)));
+        valid = 8;
+        if (nan != 0) [[unlikely]] {
+          valid = std::size_t(std::countr_zero(nan));
+          bail = true;  // NaN input: emulated tail from that element
+        }
+      } else {
+        for (std::size_t k = 0; k < len - t; ++k) {
+          const std::uint16_t vb = x[t + k].bits();
+          if (float16::nan_bits(vb)) {
+            bail = true;
+            break;
+          }
+          const float v = _cvtsh_ss(vb);
+          vbuf[k] = v;
+          vvbuf[k] = _cvtsh_ss(std::uint16_t(_cvtss_sh(v * v, kRne)));
+          ++valid;
+        }
+        if (!bail && valid == len - t) bail = true;  // last block: finish
+      }
+      for (std::size_t k = 0; k < valid; ++k) {
+        const __m128 addend = _mm_setr_ps(vbuf[k], vvbuf[k], 0.0f, 0.0f);
+        const __m128i h = _mm_cvtps_ph(_mm_add_ps(acc, addend), kRne);
+        const std::uint32_t bits = std::uint32_t(_mm_cvtsi128_si32(h));
+        const std::uint16_t n1 = std::uint16_t(bits);
+        const std::uint16_t n2 = std::uint16_t(bits >> 16);
+        // A NaN accumulator result (inf + -inf) must take finish_binop's
+        // sign rule: redo this step with the operators and stay there.
+        if (float16::nan_bits(n1) || float16::nan_bits(n2)) [[unlikely]] {
+          valid = k;
+          bail = true;
+          break;
+        }
+        acc = _mm_cvtph_ps(h);
+        cum1[t + k + 1] = float16::from_bits(n1);
+        cum2[t + k + 1] = float16::from_bits(n2);
+      }
+      t += valid;
+    }
+  }
+  for (; t < len; ++t) {  // exact emulated-operator tail
+    const float16 v = x[t];
+    cum1[t + 1] = cum1[t] + v;
+    cum2[t + 1] = cum2[t] + v * v;
+  }
+
+  // Scalar-computed constants (bit-exact emulated ops), widened once.
+  const float16 inv_m = float16(1) / float16(double(m));
+  const float16 m_h = float16(double(m));
+
+  // --- per-segment mean and inverse norm (8-wide) -----------------------
+  const auto scalar_mu_inv = [&](std::size_t i) {
+    const float16 mu_pc = (cum1[i + m] - cum1[i]) * inv_m;
+    const float16 ssq = (cum2[i + m] - cum2[i]) - m_h * mu_pc * mu_pc;
+    if (ssq > float16(0)) {
+      inv[i] = float16(1) / sqrt(ssq);
+    } else {
+      inv[i] = float16(0);
+    }
+    mu[i] = mu_pc;
+  };
+  const __m256 v_invm = _mm256_set1_ps(float(inv_m));
+  const __m256 v_m = _mm256_set1_ps(float(m_h));
+  const __m256 v_one = _mm256_set1_ps(1.0f);
+  const __m256 v_zero = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 8 <= nseg; i += 8) {
+    const __m256 c1m = load_halves(cum1.data() + i + m);
+    const __m256 c1 = load_halves(cum1.data() + i);
+    const __m256 c2m = load_halves(cum2.data() + i + m);
+    const __m256 c2 = load_halves(cum2.data() + i);
+    const __m256 d1 = round_lanes_f16(_mm256_sub_ps(c1m, c1));
+    const __m256 mu_v = round_lanes_f16(_mm256_mul_ps(d1, v_invm));
+    const __m256 d2 = round_lanes_f16(_mm256_sub_ps(c2m, c2));
+    const __m256 p1 = round_lanes_f16(_mm256_mul_ps(v_m, mu_v));
+    const __m256 p2 = round_lanes_f16(_mm256_mul_ps(p1, mu_v));
+    const __m256 ssq = round_lanes_f16(_mm256_sub_ps(d2, p2));
+    // ssq > 0 (ordered: false on NaN, false on +-0 — matches operator>).
+    const __m256 gt = _mm256_cmp_ps(ssq, v_zero, _CMP_GT_OQ);
+    // gt-false lanes may hold sqrt-of-negative NaNs; the blend discards
+    // them.  gt-true lanes are finite positives: sqrt and the divide
+    // cannot produce NaN there.
+    const __m256 s = round_lanes_f16(_mm256_sqrt_ps(ssq));
+    const __m256 q = round_lanes_f16(_mm256_div_ps(v_one, s));
+    const __m256 inv_v = _mm256_blendv_ps(v_zero, q, gt);
+    // NaN mu lanes (NaN cumulative prefix) need finish_binop's rule for
+    // BOTH outputs: redo the whole block with the operators.
+    if (_mm256_movemask_ps(_mm256_cmp_ps(mu_v, mu_v, _CMP_UNORD_Q)) != 0)
+        [[unlikely]] {
+      for (std::size_t r = 0; r < 8; ++r) scalar_mu_inv(i + r);
+      continue;
+    }
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(mu + i),
+                     _mm256_cvtps_ph(mu_v, kRne));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(inv + i),
+                     _mm256_cvtps_ph(inv_v, kRne));
+  }
+  for (; i < nseg; ++i) scalar_mu_inv(i);
+
+  // --- df / dg (8-wide over i in [1, nseg)) -----------------------------
+  df[0] = float16(0);
+  dg[0] = float16(0);
+  const auto scalar_dfdg = [&](std::size_t r) {
+    const float16 hi = x[r + m - 1];
+    const float16 lo = x[r - 1];
+    df[r] = (hi - lo) * float16(0.5);
+    dg[r] = (hi - mu[r]) + (lo - mu[r - 1]);
+  };
+  const __m256 v_half = _mm256_set1_ps(0.5f);
+  i = 1;
+  for (; i + 8 <= nseg; i += 8) {
+    const __m256 hi = load_halves(x + i + m - 1);
+    const __m256 lo = load_halves(x + i - 1);
+    const __m256 mu_i = load_halves(mu + i);
+    const __m256 mu_p = load_halves(mu + i - 1);
+    const __m256 df_v =
+        round_lanes_f16(_mm256_mul_ps(round_lanes_f16(_mm256_sub_ps(hi, lo)),
+                                      v_half));
+    const __m256 dg_v = round_lanes_f16(
+        _mm256_add_ps(round_lanes_f16(_mm256_sub_ps(hi, mu_i)),
+                      round_lanes_f16(_mm256_sub_ps(lo, mu_p))));
+    const __m256 nan_mask =
+        _mm256_or_ps(_mm256_cmp_ps(df_v, df_v, _CMP_UNORD_Q),
+                     _mm256_cmp_ps(dg_v, dg_v, _CMP_UNORD_Q));
+    if (_mm256_movemask_ps(nan_mask) != 0) [[unlikely]] {
+      for (std::size_t r = 0; r < 8; ++r) scalar_dfdg(i + r);
+      continue;
+    }
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(df + i),
+                     _mm256_cvtps_ph(df_v, kRne));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dg + i),
+                     _mm256_cvtps_ph(dg_v, kRne));
+  }
+  for (; i < nseg; ++i) scalar_dfdg(i);
+  return true;
+}
+
+#else  // !MPSIM_SIMD_F16
+
+inline bool precalc_dimension_f16(const float16*, std::size_t, std::size_t,
+                                  float16*, float16*, float16*, float16*) {
+  return false;
+}
+
+#endif  // MPSIM_SIMD_F16
+
+}  // namespace mpsim::mp::simd

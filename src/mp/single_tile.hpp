@@ -211,6 +211,9 @@ class SingleTileEngine {
     // turbine case study is exactly this d = 1 setting; SCAMP has no such
     // kernel either).  update_mat_prof consumes the distance row directly.
     const bool skip_sort = d == 1;
+    // Observability: which SIMD dispatch variant each stage runs with for
+    // this attempt (additive mpsim-metrics-v2 counters).
+    simd::note_tile_variants<Traits>(fused, skip_sort);
 
     if (fused) {
       // Fused row pipeline: one column-blocked host pass per tile row
@@ -247,7 +250,11 @@ class SingleTileEngine {
       const double mu = modeled(upd_cost);
       const double msum = std::max(md + ms + mu, 1e-300);
 
-      for (std::size_t i = 0; i < nr; ++i) {
+      // Per-row fault/cancel/accounting prologue and epilogue, shared by
+      // the unbatched and batched loops so fault-injection schedules,
+      // cancellation poll counts and ledger records stay identical to the
+      // original per-row cadence regardless of batching.
+      const auto row_prologue = [&] {
         if (cancel != nullptr) cancel->poll("fused row");
         device.fault_point(gpusim::FaultSite::kKernelLaunch, "dist_calc",
                            cancel);
@@ -257,18 +264,8 @@ class SingleTileEngine {
         }
         device.fault_point(gpusim::FaultSite::kKernelLaunch,
                            "update_mat_prof", cancel);
-        Stopwatch watch;
-        device.pool().parallel_for(
-            nq, [&, i, qt_prev, qt_next](std::size_t begin, std::size_t end) {
-              fused_row_body<Traits>(
-                  std::int64_t(begin), std::int64_t(end), i, nq, m, d,
-                  qt_row.data(), qt_col.data(), nr, df_r.data(), dg_r.data(),
-                  inv_r.data(), df_q.data(), dg_q.data(), inv_q.data(),
-                  qt_prev, qt_next, std::int64_t(tile.r_begin + i),
-                  std::int64_t(tile.q_begin), exclusion, profile.data(),
-                  index.data());
-            });
-        const double measured = watch.seconds();
+      };
+      const auto row_records = [&](double measured) {
         gpusim::record_fused_launch(device, "dist_calc", config, dist_cost,
                                     tl, measured * md / msum);
         if (!skip_sort) {
@@ -278,7 +275,68 @@ class SingleTileEngine {
         }
         gpusim::record_fused_launch(device, "update_mat_prof", config,
                                     upd_cost, tl, measured * mu / msum);
+      };
+      const auto run_single_row = [&](std::size_t i, ST* qp, ST* qn) {
+        row_prologue();
+        Stopwatch watch;
+        device.pool().parallel_for(
+            nq, [&, i, qp, qn](std::size_t begin, std::size_t end) {
+              fused_row_body<Traits>(
+                  std::int64_t(begin), std::int64_t(end), i, nq, m, d,
+                  qt_row.data(), qt_col.data(), nr, df_r.data(), dg_r.data(),
+                  inv_r.data(), df_q.data(), dg_q.data(), inv_q.data(),
+                  qp, qn, std::int64_t(tile.r_begin + i),
+                  std::int64_t(tile.q_begin), exclusion, profile.data(),
+                  index.data());
+            });
+        row_records(watch.seconds());
+      };
+
+      // Diagonal batching: BT >= 2 consecutive rows per dispatch round
+      // amortise the parallel_for dispatch overhead over small-nq tiles
+      // (see kernels.hpp, batched_rows_phase_a).  The scan rows of a batch
+      // live in a HOST-side buffer on purpose: it is dispatch scratch of
+      // the executor, not part of the modelled device working set, so the
+      // tuner's tile_working_set_bytes stays an exact mirror of the
+      // DeviceBuffer allocations.
+      const std::size_t bt_cfg = row_batch_rows(nq, nr);
+      std::vector<ST> batch_scan;
+      if (bt_cfg >= 2) batch_scan.resize(bt_cfg * lanes * nq);
+
+      for (std::size_t i0 = 0; i0 < nr;) {
+        const std::size_t bt = std::min(bt_cfg, nr - i0);
+        if (bt < 2) {
+          run_single_row(i0, qt_prev, qt_next);
+          std::swap(qt_prev, qt_next);
+          ++i0;
+          continue;
+        }
+        // The whole batch's per-row fault points fire first, in the exact
+        // unbatched order; a triggered fault unwinds the attempt before
+        // any batched work ran (the scheduler discards the attempt's
+        // partial state either way).
+        for (std::size_t r = 0; r < bt; ++r) row_prologue();
+        Stopwatch watch;
+        device.pool().parallel_for_grained(
+            nq + bt - 1, bt,
+            [&, i0, bt, qt_prev, qt_next](std::size_t vb, std::size_t ve) {
+              batched_rows_phase_a<Traits>(
+                  std::int64_t(vb), std::int64_t(ve), bt, i0, nq, m, d,
+                  qt_row.data(), qt_col.data(), nr, df_r.data(), dg_r.data(),
+                  inv_r.data(), df_q.data(), dg_q.data(), inv_q.data(),
+                  qt_prev, qt_next, batch_scan.data());
+            });
+        device.pool().parallel_for(
+            nq, [&, i0, bt](std::size_t begin, std::size_t end) {
+              batched_rows_merge<Traits>(
+                  std::int64_t(begin), std::int64_t(end), bt, i0, nq, d,
+                  std::int64_t(tile.r_begin), std::int64_t(tile.q_begin),
+                  exclusion, batch_scan.data(), profile.data(), index.data());
+            });
+        const double per_row = watch.seconds() / double(bt);
+        for (std::size_t r = 0; r < bt; ++r) row_records(per_row);
         std::swap(qt_prev, qt_next);
+        i0 += bt;
       }
 
       finish_tile(device, nq, d, profile, index, result, tl, cancel);

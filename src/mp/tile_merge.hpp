@@ -9,6 +9,7 @@
 
 #include "common/thread_pool.hpp"
 #include "mp/options.hpp"
+#include "mp/simd/span.hpp"
 #include "mp/single_tile.hpp"
 #include "mp/tile_plan.hpp"
 
@@ -41,17 +42,26 @@ inline void merge_tile_results(const std::vector<Tile>& tiles,
       const std::size_t je = std::min(col_end, tile.q_begin + tile.q_count);
       if (jb >= je) continue;
       for (std::size_t k = 0; k < d; ++k) {
-        for (std::size_t col = jb; col < je; ++col) {
-          const std::size_t j = col - tile.q_begin;
-          const std::size_t src = k * tile.q_count + j;
-          const std::size_t dst = k * n_q + col;
-          const double p = r.profile[src];
-          const std::int64_t idx = r.index[src];
-          if (p < out.profile[dst] ||
-              (p == out.profile[dst] && idx >= 0 &&
-               (out.index[dst] < 0 || idx < out.index[dst]))) {
-            out.profile[dst] = p;
-            out.index[dst] = idx;
+        // Both sides are column-contiguous over [jb, je); the vector span
+        // implements the identical strict-</equal-distance-earlier-index
+        // rule (NaN on either side keeps the destination), the scalar
+        // loop finishes the tail.
+        const std::size_t j0 = jb - tile.q_begin;
+        const double* const src_p = r.profile.data() + k * tile.q_count + j0;
+        const std::int64_t* const src_i =
+            r.index.data() + k * tile.q_count + j0;
+        double* const dst_p = out.profile.data() + k * n_q + jb;
+        std::int64_t* const dst_i = out.index.data() + k * n_q + jb;
+        const auto n = std::int64_t(je - jb);
+        std::int64_t c = simd::merge_tile_span(src_p, src_i, dst_p, dst_i, n);
+        for (; c < n; ++c) {
+          const double p = src_p[c];
+          const std::int64_t idx = src_i[c];
+          if (p < dst_p[c] ||
+              (p == dst_p[c] && idx >= 0 &&
+               (dst_i[c] < 0 || idx < dst_i[c]))) {
+            dst_p[c] = p;
+            dst_i[c] = idx;
           }
         }
       }

@@ -1,6 +1,7 @@
 #include "mp/tuning.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 #include "common/error.hpp"
@@ -8,6 +9,30 @@
 #include "mp/tile_plan.hpp"
 
 namespace mpsim::mp {
+
+namespace {
+/// Diagonal-batching knobs: target work items per dispatch round (matches
+/// the over-decomposition sweet spot of ThreadPool::parallel_for) and the
+/// row cap bounding the per-batch scan buffer.
+constexpr std::size_t kBatchTargetItems = 4096;
+constexpr std::size_t kMaxBatchRows = 64;
+std::atomic<std::size_t> g_row_batch_override{0};
+}  // namespace
+
+std::size_t row_batch_rows(std::size_t tile_cols, std::size_t tile_rows) {
+  const std::size_t ov = g_row_batch_override.load(std::memory_order_relaxed);
+  if (ov != 0) return std::max<std::size_t>(1, std::min(ov, tile_rows));
+  if (tile_cols == 0 || tile_rows == 0) return 1;
+  const std::size_t bt = std::clamp<std::size_t>(
+      kBatchTargetItems / std::max<std::size_t>(1, tile_cols), 1,
+      kMaxBatchRows);
+  return std::min(bt, tile_rows);
+}
+
+void set_row_batch_override(std::size_t rows) {
+  g_row_batch_override.store(std::min(rows, kMaxBatchRows),
+                             std::memory_order_relaxed);
+}
 
 bool use_fused_row_path(RowPath requested, std::size_t dims) {
   if (requested == RowPath::kCooperative) return false;

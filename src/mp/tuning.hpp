@@ -69,4 +69,16 @@ std::size_t tile_working_set_bytes(std::size_t tile_rows,
 /// bit-identical output.
 bool use_fused_row_path(RowPath requested, std::size_t dims);
 
+/// Rows per diagonal-batched dispatch round of the fused path.  Small
+/// tiles pay the parallel_for dispatch ceiling once per row; batching BT
+/// rows into one dispatch (work items = diagonals of the BT-row
+/// parallelogram) amortises it.  Auto-tuning targets ~4096 work items per
+/// dispatch round, capped at 64 rows and at the tile's row count; 1 means
+/// unbatched (large tiles keep the cache-friendly per-row sweep).
+std::size_t row_batch_rows(std::size_t tile_cols, std::size_t tile_rows);
+
+/// Test/bench override of row_batch_rows (0 = auto).  Applies
+/// process-wide; values above 64 are clamped.
+void set_row_batch_override(std::size_t rows);
+
 }  // namespace mpsim::mp

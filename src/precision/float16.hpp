@@ -234,6 +234,11 @@ class float16 {
   /// Unit roundoff for round-to-nearest binary16 arithmetic.
   static constexpr double epsilon() { return 0x1.0p-11; }  // 2^-11 = half ulp of 1
 
+  /// NaN classification on a raw half bit pattern.  Public for the SIMD
+  /// layer (src/mp/simd/), which screens raw lanes for NaN before deciding
+  /// between vector and emulated-operator execution.
+  static constexpr bool nan_bits(std::uint16_t b) { return is_nan_bits(b); }
+
  private:
 #ifdef MPSIM_FLOAT16_HW
   friend float16 sqrt(float16 x);

@@ -74,4 +74,36 @@ run auto "$WORK/a_FP64.csv" --reference="$WORK/ref3.csv" --self-join \
     --window=32 --tiles=2
 cmp "$WORK/a_FP64.csv" "$WORK/f_FP64.csv"
 
+# --simd= is a pure performance knob: every dispatch level must produce
+# byte-identical profiles (levels above the host clamp, so asking for
+# avx2 is safe anywhere).  BF16 rides along to cover the AVX2 payload
+# kernels; the NaN-fault FP16 run drives the vector kernels' scalar
+# fallbacks through the CLI.
+for mode in FP64 FP16 BF16; do
+  run fused "$WORK/s_scalar_$mode.csv" --reference="$WORK/ref3.csv" \
+      --self-join --window=32 --mode="$mode" --tiles=2 --simd=scalar
+  for level in f16c avx2 auto; do
+    run fused "$WORK/s_${level}_$mode.csv" --reference="$WORK/ref3.csv" \
+        --self-join --window=32 --mode="$mode" --tiles=2 --simd="$level"
+    cmp "$WORK/s_${level}_$mode.csv" "$WORK/s_scalar_$mode.csv"
+  done
+done
+for level in scalar auto; do
+  run fused "$WORK/s_${level}_nan.csv" --reference="$WORK/ref3.csv" \
+      --self-join --window=32 --mode=FP16 --simd="$level" \
+      --faults="seed=9,nan@0:at=1:frac=0.05"
+done
+cmp "$WORK/s_auto_nan.csv" "$WORK/s_scalar_nan.csv"
+
+# The metrics JSON reports the dispatch variant each stage ran with.
+run fused "$WORK/m.csv" --reference="$WORK/ref3.csv" --self-join \
+    --window=32 --mode=FP16 --simd=scalar --metrics-out="$WORK/metrics.json"
+for stage in dist_calc sort_scan merge precalc; do
+  grep -q "\"simd.$stage.scalar\"" "$WORK/metrics.json" || {
+    echo "metrics.json missing simd.$stage.scalar" >&2
+    cat "$WORK/metrics.json" >&2
+    exit 1
+  }
+done
+
 echo "cli row-path OK"

@@ -21,6 +21,7 @@
 #include "gpusim/faults.hpp"
 #include "mp/analysis.hpp"
 #include "mp/chains.hpp"
+#include "mp/simd/dispatch.hpp"
 #include "mp/tuning.hpp"
 #include "mp/matrix_profile.hpp"
 #include "tsdata/io.hpp"
@@ -55,7 +56,8 @@ int run(int argc, char** argv) {
                     "devices", "machine", "self-join", "exclusion", "output",
                     "motifs", "discords", "repair", "auto-tiles", "chains",
                     "faults", "max-retries", "escalate-precision",
-                    "metrics-out", "trace-out", "row-path", "checkpoint",
+                    "metrics-out", "trace-out", "row-path", "simd",
+                    "checkpoint",
                     "resume", "checkpoint-interval", "kill-after-tiles",
                     "watchdog", "watchdog-slack", "device-memory-mb",
                     "help"});
@@ -72,6 +74,7 @@ int run(int argc, char** argv) {
         "[--escalate-precision]\n"
         "                 [--metrics-out=FILE.json] [--trace-out=FILE.json]\n"
         "                 [--row-path=auto|fused|cooperative]\n"
+        "                 [--simd=auto|scalar|f16c|avx2]\n"
         "                 [--checkpoint=FILE.ckpt] [--resume=FILE.ckpt]\n"
         "                 [--checkpoint-interval=K] [--watchdog]\n"
         "                 [--watchdog-slack=S] [--device-memory-mb=M]\n"
@@ -125,6 +128,10 @@ int run(int argc, char** argv) {
   config.resilience.escalate_precision =
       args.get_bool("escalate-precision", false);
   config.row_path = mp::parse_row_path(args.get_string("row-path", "auto"));
+  // SIMD kernel dispatch is a process-wide executor knob, not a per-run
+  // config field: every mode/path produces bit-identical output under any
+  // level, so it never changes results — only throughput.
+  mp::simd::apply_option(args.get_string("simd", "auto"));
   config.checkpoint.write_path = args.get_string("checkpoint", "");
   config.checkpoint.resume_path = args.get_string("resume", "");
   config.checkpoint.interval_tiles = int(args.get_int(
