@@ -50,6 +50,13 @@ run_one() {
         --gtest_filter='ResilientScheduler.Watchdog*:ResilientScheduler.RepeatedHangs*' \
         --gtest_repeat=5
     bash tests/chaos_soak_test.sh "$dir"
+    # The serve daemon adds accept/connection/executor threads on top of
+    # the scheduler; soak the in-process server end-to-end and the full
+    # concurrent-client shell leg under TSan.
+    "$dir"/tests/test_serve --gtest_filter='ServeServer.*' --gtest_repeat=5
+    if command -v python3 >/dev/null; then
+      bash tests/cli_serve_test.sh "$dir"
+    fi
   fi
 }
 

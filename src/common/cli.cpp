@@ -1,6 +1,8 @@
 #include "common/cli.hpp"
 
 #include <algorithm>
+#include <cctype>
+#include <cerrno>
 #include <cstdlib>
 #include <string_view>
 
@@ -40,19 +42,46 @@ std::int64_t CliArgs::get_int(const std::string& name,
                               std::int64_t fallback) const {
   const auto it = values_.find(name);
   if (it == values_.end()) return fallback;
-  return std::strtoll(it->second.c_str(), nullptr, 10);
+  return parse_int_flag(name, it->second);
 }
 
 double CliArgs::get_double(const std::string& name, double fallback) const {
   const auto it = values_.find(name);
   if (it == values_.end()) return fallback;
-  return std::strtod(it->second.c_str(), nullptr);
+  return parse_double_flag(name, it->second);
 }
 
 bool CliArgs::get_bool(const std::string& name, bool fallback) const {
   const auto it = values_.find(name);
   if (it == values_.end()) return fallback;
   return it->second != "0" && it->second != "false";
+}
+
+std::int64_t parse_int_flag(const std::string& flag, const std::string& text) {
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  // Full consumption, and no leading whitespace (strtoll skips it).
+  MPSIM_CHECK(!text.empty() &&
+                  !std::isspace(static_cast<unsigned char>(text.front())) &&
+                  end == text.c_str() + text.size(),
+              "--" << flag << "=" << text << " is not an integer");
+  MPSIM_CHECK(errno != ERANGE,
+              "--" << flag << "=" << text << " is out of integer range");
+  return value;
+}
+
+double parse_double_flag(const std::string& flag, const std::string& text) {
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  MPSIM_CHECK(!text.empty() &&
+                  !std::isspace(static_cast<unsigned char>(text.front())) &&
+                  end == text.c_str() + text.size(),
+              "--" << flag << "=" << text << " is not a number");
+  MPSIM_CHECK(errno != ERANGE,
+              "--" << flag << "=" << text << " is out of range");
+  return value;
 }
 
 void CliArgs::check_known(std::initializer_list<const char*> known) const {

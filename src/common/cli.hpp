@@ -30,4 +30,13 @@ class CliArgs {
   std::map<std::string, std::string> values_;
 };
 
+/// Parses `text` as a base-10 integer, requiring the whole string to be
+/// consumed: "--tiles=abc" and "--window=64garbage" both throw Error
+/// naming `flag` instead of silently becoming 0 / 64.  Used by
+/// CliArgs::get_int and the serve request parser.
+std::int64_t parse_int_flag(const std::string& flag, const std::string& text);
+
+/// Same full-consumption contract for floating-point values.
+double parse_double_flag(const std::string& flag, const std::string& text);
+
 }  // namespace mpsim

@@ -1,0 +1,36 @@
+#include "common/json.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace mpsim {
+
+void append_json_escaped(std::ostream& os, std::string_view text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\b': os << "\\b"; break;
+      case '\f': os << "\\f"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+std::string json_escape(std::string_view text) {
+  std::ostringstream os;
+  append_json_escaped(os, text);
+  return os.str();
+}
+
+}  // namespace mpsim

@@ -1,0 +1,25 @@
+// Minimal JSON string escaping shared by every JSON writer in the tree
+// (metrics snapshots, Chrome-trace timelines, the serve protocol).
+//
+// Each writer used to carry its own escaper — or none: trace.cpp
+// interpolated event names verbatim, so a quote or backslash in a kernel
+// name produced an invalid document.  This helper is the one escaping
+// rule: ", \ and control characters (including \n) are escaped exactly as
+// RFC 8259 requires, everything else passes through byte-for-byte (the
+// writers emit UTF-8 as-is).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace mpsim {
+
+/// Appends `text` to `os` with JSON string escaping (no surrounding
+/// quotes; the caller writes those).
+void append_json_escaped(std::ostream& os, std::string_view text);
+
+/// Returns the escaped form of `text` (no surrounding quotes).
+std::string json_escape(std::string_view text);
+
+}  // namespace mpsim

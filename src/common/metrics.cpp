@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/json.hpp"
 
 namespace mpsim {
 
@@ -25,18 +26,6 @@ void atomic_max(std::atomic<double>& slot, double value) {
   double seen = slot.load(std::memory_order_relaxed);
   while (value > seen &&
          !slot.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
-  }
-}
-
-void append_json_escaped(std::ostringstream& os, const std::string& text) {
-  for (const char c : text) {
-    if (c == '"' || c == '\\') {
-      os << '\\' << c;
-    } else if (c == '\n') {
-      os << "\\n";
-    } else {
-      os << c;
-    }
   }
 }
 

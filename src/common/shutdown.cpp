@@ -9,11 +9,13 @@ namespace mpsim {
 namespace {
 
 std::atomic<bool> g_shutdown{false};
+std::atomic<int> g_signal{0};
 
-void handle_signal(int) {
+void handle_signal(int signo) {
+  g_signal.store(signo, std::memory_order_relaxed);
   // Second signal: the graceful path is stuck (or the user is impatient);
-  // bail out the only async-signal-safe way.
-  if (g_shutdown.exchange(true)) _Exit(130);
+  // bail out the only async-signal-safe way, with the conventional code.
+  if (g_shutdown.exchange(true)) _Exit(128 + signo);
 }
 
 }  // namespace
@@ -27,8 +29,18 @@ bool shutdown_requested() {
   return g_shutdown.load(std::memory_order_relaxed);
 }
 
+int shutdown_signal() { return g_signal.load(std::memory_order_relaxed); }
+
+int shutdown_exit_code() {
+  const int signo = shutdown_signal();
+  return signo > 0 ? 128 + signo : 130;
+}
+
 void request_shutdown() { g_shutdown.store(true); }
 
-void clear_shutdown() { g_shutdown.store(false); }
+void clear_shutdown() {
+  g_shutdown.store(false);
+  g_signal.store(0);
+}
 
 }  // namespace mpsim

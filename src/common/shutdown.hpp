@@ -2,11 +2,18 @@
 //
 // Signal handlers must not touch files or locks, so the SIGINT/SIGTERM
 // handlers installed by install_signal_handlers() only set an atomic
-// flag (and hard-exit on a second signal, so a stuck run can still be
-// killed interactively).  Long-running work — the resilient scheduler —
-// polls shutdown_requested(), cancels its in-flight attempts, flushes its
-// checkpoint and unwinds with InterruptedError; the CLI then flushes
-// metrics/trace output and exits with the conventional 130.
+// flag and record which signal fired (and hard-exit on a second signal,
+// so a stuck run can still be killed interactively).  Long-running work
+// — the resilient scheduler, the serve daemon — polls
+// shutdown_requested(), cancels or drains its in-flight work, flushes
+// its durable state and unwinds; the tools then flush metrics/trace
+// output and exit with shutdown_exit_code().
+//
+// Exit codes follow the shell convention 128+signo on BOTH the graceful
+// and the forced (second-signal) path — 130 for SIGINT, 143 for SIGTERM
+// — so orchestrators can tell an operator interrupt from a supervisor
+// stop.  A programmatic request_shutdown() (tests, --kill-after-tiles)
+// records no signal and keeps the historical 130.
 //
 // Tests drive the same path deterministically through request_shutdown()
 // (no signal involved); clear_shutdown() re-arms the process for the next
@@ -16,16 +23,27 @@
 namespace mpsim {
 
 /// Installs SIGINT/SIGTERM handlers that request a graceful shutdown.
-/// Idempotent.  A second signal after the first exits immediately (130).
+/// Idempotent.  A second signal after the first exits immediately with
+/// 128+signo of the second signal.
 void install_signal_handlers();
 
 /// True once a shutdown has been requested (signal or request_shutdown).
 bool shutdown_requested();
 
-/// Requests a graceful shutdown programmatically (what the handlers do).
+/// The signal that requested the shutdown (SIGINT/SIGTERM), or 0 when no
+/// signal was involved (programmatic request, or no shutdown yet).
+int shutdown_signal();
+
+/// Conventional process exit status for the requested shutdown:
+/// 128+shutdown_signal() when a signal was recorded, 130 otherwise.
+int shutdown_exit_code();
+
+/// Requests a graceful shutdown programmatically (what the handlers do,
+/// minus the signal record).
 void request_shutdown();
 
-/// Clears the flag (between runs in one process, e.g. tests).
+/// Clears the flag and the recorded signal (between runs in one process,
+/// e.g. tests).
 void clear_shutdown();
 
 }  // namespace mpsim

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/json.hpp"
 
 namespace mpsim {
 
@@ -36,9 +37,11 @@ std::string Timeline::to_chrome_json() const {
   for (const auto& e : events_) {
     if (!first) os << ",\n";
     first = false;
-    os << "  {\"name\": \"" << e.name << "\", \"ph\": \"X\", \"pid\": "
-       << e.device << ", \"tid\": \"" << e.lane
-       << "\", \"ts\": " << e.start_seconds * 1e6
+    os << "  {\"name\": \"";
+    append_json_escaped(os, e.name);
+    os << "\", \"ph\": \"X\", \"pid\": " << e.device << ", \"tid\": \"";
+    append_json_escaped(os, e.lane);
+    os << "\", \"ts\": " << e.start_seconds * 1e6
        << ", \"dur\": " << e.duration_seconds * 1e6 << "}";
   }
   os << "\n]\n";

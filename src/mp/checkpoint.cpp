@@ -1,5 +1,10 @@
 #include "mp/checkpoint.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -79,6 +84,22 @@ struct Reader {
 
 }  // namespace
 
+namespace detail {
+
+namespace {
+std::atomic<std::uint64_t> g_durable_syncs{0};
+}
+
+void note_durable_sync() {
+  g_durable_syncs.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t durable_sync_count() {
+  return g_durable_syncs.load(std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
 std::uint64_t checkpoint_fingerprint(const TimeSeries& reference,
                                      const TimeSeries& query,
                                      const MatrixProfileConfig& config) {
@@ -118,15 +139,56 @@ void write_checkpoint(const std::string& path, const CheckpointData& data) {
   }
   w.put(fnv1a(w.buf.data(), w.buf.size()));
 
+  // Durable atomic replace: write the temp file, fsync it *before* the
+  // rename (otherwise a crash shortly after can leave a zero-length or
+  // partially written file visible under `path`), rename, then fsync the
+  // parent directory so the rename itself survives a power cut.  This is
+  // the warm-restart contract the serve daemon relies on.
   const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    MPSIM_CHECK(out.good(), "cannot open '" << tmp << "' for writing");
-    out.write(w.buf.data(), std::streamsize(w.buf.size()));
-    MPSIM_CHECK(out.good(), "write to '" << tmp << "' failed");
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  MPSIM_CHECK(fd >= 0, "cannot open '" << tmp << "' for writing: "
+                                       << std::strerror(errno));
+  std::size_t written = 0;
+  while (written < w.buf.size()) {
+    const ssize_t n =
+        ::write(fd, w.buf.data() + written, w.buf.size() - written);
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0) {
+      const int err = errno;
+      ::close(fd);
+      MPSIM_CHECK(false,
+                  "write to '" << tmp << "' failed: " << std::strerror(err));
+    }
+    written += std::size_t(n);
   }
+  if (::fsync(fd) != 0) {
+    const int err = errno;
+    ::close(fd);
+    MPSIM_CHECK(false, "fsync of '" << tmp << "' failed: "
+                                    << std::strerror(err));
+  }
+  detail::note_durable_sync();
+  MPSIM_CHECK(::close(fd) == 0, "close of '" << tmp << "' failed: "
+                                             << std::strerror(errno));
   MPSIM_CHECK(std::rename(tmp.c_str(), path.c_str()) == 0,
               "cannot rename '" << tmp << "' over '" << path << "'");
+
+  const auto slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int dirfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  MPSIM_CHECK(dirfd >= 0, "cannot open directory '" << dir
+                              << "' to sync the rename: "
+                              << std::strerror(errno));
+  if (::fsync(dirfd) != 0) {
+    const int err = errno;
+    ::close(dirfd);
+    MPSIM_CHECK(false, "fsync of directory '" << dir << "' failed: "
+                                              << std::strerror(err));
+  }
+  detail::note_durable_sync();
+  ::close(dirfd);
 }
 
 CheckpointData read_checkpoint(const std::string& path) {

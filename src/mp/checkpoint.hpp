@@ -52,9 +52,20 @@ std::uint64_t checkpoint_fingerprint(const TimeSeries& reference,
                                      const TimeSeries& query,
                                      const MatrixProfileConfig& config);
 
-/// Serialises and atomically replaces `path` (write temp + rename).
+/// Serialises and durably, atomically replaces `path`: the temp file is
+/// fsync'd before the rename and the parent directory after it, so a
+/// crash at any point leaves either the previous journal or the complete
+/// new one — never a zero-length or stale-behind-the-rename file.
 /// Throws Error on I/O failure.
 void write_checkpoint(const std::string& path, const CheckpointData& data);
+
+namespace detail {
+/// Regression-test seam: cumulative count of the fsync barriers
+/// write_checkpoint has issued process-wide (two per successful write —
+/// file, then parent directory).
+std::uint64_t durable_sync_count();
+void note_durable_sync();
+}  // namespace detail
 
 /// Parses a journal; throws CheckpointError when the file is missing,
 /// truncated, checksum-corrupt or not an `mpsim-ckpt-v1` document.

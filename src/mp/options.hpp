@@ -14,6 +14,8 @@ class FaultInjector;
 
 namespace mpsim::mp {
 
+class StagingCache;
+
 /// Tile-to-device assignment policy.  The paper uses static Round-robin
 /// (Pseudocode 2); LPT (longest processing time first) mitigates the
 /// imbalance it observes at odd device counts.
@@ -91,6 +93,13 @@ struct ResilienceConfig {
   /// Launch speculative backups for overdue attempts (requires watchdog).
   bool speculate = true;
 
+  /// React to a process-wide shutdown request (common/shutdown) by
+  /// cancelling in-flight attempts, flushing the checkpoint and unwinding
+  /// with InterruptedError — the right behaviour for a one-shot CLI run.
+  /// The serve daemon sets this false: a drain must let admitted queries
+  /// run to completion, the daemon itself stops accepting new work.
+  bool honor_shutdown = true;
+
   /// Memory-pressure degradation: when a tile's working set exceeds the
   /// device's capacity, split it along the row axis (each half restarts
   /// from its own precalculation) up to this many times before giving up
@@ -155,6 +164,14 @@ struct MatrixProfileConfig {
   /// Optional fault injector (not owned; must outlive the computation).
   /// Attached to every device of the system the run executes on.
   gpusim::FaultInjector* fault_injector = nullptr;
+
+  /// Optional cross-run staging cache (not owned; must outlive the
+  /// computation and be bound to the *same* reference/query series passed
+  /// to compute_matrix_profile).  When set, the resilient scheduler reuses
+  /// its reduced-precision conversions instead of converting per run — the
+  /// serve daemon shares one per input pair across queries.  Staged bytes
+  /// are identical either way, so results do not change.
+  StagingCache* staging_cache = nullptr;
 };
 
 /// One typed scheduler event of a resilient run (what used to be a free-

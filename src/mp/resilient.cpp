@@ -346,7 +346,7 @@ void monitor_thread(const RunContext& ctx, SchedulerState& st) {
     st.cv.wait_for(lock, poll, [&] { return st.stop_monitor; });
     if (st.stop_monitor) break;
 
-    if (!st.interrupted && shutdown_requested()) {
+    if (rc.honor_shutdown && !st.interrupted && shutdown_requested()) {
       st.interrupted = true;
       log_event(st, {RunEvent::Kind::kInterrupted, -1, -1,
                      std::to_string(st.total_commits) + "/" +
@@ -833,14 +833,17 @@ MatrixProfileResult run_resilient(gpusim::System& system,
 
   // Shared across devices and attempts: series conversion happens once per
   // storage format for the whole run (retries/escalations reuse it too).
-  StagingCache staging(reference, query);
+  // A caller-provided cache (config.staging_cache, e.g. the serve daemon's
+  // per-input cache) extends the reuse across whole runs.
+  StagingCache local_staging(reference, query);
 
   RunContext ctx;
   ctx.system = &system;
   ctx.reference = &reference;
   ctx.query = &query;
   ctx.config = &config;
-  ctx.staging = &staging;
+  ctx.staging = config.staging_cache != nullptr ? config.staging_cache
+                                                : &local_staging;
   for (auto& pool : pools) ctx.pools.push_back(pool.get());
   ctx.tiles = &tiles;
   ctx.results = &results;

@@ -1,0 +1,80 @@
+#include "serve/job_queue.hpp"
+
+#include "common/metrics.hpp"
+
+namespace mpsim::serve {
+
+namespace {
+
+struct QueueMetrics {
+  Counter& admitted;
+  Counter& rejected;
+  Gauge& queue_depth;
+
+  static QueueMetrics& get() {
+    auto& reg = MetricsRegistry::global();
+    static QueueMetrics m{reg.counter("serve.admission.admitted"),
+                          reg.counter("serve.admission.rejected"),
+                          reg.gauge("serve.queue_depth")};
+    return m;
+  }
+};
+
+}  // namespace
+
+bool JobQueue::submit(std::unique_ptr<Job> job) {
+  {
+    std::lock_guard lock(mutex_);
+    if (draining_ || depth_ >= max_depth_) {
+      QueueMetrics::get().rejected.add();
+      return false;
+    }
+    auto& queue = per_client_[job->client];
+    if (queue.empty()) order_.push_back(job->client);
+    queue.push_back(std::move(job));
+    depth_ += 1;
+    QueueMetrics::get().admitted.add();
+    QueueMetrics::get().queue_depth.set(double(depth_));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+std::unique_ptr<Job> JobQueue::next() {
+  std::unique_lock lock(mutex_);
+  cv_.wait(lock, [&] { return depth_ > 0 || draining_; });
+  if (depth_ == 0) return nullptr;  // draining and empty
+  const std::string client = order_.front();
+  order_.pop_front();
+  auto& queue = per_client_[client];
+  std::unique_ptr<Job> job = std::move(queue.front());
+  queue.pop_front();
+  if (queue.empty()) {
+    per_client_.erase(client);
+  } else {
+    order_.push_back(client);
+  }
+  depth_ -= 1;
+  QueueMetrics::get().queue_depth.set(double(depth_));
+  return job;
+}
+
+void JobQueue::drain() {
+  {
+    std::lock_guard lock(mutex_);
+    draining_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool JobQueue::draining() const {
+  std::lock_guard lock(mutex_);
+  return draining_;
+}
+
+std::size_t JobQueue::depth() const {
+  std::lock_guard lock(mutex_);
+  return depth_;
+}
+
+}  // namespace mpsim::serve

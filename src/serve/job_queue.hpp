@@ -1,0 +1,76 @@
+// Admission-controlled, client-fair job queue of the serve daemon.
+//
+// Connections submit parsed query jobs and block on the job's future;
+// executor threads pull jobs and fulfil them.  Two serving policies live
+// here:
+//
+//   * admission control — at most `max_depth` queued jobs process-wide;
+//     a submit beyond that (or after drain began) is rejected immediately
+//     so overload turns into fast "queue full" errors instead of
+//     unbounded memory growth and client timeouts;
+//   * per-client fairness — jobs are queued per client (connection) and
+//     dispatched round-robin across clients with pending work, so one
+//     tenant bursting hundreds of queries cannot starve the others.
+//
+// drain() stops admission; executors keep pulling until every admitted
+// job is done, then next() returns nullptr and they exit.  That is the
+// SIGTERM story: admitted work completes, new work is refused.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "serve/protocol.hpp"
+
+namespace mpsim::serve {
+
+/// A fully rendered response: header line plus (possibly empty) payload.
+struct Response {
+  std::string header;
+  std::string payload;
+};
+
+struct Job {
+  Request request;
+  std::string client;  ///< fairness key (one per connection)
+  std::promise<Response> promise;
+};
+
+class JobQueue {
+ public:
+  explicit JobQueue(std::size_t max_depth) : max_depth_(max_depth) {}
+
+  /// Admits a job, or returns false when the queue is at capacity or
+  /// draining (the caller responds "queue full" / "shutting down").
+  bool submit(std::unique_ptr<Job> job);
+
+  /// Blocks for the next job, round-robin across clients.  Returns
+  /// nullptr once the queue is draining and empty.
+  std::unique_ptr<Job> next();
+
+  /// Stops admission and wakes every waiting executor.
+  void drain();
+
+  bool draining() const;
+  std::size_t depth() const;
+
+ private:
+  const std::size_t max_depth_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool draining_ = false;
+  std::size_t depth_ = 0;
+  // Round-robin ring of clients with pending jobs: `order_` holds each
+  // client at most once; next() pops the front client, takes its oldest
+  // job, and re-appends the client if it still has work.
+  std::map<std::string, std::deque<std::unique_ptr<Job>>> per_client_;
+  std::deque<std::string> order_;
+};
+
+}  // namespace mpsim::serve

@@ -1,0 +1,36 @@
+#include "serve/render.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace mpsim::serve {
+
+std::string profile_to_csv(const mp::MatrixProfileResult& result) {
+  std::ostringstream out;
+  out.precision(17);
+  for (std::size_t k = 0; k < result.dims; ++k) {
+    out << (k == 0 ? "" : ",") << "profile_" << k << ",index_" << k;
+  }
+  out << '\n';
+  for (std::size_t j = 0; j < result.segments; ++j) {
+    for (std::size_t k = 0; k < result.dims; ++k) {
+      out << (k == 0 ? "" : ",") << result.at(j, k) << ','
+          << result.index_at(j, k);
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+void write_profile_csv(const std::string& path,
+                       const mp::MatrixProfileResult& result) {
+  std::ofstream out(path, std::ios::binary);
+  MPSIM_CHECK(out.good(), "cannot open '" << path << "' for writing");
+  const std::string csv = profile_to_csv(result);
+  out.write(csv.data(), std::streamsize(csv.size()));
+  MPSIM_CHECK(out.good(), "write to '" << path << "' failed");
+}
+
+}  // namespace mpsim::serve

@@ -1,0 +1,22 @@
+// Profile CSV rendering shared by mpsim_cli --output and the serve
+// daemon's query responses.  One implementation on purpose: the serving
+// contract is that a response body is byte-identical to the CSV the
+// one-shot CLI writes for the same flags, so both must go through the
+// same formatter (precision 17, header row, 2*d columns).
+#pragma once
+
+#include <string>
+
+#include "mp/options.hpp"
+
+namespace mpsim::serve {
+
+/// The profile CSV document: header `profile_0,index_0,...`, one row per
+/// query segment, doubles at precision 17.
+std::string profile_to_csv(const mp::MatrixProfileResult& result);
+
+/// profile_to_csv written to `path`; throws on I/O failure.
+void write_profile_csv(const std::string& path,
+                       const mp::MatrixProfileResult& result);
+
+}  // namespace mpsim::serve

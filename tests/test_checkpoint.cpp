@@ -99,6 +99,31 @@ TEST(CheckpointJournal, WriteIsAtomicReplace) {
   std::remove(path.c_str());
 }
 
+TEST(CheckpointJournal, WriteIsDurablySynced) {
+  // Regression: the tmp-write + rename used to issue no fsync at all, so
+  // a crash shortly after a "successful" write could surface a zero-length
+  // or stale file behind the rename.  Every write must now place two sync
+  // barriers: the tmp file before the rename, the parent directory after.
+  const std::string path = temp_path("durable");
+  const std::uint64_t before = detail::durable_sync_count();
+  write_checkpoint(path, sample_data());
+  EXPECT_EQ(detail::durable_sync_count() - before, 2u);
+
+  // Replacing an existing journal is synced the same way.
+  write_checkpoint(path, sample_data());
+  EXPECT_EQ(detail::durable_sync_count() - before, 4u);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointJournal, ZeroLengthFileIsRejectedNotParsed) {
+  // The crash shape the missing fsync produced: a present but empty
+  // journal.  Resume must treat it exactly like a corrupt file.
+  const std::string path = temp_path("zerolen");
+  write_file(path, "");
+  EXPECT_THROW(read_checkpoint(path), CheckpointError);
+  std::remove(path.c_str());
+}
+
 TEST(CheckpointJournal, RejectsMissingTruncatedAndCorruptFiles) {
   EXPECT_THROW(read_checkpoint(temp_path("nonexistent")), CheckpointError);
 

@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <csignal>
 #include <mutex>
 #include <set>
 #include <thread>
@@ -11,6 +12,7 @@
 #include "common/cli.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "common/shutdown.hpp"
 #include "common/stopwatch.hpp"
 #include "common/table.hpp"
 #include "common/thread_pool.hpp"
@@ -214,6 +216,73 @@ TEST(Cli, RejectsPositionalAndUnknown) {
   const char* argv[] = {"prog", "--typo=1"};
   CliArgs args(2, argv);
   EXPECT_THROW(args.check_known({"n", "mode"}), Error);
+}
+
+TEST(Cli, MalformedNumericFlagsThrowInsteadOfSilentlyTruncating) {
+  // Regression: get_int/get_double used strtoll/strtod with a null endptr,
+  // so "--tiles=abc" parsed as 0 and "--window=64garbage" as 64.
+  const char* argv[] = {"prog", "--tiles=abc", "--window=64garbage",
+                        "--slack=1.5x", "--empty="};
+  CliArgs args(5, argv);
+  EXPECT_THROW(args.get_int("tiles", 0), Error);
+  EXPECT_THROW(args.get_int("window", 0), Error);
+  EXPECT_THROW(args.get_double("slack", 0.0), Error);
+  EXPECT_THROW(args.get_int("empty", 0), Error);
+  EXPECT_THROW(args.get_double("empty", 0.0), Error);
+  try {
+    args.get_int("tiles", 0);
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    // The message must name the flag and the bad value.
+    EXPECT_NE(std::string(e.what()).find("--tiles=abc"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Cli, WellFormedNumericFlagsStillParse) {
+  const char* argv[] = {"prog", "--a=-42", "--b=1e3", "--c=0.125",
+                        "--d=+7"};
+  CliArgs args(5, argv);
+  EXPECT_EQ(args.get_int("a", 0), -42);
+  EXPECT_DOUBLE_EQ(args.get_double("b", 0.0), 1000.0);
+  EXPECT_DOUBLE_EQ(args.get_double("c", 0.0), 0.125);
+  EXPECT_EQ(args.get_int("d", 0), 7);
+}
+
+TEST(Cli, ParseFlagHelpersValidateDirectly) {
+  EXPECT_EQ(parse_int_flag("tiles", "16"), 16);
+  EXPECT_DOUBLE_EQ(parse_double_flag("slack", "2.5"), 2.5);
+  EXPECT_THROW(parse_int_flag("tiles", "1.5"), Error);
+  EXPECT_THROW(parse_int_flag("tiles", "  3"), Error);
+  EXPECT_THROW(parse_int_flag("tiles", "99999999999999999999999"), Error);
+  EXPECT_THROW(parse_double_flag("slack", "nanx"), Error);
+}
+
+TEST(Shutdown, ExitCodeFollowsSignalConvention) {
+  clear_shutdown();
+  // Programmatic shutdown (tests, --kill-after-tiles): no signal recorded,
+  // the historical 130 stays.
+  request_shutdown();
+  EXPECT_TRUE(shutdown_requested());
+  EXPECT_EQ(shutdown_signal(), 0);
+  EXPECT_EQ(shutdown_exit_code(), 130);
+  clear_shutdown();
+  EXPECT_FALSE(shutdown_requested());
+  EXPECT_EQ(shutdown_signal(), 0);
+
+  // Regression: a real SIGTERM must exit 143 (128+15), not the
+  // SIGINT-flavoured 130, so orchestrators can tell the two apart.
+  install_signal_handlers();
+  std::raise(SIGTERM);  // first signal: graceful path, flag + signal set
+  EXPECT_TRUE(shutdown_requested());
+  EXPECT_EQ(shutdown_signal(), SIGTERM);
+  EXPECT_EQ(shutdown_exit_code(), 128 + SIGTERM);
+  clear_shutdown();
+
+  std::raise(SIGINT);
+  EXPECT_EQ(shutdown_signal(), SIGINT);
+  EXPECT_EQ(shutdown_exit_code(), 130);
+  clear_shutdown();
 }
 
 TEST(Error, CheckMacroThrowsWithMessage) {

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 
@@ -31,6 +32,41 @@ TEST(Timeline, ChromeJsonIsWellFormed) {
   EXPECT_NE(json.find("\"ts\": 1000"), std::string::npos);   // microseconds
   EXPECT_NE(json.find("\"dur\": 2000"), std::string::npos);
   EXPECT_EQ(json.front(), '[');
+}
+
+TEST(Timeline, EscapesQuotesBackslashesAndControlCharsInNames) {
+  // Regression: event names/lanes used to be interpolated verbatim, so a
+  // quote or backslash produced an invalid Chrome-trace document.
+  gpusim::Timeline timeline;
+  timeline.add({"tile \"3\" dist\\calc\nline", 0, "lane\"q", 0.0, 1.0});
+  const auto json = timeline.to_chrome_json();
+  EXPECT_NE(json.find("tile \\\"3\\\" dist\\\\calc\\nline"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"tid\": \"lane\\\"q\""), std::string::npos) << json;
+  // No raw quote survives inside the name value.
+  EXPECT_EQ(json.find("\"name\": \"tile \"3\""), std::string::npos) << json;
+}
+
+TEST(Timeline, QuoteBearingNamesRoundTripThroughPythonJson) {
+  if (std::system("python3 -c 'pass' >/dev/null 2>&1") != 0) {
+    GTEST_SKIP() << "python3 not available";
+  }
+  gpusim::Timeline timeline;
+  timeline.add({"evil \"name\" with \\ and \t tab", 1, "copy\\lane", 0.5,
+                0.25});
+  timeline.add({std::string("nul\x01byte"), 0, "compute", 0.0, 1.0});
+  const auto path =
+      (std::filesystem::temp_directory_path() / "mpsim_trace_escape.json")
+          .string();
+  timeline.write_chrome_json(path);
+  const std::string check =
+      "python3 -c 'import json,sys; events = json.load(open(sys.argv[1])); "
+      "assert len(events) == 2, events; "
+      "assert events[0][\"name\"].startswith(\"evil \\\"name\\\"\"), events' " +
+      path;
+  EXPECT_EQ(std::system(check.c_str()), 0);
+  std::remove(path.c_str());
 }
 
 TEST(Timeline, WritesToFile) {

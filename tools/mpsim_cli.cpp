@@ -11,7 +11,6 @@
 // joined against itself (exclusion defaults to window/2).
 // The output CSV has 2*d columns: profile_k, index_k for each dimension.
 #include <cstdio>
-#include <fstream>
 
 #include "common/cli.hpp"
 #include "common/error.hpp"
@@ -24,31 +23,13 @@
 #include "mp/simd/dispatch.hpp"
 #include "mp/tuning.hpp"
 #include "mp/matrix_profile.hpp"
+#include "serve/render.hpp"
 #include "tsdata/io.hpp"
 #include "tsdata/repair.hpp"
 
 namespace {
 
 using namespace mpsim;
-
-void write_profile_csv(const std::string& path,
-                       const mp::MatrixProfileResult& result) {
-  std::ofstream out(path);
-  MPSIM_CHECK(out.good(), "cannot open '" << path << "' for writing");
-  out.precision(17);
-  for (std::size_t k = 0; k < result.dims; ++k) {
-    out << (k == 0 ? "" : ",") << "profile_" << k << ",index_" << k;
-  }
-  out << '\n';
-  for (std::size_t j = 0; j < result.segments; ++j) {
-    for (std::size_t k = 0; k < result.dims; ++k) {
-      out << (k == 0 ? "" : ",") << result.at(j, k) << ','
-          << result.index_at(j, k);
-    }
-    out << '\n';
-  }
-  MPSIM_CHECK(out.good(), "write to '" << path << "' failed");
-}
 
 int run(int argc, char** argv) {
   CliArgs args(argc, argv);
@@ -208,7 +189,10 @@ int run(int argc, char** argv) {
 
   // SIGINT/SIGTERM request a graceful stop: the scheduler flushes its
   // checkpoint and unwinds with InterruptedError, we flush observability
-  // and exit 130 (a second signal exits immediately).
+  // and exit 128+signo — 130 for SIGINT, 143 for SIGTERM, plain 130 for a
+  // signal-free programmatic kill (--kill-after-tiles) — so orchestrators
+  // can tell an operator interrupt from a supervisor stop (a second
+  // signal exits immediately with the same convention).
   install_signal_handlers();
   mp::MatrixProfileResult result;
   try {
@@ -216,7 +200,7 @@ int run(int argc, char** argv) {
   } catch (const InterruptedError& e) {
     std::printf("%s\n", e.what());
     flush_observability();
-    return 130;
+    return shutdown_exit_code();
   }
   std::printf("computed %zu x %zu profile in %.2f s (modeled %s time: "
               "%.4f s)\n",
@@ -230,7 +214,9 @@ int run(int argc, char** argv) {
 
   if (args.has("output")) {
     const auto path = args.get_string("output", "");
-    write_profile_csv(path, result);
+    // Shared with the serve daemon: its query responses byte-match this
+    // file for the same flags.
+    serve::write_profile_csv(path, result);
     std::printf("profile written to %s\n", path.c_str());
   }
 
