@@ -11,7 +11,9 @@
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
 #include "gpusim/kernel.hpp"
+#include "mp/gemm.hpp"
 #include "mp/kernels.hpp"
+#include "mp/sketch.hpp"
 #include "precision/modes.hpp"
 
 namespace {
@@ -171,6 +173,124 @@ void BM_Precalc(benchmark::State& state) {
   state.SetItemsProcessed(std::int64_t(state.iterations()) * std::int64_t(n));
 }
 
+template <typename Traits>
+struct SeedFixture {
+  // One QT seeding problem: a fixed segment dotted against every segment
+  // of an n-column sliding series (the first-row seed of an 8192-segment
+  // tile), with real sliding means from the precalc step.
+  using ST = typename Traits::Storage;
+  static constexpr std::size_t m = 256, n = 8192;
+  std::vector<ST> slide, mu, inv, df, dg, out;
+  ST fmu;
+
+  SeedFixture() : slide(n + m - 1), mu(n), inv(n), df(n), dg(n), out(n) {
+    Rng rng(7);
+    for (auto& v : slide) v = ST(rng.normal(0.0, 1.0));
+    precalc_dimension<Traits>(slide.data(), m, n, mu.data(), inv.data(),
+                              df.data(), dg.data());
+    fmu = mu[0];
+  }
+};
+
+template <typename Traits>
+void BM_PrecalcNaive(benchmark::State& state) {
+  // The seeding loop the blocked GEMM replaced: one centered_dot per
+  // output column, re-centring the fixed side every time.
+  SeedFixture<Traits> fx;
+  for (auto _ : state) {
+    for (std::size_t j = 0; j < fx.n; ++j) {
+      fx.out[j] = centered_dot<Traits>(fx.slide.data(), fx.slide.data() + j,
+                                       fx.m, fx.fmu, fx.mu[j]);
+    }
+    benchmark::DoNotOptimize(fx.out.data());
+  }
+  state.SetItemsProcessed(std::int64_t(state.iterations()) *
+                          std::int64_t(fx.n));
+}
+
+template <typename Traits>
+void BM_PrecalcGemm(benchmark::State& state) {
+  // The same seeds through gemm_sliding_dots (hoisted A-panel + SIMD
+  // column panels); output bits are identical to BM_PrecalcNaive's.
+  SeedFixture<Traits> fx;
+  for (auto _ : state) {
+    gemm_sliding_dots<Traits>(fx.slide.data(), fx.fmu, fx.slide.data(),
+                              fx.mu.data(), fx.m, 0, fx.n,
+                              /*slide_first=*/false, fx.out.data());
+    benchmark::DoNotOptimize(fx.out.data());
+  }
+  state.SetItemsProcessed(std::int64_t(state.iterations()) *
+                          std::int64_t(fx.n));
+}
+
+void BM_SketchBuild(benchmark::State& state) {
+  // Chunked-Rademacher sketching of every segment of one tile side
+  // (prefix sums + per-segment chunk aggregates + P sign dots).
+  const std::size_t m = 512, len = 4096 + m - 1, nseg = 4096;
+  Rng rng(9);
+  std::vector<float> x(len), mu(nseg), inv(nseg), out(nseg *
+                                                      kSketchComponents);
+  for (auto& v : x) v = float(rng.normal(0.0, 1.0));
+  for (std::size_t j = 0; j < nseg; ++j) {
+    double sum = 0.0;
+    for (std::size_t t = 0; t < m; ++t) sum += x[j + t];
+    mu[j] = float(sum / double(m));
+    double ssq = 0.0;
+    for (std::size_t t = 0; t < m; ++t) {
+      const double c = double(x[j + t]) - double(mu[j]);
+      ssq += c * c;
+    }
+    inv[j] = ssq > 0.0 ? float(1.0 / std::sqrt(ssq)) : 0.0f;
+  }
+  const auto signs = rademacher_signs(sketch_chunks(m), kSketchComponents,
+                                      sketch_seed(m, kSketchComponents, 0.05));
+  for (auto _ : state) {
+    sketch_series(x.data(), len, nseg, m, mu.data(), inv.data(),
+                  signs.data(), kSketchComponents, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(std::int64_t(state.iterations()) *
+                          std::int64_t(nseg));
+}
+
+void BM_SketchFilter(benchmark::State& state) {
+  // Scoring throughput of the per-(row batch, column group) interval
+  // bound: one full tile sweep per iteration, items = (row, column)
+  // pairs gated.
+  using F16T = PrecisionTraits<PrecisionMode::FP16>;
+  const std::size_t m = 512, nrq = 4096, len = nrq + m - 1, d = 2;
+  Rng rng(11);
+  std::vector<float16> series(len * d), mu(nrq * d), inv(nrq * d),
+      df(nrq * d), dg(nrq * d);
+  for (std::size_t k = 0; k < d; ++k) {
+    for (std::size_t t = 0; t < len; ++t) {
+      series[k * len + t] =
+          float16(std::sin(double(t) / 60.0) + rng.normal(0.0, 0.02));
+    }
+    precalc_dimension<F16T>(series.data() + k * len, m, nrq,
+                            mu.data() + k * nrq, inv.data() + k * nrq,
+                            df.data() + k * nrq, dg.data() + k * nrq);
+  }
+  PrefilterConfig config;
+  config.mode = PrefilterMode::kSketch;
+  config.budget = 0.05;
+  TilePrefilter pf(config, m, d, nrq, nrq);
+  pf.build<F16T>(series.data(), len, mu.data(), inv.data(), series.data(),
+                 len, mu.data(), inv.data());
+  // A converged low profile: the representative regime where blocks are
+  // skippable and the scoring loop does full interval-product work.
+  std::vector<float16> profile(nrq * d, float16(3.0));
+  for (auto _ : state) {
+    for (std::size_t i0 = 0; i0 < nrq; i0 += kPrefilterRowBatch) {
+      pf.score_batch<F16T>(profile.data(), i0,
+                           std::min(kPrefilterRowBatch, nrq - i0));
+    }
+    benchmark::DoNotOptimize(pf.stats());
+  }
+  state.SetItemsProcessed(std::int64_t(state.iterations()) *
+                          std::int64_t(nrq) * std::int64_t(nrq));
+}
+
 void BM_Float16Encode(benchmark::State& state) {
   Rng rng(3);
   std::vector<double> values(4096);
@@ -285,6 +405,12 @@ BENCHMARK(BM_FusedRow<F16>)->Arg(2)->Arg(4)->Arg(8);
 BENCHMARK(BM_Precalc<F64>);
 BENCHMARK(BM_Precalc<F32>);
 BENCHMARK(BM_Precalc<F16>);
+BENCHMARK(BM_PrecalcNaive<F32>);
+BENCHMARK(BM_PrecalcNaive<F16>);
+BENCHMARK(BM_PrecalcGemm<F32>);
+BENCHMARK(BM_PrecalcGemm<F16>);
+BENCHMARK(BM_SketchBuild);
+BENCHMARK(BM_SketchFilter);
 BENCHMARK(BM_Float16Encode);
 BENCHMARK(BM_Float16EncodeFast);
 BENCHMARK(BM_Float16Decode);

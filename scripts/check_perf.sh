@@ -129,3 +129,58 @@ if failures:
     sys.exit(1)
 print("check_perf metrics diff: PASS")
 PY
+
+# ---- Sketch-prefilter decision diff ----------------------------------------
+# The prefilter's block decisions are seeded and profile-driven, both
+# deterministic, so its counters (and the miss-rate gauge) are exact
+# numbers on a fixed workload — pinned in the "metrics_prefilter" baseline
+# section.  The sketch scoring is plain scalar float code and the kernel
+# outputs are bit-identical across dispatch levels, so no --simd pin is
+# needed here.
+python3 - > "$WORK/smooth.csv" <<'PY'
+import math, random
+random.seed(101)
+seg = 911
+white = [random.gauss(0, 1.0) for _ in range(seg + 200)]
+kern = [math.exp(-0.5 * (t / 15.0) ** 2) for t in range(-100, 100)]
+base = [sum(w * k for w, k in zip(white[t:t + 200], kern))
+        for t in range(seg)]
+mean = sum(base) / seg
+sd = (sum((v - mean) ** 2 for v in base) / seg) ** 0.5
+base = [(v - mean) / sd for v in base]
+print("a,b")
+for rep in range(3):
+    for t in range(seg):
+        a = base[t] + random.gauss(0, 0.005)
+        b = base[(t + 307) % seg] + random.gauss(0, 0.005)
+        print("%.6f,%.6f" % (a, b))
+PY
+"$CLI" --reference="$WORK/smooth.csv" --self-join --window=400 --mode=FP16 \
+    --exclusion=100 --prefilter=sketch --prefilter-budget=0.05 \
+    --metrics-out="$WORK/prefilter_metrics.json" --motifs=0 > /dev/null
+
+python3 - "$BASELINE" "$WORK/prefilter_metrics.json" <<'PY'
+import json, sys
+
+baseline_path, metrics_path = sys.argv[1:3]
+base = json.load(open(baseline_path)).get("metrics_prefilter", {}).get("counters", {})
+head_doc = json.load(open(metrics_path))
+head = dict(head_doc["counters"])
+head["prefilter.miss_rate"] = head_doc["gauges"]["prefilter.miss_rate"]
+
+failures = []
+for name, ref in sorted(base.items()):
+    got = head.get(name)
+    verdict = "ok"
+    if got != ref:
+        verdict = "CHANGED"
+        failures.append(f"{name}: {got} vs baseline {ref}")
+    print(f"  {name:36s} baseline {ref!s:>12}  head {got!s:>12}  {verdict}")
+
+if failures:
+    print("check_perf prefilter diff: FAIL")
+    for f in failures:
+        print("  " + f)
+    sys.exit(1)
+print("check_perf prefilter diff: PASS")
+PY

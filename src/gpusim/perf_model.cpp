@@ -11,6 +11,7 @@ KernelCost& KernelCost::operator+=(const KernelCost& o) {
   barrier_rounds += o.barrier_rounds;
   flop_width_bytes = o.flop_width_bytes;  // launches of one kernel share it
   occupancy = o.occupancy;                // ... and its launch configuration
+  tensor_format = o.tensor_format;
   return *this;
 }
 
@@ -25,8 +26,16 @@ double modeled_seconds(const MachineSpec& spec, const KernelCost& cost) {
       spec.mem_bandwidth_gbs * 1e9 * spec.bw_efficiency * bw_scale;
   const double mem_time = bw > 0 ? double(cost.total_bytes()) / bw : 0.0;
 
-  const double peak = spec.peak_tflops(cost.flop_width_bytes) * 1e12 *
-                      spec.compute_efficiency * compute_scale;
+  // Tensor-eligible launches (matmul-structured inner loops) ride the
+  // tensor-core roof when the machine has one for the input format;
+  // everything else — including tensor-shaped work on machines without
+  // that format's tensor path — uses the regular flop-width peak.
+  double peak_tf = spec.peak_tflops(cost.flop_width_bytes);
+  if (cost.tensor_format != TensorFormat::kNone) {
+    const double tensor = spec.tensor_peak_tflops(cost.tensor_format);
+    if (tensor > 0.0) peak_tf = tensor;
+  }
+  const double peak = peak_tf * 1e12 * spec.compute_efficiency * compute_scale;
   const double compute_time = peak > 0 ? double(cost.flops) / peak : 0.0;
 
   return spec.kernel_launch_overhead_us * 1e-6 +

@@ -32,6 +32,12 @@ struct KernelCost {
   std::int64_t flops = 0;
   std::int64_t barrier_rounds = 0;  ///< device-wide sync rounds (sort/scan)
   std::size_t flop_width_bytes = 8;  ///< arithmetic width: 8, 4 or 2
+  /// Tensor-core input format of the launch's inner loop (kNone for
+  /// kernels without matmul structure).  When the machine publishes a
+  /// tensor peak for the format, the compute roof uses it instead of the
+  /// regular flop-width peak — this is how the blocked-GEMM precalc
+  /// (mp/gemm.hpp) earns V100/A100 tensor-core throughput in the model.
+  TensorFormat tensor_format = TensorFormat::kNone;
   /// Launch occupancy in (0, 1]: the share of resident threads the launch
   /// configuration keeps busy.  GPUs saturate DRAM bandwidth around half
   /// occupancy; below that, achievable bandwidth and compute shrink

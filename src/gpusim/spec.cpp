@@ -17,6 +17,22 @@ double MachineSpec::peak_tflops(std::size_t flop_width_bytes) const {
   }
 }
 
+double MachineSpec::tensor_peak_tflops(TensorFormat format) const {
+  switch (format) {
+    case TensorFormat::kFp16:
+      return tensor_fp16_tflops;
+    case TensorFormat::kBf16:
+      return tensor_bf16_tflops;
+    case TensorFormat::kTf32:
+      return tensor_tf32_tflops;
+    case TensorFormat::kFp64:
+      return tensor_fp64_tflops;
+    case TensorFormat::kNone:
+      break;
+  }
+  return 0.0;
+}
+
 MachineSpec v100() {
   MachineSpec s;
   s.name = "V100";
@@ -26,6 +42,7 @@ MachineSpec v100() {
   s.fp64_tflops = 7.8;
   s.fp32_tflops = 15.7;
   s.fp16_tflops = 31.4;
+  s.tensor_fp16_tflops = 125.0;  // first-generation tensor cores: FP16 only
   s.barrier_round_cost_us = 0.06;
   s.shared_mem_per_sm_bytes = std::size_t(96) << 10;   // V100: 96 KiB
   s.memory_capacity_bytes = std::size_t(32) << 30;
@@ -41,6 +58,10 @@ MachineSpec a100() {
   s.fp64_tflops = 9.7;
   s.fp32_tflops = 19.5;
   s.fp16_tflops = 39.0;
+  s.tensor_fp16_tflops = 312.0;  // third-generation tensor cores
+  s.tensor_bf16_tflops = 312.0;
+  s.tensor_tf32_tflops = 156.0;
+  s.tensor_fp64_tflops = 19.5;   // DMMA
   s.barrier_round_cost_us = 0.05;
   s.shared_mem_per_sm_bytes = std::size_t(164) << 10;  // A100: 164 KiB
   s.memory_capacity_bytes = std::size_t(40) << 30;

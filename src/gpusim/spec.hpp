@@ -21,6 +21,13 @@
 
 namespace mpsim::gpusim {
 
+/// Tensor-core input format of a launch's inner loop (kNone = the kernel
+/// has no matmul structure and rides the regular FMA pipeline).  Kept as
+/// an explicit format rather than a byte width because eligibility is
+/// format-specific: V100 tensor cores accept FP16 only, A100 adds
+/// BF16/TF32 and FP64 (DMMA), and no generation accepts plain FP32.
+enum class TensorFormat : std::uint8_t { kNone, kFp16, kBf16, kTf32, kFp64 };
+
 struct MachineSpec {
   std::string name;
 
@@ -38,6 +45,15 @@ struct MachineSpec {
   double fp32_tflops = 0.0;
   double fp16_tflops = 0.0;
   double compute_efficiency = 0.7;
+
+  // Tensor-core peaks (dense-matmul TFLOP/s) per input format; 0 = the
+  // machine has no tensor path for that format and the launch falls back
+  // to the regular peak of its flop width.  Published numbers: V100 FP16
+  // 125; A100 FP16/BF16 312, TF32 156, FP64 DMMA 19.5.
+  double tensor_fp16_tflops = 0.0;
+  double tensor_bf16_tflops = 0.0;
+  double tensor_tf32_tflops = 0.0;
+  double tensor_fp64_tflops = 0.0;
 
   // Fixed overheads.
   double kernel_launch_overhead_us = 5.0;  ///< per kernel launch
@@ -73,6 +89,9 @@ struct MachineSpec {
   }
 
   double peak_tflops(std::size_t flop_width_bytes) const;
+
+  /// Tensor-core peak for the format (0 when the machine has none).
+  double tensor_peak_tflops(TensorFormat format) const;
 };
 
 /// NVIDIA Tesla V100 (DGX-1 node at LRZ) — paper §V-A.

@@ -84,4 +84,14 @@ double relaxed_recall(const std::vector<std::int64_t>& index,
   return double(hits) / double(query_positions.size());
 }
 
+double prefilter_miss_rate(const mp::PrefilterStats& stats) {
+  if (stats.cols_verified == 0) return 0.0;
+  return double(stats.cols_missed) / double(stats.cols_verified);
+}
+
+bool prefilter_within_budget(const mp::PrefilterStats& stats,
+                             double budget) {
+  return prefilter_miss_rate(stats) <= budget;
+}
+
 }  // namespace mpsim::metrics

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "mp/options.hpp"
 #include "tsdata/synthetic.hpp"
 
 namespace mpsim::metrics {
@@ -54,5 +55,18 @@ double relaxed_recall(const std::vector<std::int64_t>& index,
                       const std::vector<std::size_t>& query_positions,
                       const std::vector<std::size_t>& expected_positions,
                       std::size_t window, double relaxation);
+
+/// Realized miss rate of the sketch prefilter's verify sample: the
+/// fraction of verify-block columns whose exact execution updated a
+/// profile entry the sketch had declared update-free.  0 when nothing
+/// was verified (an exact run, or one where no block ever skipped).
+double prefilter_miss_rate(const mp::PrefilterStats& stats);
+
+/// True when the measured miss rate stays within the configured budget —
+/// the acceptance check the statistical prefilter tests (and users of
+/// `prefilter.miss_rate` in --metrics-out) apply.  Vacuously true with an
+/// empty verify sample.
+bool prefilter_within_budget(const mp::PrefilterStats& stats,
+                             double budget);
 
 }  // namespace mpsim::metrics

@@ -17,7 +17,7 @@ namespace mpsim::mp {
 
 namespace {
 
-constexpr char kMagic[] = "mpsim-ckpt-v1\n";
+constexpr char kMagic[] = "mpsim-ckpt-v2\n";
 constexpr std::size_t kMagicLen = sizeof(kMagic) - 1;
 
 std::uint64_t fnv1a(const void* data, std::size_t bytes,
@@ -104,11 +104,19 @@ std::uint64_t checkpoint_fingerprint(const TimeSeries& reference,
                                      const TimeSeries& query,
                                      const MatrixProfileConfig& config) {
   std::uint64_t h = fnv1a(kMagic, kMagicLen);
+  // The prefilter knobs change which profile entries are exact, so they
+  // are output-affecting configuration: budget enters as its raw binary64
+  // bits (the guard band and sketch seed derive from them).
+  std::uint64_t budget_bits;
+  static_assert(sizeof(budget_bits) == sizeof(config.prefilter.budget));
+  std::memcpy(&budget_bits, &config.prefilter.budget, sizeof(budget_bits));
   const std::uint64_t shape[] = {
       std::uint64_t(reference.length()), std::uint64_t(reference.dims()),
       std::uint64_t(query.length()),     std::uint64_t(config.window),
       std::uint64_t(int(config.mode)),   std::uint64_t(config.tiles),
-      std::uint64_t(config.exclusion)};
+      std::uint64_t(config.exclusion),
+      std::uint64_t(int(config.prefilter.mode)),
+      config.prefilter.enabled() ? budget_bits : 0};
   h = fnv1a(shape, sizeof(shape), h);
   h = fnv1a(reference.raw().data(), reference.raw().size() * sizeof(double),
             h);
@@ -129,6 +137,12 @@ void write_checkpoint(const std::string& path, const CheckpointData& data) {
     w.put(std::int32_t(tile.mode));
     w.put_span(tile.profile.data(), tile.profile.size());
     w.put_span(tile.index.data(), tile.index.size());
+    w.put(tile.prefilter.blocks_total);
+    w.put(tile.prefilter.blocks_skipped);
+    w.put(tile.prefilter.blocks_verified);
+    w.put(tile.prefilter.cols_skipped);
+    w.put(tile.prefilter.cols_verified);
+    w.put(tile.prefilter.cols_missed);
   }
   w.put(std::uint64_t(data.events.size()));
   for (const RunEvent& event : data.events) {
@@ -205,7 +219,7 @@ CheckpointData read_checkpoint(const std::string& path) {
   if (buf.size() < kMagicLen + sizeof(std::uint64_t) ||
       std::memcmp(buf.data(), kMagic, kMagicLen) != 0) {
     throw CheckpointError("'" + path +
-                          "' is not an mpsim-ckpt-v1 checkpoint (bad or "
+                          "' is not an mpsim-ckpt-v2 checkpoint (bad or "
                           "missing magic)");
   }
   // Checksum covers everything up to the trailing hash itself.
@@ -230,6 +244,12 @@ CheckpointData read_checkpoint(const std::string& path) {
     tile.mode = PrecisionMode(r.get<std::int32_t>());
     tile.profile = r.get_span<double>();
     tile.index = r.get_span<std::int64_t>();
+    tile.prefilter.blocks_total = r.get<std::uint64_t>();
+    tile.prefilter.blocks_skipped = r.get<std::uint64_t>();
+    tile.prefilter.blocks_verified = r.get<std::uint64_t>();
+    tile.prefilter.cols_skipped = r.get<std::uint64_t>();
+    tile.prefilter.cols_verified = r.get<std::uint64_t>();
+    tile.prefilter.cols_missed = r.get<std::uint64_t>();
     if (tile.tile_index >= data.tile_count ||
         tile.profile.size() != tile.index.size()) {
       throw CheckpointError("checkpoint '" + path +

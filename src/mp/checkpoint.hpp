@@ -1,11 +1,14 @@
 // Durable checkpoint journal of the resilient scheduler.
 //
-// Format `mpsim-ckpt-v1`: a little-endian binary journal holding, for
+// Format `mpsim-ckpt-v2`: a little-endian binary journal holding, for
 // every completed tile, the tile's merged profile slice (binary64 bits +
 // global nearest-neighbour indices — exactly the TileResult the merge
 // consumes, so a resumed run reproduces the uninterrupted run's output
-// bit for bit) plus the RunEvent history, and a trailing FNV-1a checksum
-// over the whole payload.  Writes are atomic: the journal is written to
+// bit for bit) plus the tile's sketch-prefilter decision tallies (six
+// counters; all zero for exact runs) and the RunEvent history, ending
+// with a trailing FNV-1a checksum over the whole payload.  v2 extends v1
+// by the per-tile prefilter counters; v1 journals are rejected by magic,
+// like any foreign file.  Writes are atomic: the journal is written to
 // `<path>.tmp` and renamed over `path`, so a crash mid-write leaves the
 // previous journal intact.
 //
@@ -34,6 +37,7 @@ struct CheckpointTile {
   PrecisionMode mode = PrecisionMode::FP64;
   std::vector<double> profile;
   std::vector<std::int64_t> index;
+  PrefilterStats prefilter;      ///< sketch decision tallies (0s if exact)
 };
 
 struct CheckpointData {
@@ -68,7 +72,7 @@ void note_durable_sync();
 }  // namespace detail
 
 /// Parses a journal; throws CheckpointError when the file is missing,
-/// truncated, checksum-corrupt or not an `mpsim-ckpt-v1` document.
+/// truncated, checksum-corrupt or not an `mpsim-ckpt-v2` document.
 CheckpointData read_checkpoint(const std::string& path);
 
 }  // namespace mpsim::mp

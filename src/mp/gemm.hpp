@@ -1,0 +1,95 @@
+// Blocked-GEMM reformulation of the QT seed computation (the naive
+// first-row / first-column mean-centred dot products of paper §III-A).
+//
+// The seeding workload is a mean-centred sliding correlation: one FIXED
+// segment (reference segment 0 for the seed row, query segment 0 for the
+// seed column) dotted against every segment of the SLIDING series,
+//
+//   out[j] = sum_t (fixed[t] - fmu) * (slide[j + t] - smu[j]).
+//
+// centered_dot recomputes the fixed-side difference fixed[t] - fmu for
+// every output column — O(n*m) subtractions that depend only on t.  The
+// blocked driver hoists them ONCE into an A-panel (the GEMM "packed A"),
+// then sweeps output columns in register-blocked SIMD panels
+// (mp/simd/kernels_gemm.hpp) with the scalar blocked loop as tail and
+// fallback.  This turns the seeding step into the B-panel-streaming inner
+// loop of a GEMM, which is what lets the perf model cost it at
+// tensor-core/FMA throughput (gpusim::KernelCost::tensor_input_bytes).
+//
+// Bit-identity contract (goldens pin it across all modes x dispatch
+// levels):
+//  * hoisting is a pure refactor — a[t] is the identical single operation
+//    the naive loop performs, just not repeated per column;
+//  * SIMD lanes run across output columns, so each lane replays the exact
+//    per-column scalar operation sequence in reduction order t = 0..m-1
+//    (no reassociation); the only commuted operation is the multiply
+//    a[t] * b vs the seed column's b * a[t], bit-exact for non-NaN IEEE
+//    operands, and the scalar blocked loop keeps even that in the
+//    caller's original order (slide_first);
+//  * NaN columns: sub/mul/add all propagate NaN, so any NaN reaching a
+//    column's chain is sticky in its final accumulator.  Every NaN output
+//    column is re-derived by calling centered_dot itself with the
+//    caller's original argument order — the same instantiation the naive
+//    path ran, so fault-poisoned seeds match bit for bit too.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "mp/precalc.hpp"
+#include "mp/simd/span.hpp"
+
+namespace mpsim::mp {
+
+/// Computes out[j] = centered_dot(fixed, slide + j, m, fmu, smu[j]) for
+/// every j in [j0, j1), blocked.  `slide_first` says the naive call this
+/// replaces passed the sliding segment as centered_dot's FIRST operand
+/// (the seed column does; the seed row passes the fixed side first) —
+/// it controls the multiply order in the scalar blocked loop and the
+/// operand order of the NaN redo, keeping both bit-identical to the
+/// naive path.
+template <typename Traits>
+void gemm_sliding_dots(const typename Traits::Storage* fixed,
+                       typename Traits::Storage fmu,
+                       const typename Traits::Storage* slide,
+                       const typename Traits::Storage* smu, std::size_t m,
+                       std::size_t j0, std::size_t j1, bool slide_first,
+                       typename Traits::Storage* out) {
+  using PC = typename Traits::PrecalcCompute;
+  if (j0 >= j1) return;
+
+  // A-panel: the fixed-side centred samples, hoisted out of the per-column
+  // loop (the satellite fix for centered_dot's per-(i,j) recompute).
+  std::vector<PC> a(m);
+  const PC fm = PC(fmu);
+  for (std::size_t t = 0; t < m; ++t) a[t] = PC(fixed[t]) - fm;
+
+  const std::size_t n = j1 - j0;
+  std::size_t jj =
+      simd::gemm_panels<Traits>(a.data(), m, slide + j0, smu + j0, n,
+                                out + j0);
+  // Scalar blocked tail / fallback: per-column accumulator in the naive
+  // reduction order, against the hoisted A-panel (centered_dot_hoisted,
+  // mp/precalc.hpp).
+  for (; jj < n; ++jj) {
+    const std::size_t j = j0 + jj;
+    out[j] = centered_dot_hoisted<Traits>(a.data(), slide + j, m,
+                                          PC(smu[j]),
+                                          /*a_first=*/!slide_first);
+  }
+
+  // NaN redo: a NaN final accumulator proves the column's chain saw (or
+  // generated) a NaN, where vector lanes and commuted multiplies may
+  // diverge in payload/sign — re-derive through the original call.
+  using std::isnan;
+  for (std::size_t j = j0; j < j1; ++j) {
+    if (isnan(out[j])) [[unlikely]] {
+      out[j] = slide_first
+                   ? centered_dot<Traits>(slide + j, fixed, m, smu[j], fmu)
+                   : centered_dot<Traits>(fixed, slide + j, m, fmu, smu[j]);
+    }
+  }
+}
+
+}  // namespace mpsim::mp

@@ -503,6 +503,59 @@ void fused_row_body(
   }
 }
 
+/// QT-only pass over columns [begin, end) of one tile row: the sketch
+/// prefilter's skip path (mp/sketch.hpp).  Advances the Eq. (1) diagonal
+/// recurrence — the next row depends on this row's QT — but computes no
+/// distances and touches no profile state.  Per element the QT arithmetic
+/// (and its order) matches fused_row_body's pass 1 exactly, in both the
+/// vector span (simd::qt_only_span) and the scalar tail, so the QT stream
+/// of a prefiltered run is bit-identical to the exact run's: a prefilter
+/// miss loses one profile update, it never perturbs later rows.
+template <typename Traits>
+void qt_only_row_body(
+    std::int64_t begin, std::int64_t end, std::size_t i, std::size_t w,
+    std::size_t d,
+    const typename Traits::Storage* MPSIM_RESTRICT qt_row_seed,
+    const typename Traits::Storage* MPSIM_RESTRICT qt_col_seed,
+    std::size_t nr, const typename Traits::Storage* MPSIM_RESTRICT df_r,
+    const typename Traits::Storage* MPSIM_RESTRICT dg_r,
+    const typename Traits::Storage* MPSIM_RESTRICT df_q,
+    const typename Traits::Storage* MPSIM_RESTRICT dg_q,
+    const typename Traits::Storage* MPSIM_RESTRICT qt_prev,
+    typename Traits::Storage* MPSIM_RESTRICT qt_next) {
+  using CT = typename Traits::Compute;
+  using ST = typename Traits::Storage;
+  for (std::size_t k = 0; k < d; ++k) {
+    const std::size_t xbase = k * w;
+    const std::size_t row = k * nr + i;
+    if (i == 0) {
+      for (std::int64_t j = begin; j < end; ++j) {
+        const std::size_t x = xbase + std::size_t(j);
+        qt_next[x] = ST(CT(qt_row_seed[x]));
+      }
+      continue;
+    }
+    const CT df_ri = CT(df_r[row]);
+    const CT dg_ri = CT(dg_r[row]);
+    std::int64_t j = begin;
+    if (j == 0) {
+      qt_next[xbase] = ST(CT(qt_col_seed[row]));
+      ++j;
+    }
+    if constexpr (std::is_same_v<CT, ST>) {
+      const std::size_t x0 = xbase + std::size_t(j);
+      j += simd::qt_only_span<CT>(end - j, df_ri, dg_ri, qt_prev + x0 - 1,
+                                  df_q + x0, dg_q + x0, qt_next + x0);
+    }
+    for (; j < end; ++j) {
+      const std::size_t x = xbase + std::size_t(j);
+      const CT qt = CT(qt_prev[x - 1]) + df_ri * CT(dg_q[x]) +
+                    dg_ri * CT(df_q[x]);
+      qt_next[x] = ST(qt);
+    }
+  }
+}
+
 // --- Diagonal-batched fused execution -------------------------------------
 //
 // The fused path above dispatches one parallel_for per tile row, so a tile
@@ -751,24 +804,91 @@ gpusim::KernelCost update_cost(std::size_t w, std::size_t d) {
   return c;
 }
 
+namespace detail {
+
+/// Arithmetic width of the precalculation launches (the Mixed/FP16C modes
+/// lift PrecalcCompute above the storage format).
 template <typename Traits>
-gpusim::KernelCost precalc_cost(std::size_t nr, std::size_t nq, std::size_t d,
-                                std::size_t m) {
+std::size_t precalc_flop_width() {
+  using PC = typename Traits::PrecalcCompute;
+  if (std::is_same_v<PC, double>) return 8;
+  if (std::is_same_v<PC, float>) return 4;
+  return storage_bytes(Traits::kMode);
+}
+
+}  // namespace detail
+
+/// Tensor-core input format of the blocked-GEMM QT-seed pass (mp/gemm.hpp)
+/// for a precision mode.  The binary16 family feeds FP16 tensor cores,
+/// the truncated formats feed their own A100 paths, FP64 maps to DMMA;
+/// plain FP32 has no tensor path on any modelled generation, so it stays
+/// on the regular FMA pipeline.
+inline gpusim::TensorFormat gemm_tensor_format(PrecisionMode mode) {
+  switch (mode) {
+    case PrecisionMode::FP16:
+    case PrecisionMode::Mixed:
+    case PrecisionMode::FP16C:
+      return gpusim::TensorFormat::kFp16;
+    case PrecisionMode::BF16:
+      return gpusim::TensorFormat::kBf16;
+    case PrecisionMode::TF32:
+      return gpusim::TensorFormat::kTf32;
+    case PrecisionMode::FP64:
+      return gpusim::TensorFormat::kFp64;
+    case PrecisionMode::FP32:
+      break;
+  }
+  return gpusim::TensorFormat::kNone;
+}
+
+/// First precalculation launch: cumulative sums and the per-segment
+/// mu/inv/df/dg statistics for both series.
+template <typename Traits>
+gpusim::KernelCost precalc_stats_cost(std::size_t nr, std::size_t nq,
+                                      std::size_t d, std::size_t m) {
   const auto es = std::int64_t(storage_bytes(Traits::kMode));
   const auto rows = std::int64_t((nr + nq) * d);
   gpusim::KernelCost c;
   c.bytes_read = es * std::int64_t((nr + nq + 2 * m - 2) * d);  // input tiles
-  c.bytes_written = es * rows * 5;  // mu/inv/df/dg for both + QT seeds
-  // Cumulative sums + per-segment stats + the two naive dot-product seeds.
-  c.flops = rows * 12 + std::int64_t((nr + nq) * d * m) * 3;
-  using PC = typename Traits::PrecalcCompute;
-  if (std::is_same_v<PC, double>) {
-    c.flop_width_bytes = 8;
-  } else if (std::is_same_v<PC, float>) {
-    c.flop_width_bytes = 4;
-  } else {
-    c.flop_width_bytes = storage_bytes(Traits::kMode);
-  }
+  c.bytes_written = es * rows * 4;  // mu/inv/df/dg for both series
+  c.flops = rows * 12;  // cumulative sums + per-segment statistics
+  c.flop_width_bytes = detail::precalc_flop_width<Traits>();
+  return c;
+}
+
+/// Second precalculation launch: the first-row/first-column QT seeds,
+/// computed as a blocked GEMM (mp/gemm.hpp).  Register blocking reuses
+/// the fixed window across a panel of output columns, so DRAM traffic is
+/// one stream of each input tile; the matmul-structured inner loop makes
+/// the launch tensor-core eligible on machines with a path for the mode's
+/// format (spec.hpp TensorFormat).
+template <typename Traits>
+gpusim::KernelCost gemm_seed_cost(std::size_t nr, std::size_t nq,
+                                  std::size_t d, std::size_t m) {
+  const auto es = std::int64_t(storage_bytes(Traits::kMode));
+  const auto rows = std::int64_t((nr + nq) * d);
+  gpusim::KernelCost c;
+  c.bytes_read = es * std::int64_t((nr + nq + 2 * m - 2) * d);  // both tiles
+  c.bytes_written = es * rows;  // seed row + seed column
+  c.flops = std::int64_t((nr + nq) * d * m) * 3;  // sub+mul+add per element
+  c.flop_width_bytes = detail::precalc_flop_width<Traits>();
+  c.tensor_format = gemm_tensor_format(Traits::kMode);
+  return c;
+}
+
+/// Aggregate cost of both precalculation launches, for consumers that
+/// model the step as one unit (cpu_reference; tensor eligibility is a
+/// per-launch property, so the aggregate stays on the regular pipeline).
+template <typename Traits>
+gpusim::KernelCost precalc_cost(std::size_t nr, std::size_t nq, std::size_t d,
+                                std::size_t m) {
+  const auto stats = precalc_stats_cost<Traits>(nr, nq, d, m);
+  const auto seeds = gemm_seed_cost<Traits>(nr, nq, d, m);
+  gpusim::KernelCost c;
+  c.bytes_read = stats.bytes_read + seeds.bytes_read;
+  c.bytes_written = stats.bytes_written + seeds.bytes_written;
+  c.flops = stats.flops + seeds.flops;
+  c.flop_width_bytes = stats.flop_width_bytes;
   return c;
 }
 

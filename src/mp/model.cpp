@@ -23,11 +23,11 @@ TileModel model_tile(const gpusim::MachineSpec& spec, const Tile& tile,
   const std::size_t nq = tile.q_count;
   TileModel out;
 
-  // precalculation: two launches (stats pass + QT-seed pass), the first
-  // carrying zero cost, exactly as the engine issues them.
+  // precalculation: two launches (stats pass + blocked-GEMM QT-seed pass,
+  // the latter tensor-core eligible), exactly as the engine issues them.
   const double pre =
-      gpusim::modeled_seconds(spec, gpusim::KernelCost{}) +
-      gpusim::modeled_seconds(spec, precalc_cost<Traits>(nr, nq, d, m));
+      gpusim::modeled_seconds(spec, precalc_stats_cost<Traits>(nr, nq, d, m)) +
+      gpusim::modeled_seconds(spec, gemm_seed_cost<Traits>(nr, nq, d, m));
   out.per_kernel["precalculation"] += pre;
   out.kernel_seconds += pre;
 

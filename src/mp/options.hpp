@@ -51,6 +51,68 @@ inline RowPath parse_row_path(const std::string& name) {
                     "' (expected auto|fused|cooperative)");
 }
 
+/// Candidate prefilter in front of the exact per-row pipeline.
+///
+///  * kOff — every column runs the exact dist/sort/merge pipeline (the
+///    default; output bits match the golden checksums).
+///  * kSketch — FP16 random-projection sketches score column blocks per
+///    row; blocks whose correlation upper bound proves no profile update
+///    is possible run a QT-only recurrence update instead of the full
+///    pipeline.  A deterministic sample of skippable blocks is executed
+///    exactly anyway ("verify" blocks) to measure the miss rate.
+enum class PrefilterMode { kOff, kSketch };
+
+inline std::string to_string(PrefilterMode mode) {
+  switch (mode) {
+    case PrefilterMode::kOff: return "off";
+    case PrefilterMode::kSketch: return "sketch";
+  }
+  return "off";
+}
+
+inline PrefilterMode parse_prefilter_mode(const std::string& name) {
+  if (name == "off") return PrefilterMode::kOff;
+  if (name == "sketch") return PrefilterMode::kSketch;
+  throw ConfigError("unknown prefilter '" + name +
+                    "' (expected off|sketch)");
+}
+
+/// Knobs of the approximate sketch prefilter (see PrefilterMode::kSketch).
+struct PrefilterConfig {
+  PrefilterMode mode = PrefilterMode::kOff;
+
+  /// Target miss-rate bound: the acceptable probability that a column
+  /// inside a skipped block would have updated the profile.  Smaller
+  /// budgets widen the sketch guard band (fewer skips, fewer misses).
+  double budget = 0.01;
+
+  bool enabled() const { return mode != PrefilterMode::kOff; }
+};
+
+/// Per-tile (and, aggregated, per-run) decision accounting of the sketch
+/// prefilter.  Pure sums, so sub-tile merges and the run-level aggregate
+/// are plain additions; all counts are exact mode-independent block/column
+/// tallies, not samples — only `cols_missed` comes from the verify sample.
+struct PrefilterStats {
+  std::uint64_t blocks_total = 0;    ///< (row, block) decisions scored
+  std::uint64_t blocks_skipped = 0;  ///< ran the QT-only recurrence
+  std::uint64_t blocks_verified = 0; ///< skippable but executed exactly
+  std::uint64_t cols_skipped = 0;    ///< columns inside skipped blocks
+  std::uint64_t cols_verified = 0;   ///< columns inside verify blocks
+  std::uint64_t cols_missed = 0;     ///< verify columns this row updated
+
+  void merge_from(const PrefilterStats& other) {
+    blocks_total += other.blocks_total;
+    blocks_skipped += other.blocks_skipped;
+    blocks_verified += other.blocks_verified;
+    cols_skipped += other.cols_skipped;
+    cols_verified += other.cols_verified;
+    cols_missed += other.cols_missed;
+  }
+
+  bool any() const { return blocks_total != 0; }
+};
+
 /// Fault-tolerance knobs of the resilient multi-tile scheduler.
 struct ResilienceConfig {
   /// Bounded retries of a tile on one device after transient faults
@@ -108,7 +170,7 @@ struct ResilienceConfig {
 };
 
 /// Durable checkpoint/resume of the resilient scheduler.  The journal
-/// (format `mpsim-ckpt-v1`, see mp/checkpoint.hpp) records every
+/// (format `mpsim-ckpt-v2`, see mp/checkpoint.hpp) records every
 /// completed tile's merged profile slice and the RunEvent history; it is
 /// written atomically (temp + rename) every `interval_tiles` completed
 /// tiles, at the end of the run, and when a shutdown is requested.
@@ -147,6 +209,12 @@ struct MatrixProfileConfig {
   /// Per-row execution path of the tile engine (see RowPath).  Outputs are
   /// bit-identical across paths; this is a performance/debugging knob.
   RowPath row_path = RowPath::kAuto;
+
+  /// Approximate candidate prefilter (off by default; kSketch trades a
+  /// bounded miss rate for skipped per-row work — see PrefilterConfig).
+  /// Unlike row_path/simd this CAN change results, so it participates in
+  /// the checkpoint/serve-cache fingerprint.
+  PrefilterConfig prefilter;
 
   /// Fault-tolerance policy of the resilient scheduler.
   ResilienceConfig resilience;
@@ -267,6 +335,10 @@ struct MatrixProfileResult {
   std::vector<KernelBreakdownEntry> breakdown;  ///< per-kernel model time
 
   RunHealth health;  ///< fault-tolerance report of the resilient scheduler
+
+  /// Aggregated sketch-prefilter decision accounting (all zero when the
+  /// prefilter is off or every tile ran the exact CPU reference).
+  PrefilterStats prefilter;
 
   double modeled_total_seconds() const {
     return modeled_device_seconds + modeled_merge_seconds;

@@ -141,4 +141,28 @@ typename Traits::Storage centered_dot(
   return typename Traits::Storage(acc.value());
 }
 
+/// centered_dot with one side's centred samples hoisted: `a[t]` holds
+/// fixed[t] - mu_fixed, computed ONCE by the caller instead of once per
+/// (i, j) pair as the naive seeding loop did (each seed row/column calls
+/// this for every output column against the same fixed segment).
+/// Bit-identical to centered_dot: a[t] is the identical single
+/// subtraction, the per-element multiply and the reduction order are
+/// unchanged; `a_first` preserves the caller's original multiply operand
+/// order (fixed-side first for the seed row, sliding-side first for the
+/// seed column).
+template <typename Traits>
+typename Traits::Storage centered_dot_hoisted(
+    const typename Traits::PrecalcCompute* a,
+    const typename Traits::Storage* s, std::size_t m,
+    typename Traits::PrecalcCompute mu_s, bool a_first) {
+  using PC = typename Traits::PrecalcCompute;
+  detail::Accumulator<Traits> acc;
+  if (a_first) {
+    for (std::size_t t = 0; t < m; ++t) acc.add(a[t] * (PC(s[t]) - mu_s));
+  } else {
+    for (std::size_t t = 0; t < m; ++t) acc.add((PC(s[t]) - mu_s) * a[t]);
+  }
+  return typename Traits::Storage(acc.value());
+}
+
 }  // namespace mpsim::mp

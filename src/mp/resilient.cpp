@@ -219,7 +219,7 @@ void execute_attempt(const RunContext& ctx, int dev, PrecisionMode mode,
                                       *ctx.query, ctx.config->window, tile,
                                       ctx.config->exclusion, result,
                                       ctx.staging, ctx.config->row_path,
-                                      cancel);
+                                      ctx.config->prefilter, cancel);
   });
   stream.synchronize();
 }
@@ -252,6 +252,9 @@ void merge_sub_tiles(const TileResult& left, const TileResult& right,
   out.ledger.reset();
   out.ledger.merge_from(left.ledger);
   out.ledger.merge_from(right.ledger);
+  out.prefilter = {};
+  out.prefilter.merge_from(left.prefilter);
+  out.prefilter.merge_from(right.prefilter);
 }
 
 /// Executes a tile, degrading under memory pressure: when the device
@@ -294,7 +297,7 @@ void execute_with_split(const RunContext& ctx, SchedulerState& st, int dev,
 }
 
 /// Snapshot of every committed tile + the event history, written as an
-/// mpsim-ckpt-v1 journal.  The copy is taken under the scheduler lock;
+/// mpsim-ckpt-v2 journal.  The copy is taken under the scheduler lock;
 /// the file I/O runs outside it (serialised by checkpoint_mutex so
 /// concurrent committers cannot interleave temp files).
 void write_checkpoint_now(const RunContext& ctx, SchedulerState& st) {
@@ -315,6 +318,7 @@ void write_checkpoint_now(const RunContext& ctx, SchedulerState& st) {
       entry.mode = (*ctx.final_mode)[t];
       entry.profile = (*ctx.results)[t].profile;
       entry.index = (*ctx.results)[t].index;
+      entry.prefilter = (*ctx.results)[t].prefilter;
       data.tiles.push_back(std::move(entry));
     }
     data.events = st.health.events;
@@ -639,6 +643,7 @@ void device_worker(const RunContext& ctx, SchedulerState& st, int dev) {
         slot.index = std::move(attempt.index);
         slot.ledger.reset();
         slot.ledger.merge_from(attempt.ledger);
+        slot.prefilter = attempt.prefilter;
         (*ctx.executed_device)[job.index] = dev;
         (*ctx.final_mode)[job.index] = job.mode;
         st.consecutive_failed_tiles[std::size_t(dev)] = 0;
@@ -701,6 +706,7 @@ void cpu_fallback_tile(const TimeSeries& reference, const TimeSeries& query,
       compute_matrix_profile_cpu(sub_ref, sub_query, cc);
   result.profile = cpu.profile;
   result.ledger.reset();
+  result.prefilter = {};  // the CPU fallback always runs every column exact
   result.index.resize(cpu.index.size());
   for (std::size_t e = 0; e < cpu.index.size(); ++e) {
     // Local reference rows become global segment indices.
@@ -879,6 +885,7 @@ MatrixProfileResult run_resilient(gpusim::System& system,
         st.committed[t] = 1;
         results[t].profile = std::move(entry.profile);
         results[t].index = std::move(entry.index);
+        results[t].prefilter = entry.prefilter;
         executed_device[t] = entry.device;
         final_mode[t] = entry.mode;
         resumed += 1;
@@ -1029,6 +1036,28 @@ MatrixProfileResult run_resilient(gpusim::System& system,
       reg.gauge("kernel." + entry.name + ".modeled_seconds")
           .set(entry.modeled_seconds);
     }
+  }
+
+  // ---- Prefilter accounting (sketch runs only; exact runs stay all-zero
+  // and emit nothing).  Stats survive retries, sub-tile splits, checkpoint
+  // resume and the CPU fallback because every path above fills or merges
+  // the per-tile PrefilterStats it commits.
+  for (const auto& r : results) out.prefilter.merge_from(r.prefilter);
+  if (out.prefilter.any() && MetricsRegistry::global().enabled()) {
+    auto& reg = MetricsRegistry::global();
+    reg.counter("prefilter.blocks_total").add(out.prefilter.blocks_total);
+    reg.counter("prefilter.blocks_skipped")
+        .add(out.prefilter.blocks_skipped);
+    reg.counter("prefilter.blocks_verified")
+        .add(out.prefilter.blocks_verified);
+    reg.counter("prefilter.cols_skipped").add(out.prefilter.cols_skipped);
+    reg.counter("prefilter.cols_verified").add(out.prefilter.cols_verified);
+    reg.counter("prefilter.cols_missed").add(out.prefilter.cols_missed);
+    reg.gauge("prefilter.miss_rate")
+        .set(out.prefilter.cols_verified == 0
+                 ? 0.0
+                 : double(out.prefilter.cols_missed) /
+                       double(out.prefilter.cols_verified));
   }
 
   // ---- Health report. ----

@@ -63,6 +63,7 @@ const char* to_string(Stage stage) {
     case Stage::kSortScan: return "sort_scan";
     case Stage::kMerge: return "merge";
     case Stage::kPrecalc: return "precalc";
+    case Stage::kGemm: return "gemm";
   }
   return "dist_calc";
 }

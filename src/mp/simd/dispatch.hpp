@@ -63,7 +63,7 @@ enum Level { kScalar = 0, kF16C = 1, kAvx2 = 2 };
 
 /// Pipeline stages whose kernels have SIMD variants, as reported by the
 /// per-stage metrics counters (`simd.<stage>.<variant>`).
-enum class Stage { kDistCalc, kSortScan, kMerge, kPrecalc };
+enum class Stage { kDistCalc, kSortScan, kMerge, kPrecalc, kGemm };
 
 const char* to_string(Level level);
 const char* to_string(Stage stage);

@@ -1,0 +1,247 @@
+// Register-blocked GEMM panels of the QT seeding step (mp/gemm.hpp): the
+// first-row / first-column mean-centred sliding dot products, reformulated
+// as a blocked matrix product  out[j] = sum_t a[t] * (slide[j+t] - smu[j])
+// with the fixed-side centred samples a[t] hoisted into a panel by the
+// driver.  Lanes run ACROSS OUTPUT COLUMNS j, never across the reduction
+// index t: each lane replays the exact per-column scalar operation
+// sequence (accumulator update order t = 0..m-1), so vector and scalar
+// results are bit-identical for clean data by construction — the only
+// reassociation is the commuted multiply a[t] * b vs b * a[t], which is
+// bit-exact for non-NaN IEEE operands.  The build enables no FMA and the
+// mul/add steps stay separate intrinsics, matching the scalar bodies.
+//
+// NaN rule: unlike the dist_calc spans these panels do not screen
+// operands — sub/mul/add all propagate NaN, so a NaN anywhere in a
+// column's chain is sticky in that column's final accumulator, and the
+// driver (mp/gemm.hpp) re-derives every NaN output column through the
+// original centered_dot call, whose deterministic scalar NaN rules are
+// the reference.  Values stored from lanes that saw a NaN are therefore
+// always overwritten; their payloads never escape.
+//
+// Variants: 4-wide f64 / 8-wide f32 AVX panels (2x column-unrolled so one
+// a[t] broadcast feeds two accumulator registers), 8-wide F16C panels for
+// the emulated-half family (FP16: widen-op-round per operation; Mixed:
+// binary32 accumulation; FP16C: binary32 Kahan accumulation with the
+// exact 4-op compensation sequence per lane), and 8-wide AVX2 payload
+// panels for BF16/TF32 (one binary32 op + integer RNE re-round per
+// operation, kernels_avx2.hpp's widen_soft/round_soft_lanes idiom).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "mp/simd/dispatch.hpp"
+#include "mp/simd/kernels_avx2.hpp"
+#include "mp/simd/kernels_f16.hpp"
+#include "precision/float16.hpp"
+
+#ifdef MPSIM_SIMD_NATIVE
+
+#include <immintrin.h>
+
+namespace mpsim::mp::simd {
+
+/// 8-columns-per-panel f64 GEMM (two 4-wide accumulators).  `slide`,
+/// `smu`, `out` are pre-offset to the first output column; returns the
+/// column count handled (multiple of 8 — the driver's scalar blocked loop
+/// finishes the tail).
+inline std::size_t gemm_panels_f64(const double* MPSIM_SIMD_RESTRICT a,
+                                   std::size_t m, const double* slide,
+                                   const double* MPSIM_SIMD_RESTRICT smu,
+                                   std::size_t n,
+                                   double* MPSIM_SIMD_RESTRICT out) {
+  std::size_t jj = 0;
+  for (; jj + 8 <= n; jj += 8) {
+    const __m256d sm0 = _mm256_loadu_pd(smu + jj);
+    const __m256d sm1 = _mm256_loadu_pd(smu + jj + 4);
+    __m256d acc0 = _mm256_setzero_pd();
+    __m256d acc1 = _mm256_setzero_pd();
+    for (std::size_t t = 0; t < m; ++t) {
+      const __m256d va = _mm256_set1_pd(a[t]);
+      const __m256d b0 =
+          _mm256_sub_pd(_mm256_loadu_pd(slide + jj + t), sm0);
+      const __m256d b1 =
+          _mm256_sub_pd(_mm256_loadu_pd(slide + jj + t + 4), sm1);
+      acc0 = _mm256_add_pd(acc0, _mm256_mul_pd(va, b0));
+      acc1 = _mm256_add_pd(acc1, _mm256_mul_pd(va, b1));
+    }
+    _mm256_storeu_pd(out + jj, acc0);
+    _mm256_storeu_pd(out + jj + 4, acc1);
+  }
+  return jj;
+}
+
+/// 16-columns-per-panel f32 GEMM (two 8-wide accumulators); contract
+/// identical to gemm_panels_f64.
+inline std::size_t gemm_panels_f32(const float* MPSIM_SIMD_RESTRICT a,
+                                   std::size_t m, const float* slide,
+                                   const float* MPSIM_SIMD_RESTRICT smu,
+                                   std::size_t n,
+                                   float* MPSIM_SIMD_RESTRICT out) {
+  std::size_t jj = 0;
+  for (; jj + 16 <= n; jj += 16) {
+    const __m256 sm0 = _mm256_loadu_ps(smu + jj);
+    const __m256 sm1 = _mm256_loadu_ps(smu + jj + 8);
+    __m256 acc0 = _mm256_setzero_ps();
+    __m256 acc1 = _mm256_setzero_ps();
+    for (std::size_t t = 0; t < m; ++t) {
+      const __m256 va = _mm256_set1_ps(a[t]);
+      const __m256 b0 = _mm256_sub_ps(_mm256_loadu_ps(slide + jj + t), sm0);
+      const __m256 b1 =
+          _mm256_sub_ps(_mm256_loadu_ps(slide + jj + t + 8), sm1);
+      acc0 = _mm256_add_ps(acc0, _mm256_mul_ps(va, b0));
+      acc1 = _mm256_add_ps(acc1, _mm256_mul_ps(va, b1));
+    }
+    _mm256_storeu_ps(out + jj, acc0);
+    _mm256_storeu_ps(out + jj + 8, acc1);
+  }
+  return jj;
+}
+
+}  // namespace mpsim::mp::simd
+
+#endif  // MPSIM_SIMD_NATIVE
+
+#ifdef MPSIM_SIMD_F16
+
+namespace mpsim::mp::simd {
+
+/// 8-wide FP16-mode GEMM panel: every operation is one binary32 op on
+/// exactly widened halves rounded straight back (round_lanes_f16) — the
+/// vector image of the emulated float16 operator sequence
+///   b = slide[j+t] - smu[j];  p = a[t] * b;  acc = acc + p
+/// per column, accumulating in binary16 like PlainAccumulator<float16>.
+inline std::size_t gemm_panels_f16(const float16* MPSIM_SIMD_RESTRICT a,
+                                   std::size_t m, const float16* slide,
+                                   const float16* MPSIM_SIMD_RESTRICT smu,
+                                   std::size_t n,
+                                   float16* MPSIM_SIMD_RESTRICT out) {
+  constexpr int kRne = _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC;
+  std::size_t jj = 0;
+  for (; jj + 8 <= n; jj += 8) {
+    const __m256 sm = load_halves(smu + jj);
+    __m256 acc = _mm256_setzero_ps();
+    for (std::size_t t = 0; t < m; ++t) {
+      const __m256 va = _mm256_set1_ps(float(a[t]));
+      const __m256 b =
+          round_lanes_f16(_mm256_sub_ps(load_halves(slide + jj + t), sm));
+      const __m256 p = round_lanes_f16(_mm256_mul_ps(va, b));
+      acc = round_lanes_f16(_mm256_add_ps(acc, p));
+    }
+    // acc holds exactly-widened halves, so this narrowing is exact.
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + jj),
+                     _mm256_cvtps_ph(acc, kRne));
+  }
+  return jj;
+}
+
+/// 8-wide Mixed-mode GEMM panel: binary32 accumulation over widened
+/// halves (PlainAccumulator<float>), one RNE round to binary16 at the
+/// end.  vcvtps2ph on the binary32 accumulator equals the scalar
+/// float16(float) conversion: the value IS binary32, so there is no
+/// double rounding.
+inline std::size_t gemm_panels_f16_mixed(const float* MPSIM_SIMD_RESTRICT a,
+                                         std::size_t m, const float16* slide,
+                                         const float16* MPSIM_SIMD_RESTRICT smu,
+                                         std::size_t n,
+                                         float16* MPSIM_SIMD_RESTRICT out) {
+  constexpr int kRne = _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC;
+  std::size_t jj = 0;
+  for (; jj + 8 <= n; jj += 8) {
+    const __m256 sm = load_halves(smu + jj);
+    __m256 acc = _mm256_setzero_ps();
+    for (std::size_t t = 0; t < m; ++t) {
+      const __m256 va = _mm256_set1_ps(a[t]);
+      const __m256 b = _mm256_sub_ps(load_halves(slide + jj + t), sm);
+      acc = _mm256_add_ps(acc, _mm256_mul_ps(va, b));
+    }
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + jj),
+                     _mm256_cvtps_ph(acc, kRne));
+  }
+  return jj;
+}
+
+/// 8-wide FP16C-mode GEMM panel: binary32 Kahan accumulation per lane,
+/// replaying KahanAccumulator<float>::add's exact 4-operation sequence
+///   y = v - c;  t = sum + y;  c = (t - sum) - y;  sum = t
+/// so the compensation bits match the scalar path lane for lane.
+inline std::size_t gemm_panels_f16_kahan(
+    const float* MPSIM_SIMD_RESTRICT a, std::size_t m, const float16* slide,
+    const float16* MPSIM_SIMD_RESTRICT smu, std::size_t n,
+    float16* MPSIM_SIMD_RESTRICT out) {
+  constexpr int kRne = _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC;
+  std::size_t jj = 0;
+  for (; jj + 8 <= n; jj += 8) {
+    const __m256 sm = load_halves(smu + jj);
+    __m256 sum = _mm256_setzero_ps();
+    __m256 comp = _mm256_setzero_ps();
+    for (std::size_t t = 0; t < m; ++t) {
+      const __m256 va = _mm256_set1_ps(a[t]);
+      const __m256 b = _mm256_sub_ps(load_halves(slide + jj + t), sm);
+      const __m256 v = _mm256_mul_ps(va, b);
+      const __m256 y = _mm256_sub_ps(v, comp);
+      const __m256 t2 = _mm256_add_ps(sum, y);
+      comp = _mm256_sub_ps(_mm256_sub_ps(t2, sum), y);
+      sum = t2;
+    }
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + jj),
+                     _mm256_cvtps_ph(sum, kRne));
+  }
+  return jj;
+}
+
+}  // namespace mpsim::mp::simd
+
+#endif  // MPSIM_SIMD_F16
+
+#ifdef MPSIM_SIMD_AVX2
+
+#pragma GCC push_options
+#pragma GCC target("avx2,f16c")
+
+namespace mpsim::mp::simd::avx2 {
+
+/// 8-wide BF16/TF32 GEMM panel on raw payload words: each operation is
+/// one binary32 op on exactly-widened payloads re-rounded in place
+/// (round_soft_lanes), accumulating in the soft format like
+/// PlainAccumulator<soft_float>.  NaN payloads ride through the integer
+/// re-round unchanged in NaN-ness (the bias add cannot carry out of the
+/// mantissa), so column poisoning stays sticky for the driver's redo scan.
+inline std::size_t gemm_panels_soft(int shift,
+                                    const std::uint32_t* MPSIM_SIMD_RESTRICT a,
+                                    std::size_t m, const std::uint32_t* slide,
+                                    const std::uint32_t* MPSIM_SIMD_RESTRICT smu,
+                                    std::size_t n,
+                                    std::uint32_t* MPSIM_SIMD_RESTRICT out) {
+  const __m128i cnt = _mm_cvtsi32_si128(shift);
+  const __m256i bias = _mm256_set1_epi32((1 << (shift - 1)) - 1);
+  const __m256i one_i = _mm256_set1_epi32(1);
+  const auto rnd = [&](__m256 v) {
+    return round_soft_lanes(v, cnt, bias, one_i);
+  };
+  std::size_t jj = 0;
+  for (; jj + 8 <= n; jj += 8) {
+    const __m256 sm = widen_soft(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(smu + jj)), cnt);
+    __m256 acc = _mm256_setzero_ps();
+    for (std::size_t t = 0; t < m; ++t) {
+      const __m256 va = widen_soft(_mm256_set1_epi32(int(a[t])), cnt);
+      const __m256 sl = widen_soft(
+          _mm256_loadu_si256(
+              reinterpret_cast<const __m256i*>(slide + jj + t)),
+          cnt);
+      const __m256 b = rnd(_mm256_sub_ps(sl, sm));
+      const __m256 p = rnd(_mm256_mul_ps(va, b));
+      acc = rnd(_mm256_add_ps(acc, p));
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + jj),
+                        narrow_soft(acc, cnt));
+  }
+  return jj;
+}
+
+}  // namespace mpsim::mp::simd::avx2
+
+#pragma GCC pop_options
+
+#endif  // MPSIM_SIMD_AVX2

@@ -18,7 +18,9 @@
 #include "mp/simd/dispatch.hpp"
 #include "mp/simd/kernels_avx2.hpp"
 #include "mp/simd/kernels_f16.hpp"
+#include "mp/simd/kernels_gemm.hpp"
 #include "mp/simd/kernels_native.hpp"
+#include "mp/simd/kernels_qt.hpp"
 #include "mp/sort_scan.hpp"
 #include "precision/float16.hpp"
 #include "precision/soft_float.hpp"
@@ -97,6 +99,88 @@ inline Level precalc_f16_variant() {
 #endif
 }
 
+/// Variant the GEMM seed panels (mp/gemm.hpp) would run with for this
+/// mode: keyed on Storage — the emulated-half family (FP16 / Mixed /
+/// FP16C) uses the F16C conversion panels whatever its accumulation
+/// type, the native and soft formats ride the AVX/AVX2 tiers.
+template <typename Traits>
+Level gemm_variant() {
+  using ST = typename Traits::Storage;
+  const Level lv = active_level();
+#ifdef MPSIM_SIMD_F16
+  if constexpr (std::is_same_v<ST, float16>) {
+    return lv >= kF16C ? kF16C : kScalar;
+  }
+#endif
+#ifdef MPSIM_SIMD_NATIVE
+  if constexpr (std::is_same_v<ST, double> || std::is_same_v<ST, float>) {
+    return lv >= kAvx2 ? kAvx2 : kScalar;
+  }
+#endif
+#ifdef MPSIM_SIMD_AVX2
+  if constexpr (kIsSoftFloat<ST>) {
+    return lv >= kAvx2 ? kAvx2 : kScalar;
+  }
+#endif
+  (void)lv;
+  return kScalar;
+}
+
+// --- GEMM seed panels ---------------------------------------------------
+
+/// Vectorized GEMM panels over `n` output columns of the QT seeding dot
+/// products (mp/gemm.hpp pre-offsets slide/smu/out to the first column and
+/// passes the hoisted fixed-side panel `a`).  Returns columns handled
+/// (0 when dispatched scalar); the driver's blocked scalar loop finishes
+/// the tail and re-derives NaN columns.
+template <typename Traits>
+inline std::size_t gemm_panels(const typename Traits::PrecalcCompute* a,
+                               std::size_t m,
+                               const typename Traits::Storage* slide,
+                               const typename Traits::Storage* smu,
+                               std::size_t n,
+                               typename Traits::Storage* out) {
+  using ST = typename Traits::Storage;
+  using PC = typename Traits::PrecalcCompute;
+#ifdef MPSIM_SIMD_F16
+  if constexpr (std::is_same_v<ST, float16>) {
+    if (active_level() >= kF16C) {
+      if constexpr (std::is_same_v<PC, float16>) {
+        return gemm_panels_f16(a, m, slide, smu, n, out);
+      } else if constexpr (Traits::kCompensatedPrecalc) {
+        return gemm_panels_f16_kahan(a, m, slide, smu, n, out);
+      } else {
+        return gemm_panels_f16_mixed(a, m, slide, smu, n, out);
+      }
+    }
+  }
+#endif
+#ifdef MPSIM_SIMD_NATIVE
+  if constexpr (std::is_same_v<ST, double>) {
+    if (active_level() >= kAvx2) {
+      return gemm_panels_f64(a, m, slide, smu, n, out);
+    }
+  } else if constexpr (std::is_same_v<ST, float>) {
+    if (active_level() >= kAvx2) {
+      return gemm_panels_f32(a, m, slide, smu, n, out);
+    }
+  }
+#endif
+#ifdef MPSIM_SIMD_AVX2
+  if constexpr (kIsSoftFloat<ST>) {
+    if (active_level() >= kAvx2) {
+      return avx2::gemm_panels_soft(
+          kSoftShift<ST>, reinterpret_cast<const std::uint32_t*>(a), m,
+          reinterpret_cast<const std::uint32_t*>(slide),
+          reinterpret_cast<const std::uint32_t*>(smu), n,
+          reinterpret_cast<std::uint32_t*>(out));
+    }
+  }
+#endif
+  (void)a; (void)m; (void)slide; (void)smu; (void)n; (void)out;
+  return 0;
+}
+
 // --- dist_calc ----------------------------------------------------------
 
 /// Vectorized dist_calc span over `n` contiguous columns of one dimension
@@ -148,6 +232,52 @@ inline std::int64_t dist_calc_span(std::int64_t n, CT df_ri, CT dg_ri,
   (void)n; (void)df_ri; (void)dg_ri; (void)inv_ri; (void)two_m;
   (void)qt_prev_m1; (void)df_q; (void)dg_q; (void)inv_q; (void)qt_next;
   (void)dist;
+  return 0;
+}
+
+/// Vectorized QT-only recurrence span (the prefilter's skip path, see
+/// kernels_qt.hpp): advances qt_next over `n` columns without computing
+/// distances.  Same return/pointer contract as dist_calc_span; the QT
+/// bits written are identical to dist_calc_span's for every type.
+template <typename CT>
+inline std::int64_t qt_only_span(std::int64_t n, CT df_ri, CT dg_ri,
+                                 const CT* qt_prev_m1, const CT* df_q,
+                                 const CT* dg_q, CT* qt_next) {
+#ifdef MPSIM_SIMD_F16
+  if constexpr (std::is_same_v<CT, float16>) {
+    if (active_level() >= kF16C) {
+      return qt_only_span_f16(n, df_ri, dg_ri, qt_prev_m1, df_q, dg_q,
+                              qt_next);
+    }
+  }
+#endif
+#ifdef MPSIM_SIMD_NATIVE
+  if constexpr (std::is_same_v<CT, double>) {
+    if (active_level() >= kAvx2) {
+      return qt_only_span_f64(n, df_ri, dg_ri, qt_prev_m1, df_q, dg_q,
+                              qt_next);
+    }
+  } else if constexpr (std::is_same_v<CT, float>) {
+    if (active_level() >= kAvx2) {
+      return qt_only_span_f32(n, df_ri, dg_ri, qt_prev_m1, df_q, dg_q,
+                              qt_next);
+    }
+  }
+#endif
+#ifdef MPSIM_SIMD_AVX2
+  if constexpr (kIsSoftFloat<CT>) {
+    if (active_level() >= kAvx2) {
+      return avx2::qt_only_span_soft(
+          kSoftShift<CT>, n, df_ri.bits(), dg_ri.bits(),
+          reinterpret_cast<const std::uint32_t*>(qt_prev_m1),
+          reinterpret_cast<const std::uint32_t*>(df_q),
+          reinterpret_cast<const std::uint32_t*>(dg_q),
+          reinterpret_cast<std::uint32_t*>(qt_next));
+    }
+  }
+#endif
+  (void)n; (void)df_ri; (void)dg_ri; (void)qt_prev_m1; (void)df_q;
+  (void)dg_q; (void)qt_next;
   return 0;
 }
 
@@ -330,6 +460,7 @@ void note_tile_variants(bool fused, bool skip_sort) {
       std::is_same_v<typename Traits::PrecalcCompute, float16> &&
       std::is_same_v<ST, float16> && !Traits::kCompensatedPrecalc;
   note(Stage::kPrecalc, f16_precalc ? precalc_f16_variant() : kScalar);
+  note(Stage::kGemm, gemm_variant<Traits>());
 }
 
 }  // namespace mpsim::mp::simd

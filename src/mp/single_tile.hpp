@@ -15,6 +15,7 @@
 // converts to the storage format.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <memory>
@@ -22,8 +23,10 @@
 
 #include "gpusim/faults.hpp"
 #include "gpusim/kernel.hpp"
+#include "mp/gemm.hpp"
 #include "mp/kernels.hpp"
 #include "mp/options.hpp"
+#include "mp/sketch.hpp"
 #include "mp/staging.hpp"
 #include "mp/tile_plan.hpp"
 #include "mp/tuning.hpp"
@@ -36,6 +39,7 @@ struct TileResult {
   std::vector<double> profile;       // [k * q_count + j], binary64 view
   std::vector<std::int64_t> index;   // global reference segment indices
   gpusim::KernelLedger ledger;       // this tile's modelled launches
+  PrefilterStats prefilter;          // sketch-prefilter decision tallies
 };
 
 template <typename Traits>
@@ -48,20 +52,25 @@ class SingleTileEngine {
   /// `staging` (optional) supplies the series pre-converted to storage
   /// precision so the tile stages with a memcpy slice; it must outlive the
   /// stream work too.  `row_path` selects the per-row execution path
-  /// (fused vs cooperative; identical output bits either way).  `cancel`
-  /// (optional) is polled once per tile row and inside every launch: a
-  /// cancelled attempt unwinds with CancelledError — polling never touches
-  /// the arithmetic, so outputs stay bit-identical with or without it.
+  /// (fused vs cooperative; identical output bits either way).
+  /// `prefilter` opts the fused path into the approximate sketch gate
+  /// (mp/sketch.hpp); the default-off config keeps every column exact and
+  /// the output bit-identical to pre-prefilter builds.  The cooperative
+  /// path ignores it (always exact).  `cancel` (optional) is polled once
+  /// per tile row and inside every launch: a cancelled attempt unwinds
+  /// with CancelledError — polling never touches the arithmetic, so
+  /// outputs stay bit-identical with or without it.
   static void enqueue(gpusim::Device& device, gpusim::Stream* stream,
                       const TimeSeries& reference, const TimeSeries& query,
                       std::size_t m, const Tile& tile, std::int64_t exclusion,
                       TileResult& result, StagingCache* staging = nullptr,
                       RowPath row_path = RowPath::kAuto,
+                      PrefilterConfig prefilter = {},
                       const gpusim::CancellationToken* cancel = nullptr) {
     auto run = [&device, &reference, &query, m, tile, exclusion, &result,
-                staging, row_path, cancel] {
+                staging, row_path, prefilter, cancel] {
       run_tile(device, reference, query, m, tile, exclusion, result, staging,
-               row_path, cancel);
+               row_path, prefilter, cancel);
     };
     if (stream != nullptr) {
       stream->enqueue(std::move(run));
@@ -75,7 +84,7 @@ class SingleTileEngine {
                        const TimeSeries& query, std::size_t m,
                        const Tile& tile, std::int64_t exclusion,
                        TileResult& result, StagingCache* staging,
-                       RowPath row_path,
+                       RowPath row_path, const PrefilterConfig& prefilter,
                        const gpusim::CancellationToken* cancel) {
     const std::size_t d = reference.dims();
     const std::size_t nr = tile.r_count;
@@ -172,31 +181,41 @@ class SingleTileEngine {
       };
       gpusim::launch_grid_stride(device, nullptr, "precalculation", config,
                                  std::int64_t(2 * d),
-                                 gpusim::KernelCost{},  // costed below
+                                 precalc_stats_cost<Traits>(nr, nq, d, m),
                                  body, tl, cancel);
 
       // QT seeds: first row (all query columns) and first column (all
-      // reference rows) as naive mean-centred dot products.
+      // reference rows), computed as a blocked GEMM over each chunk's
+      // contiguous output ranges (mp/gemm.hpp) — bit-identical to the
+      // naive centered_dot loop it replaces for every chunk split, since
+      // output columns are independent.  Items [0, nq) are seed-row
+      // columns, items [nq, nq + nr) are seed-column rows.
       auto seeds = [&, base_r, base_q](std::int64_t begin, std::int64_t end) {
-        for (std::int64_t item = begin; item < end; ++item) {
-          for (std::size_t k = 0; k < d; ++k) {
-            if (item < std::int64_t(nq)) {
-              const auto j = std::size_t(item);
-              qt_row[k * nq + j] = centered_dot<Traits>(
-                  base_r + k * len_r, base_q + k * len_q + j, m,
-                  mu_r[k * nr + 0], mu_q[k * nq + j]);
-            } else {
-              const auto i = std::size_t(item) - nq;
-              qt_col[k * nr + i] = centered_dot<Traits>(
-                  base_r + k * len_r + i, base_q + k * len_q, m,
-                  mu_r[k * nr + i], mu_q[k * nq + 0]);
-            }
+        for (std::size_t k = 0; k < d; ++k) {
+          if (begin < std::int64_t(nq)) {
+            const auto j0 = std::size_t(begin);
+            const auto j1 = std::size_t(std::min(end, std::int64_t(nq)));
+            gemm_sliding_dots<Traits>(base_r + k * len_r, mu_r[k * nr + 0],
+                                      base_q + k * len_q,
+                                      mu_q.data() + k * nq, m, j0, j1,
+                                      /*slide_first=*/false,
+                                      qt_row.data() + k * nq);
+          }
+          if (end > std::int64_t(nq)) {
+            const auto i0 =
+                std::size_t(std::max(begin, std::int64_t(nq))) - nq;
+            const auto i1 = std::size_t(end) - nq;
+            gemm_sliding_dots<Traits>(base_q + k * len_q, mu_q[k * nq + 0],
+                                      base_r + k * len_r,
+                                      mu_r.data() + k * nr, m, i0, i1,
+                                      /*slide_first=*/true,
+                                      qt_col.data() + k * nr);
           }
         }
       };
       gpusim::launch_grid_stride(device, nullptr, "precalculation", config,
                                  std::int64_t(nr + nq),
-                                 precalc_cost<Traits>(nr, nq, d, m), seeds,
+                                 gemm_seed_cost<Traits>(nr, nq, d, m), seeds,
                                  tl, cancel);
     }
 
@@ -292,6 +311,54 @@ class SingleTileEngine {
         row_records(watch.seconds());
       };
 
+      // Approximate sketch prefilter (opt-in, fused path only): builds
+      // per-segment FP16 sketches once, scores column groups per row
+      // batch, and runs the QT-only recurrence where the score says no
+      // profile update is possible (mp/sketch.hpp has the contract).
+      // The per-row ledger cadence — fault points, cancellation polls,
+      // record_fused_launch triple — is identical to the exact loop.
+      TilePrefilter pf(prefilter, m, d, nr, nq);
+      const bool prefiltered = pf.enabled();
+      if (prefiltered) {
+        pf.template build<Traits>(host_r.data(), len_r, mu_r.data(),
+                                  inv_r.data(), host_q.data(), len_q,
+                                  mu_q.data(), inv_q.data());
+      }
+      const auto run_prefiltered_row = [&](std::size_t i, ST* qp, ST* qn) {
+        const std::size_t b0 = i - i % pf.batch_rows();
+        if (i == b0) {
+          pf.template score_batch<Traits>(
+              profile.data(), i, std::min(pf.batch_rows(), nr - i));
+        }
+        row_prologue();
+        Stopwatch watch;
+        device.pool().parallel_for(
+            nq, [&, i, qp, qn](std::size_t begin, std::size_t end) {
+              pf.for_groups(begin, end, [&](std::size_t gb, std::size_t ge,
+                                            PrefilterDecision dec) {
+                if (dec == PrefilterDecision::kSkip) {
+                  qt_only_row_body<Traits>(
+                      std::int64_t(gb), std::int64_t(ge), i, nq, d,
+                      qt_row.data(), qt_col.data(), nr, df_r.data(),
+                      dg_r.data(), df_q.data(), dg_q.data(), qp, qn);
+                } else {
+                  fused_row_body<Traits>(
+                      std::int64_t(gb), std::int64_t(ge), i, nq, m, d,
+                      qt_row.data(), qt_col.data(), nr, df_r.data(),
+                      dg_r.data(), inv_r.data(), df_q.data(), dg_q.data(),
+                      inv_q.data(), qp, qn, std::int64_t(tile.r_begin + i),
+                      std::int64_t(tile.q_begin), exclusion, profile.data(),
+                      index.data());
+                }
+              });
+            });
+        row_records(watch.seconds());
+        if (i + 1 == std::min(b0 + pf.batch_rows(), nr)) {
+          pf.note_batch_end(index.data(), std::int64_t(tile.r_begin + b0),
+                            std::int64_t(tile.r_begin + i));
+        }
+      };
+
       // Diagonal batching: BT >= 2 consecutive rows per dispatch round
       // amortise the parallel_for dispatch overhead over small-nq tiles
       // (see kernels.hpp, batched_rows_phase_a).  The scan rows of a batch
@@ -304,6 +371,15 @@ class SingleTileEngine {
       if (bt_cfg >= 2) batch_scan.resize(bt_cfg * lanes * nq);
 
       for (std::size_t i0 = 0; i0 < nr;) {
+        if (prefiltered) {
+          // The prefilter scores and dispatches per column group within
+          // each row, so it supplies its own batching (row batches share
+          // one scoring pass); diagonal batching stays off.
+          run_prefiltered_row(i0, qt_prev, qt_next);
+          std::swap(qt_prev, qt_next);
+          ++i0;
+          continue;
+        }
         const std::size_t bt = std::min(bt_cfg, nr - i0);
         if (bt < 2) {
           run_single_row(i0, qt_prev, qt_next);
@@ -339,6 +415,7 @@ class SingleTileEngine {
         i0 += bt;
       }
 
+      result.prefilter = pf.stats();
       finish_tile(device, nq, d, profile, index, result, tl, cancel);
       return;
     }

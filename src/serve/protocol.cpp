@@ -55,7 +55,7 @@ Request parse_request(const std::string& line) {
   const CliArgs args = args_from_tokens(tokens);
   args.check_known({"reference", "query", "self-join", "window", "mode",
                     "tiles", "devices", "machine", "exclusion", "row-path",
-                    "id"});
+                    "prefilter", "prefilter-budget", "id"});
   req.id = args.get_string("id", "");
   req.reference_path = args.get_string("reference", "");
   MPSIM_CHECK(!req.reference_path.empty(), "query needs --reference=PATH");
@@ -75,6 +75,10 @@ Request parse_request(const std::string& line) {
   config.exclusion = args.get_int(
       "exclusion", req.self_join ? std::int64_t(config.window / 2) : 0);
   config.row_path = mp::parse_row_path(args.get_string("row-path", "auto"));
+  config.prefilter.mode =
+      mp::parse_prefilter_mode(args.get_string("prefilter", "off"));
+  config.prefilter.budget =
+      args.get_double("prefilter-budget", config.prefilter.budget);
   return req;
 }
 

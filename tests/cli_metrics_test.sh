@@ -97,4 +97,58 @@ print(f"metrics JSON OK ({len(c)} counters, {len(h)} histograms, "
       f"{len(trace)} trace events)")
 EOF
 
+# Sketch-prefilter decision trace: a smooth repeating workload (three
+# noisy copies of one smoothed pattern — the regime the sketch bound is
+# tight for) must produce real skips, and the full prefilter.* decision
+# accounting plus the prefilter.miss_rate gauge must land in
+# --metrics-out, self-consistent and within the configured budget.
+python3 - > "$WORK/smooth.csv" <<'EOF'
+import math, random
+random.seed(101)
+seg = 911
+white = [random.gauss(0, 1.0) for _ in range(seg + 200)]
+kern = [math.exp(-0.5 * (t / 15.0) ** 2) for t in range(-100, 100)]
+base = [sum(w * k for w, k in zip(white[t:t + 200], kern))
+        for t in range(seg)]
+mean = sum(base) / seg
+sd = (sum((v - mean) ** 2 for v in base) / seg) ** 0.5
+base = [(v - mean) / sd for v in base]
+print("a,b")
+for rep in range(3):
+    for t in range(seg):
+        a = base[t] + random.gauss(0, 0.005)
+        b = base[(t + 307) % seg] + random.gauss(0, 0.005)
+        print("%.6f,%.6f" % (a, b))
+EOF
+"$BUILD/tools/mpsim_cli" --reference="$WORK/smooth.csv" --self-join \
+    --window=400 --mode=FP16 --exclusion=100 \
+    --prefilter=sketch --prefilter-budget=0.05 \
+    --metrics-out="$WORK/prefilter_metrics.json" \
+    --motifs=0 > "$WORK/prefilter_run.log"
+
+python3 - "$WORK/prefilter_metrics.json" <<'EOF'
+import json, sys
+
+metrics = json.load(open(sys.argv[1]))
+c = metrics["counters"]
+g = metrics["gauges"]
+for key in ("prefilter.blocks_total", "prefilter.blocks_skipped",
+            "prefilter.blocks_verified", "prefilter.cols_skipped",
+            "prefilter.cols_verified", "prefilter.cols_missed"):
+    assert key in c, (key, sorted(c))
+assert c["prefilter.blocks_total"] > 0, c
+assert c["prefilter.cols_skipped"] > 0, "no skips on the smooth workload"
+assert (c["prefilter.blocks_skipped"] + c["prefilter.blocks_verified"]
+        <= c["prefilter.blocks_total"]), c
+assert c["prefilter.cols_missed"] <= c["prefilter.cols_verified"], c
+rate = g.get("prefilter.miss_rate")
+assert rate is not None, sorted(g)
+verified = c["prefilter.cols_verified"]
+expected = c["prefilter.cols_missed"] / verified if verified else 0.0
+assert abs(rate - expected) < 1e-12, (rate, expected)
+assert rate <= 0.05, f"measured miss rate {rate} above the 0.05 budget"
+print(f"prefilter metrics OK (skipped {c['prefilter.cols_skipped']} cols, "
+      f"miss rate {rate})")
+EOF
+
 echo "cli metrics OK"

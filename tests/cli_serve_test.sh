@@ -67,6 +67,7 @@ QUERIES=(
   "--reference=$WORK/ref.csv --self-join --window=32 --mode=FP16 --tiles=2"
   "--reference=$WORK/ref.csv --query=$WORK/q.csv --window=48 --mode=FP16 --tiles=2 --devices=2"
   "--reference=$WORK/ref.csv --self-join --window=40 --mode=FP16"
+  "--reference=$WORK/ref.csv --self-join --window=32 --mode=FP16 --prefilter=sketch --prefilter-budget=0.05"
 )
 # Sent while the daemon is draining after SIGTERM; must still complete.
 DRAIN_QUERY="--reference=$WORK/ref.csv --self-join --window=20 --mode=FP32"

@@ -38,6 +38,7 @@ int run(int argc, char** argv) {
                     "motifs", "discords", "repair", "auto-tiles", "chains",
                     "faults", "max-retries", "escalate-precision",
                     "metrics-out", "trace-out", "row-path", "simd",
+                    "prefilter", "prefilter-budget",
                     "checkpoint",
                     "resume", "checkpoint-interval", "kill-after-tiles",
                     "watchdog", "watchdog-slack", "device-memory-mb",
@@ -56,6 +57,7 @@ int run(int argc, char** argv) {
         "                 [--metrics-out=FILE.json] [--trace-out=FILE.json]\n"
         "                 [--row-path=auto|fused|cooperative]\n"
         "                 [--simd=auto|scalar|f16c|avx2]\n"
+        "                 [--prefilter=off|sketch] [--prefilter-budget=B]\n"
         "                 [--checkpoint=FILE.ckpt] [--resume=FILE.ckpt]\n"
         "                 [--checkpoint-interval=K] [--watchdog]\n"
         "                 [--watchdog-slack=S] [--device-memory-mb=M]\n"
@@ -70,7 +72,12 @@ int run(int argc, char** argv) {
         "durability: --checkpoint journals completed tiles every K commits\n"
         "  (atomic write; SIGINT/SIGTERM flush it before exit, status 130)\n"
         "  and --resume restores them, skipping finished tiles; --watchdog\n"
-        "  re-executes hung tiles speculatively on another device\n");
+        "  re-executes hung tiles speculatively on another device\n"
+        "approximation: --prefilter=sketch gates the exact recurrence with\n"
+        "  FP16 random-projection sketches (fused row path only; default\n"
+        "  off = bit-exact); --prefilter-budget bounds the acceptable miss\n"
+        "  rate, measured by a verify sample and reported as prefilter.*\n"
+        "  counters + the prefilter.miss_rate gauge in --metrics-out\n");
     return args.has("reference") ? 0 : 2;
   }
 
@@ -109,6 +116,10 @@ int run(int argc, char** argv) {
   config.resilience.escalate_precision =
       args.get_bool("escalate-precision", false);
   config.row_path = mp::parse_row_path(args.get_string("row-path", "auto"));
+  config.prefilter.mode =
+      mp::parse_prefilter_mode(args.get_string("prefilter", "off"));
+  config.prefilter.budget =
+      args.get_double("prefilter-budget", config.prefilter.budget);
   // SIMD kernel dispatch is a process-wide executor knob, not a per-run
   // config field: every mode/path produces bit-identical output under any
   // level, so it never changes results — only throughput.
