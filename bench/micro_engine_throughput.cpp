@@ -8,13 +8,16 @@
 #include <atomic>
 #include <vector>
 
+#include "cluster/coordinator.hpp"
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
 #include "gpusim/kernel.hpp"
 #include "mp/gemm.hpp"
 #include "mp/kernels.hpp"
+#include "mp/matrix_profile.hpp"
 #include "mp/sketch.hpp"
 #include "precision/modes.hpp"
+#include "tsdata/synthetic.hpp"
 
 namespace {
 
@@ -367,6 +370,34 @@ void BM_RowBatchDispatch(benchmark::State& state) {
                           std::int64_t(bt));
 }
 
+void BM_CoordinatorDispatch(benchmark::State& state) {
+  // Per-tile overhead of the elastic multi-node coordinator: one full
+  // tiny matrix-profile run per iteration (8 tiles, 2 devices per node),
+  // items = tiles retired per second.  nodes == 1 is the passthrough
+  // single-node cost; larger node counts add the coordinator's dispatch,
+  // commit arbitration and node lifecycle machinery on top.
+  const int nodes = int(state.range(0));
+  SyntheticSpec spec;
+  spec.segments = 128;
+  spec.dims = 1;
+  spec.window = 16;
+  spec.injections_per_dim = 1;
+  const auto data = make_synthetic_dataset(spec);
+  MatrixProfileConfig config;
+  config.window = 16;
+  config.tiles = 8;
+  config.devices = 2;
+  cluster::ElasticClusterConfig elastic;
+  elastic.nodes = nodes;
+  for (auto _ : state) {
+    auto result = cluster::compute_matrix_profile_elastic(
+        data.reference, data.query, config, elastic);
+    benchmark::DoNotOptimize(result.profile.data());
+  }
+  state.SetItemsProcessed(std::int64_t(state.iterations()) *
+                          std::int64_t(config.tiles));
+}
+
 void BM_Float16Arithmetic(benchmark::State& state) {
   Rng rng(4);
   std::vector<float16> a(4096), b(4096);
@@ -417,5 +448,6 @@ BENCHMARK(BM_Float16Decode);
 BENCHMARK(BM_Float16Arithmetic);
 BENCHMARK(BM_ParallelForDispatch)->Arg(64)->Arg(4096);
 BENCHMARK(BM_RowBatchDispatch)->Arg(1)->Arg(8)->Arg(32);
+BENCHMARK(BM_CoordinatorDispatch)->Arg(1)->Arg(2)->Arg(4);
 
 BENCHMARK_MAIN();

@@ -184,3 +184,41 @@ if failures:
     sys.exit(1)
 print("check_perf prefilter diff: PASS")
 PY
+
+# ---- Elastic coordinator counter diff --------------------------------------
+# A fault-free 2-node run with stealing off is fully deterministic: static
+# round-robin sharding dispatches every tile exactly once and each node
+# commits its own tiles exactly once, so the coordinator.* / node.*
+# counters (and the coordinator.nodes gauge) are exact numbers — pinned in
+# the "metrics_cluster" baseline section.  Drift means the dispatch or
+# commit-arbitration logic changed.  Reuses the srand(5) CSV from the
+# metrics leg above.
+"$CLI" --reference="$WORK/ref.csv" --self-join --window=32 --mode=Mixed \
+    --tiles=4 --nodes=2 --steal=off --simd=scalar \
+    --metrics-out="$WORK/cluster_metrics.json" --motifs=0 > /dev/null
+
+python3 - "$BASELINE" "$WORK/cluster_metrics.json" <<'PY'
+import json, sys
+
+baseline_path, metrics_path = sys.argv[1:3]
+base = json.load(open(baseline_path)).get("metrics_cluster", {}).get("counters", {})
+head_doc = json.load(open(metrics_path))
+head = dict(head_doc["counters"])
+head["coordinator.nodes"] = head_doc["gauges"]["coordinator.nodes"]
+
+failures = []
+for name, ref in sorted(base.items()):
+    got = head.get(name)
+    verdict = "ok"
+    if got != ref:
+        verdict = "CHANGED"
+        failures.append(f"{name}: {got} vs baseline {ref}")
+    print(f"  {name:36s} baseline {ref!s:>12}  head {got!s:>12}  {verdict}")
+
+if failures:
+    print("check_perf cluster diff: FAIL")
+    for f in failures:
+        print("  " + f)
+    sys.exit(1)
+print("check_perf cluster diff: PASS")
+PY

@@ -50,10 +50,19 @@ run_one() {
         --gtest_filter='ResilientScheduler.Watchdog*:ResilientScheduler.RepeatedHangs*' \
         --gtest_repeat=5
     bash tests/chaos_soak_test.sh "$dir"
+    # The elastic coordinator runs a monitor thread plus one shard
+    # scheduler (monitor + device workers) per simulated node; soak the
+    # cross-node recovery paths and the full multi-node identity leg.
+    "$dir"/tests/test_cluster --gtest_filter='ElasticCoordinator.*' \
+        --gtest_repeat=3
+    bash tests/cli_cluster_test.sh "$dir"
     # The serve daemon adds accept/connection/executor threads on top of
-    # the scheduler; soak the in-process server end-to-end and the full
-    # concurrent-client shell leg under TSan.
+    # the scheduler; soak the in-process server end-to-end, the SIGTERM
+    # drain-vs-admission race, and the full concurrent-client shell leg
+    # under TSan.
     "$dir"/tests/test_serve --gtest_filter='ServeServer.*' --gtest_repeat=5
+    "$dir"/tests/test_serve \
+        --gtest_filter='ServeJobQueue.ConcurrentDrain*' --gtest_repeat=10
     if command -v python3 >/dev/null; then
       bash tests/cli_serve_test.sh "$dir"
     fi

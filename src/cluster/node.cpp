@@ -1,0 +1,63 @@
+#include "cluster/node.hpp"
+
+#include <algorithm>
+#include <string>
+#include <thread>
+
+#include "gpusim/spec.hpp"
+
+namespace mpsim::cluster {
+
+namespace {
+
+mp::MatrixProfileConfig node_config(int id,
+                                    const mp::MatrixProfileConfig& base) {
+  mp::MatrixProfileConfig config = base;
+  if (!config.checkpoint.write_path.empty()) {
+    config.checkpoint.write_path += ".node" + std::to_string(id);
+  }
+  config.checkpoint.resume_path.clear();
+  config.checkpoint.kill_after_tiles = 0;  // the coordinator counts globally
+  config.staging_cache = nullptr;
+  return config;
+}
+
+gpusim::MachineSpec node_spec(const mp::MatrixProfileConfig& base) {
+  gpusim::MachineSpec spec = gpusim::spec_by_name(base.machine);
+  if (base.device_memory_bytes != 0) {
+    spec.memory_capacity_bytes = base.device_memory_bytes;
+  }
+  return spec;
+}
+
+std::size_t node_workers(int total_nodes,
+                         const mp::MatrixProfileConfig& base) {
+  std::size_t total = base.workers;
+  if (total == 0) {
+    total = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  return std::max<std::size_t>(
+      1, total / std::size_t(std::max(1, total_nodes)));
+}
+
+}  // namespace
+
+ClusterNode::ClusterNode(int id, int total_nodes,
+                         const mp::MatrixProfileConfig& base)
+    : id_(id),
+      config_(node_config(id, base)),
+      system_(node_spec(base), base.devices, node_workers(total_nodes, base),
+              /*index_base=*/id * base.devices) {}
+
+mp::ShardOutcome ClusterNode::run(
+    const TimeSeries& reference, const TimeSeries& query,
+    const std::vector<mp::Tile>& tiles,
+    const std::vector<std::size_t>& initial, const mp::ShardHooks& hooks,
+    const std::vector<mp::CheckpointSlice>* prefixes,
+    std::uint64_t fingerprint) {
+  return mp::run_resilient_shard(system_, reference, query, config_, tiles,
+                                 initial, id_, device_base(), hooks, prefixes,
+                                 fingerprint);
+}
+
+}  // namespace mpsim::cluster

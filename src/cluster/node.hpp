@@ -1,0 +1,56 @@
+// One simulated node of the elastic multi-node coordinator (see
+// cluster/coordinator.hpp).
+//
+// A node is a private gpusim::System fleet — `config.devices` devices
+// whose *global* indices live in [id*devices, (id+1)*devices) — plus the
+// node-local copy of the run configuration its shard scheduler executes
+// under.  The node copy differs from the base config only in ways that
+// cannot change output bits:
+//
+//  * the checkpoint journal is redirected to `<write_path>.node<id>` (the
+//    per-node side journal restore_from_journals probes on resume),
+//  * resume_path is cleared — restore is done once, coordinator-global,
+//  * kill_after_tiles is zeroed — the coordinator counts commits globally
+//    so a chaos kill fires at the Nth *cluster* commit, not the Nth
+//    commit of whichever node got there first,
+//  * the caller's staging cache is dropped — each node stages its own
+//    reduced-precision conversions (staged bytes are identical either
+//    way, the cache is a cross-run serve optimisation).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gpusim/device.hpp"
+#include "mp/resilient.hpp"
+
+namespace mpsim::cluster {
+
+class ClusterNode {
+ public:
+  /// `total_nodes` splits the host worker budget: each node's System gets
+  /// an equal share of config.workers (or of the hardware threads when 0).
+  ClusterNode(int id, int total_nodes, const mp::MatrixProfileConfig& base);
+
+  int id() const { return id_; }
+  int device_base() const { return id_ * config_.devices; }
+  gpusim::System& system() { return system_; }
+  const mp::MatrixProfileConfig& config() const { return config_; }
+
+  /// Runs this node's shard (blocking; the coordinator calls it from a
+  /// dedicated per-node thread).  Never throws InterruptedError — a
+  /// shutdown or node crash is reported in the outcome.
+  mp::ShardOutcome run(const TimeSeries& reference, const TimeSeries& query,
+                       const std::vector<mp::Tile>& tiles,
+                       const std::vector<std::size_t>& initial,
+                       const mp::ShardHooks& hooks,
+                       const std::vector<mp::CheckpointSlice>* prefixes,
+                       std::uint64_t fingerprint);
+
+ private:
+  int id_;
+  mp::MatrixProfileConfig config_;
+  gpusim::System system_;
+};
+
+}  // namespace mpsim::cluster

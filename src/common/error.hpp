@@ -66,9 +66,33 @@ class InterruptedError : public Error {
 /// Raised when a checkpoint journal cannot be read (truncated, corrupt,
 /// wrong version, or written for different inputs).  Resume treats it as
 /// "no checkpoint" after reporting the reason; a fresh run proceeds.
+/// The machine-readable `reason()` distinguishes the three fallback
+/// classes the scheduler reports separately (satellite of the elastic
+/// resume work): the file does not exist at all, the file exists but is
+/// damaged or not a journal, or it is a valid journal for *different*
+/// inputs/configuration.
 class CheckpointError : public Error {
  public:
-  explicit CheckpointError(const std::string& what) : Error(what) {}
+  enum class Reason { kMissing, kCorrupt, kMismatch };
+
+  explicit CheckpointError(const std::string& what,
+                           Reason reason = Reason::kCorrupt)
+      : Error(what), reason_(reason) {}
+
+  Reason reason() const { return reason_; }
+
+ private:
+  Reason reason_;
+};
+
+/// Raised when a whole simulated *node* (a device fleet running its own
+/// resilient scheduler) crashes via an injected `node_crash` fault.  The
+/// coordinator marks the node dead and re-shards its uncommitted tiles;
+/// within the node the error unwinds the shard without flushing its
+/// journal — exactly what a real process crash would leave behind.
+class NodeFailedError : public Error {
+ public:
+  explicit NodeFailedError(const std::string& what) : Error(what) {}
 };
 
 namespace detail {

@@ -34,7 +34,7 @@ void Device::fault_point(FaultSite site, const std::string& detail,
 }
 
 System::System(const MachineSpec& device_spec, int device_count,
-               std::size_t total_workers) {
+               std::size_t total_workers, int index_base) {
   MPSIM_CHECK(device_count >= 1, "a system needs at least one device");
   if (total_workers == 0) {
     total_workers =
@@ -44,7 +44,8 @@ System::System(const MachineSpec& device_spec, int device_count,
       1, total_workers / std::size_t(device_count));
   devices_.reserve(std::size_t(device_count));
   for (int i = 0; i < device_count; ++i) {
-    devices_.push_back(std::make_unique<Device>(device_spec, i, per_device));
+    devices_.push_back(
+        std::make_unique<Device>(device_spec, index_base + i, per_device));
   }
 }
 

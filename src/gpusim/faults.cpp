@@ -13,7 +13,7 @@ namespace mpsim::gpusim {
 
 namespace {
 
-constexpr int kSiteClassCount = 3;  // kernel, copy, staging
+constexpr int kSiteClassCount = 4;  // kernel, copy, staging, node
 
 /// Counts every fault that actually fired, by kind, in the global metrics
 /// registry (alongside the FaultInjector's own event list, which carries
@@ -28,6 +28,8 @@ void count_fault(FaultKind kind, std::size_t corrupted_elements) {
     Counter& corrupted_elements;
     Counter& hangs;
     Counter& slowdowns;
+    Counter& node_crashes;
+    Counter& node_stalls;
 
     static FaultMetrics& get() {
       auto& reg = MetricsRegistry::global();
@@ -38,7 +40,9 @@ void count_fault(FaultKind kind, std::size_t corrupted_elements) {
                             reg.counter("faults.corruption"),
                             reg.counter("faults.corrupted_elements"),
                             reg.counter("faults.hangs"),
-                            reg.counter("faults.slowdowns")};
+                            reg.counter("faults.slowdowns"),
+                            reg.counter("faults.node_crashes"),
+                            reg.counter("faults.node_stalls")};
       return m;
     }
   };
@@ -55,6 +59,9 @@ void count_fault(FaultKind kind, std::size_t corrupted_elements) {
       break;
     case FaultKind::kHang: m.hangs.add(); break;
     case FaultKind::kSlowdown: m.slowdowns.add(); break;
+    case FaultKind::kNodeCrash: m.node_crashes.add(); break;
+    case FaultKind::kNodeStall:
+    case FaultKind::kNodeSlow: m.node_stalls.add(); break;
   }
 }
 
@@ -66,8 +73,12 @@ FaultKind parse_kind(const std::string& word) {
   if (word == "bitflip") return FaultKind::kBitFlip;
   if (word == "hang") return FaultKind::kHang;
   if (word == "slow") return FaultKind::kSlowdown;
+  if (word == "node_crash") return FaultKind::kNodeCrash;
+  if (word == "node_stall") return FaultKind::kNodeStall;
+  if (word == "node_slow") return FaultKind::kNodeSlow;
   throw ConfigError("unknown fault kind '" + word +
-                    "' (expected kernel|copy|offline|nan|bitflip|hang|slow)");
+                    "' (expected kernel|copy|offline|nan|bitflip|hang|slow|"
+                    "node_crash|node_stall|node_slow)");
 }
 
 /// Stall a matching hang/slowdown rule injects, in milliseconds.  A hang
@@ -75,7 +86,10 @@ FaultKind parse_kind(const std::string& word) {
 /// a cancellation is the only way out); a slowdown to a visible stutter.
 double rule_delay_ms(const FaultRule& rule) {
   if (rule.delay_ms >= 0.0) return rule.delay_ms;
-  return rule.kind == FaultKind::kHang ? 3600e3 : 100.0;
+  if (rule.kind == FaultKind::kHang || rule.kind == FaultKind::kNodeStall) {
+    return 3600e3;
+  }
+  return 100.0;
 }
 
 std::uint64_t parse_u64(const std::string& text, const std::string& what) {
@@ -122,6 +136,9 @@ std::string to_string(FaultKind kind) {
     case FaultKind::kBitFlip: return "bit-flip";
     case FaultKind::kHang: return "hang";
     case FaultKind::kSlowdown: return "slowdown";
+    case FaultKind::kNodeCrash: return "node-crash";
+    case FaultKind::kNodeStall: return "node-stall";
+    case FaultKind::kNodeSlow: return "node-slow";
   }
   return "unknown";
 }
@@ -198,6 +215,7 @@ int FaultInjector::site_class(FaultSite site) {
     case FaultSite::kCopyH2D:
     case FaultSite::kCopyD2H: return 1;
     case FaultSite::kStaging: return 2;
+    case FaultSite::kNodeTile: return 3;
   }
   return 0;
 }
@@ -216,6 +234,10 @@ void FaultInjector::fire(FaultSite site, int device,
   {
     std::unique_lock lock(mutex_);
     if (offline_.count(device) != 0) {
+      if (site == FaultSite::kNodeTile) {
+        throw NodeFailedError("node " + std::to_string(device) +
+                              " is down (injected fault)");
+      }
       throw DeviceFailedError("device " + std::to_string(device) +
                               " is offline (injected fault)");
     }
@@ -233,7 +255,10 @@ void FaultInjector::fire(FaultSite site, int device,
                         rule.kind == FaultKind::kDeviceOffline ||
                         rule.kind == FaultKind::kHang ||
                         rule.kind == FaultKind::kSlowdown)) ||
-          (cls == 1 && rule.kind == FaultKind::kCopy);
+          (cls == 1 && rule.kind == FaultKind::kCopy) ||
+          (cls == 3 && (rule.kind == FaultKind::kNodeCrash ||
+                        rule.kind == FaultKind::kNodeStall ||
+                        rule.kind == FaultKind::kNodeSlow));
       if (!kind_matches) continue;
       if (!rule_fires(rule, n)) continue;
 
@@ -245,8 +270,19 @@ void FaultInjector::fire(FaultSite site, int device,
                                 " went offline at " + detail + " (event " +
                                 std::to_string(n) + ")");
       }
+      if (rule.kind == FaultKind::kNodeCrash) {
+        // At the kNodeTile site `device` is a node id.  The node stays
+        // "offline" so every later fire on it crashes too — a dead node
+        // does not come back within a run.
+        offline_.insert(device);
+        throw NodeFailedError("node " + std::to_string(device) +
+                              " crashed at " + detail + " (event " +
+                              std::to_string(n) + ")");
+      }
       if (rule.kind == FaultKind::kHang ||
-          rule.kind == FaultKind::kSlowdown) {
+          rule.kind == FaultKind::kSlowdown ||
+          rule.kind == FaultKind::kNodeStall ||
+          rule.kind == FaultKind::kNodeSlow) {
         // Stall outside the lock: a hang must pin only this attempt, not
         // every other device's fault points.
         stall_ms = rule_delay_ms(rule);

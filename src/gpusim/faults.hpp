@@ -31,12 +31,20 @@
 //   seed=S
 //   kind[@device][:key=value]...
 //
-// with kind in {kernel, copy, offline, nan, bitflip, hang, slow}, device
-// an integer (default: any device), and keys at=N, every=N, p=P, frac=F,
-// ms=D (hang/slow stall duration in milliseconds).  Example:
+// with kind in {kernel, copy, offline, nan, bitflip, hang, slow,
+// node_crash, node_stall, node_slow}, device an integer (default: any
+// device), and keys at=N, every=N, p=P, frac=F, ms=D (hang/slow stall
+// duration in milliseconds).  Example:
 //
 //   --faults=seed=7,kernel@0:at=5,offline@1:at=12,nan@0:at=1:frac=0.05
 //   --faults=hang@0:at=3:ms=60000,slow@1:p=0.01:ms=50
+//
+// The node_* kinds fire at the coordinator's per-node kNodeTile site (the
+// "@device" selector addresses a *node* there): node_crash throws
+// NodeFailedError and takes the whole simulated node down, node_stall
+// and node_slow stall the node's tile start in the same cancellable
+// sleep as hang/slow.  They are used with --node-faults=, whose injector
+// is separate from the per-device one.
 #pragma once
 
 #include <cstdint>
@@ -55,7 +63,13 @@ namespace mpsim::gpusim {
 class CancellationToken;
 
 /// Where in the execution a fault hook is being evaluated.
-enum class FaultSite : int { kKernelLaunch, kCopyH2D, kCopyD2H, kStaging };
+enum class FaultSite : int {
+  kKernelLaunch,
+  kCopyH2D,
+  kCopyD2H,
+  kStaging,
+  kNodeTile,  ///< a node is about to start executing a tile (coordinator)
+};
 
 /// What kind of fault a rule injects.
 enum class FaultKind : int {
@@ -66,6 +80,9 @@ enum class FaultKind : int {
   kBitFlip,       ///< flip one random bit per selected staged value
   kHang,          ///< kernel-launch stalls (cancellable sleep), then proceeds
   kSlowdown,      ///< kernel-launch stutters briefly, then proceeds
+  kNodeCrash,     ///< whole-node loss (throws NodeFailedError at kNodeTile)
+  kNodeStall,     ///< node stalls ~forever before a tile (cancellable sleep)
+  kNodeSlow,      ///< node stutters briefly before a tile, then proceeds
 };
 
 std::string to_string(FaultKind kind);

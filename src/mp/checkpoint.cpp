@@ -17,7 +17,7 @@ namespace mpsim::mp {
 
 namespace {
 
-constexpr char kMagic[] = "mpsim-ckpt-v2\n";
+constexpr char kMagic[] = "mpsim-ckpt-v3\n";
 constexpr std::size_t kMagicLen = sizeof(kMagic) - 1;
 
 std::uint64_t fnv1a(const void* data, std::size_t bytes,
@@ -110,10 +110,12 @@ std::uint64_t checkpoint_fingerprint(const TimeSeries& reference,
   std::uint64_t budget_bits;
   static_assert(sizeof(budget_bits) == sizeof(config.prefilter.budget));
   std::memcpy(&budget_bits, &config.prefilter.budget, sizeof(budget_bits));
+  // The tile grid is deliberately absent: v3 slices are keyed by absolute
+  // ranges, so resuming onto a different `--tiles` grid is a feature.
   const std::uint64_t shape[] = {
       std::uint64_t(reference.length()), std::uint64_t(reference.dims()),
       std::uint64_t(query.length()),     std::uint64_t(config.window),
-      std::uint64_t(int(config.mode)),   std::uint64_t(config.tiles),
+      std::uint64_t(int(config.mode)),
       std::uint64_t(config.exclusion),
       std::uint64_t(int(config.prefilter.mode)),
       config.prefilter.enabled() ? budget_bits : 0};
@@ -124,25 +126,43 @@ std::uint64_t checkpoint_fingerprint(const TimeSeries& reference,
   return h;
 }
 
+std::uint64_t profile_cache_key(const TimeSeries& reference,
+                                const TimeSeries& query,
+                                const MatrixProfileConfig& config) {
+  // A completed profile is byte-determined by the fingerprint alone (the
+  // grid cannot move bits), but the serve cache also keys the grid so a
+  // `--tiles` change shows up as a distinct cache entry in stats.
+  const std::uint64_t h = checkpoint_fingerprint(reference, query, config);
+  const std::uint64_t grid = std::uint64_t(config.tiles);
+  return fnv1a(&grid, sizeof(grid), h);
+}
+
 void write_checkpoint(const std::string& path, const CheckpointData& data) {
   Writer w;
   w.buf.append(kMagic, kMagicLen);
   w.put(data.fingerprint);
   w.put(data.tile_count);
-  w.put(std::uint64_t(data.tiles.size()));
-  for (const CheckpointTile& tile : data.tiles) {
-    w.put(tile.tile_index);
-    w.put(tile.tile_id);
-    w.put(tile.device);
-    w.put(std::int32_t(tile.mode));
-    w.put_span(tile.profile.data(), tile.profile.size());
-    w.put_span(tile.index.data(), tile.index.size());
-    w.put(tile.prefilter.blocks_total);
-    w.put(tile.prefilter.blocks_skipped);
-    w.put(tile.prefilter.blocks_verified);
-    w.put(tile.prefilter.cols_skipped);
-    w.put(tile.prefilter.cols_verified);
-    w.put(tile.prefilter.cols_missed);
+  w.put(std::uint64_t(data.slices.size()));
+  for (const CheckpointSlice& slice : data.slices) {
+    w.put(slice.tile_index);
+    w.put(slice.tile_id);
+    w.put(slice.device);
+    w.put(slice.node);
+    w.put(slice.complete);
+    w.put(std::int32_t(slice.mode));
+    w.put(slice.r_begin);
+    w.put(slice.r_count);
+    w.put(slice.q_begin);
+    w.put(slice.q_count);
+    w.put(slice.dims);
+    w.put_span(slice.profile.data(), slice.profile.size());
+    w.put_span(slice.index.data(), slice.index.size());
+    w.put(slice.prefilter.blocks_total);
+    w.put(slice.prefilter.blocks_skipped);
+    w.put(slice.prefilter.blocks_verified);
+    w.put(slice.prefilter.cols_skipped);
+    w.put(slice.prefilter.cols_verified);
+    w.put(slice.prefilter.cols_missed);
   }
   w.put(std::uint64_t(data.events.size()));
   for (const RunEvent& event : data.events) {
@@ -210,7 +230,8 @@ CheckpointData read_checkpoint(const std::string& path) {
   {
     std::ifstream in(path, std::ios::binary);
     if (!in.good()) {
-      throw CheckpointError("cannot open checkpoint '" + path + "'");
+      throw CheckpointError("cannot open checkpoint '" + path + "'",
+                            CheckpointError::Reason::kMissing);
     }
     std::ostringstream os;
     os << in.rdbuf();
@@ -219,7 +240,7 @@ CheckpointData read_checkpoint(const std::string& path) {
   if (buf.size() < kMagicLen + sizeof(std::uint64_t) ||
       std::memcmp(buf.data(), kMagic, kMagicLen) != 0) {
     throw CheckpointError("'" + path +
-                          "' is not an mpsim-ckpt-v2 checkpoint (bad or "
+                          "' is not an mpsim-ckpt-v3 checkpoint (bad or "
                           "missing magic)");
   }
   // Checksum covers everything up to the trailing hash itself.
@@ -235,28 +256,37 @@ CheckpointData read_checkpoint(const std::string& path) {
   CheckpointData data;
   data.fingerprint = r.get<std::uint64_t>();
   data.tile_count = r.get<std::uint64_t>();
-  const auto tile_entries = r.get<std::uint64_t>();
-  for (std::uint64_t t = 0; t < tile_entries; ++t) {
-    CheckpointTile tile;
-    tile.tile_index = r.get<std::uint64_t>();
-    tile.tile_id = r.get<std::int32_t>();
-    tile.device = r.get<std::int32_t>();
-    tile.mode = PrecisionMode(r.get<std::int32_t>());
-    tile.profile = r.get_span<double>();
-    tile.index = r.get_span<std::int64_t>();
-    tile.prefilter.blocks_total = r.get<std::uint64_t>();
-    tile.prefilter.blocks_skipped = r.get<std::uint64_t>();
-    tile.prefilter.blocks_verified = r.get<std::uint64_t>();
-    tile.prefilter.cols_skipped = r.get<std::uint64_t>();
-    tile.prefilter.cols_verified = r.get<std::uint64_t>();
-    tile.prefilter.cols_missed = r.get<std::uint64_t>();
-    if (tile.tile_index >= data.tile_count ||
-        tile.profile.size() != tile.index.size()) {
+  const auto slice_entries = r.get<std::uint64_t>();
+  for (std::uint64_t t = 0; t < slice_entries; ++t) {
+    CheckpointSlice slice;
+    slice.tile_index = r.get<std::uint64_t>();
+    slice.tile_id = r.get<std::int32_t>();
+    slice.device = r.get<std::int32_t>();
+    slice.node = r.get<std::int32_t>();
+    slice.complete = r.get<std::uint8_t>();
+    slice.mode = PrecisionMode(r.get<std::int32_t>());
+    slice.r_begin = r.get<std::uint64_t>();
+    slice.r_count = r.get<std::uint64_t>();
+    slice.q_begin = r.get<std::uint64_t>();
+    slice.q_count = r.get<std::uint64_t>();
+    slice.dims = r.get<std::uint64_t>();
+    slice.profile = r.get_span<double>();
+    slice.index = r.get_span<std::int64_t>();
+    slice.prefilter.blocks_total = r.get<std::uint64_t>();
+    slice.prefilter.blocks_skipped = r.get<std::uint64_t>();
+    slice.prefilter.blocks_verified = r.get<std::uint64_t>();
+    slice.prefilter.cols_skipped = r.get<std::uint64_t>();
+    slice.prefilter.cols_verified = r.get<std::uint64_t>();
+    slice.prefilter.cols_missed = r.get<std::uint64_t>();
+    if (slice.tile_index >= data.tile_count ||
+        slice.profile.size() != slice.index.size() ||
+        slice.profile.size() != slice.q_count * slice.dims ||
+        slice.r_count == 0 || slice.q_count == 0 || slice.dims == 0) {
       throw CheckpointError("checkpoint '" + path +
-                            "' has an inconsistent tile entry (index " +
-                            std::to_string(tile.tile_index) + ")");
+                            "' has an inconsistent slice entry (index " +
+                            std::to_string(slice.tile_index) + ")");
     }
-    data.tiles.push_back(std::move(tile));
+    data.slices.push_back(std::move(slice));
   }
   const auto event_entries = r.get<std::uint64_t>();
   for (std::uint64_t e = 0; e < event_entries; ++e) {

@@ -1,22 +1,28 @@
 // Durable checkpoint journal of the resilient scheduler.
 //
-// Format `mpsim-ckpt-v2`: a little-endian binary journal holding, for
-// every completed tile, the tile's merged profile slice (binary64 bits +
-// global nearest-neighbour indices — exactly the TileResult the merge
-// consumes, so a resumed run reproduces the uninterrupted run's output
-// bit for bit) plus the tile's sketch-prefilter decision tallies (six
-// counters; all zero for exact runs) and the RunEvent history, ending
-// with a trailing FNV-1a checksum over the whole payload.  v2 extends v1
-// by the per-tile prefilter counters; v1 journals are rejected by magic,
-// like any foreign file.  Writes are atomic: the journal is written to
+// Format `mpsim-ckpt-v3`: a little-endian binary journal holding, for
+// every committed tile *or partially completed row slice*, the slice's
+// absolute row/column ranges, the node/device/precision rung that
+// produced it, the merged profile slice (binary64 bits + global
+// nearest-neighbour indices — exactly the TileResult the merge consumes,
+// so a resumed run reproduces the uninterrupted run's output bit for
+// bit) plus the tile's sketch-prefilter decision tallies and the
+// RunEvent history, ending with a trailing FNV-1a checksum over the
+// whole payload.  v3 extends v2 by the absolute range keys, the node id
+// and the `complete` flag that distinguish whole-tile commits from
+// mid-tile row-slice snapshots; v2 journals are rejected by magic, like
+// any foreign file.  Writes are atomic: the journal is written to
 // `<path>.tmp` and renamed over `path`, so a crash mid-write leaves the
 // previous journal intact.
 //
 // A fingerprint of the inputs and the output-affecting configuration
-// (series bytes, window, mode, tiling, exclusion) is embedded; resuming
-// against a journal written for different inputs is rejected the same way
-// as a corrupt file — read_checkpoint throws CheckpointError and the
-// caller proceeds with a fresh run.
+// (series bytes, window, mode, exclusion, prefilter) is embedded;
+// resuming against a journal written for different inputs is rejected
+// the same way as a corrupt file — read_checkpoint throws CheckpointError
+// and the caller proceeds with a fresh run.  The tile *grid* is
+// deliberately NOT part of the fingerprint: v3 slices carry absolute
+// ranges, so a journal written under one `--tiles` grid (or node count)
+// can be re-keyed onto a different one at resume time.
 #pragma once
 
 #include <cstdint>
@@ -28,14 +34,23 @@
 
 namespace mpsim::mp {
 
-/// One completed tile as journalled: its slot in the run's tile list, the
-/// device and precision rung that produced it, and the merged result.
-struct CheckpointTile {
-  std::uint64_t tile_index = 0;  ///< into the run's tile/result arrays
+/// One journalled result slice: a whole committed tile (`complete`) or a
+/// prefix of a tile's rows captured mid-execution.  Keys are *absolute*
+/// segment ranges of the full join, so resume can re-key a slice onto a
+/// different tile grid than the one that wrote it.
+struct CheckpointSlice {
+  std::uint64_t tile_index = 0;  ///< into the writing run's tile array
   std::int32_t tile_id = 0;
   std::int32_t device = -1;      ///< executing device (-1 = CPU fallback)
+  std::int32_t node = -1;        ///< owning node (-1 = single-node run)
+  std::uint8_t complete = 1;     ///< 1 = whole tile, 0 = row-slice prefix
   PrecisionMode mode = PrecisionMode::FP64;
-  std::vector<double> profile;
+  std::uint64_t r_begin = 0;     ///< absolute reference-row range covered
+  std::uint64_t r_count = 0;
+  std::uint64_t q_begin = 0;     ///< absolute query-column range covered
+  std::uint64_t q_count = 0;
+  std::uint64_t dims = 0;
+  std::vector<double> profile;   ///< q_count * dims entries
   std::vector<std::int64_t> index;
   PrefilterStats prefilter;      ///< sketch decision tallies (0s if exact)
 };
@@ -43,18 +58,27 @@ struct CheckpointTile {
 struct CheckpointData {
   std::uint64_t fingerprint = 0;  ///< inputs + config hash (see below)
   std::uint64_t tile_count = 0;   ///< total tiles of the journalled run
-  std::vector<CheckpointTile> tiles;  ///< completed tiles, any order
-  std::vector<RunEvent> events;       ///< RunEvent history at write time
+  std::vector<CheckpointSlice> slices;  ///< committed slices, any order
+  std::vector<RunEvent> events;         ///< RunEvent history at write time
 };
 
 /// Hash of everything that determines the run's output bits: the raw
-/// series samples and the shape/precision/tiling configuration.  Knobs
-/// that cannot change the output (row path, device count, resilience
-/// policy) are deliberately excluded so a resumed run may e.g. use fewer
-/// devices than the interrupted one.
+/// series samples and the shape/precision configuration.  Knobs that
+/// cannot change the output (row path, device count, node count, tile
+/// grid, resilience policy) are deliberately excluded so a resumed run
+/// may use a different machine shape — or a different grid — than the
+/// interrupted one.
 std::uint64_t checkpoint_fingerprint(const TimeSeries& reference,
                                      const TimeSeries& query,
                                      const MatrixProfileConfig& config);
+
+/// Cache key for *complete* profiles (the serve daemon's profile cache):
+/// the checkpoint fingerprint plus the grid-affecting knobs the
+/// fingerprint now ignores.  Two configs with equal profile_cache_key
+/// produce byte-identical profiles.
+std::uint64_t profile_cache_key(const TimeSeries& reference,
+                                const TimeSeries& query,
+                                const MatrixProfileConfig& config);
 
 /// Serialises and durably, atomically replaces `path`: the temp file is
 /// fsync'd before the rename and the parent directory after it, so a
@@ -71,8 +95,9 @@ std::uint64_t durable_sync_count();
 void note_durable_sync();
 }  // namespace detail
 
-/// Parses a journal; throws CheckpointError when the file is missing,
-/// truncated, checksum-corrupt or not an `mpsim-ckpt-v2` document.
+/// Parses a journal; throws CheckpointError when the file is missing
+/// (`Reason::kMissing`), truncated, checksum-corrupt or not an
+/// `mpsim-ckpt-v3` document (`Reason::kCorrupt`).
 CheckpointData read_checkpoint(const std::string& path);
 
 }  // namespace mpsim::mp

@@ -170,8 +170,9 @@ struct ResilienceConfig {
 };
 
 /// Durable checkpoint/resume of the resilient scheduler.  The journal
-/// (format `mpsim-ckpt-v2`, see mp/checkpoint.hpp) records every
-/// completed tile's merged profile slice and the RunEvent history; it is
+/// (format `mpsim-ckpt-v3`, see mp/checkpoint.hpp) records every
+/// completed tile's merged profile slice — and, with `slice_rows > 0`,
+/// mid-tile row-slice snapshots — plus the RunEvent history; it is
 /// written atomically (temp + rename) every `interval_tiles` completed
 /// tiles, at the end of the run, and when a shutdown is requested.
 struct CheckpointConfig {
@@ -183,6 +184,16 @@ struct CheckpointConfig {
   /// as SIGTERM would (0 = never).  Gives tests and the chaos soak a
   /// deterministic mid-run kill.
   int kill_after_tiles = 0;
+
+  /// Mid-tile durability: journal a partial row-slice snapshot of every
+  /// in-flight tile each time this many rows complete (0 = whole-tile
+  /// commits only).  Resume replays the covered rows QT-only, so a
+  /// sliced resume is bit-identical to the uninterrupted run.
+  int slice_rows = 0;
+
+  /// Chaos hook: request a shutdown after this many journalled row-slice
+  /// snapshots (0 = never) — the mid-tile analogue of kill_after_tiles.
+  int kill_after_slices = 0;
 
   bool enabled() const { return !write_path.empty(); }
 };
@@ -263,6 +274,15 @@ struct RunEvent {
     kResumed,           ///< tile restored from a checkpoint journal
     kCheckpointWritten, ///< journal flushed to disk
     kInterrupted,       ///< shutdown requested; run stopped early
+    // v3 additions — appended so the int32 wire encoding of the kinds
+    // above stays frozen.
+    kResumeFallback,    ///< --resume journal unusable; fresh run instead
+    kSliceRestored,     ///< tile seeded from a journalled row-slice prefix
+    kSliceDiscarded,    ///< journalled slice unusable on the current grid
+    kNodeJoined,        ///< node's shard scheduler came up (device = node)
+    kNodeCrashed,       ///< node lost to an injected crash (device = node)
+    kNodeStolen,        ///< tile stolen across nodes (device = thief node)
+    kNodeDuplicated,    ///< straggler tile re-dispatched to another node
   };
 
   Kind kind = Kind::kRetry;
@@ -302,6 +322,13 @@ struct RunHealth {
   int speculative_wins = 0;    ///< tiles won by a backup attempt
   int speculative_losses = 0;  ///< backups cancelled by the primary
   int tile_splits = 0;         ///< memory-pressure row splits
+  int resume_fallbacks = 0;    ///< --resume journals rejected (missing/...)
+  int partial_slices = 0;      ///< tiles seeded from a row-slice prefix
+  int slices_discarded = 0;    ///< journalled slices unusable on this grid
+  int slice_commits = 0;       ///< mid-tile row-slice snapshots journalled
+  int node_crashes = 0;        ///< simulated nodes lost mid-run
+  int node_steals = 0;         ///< tiles stolen across nodes
+  int node_duplicates = 0;     ///< straggler tiles re-dispatched cross-node
   std::vector<Escalation> escalations;
   std::vector<DeviceStatus> devices;
   std::vector<RunEvent> events;  ///< chronological typed scheduler events

@@ -5,6 +5,7 @@
 #include <deque>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <set>
 #include <sstream>
 #include <thread>
@@ -72,6 +73,10 @@ struct SchedulerMetrics {
   Counter& speculative_wins;
   Counter& speculative_losses;
   Counter& tile_splits;
+  Counter& resume_fallback;
+  Counter& slice_commits;
+  Counter& slices_partial;
+  Counter& slices_discarded;
   Histogram& tile_seconds;
 
   static SchedulerMetrics& get() {
@@ -89,6 +94,10 @@ struct SchedulerMetrics {
                               reg.counter("resilient.speculative_wins"),
                               reg.counter("resilient.speculative_losses"),
                               reg.counter("resilient.tile_splits"),
+                              reg.counter("resilient.resume_fallback"),
+                              reg.counter("resilient.slice_commits"),
+                              reg.counter("resilient.slices_partial"),
+                              reg.counter("resilient.slices_discarded"),
                               reg.histogram("resilient.tile_seconds")};
     return m;
   }
@@ -132,6 +141,13 @@ struct SchedulerState {
   std::size_t total_commits = 0;
   std::size_t commits_since_checkpoint = 0;
   std::mutex checkpoint_mutex;    ///< serialises journal writes (I/O only)
+
+  // ---- Row-slice durability + shard-mode bookkeeping. ----
+  std::vector<CheckpointSlice> partials;  ///< per tile: best snapshot so far
+  std::vector<char> result_valid;  ///< per tile: results[t] holds OUR result
+  std::size_t slice_commits_total = 0;
+  bool shard_failed = false;       ///< NodeFailedError: shard is going down
+  std::string shard_fail_reason;
 };
 
 void log_event(SchedulerState& st, RunEvent event) {
@@ -205,13 +221,23 @@ struct RunContext {
   StagingCache* staging = nullptr;
   const Stopwatch* clock = nullptr;   ///< run clock (watchdog time base)
   std::uint64_t fingerprint = 0;      ///< checkpoint identity of this run
+  std::size_t dims = 0;               ///< d (journalled with every slice)
+
+  // ---- Shard mode (multi-node coordinator present). ----
+  const ShardHooks* hooks = nullptr;  ///< nullptr = classic single-node run
+  int node_id = -1;                   ///< journalled with every slice
+  int device_base = 0;                ///< local dev -> global device index
+  /// Per-tile restored row-slice prefixes (r_count == 0 = none); attempts
+  /// at the prefix's mode resume from its last journalled row.
+  const std::vector<CheckpointSlice>* prefixes = nullptr;
 };
 
 /// Runs one attempt of a tile on `dev` as a single stream task and
 /// synchronizes that stream, so any failure is attributed to this tile.
 void execute_attempt(const RunContext& ctx, int dev, PrecisionMode mode,
                      const Tile& tile, TileResult& result,
-                     const gpusim::CancellationToken* cancel) {
+                     const gpusim::CancellationToken* cancel,
+                     const SliceProgress* slice) {
   gpusim::Device& device = ctx.system->device(dev);
   gpusim::Stream& stream = ctx.pools[std::size_t(dev)]->next();
   dispatch_precision(mode, [&]<typename Traits>() {
@@ -219,9 +245,32 @@ void execute_attempt(const RunContext& ctx, int dev, PrecisionMode mode,
                                       *ctx.query, ctx.config->window, tile,
                                       ctx.config->exclusion, result,
                                       ctx.staging, ctx.config->row_path,
-                                      ctx.config->prefilter, cancel);
+                                      ctx.config->prefilter, cancel, slice);
   });
   stream.synchronize();
+}
+
+/// Column-wise min/argmin fold of (src_profile, src_index) into the dst
+/// arrays — the same lexicographic tie rule as merge_sub_tiles and
+/// merge_tile_results (smaller distance wins; on equal distance the
+/// smaller non-negative index wins; NaN never displaces).  Folding a
+/// journalled row-slice prefix into the tail rows' attempt with this rule
+/// reproduces the uninterrupted run's bits because the rule is exactly
+/// the per-row profile update's and is associative.
+void min_merge_into(std::vector<double>& dst_profile,
+                    std::vector<std::int64_t>& dst_index,
+                    const std::vector<double>& src_profile,
+                    const std::vector<std::int64_t>& src_index) {
+  for (std::size_t e = 0; e < dst_profile.size(); ++e) {
+    const double p = src_profile[e];
+    const std::int64_t idx = src_index[e];
+    if (p < dst_profile[e] ||
+        (p == dst_profile[e] && idx >= 0 &&
+         (dst_index[e] < 0 || idx < dst_index[e]))) {
+      dst_profile[e] = p;
+      dst_index[e] = idx;
+    }
+  }
 }
 
 /// Column-wise min/argmin merge of row sub-tiles into their parent tile's
@@ -266,9 +315,10 @@ void merge_sub_tiles(const TileResult& left, const TileResult& right,
 void execute_with_split(const RunContext& ctx, SchedulerState& st, int dev,
                         PrecisionMode mode, const Tile& tile,
                         TileResult& result,
-                        const gpusim::CancellationToken* cancel, int depth) {
+                        const gpusim::CancellationToken* cancel, int depth,
+                        const SliceProgress* slice) {
   try {
-    execute_attempt(ctx, dev, mode, tile, result, cancel);
+    execute_attempt(ctx, dev, mode, tile, result, cancel, slice);
     return;
   } catch (const DeviceMemoryError& e) {
     const ResilienceConfig& rc = ctx.config->resilience;
@@ -288,18 +338,24 @@ void execute_with_split(const RunContext& ctx, SchedulerState& st, int dev,
                          std::to_string(left.r_count) + ": " + e.what()});
     }
     TileResult left_result, right_result;
+    // Sub-tiles restart from their own precalculation and cover the full
+    // row ranges: no prefix resume, no snapshot emission (their row state
+    // is not a prefix of the whole tile's).
     execute_with_split(ctx, st, dev, mode, left, left_result, cancel,
-                       depth + 1);
+                       depth + 1, nullptr);
     execute_with_split(ctx, st, dev, mode, right, right_result, cancel,
-                       depth + 1);
+                       depth + 1, nullptr);
     merge_sub_tiles(left_result, right_result, result);
   }
 }
 
-/// Snapshot of every committed tile + the event history, written as an
-/// mpsim-ckpt-v2 journal.  The copy is taken under the scheduler lock;
-/// the file I/O runs outside it (serialised by checkpoint_mutex so
-/// concurrent committers cannot interleave temp files).
+/// Snapshot of every committed tile (as a complete row slice) plus the
+/// best partial row-slice of every in-flight tile + the event history,
+/// written as an mpsim-ckpt-v3 journal.  The copy is taken under the
+/// scheduler lock; the file I/O runs outside it (serialised by
+/// checkpoint_mutex so concurrent committers cannot interleave temp
+/// files).  In shard mode only tiles this node committed are journalled
+/// (result_valid); the coordinator's base journal covers the rest.
 void write_checkpoint_now(const RunContext& ctx, SchedulerState& st) {
   const std::string& path = ctx.config->checkpoint.write_path;
   if (path.empty()) return;
@@ -307,19 +363,32 @@ void write_checkpoint_now(const RunContext& ctx, SchedulerState& st) {
   CheckpointData data;
   data.fingerprint = ctx.fingerprint;
   data.tile_count = ctx.tiles->size();
+  std::size_t complete = 0;
   {
     std::lock_guard lock(st.mutex);
     for (std::size_t t = 0; t < ctx.tiles->size(); ++t) {
-      if (!st.committed[t]) continue;
-      CheckpointTile entry;
-      entry.tile_index = t;
-      entry.tile_id = std::int32_t((*ctx.tiles)[t].id);
-      entry.device = std::int32_t((*ctx.executed_device)[t]);
-      entry.mode = (*ctx.final_mode)[t];
-      entry.profile = (*ctx.results)[t].profile;
-      entry.index = (*ctx.results)[t].index;
-      entry.prefilter = (*ctx.results)[t].prefilter;
-      data.tiles.push_back(std::move(entry));
+      const Tile& tile = (*ctx.tiles)[t];
+      if (st.committed[t] && st.result_valid[t] != 0) {
+        CheckpointSlice entry;
+        entry.tile_index = t;
+        entry.tile_id = std::int32_t(tile.id);
+        entry.device = std::int32_t((*ctx.executed_device)[t]);
+        entry.node = std::int32_t(ctx.node_id);
+        entry.complete = 1;
+        entry.mode = (*ctx.final_mode)[t];
+        entry.r_begin = tile.r_begin;
+        entry.r_count = tile.r_count;
+        entry.q_begin = tile.q_begin;
+        entry.q_count = tile.q_count;
+        entry.dims = ctx.dims;
+        entry.profile = (*ctx.results)[t].profile;
+        entry.index = (*ctx.results)[t].index;
+        entry.prefilter = (*ctx.results)[t].prefilter;
+        data.slices.push_back(std::move(entry));
+        complete += 1;
+      } else if (!st.committed[t] && st.partials[t].r_count > 0) {
+        data.slices.push_back(st.partials[t]);
+      }
     }
     data.events = st.health.events;
     st.commits_since_checkpoint = 0;
@@ -330,10 +399,57 @@ void write_checkpoint_now(const RunContext& ctx, SchedulerState& st) {
     st.health.checkpoint_writes += 1;
     SchedulerMetrics::get().checkpoint_writes.add();
     log_event(st, {RunEvent::Kind::kCheckpointWritten, -1, -1,
-                   std::to_string(data.tiles.size()) + "/" +
-                       std::to_string(data.tile_count) + " tiles -> " +
-                       path});
+                   std::to_string(complete) + "/" +
+                       std::to_string(data.tile_count) + " tiles (" +
+                       std::to_string(data.slices.size() - complete) +
+                       " partial slices) -> " + path});
   }
+}
+
+/// SliceProgress::on_slice sink: records the snapshot of rows
+/// [0, rows_done) of tile `t` as its journalled partial slice (keeping
+/// the furthest snapshot when concurrent attempts race), flushes the
+/// journal, and honours the kill_after_slices chaos hook.  `prefix`
+/// (optional) is the restored row prefix this attempt resumed from; its
+/// rows are folded in so the stored slice always covers rows from 0.
+void note_slice_snapshot(const RunContext& ctx, SchedulerState& st,
+                         std::size_t t, int dev,
+                         const CheckpointSlice* prefix,
+                         std::size_t rows_done, std::vector<double> profile,
+                         std::vector<std::int64_t> index) {
+  const Tile& tile = (*ctx.tiles)[t];
+  if (prefix != nullptr) {
+    min_merge_into(profile, index, prefix->profile, prefix->index);
+  }
+  bool kill_due = false;
+  {
+    std::lock_guard lock(st.mutex);
+    if (st.committed[t] || st.interrupted) return;
+    CheckpointSlice& slot = st.partials[t];
+    if (slot.r_count >= rows_done) return;  // a racing attempt got further
+    slot.tile_index = t;
+    slot.tile_id = std::int32_t(tile.id);
+    slot.device = std::int32_t(ctx.device_base + dev);
+    slot.node = std::int32_t(ctx.node_id);
+    slot.complete = 0;
+    slot.mode = ctx.config->mode;
+    slot.r_begin = tile.r_begin;
+    slot.r_count = rows_done;
+    slot.q_begin = tile.q_begin;
+    slot.q_count = tile.q_count;
+    slot.dims = ctx.dims;
+    slot.profile = std::move(profile);
+    slot.index = std::move(index);
+    st.health.slice_commits += 1;
+    SchedulerMetrics::get().slice_commits.add();
+    st.slice_commits_total += 1;
+    kill_due =
+        ctx.config->checkpoint.kill_after_slices > 0 &&
+        st.slice_commits_total ==
+            std::size_t(ctx.config->checkpoint.kill_after_slices);
+  }
+  write_checkpoint_now(ctx, st);
+  if (kill_due) request_shutdown();
 }
 
 /// Watchdog + shutdown monitor.  Wakes every watchdog_poll_ms: propagates
@@ -358,6 +474,25 @@ void monitor_thread(const RunContext& ctx, SchedulerState& st) {
                          " tiles committed"});
       for (auto& [id, attempt] : st.inflight) attempt.token->cancel();
       st.cv.notify_all();
+    }
+
+    // Shard mode: withdraw local attempts of tiles another node already
+    // committed (the cross-node analogue of the commit block's
+    // first-finisher-wins cancellation).  Runs with or without the
+    // watchdog — it is a liveness mechanism, not a performance one.
+    if (ctx.hooks != nullptr && ctx.hooks->committed_elsewhere) {
+      bool swept = false;
+      for (auto& [id, attempt] : st.inflight) {
+        const std::size_t t = attempt.job_index;
+        if (!st.committed[t]) {
+          if (!ctx.hooks->committed_elsewhere(t)) continue;
+          st.committed[t] = 1;
+          st.outstanding -= 1;
+        }
+        attempt.token->cancel();
+        swept = true;
+      }
+      if (swept) st.cv.notify_all();
     }
     if (!rc.watchdog || st.interrupted) continue;
     if (st.wall_per_modeled <= 0.0) continue;  // no calibration yet
@@ -452,21 +587,61 @@ void device_worker(const RunContext& ctx, SchedulerState& st, int dev) {
     bool stolen = false;
     {
       std::unique_lock lock(st.mutex);
-      st.cv.wait(lock, [&] {
-        if (st.blacklisted[std::size_t(dev)] != 0) return true;
-        if (st.outstanding == 0 || st.interrupted) return true;
-        if (!st.queues[std::size_t(dev)].empty()) return true;
-        for (int other = 0; other < int(st.queues.size()); ++other) {
-          if (st.blacklisted[std::size_t(other)] != 0 &&
-              !st.queues[std::size_t(other)].empty()) {
-            return true;
+      if (ctx.hooks == nullptr) {
+        st.cv.wait(lock, [&] {
+          if (st.blacklisted[std::size_t(dev)] != 0) return true;
+          if (st.outstanding == 0 || st.interrupted) return true;
+          if (!st.queues[std::size_t(dev)].empty()) return true;
+          for (int other = 0; other < int(st.queues.size()); ++other) {
+            if (st.blacklisted[std::size_t(other)] != 0 &&
+                !st.queues[std::size_t(other)].empty()) {
+              return true;
+            }
           }
+          return false;
+        });
+        if (st.blacklisted[std::size_t(dev)] != 0 || st.outstanding == 0 ||
+            st.interrupted) {
+          return;
         }
-        return false;
-      });
-      if (st.blacklisted[std::size_t(dev)] != 0 || st.outstanding == 0 ||
-          st.interrupted) {
-        return;
+      } else {
+        // Elastic shard wait: an empty local backlog is not the end —
+        // tiles may still arrive from the coordinator (released by a
+        // crashed node, duplicated from a straggler, stolen from a
+        // loaded peer), so idle workers poll acquire_more() and only
+        // exit once every tile is committed globally (all_done).
+        for (;;) {
+          if (st.blacklisted[std::size_t(dev)] != 0 || st.interrupted) {
+            return;
+          }
+          if (!st.queues[std::size_t(dev)].empty()) break;
+          bool orphan = false;
+          for (int other = 0; other < int(st.queues.size()); ++other) {
+            if (st.blacklisted[std::size_t(other)] != 0 &&
+                !st.queues[std::size_t(other)].empty()) {
+              orphan = true;
+              break;
+            }
+          }
+          if (orphan) break;
+          if (ctx.hooks->all_done && ctx.hooks->all_done()) return;
+          if (ctx.hooks->acquire_more) {
+            if (std::optional<std::size_t> extra = ctx.hooks->acquire_more()) {
+              TileJob fetched;
+              fetched.index = *extra;
+              fetched.mode = ctx.config->mode;
+              // The coordinator only hands out globally uncommitted
+              // tiles, so a local committed marker here is a stale
+              // revoked-claim tombstone (should_run said no earlier) —
+              // clear it or the fetched job would be silently dropped.
+              st.committed[*extra] = 0;
+              st.queues[std::size_t(dev)].push_back(std::move(fetched));
+              st.outstanding += 1;
+              continue;
+            }
+          }
+          st.cv.wait_for(lock, std::chrono::milliseconds(25));
+        }
       }
       if (!st.queues[std::size_t(dev)].empty()) {
         job = std::move(st.queues[std::size_t(dev)].front());
@@ -488,6 +663,16 @@ void device_worker(const RunContext& ctx, SchedulerState& st, int dev) {
         if (job.speculative) st.backups_inflight[job.index] -= 1;
         continue;
       }
+      // Shard mode: the coordinator gets the final say — the tile may
+      // have committed on another node (or this node's duplicate claim
+      // lapsed) while the job sat queued here.
+      if (ctx.hooks != nullptr && ctx.hooks->should_run &&
+          !ctx.hooks->should_run(job.index)) {
+        if (job.speculative) st.backups_inflight[job.index] -= 1;
+        st.committed[job.index] = 1;
+        st.outstanding -= 1;
+        continue;
+      }
     }
     const Tile& tile = (*ctx.tiles)[job.index];
     if (stolen) {
@@ -498,6 +683,7 @@ void device_worker(const RunContext& ctx, SchedulerState& st, int dev) {
     }
 
     // ---- Attempt loop: retries and precision escalations. ----
+    bool announced = false;  ///< node-fault hook fired for this popped job
     for (;;) {
       // Attempts run into a local result so concurrent attempts of the
       // same tile (primary + speculative backup) never share state; the
@@ -508,6 +694,41 @@ void device_worker(const RunContext& ctx, SchedulerState& st, int dev) {
       const double modeled_seconds = model_tile_seconds(
           ctx.system->device(dev).spec(), tile, ctx.reference->dims(),
           ctx.config->window, job.mode);
+
+      // Row-slice durability for this attempt.  A restored prefix only
+      // applies at its own precision (escalated attempts recompute the
+      // whole tile); snapshots are only emitted at the run's base mode
+      // (an escalated tile's partial state would not be restorable) and
+      // never under the sketch prefilter (the engine refuses anyway).
+      const CheckpointSlice* prefix = nullptr;
+      if (ctx.prefixes != nullptr) {
+        const CheckpointSlice& p = (*ctx.prefixes)[job.index];
+        if (p.r_count > 0 && p.mode == job.mode) prefix = &p;
+      }
+      const bool journal_slices =
+          ctx.config->checkpoint.enabled() &&
+          ctx.config->checkpoint.slice_rows > 0 &&
+          job.mode == ctx.config->mode &&
+          !ctx.config->prefilter.enabled();
+      SliceProgress progress;
+      const SliceProgress* slice_ptr = nullptr;
+      if (prefix != nullptr || journal_slices) {
+        progress.start_row =
+            prefix != nullptr ? std::size_t(prefix->r_count) : 0;
+        if (journal_slices) {
+          progress.slice_rows =
+              std::size_t(ctx.config->checkpoint.slice_rows);
+          progress.on_slice = [&ctx, &st, t = job.index, dev, prefix](
+                                  std::size_t rows_done,
+                                  std::vector<double> profile,
+                                  std::vector<std::int64_t> index) {
+            note_slice_snapshot(ctx, st, t, dev, prefix, rows_done,
+                                std::move(profile), std::move(index));
+          };
+        }
+        slice_ptr = &progress;
+      }
+
       {
         std::lock_guard lock(st.mutex);
         if (st.committed[job.index] || st.interrupted) {
@@ -531,7 +752,29 @@ void device_worker(const RunContext& ctx, SchedulerState& st, int dev) {
                              (job.speculative ? " speculative" : ""),
                          dev, "tile", &SchedulerMetrics::get().tile_seconds);
         SchedulerMetrics::get().attempts.add();
-        execute_with_split(ctx, st, dev, job.mode, tile, attempt, &token, 0);
+        // Node-level fault hook, once per popped job, registered in
+        // inflight first so an injected node stall stays cancellable
+        // (watchdog, cross-node commit sweep, shutdown).
+        if (!announced && ctx.hooks != nullptr && ctx.hooks->on_tile_start) {
+          announced = true;
+          ctx.hooks->on_tile_start(job.index, &token);
+        }
+        execute_with_split(ctx, st, dev, job.mode, tile, attempt, &token, 0,
+                           slice_ptr);
+      } catch (const NodeFailedError& e) {
+        // The simulated *node* is gone: unwind the whole shard.  Every
+        // sibling attempt is cancelled; the journal is deliberately NOT
+        // flushed (a crashed node does not get a last orderly write).
+        std::lock_guard lock(st.mutex);
+        st.inflight.erase(attempt_id);
+        if (!st.shard_failed) {
+          st.shard_failed = true;
+          st.shard_fail_reason = e.what();
+          st.interrupted = true;
+          for (auto& [other_id, other] : st.inflight) other.token->cancel();
+        }
+        st.cv.notify_all();
+        return;
       } catch (const CancelledError&) {
         // Not a fault: the scheduler itself withdrew this attempt.
         std::lock_guard lock(st.mutex);
@@ -545,6 +788,15 @@ void device_worker(const RunContext& ctx, SchedulerState& st, int dev) {
                       {RunEvent::Kind::kSpeculationLost, tile.id, dev, ""});
           }
           break;  // tile done elsewhere; fetch the next job
+        }
+        if (ctx.hooks != nullptr && ctx.hooks->committed_elsewhere &&
+            ctx.hooks->committed_elsewhere(job.index)) {
+          // Cancelled because another *node* committed the tile (the
+          // monitor sweep may not have marked it locally yet).
+          st.committed[job.index] = 1;
+          st.outstanding -= 1;
+          if (job.speculative) st.backups_inflight[job.index] -= 1;
+          break;
         }
         if (st.interrupted) {
           if (job.speculative) st.backups_inflight[job.index] -= 1;
@@ -603,6 +855,16 @@ void device_worker(const RunContext& ctx, SchedulerState& st, int dev) {
       }
       const double attempt_seconds = attempt_wall.seconds();
 
+      // Fold the restored row-prefix into the tail rows' result so the
+      // committed tile covers rows from 0.  A no-op after a
+      // memory-pressure split (whose sub-tiles recomputed every row —
+      // with identical bits, the recurrence only depends on the seed
+      // origin, so re-folding the prefix is idempotent).
+      if (prefix != nullptr) {
+        min_merge_into(attempt.profile, attempt.index, prefix->profile,
+                       prefix->index);
+      }
+
       // ---- Success: numerical self-healing, then commit. ----
       const double bad = non_finite_fraction(attempt.profile);
       if (rc.escalate_precision && bad > rc.non_finite_threshold) {
@@ -638,19 +900,32 @@ void device_worker(const RunContext& ctx, SchedulerState& st, int dev) {
           break;
         }
         st.committed[job.index] = 1;
-        TileResult& slot = (*ctx.results)[job.index];
-        slot.profile = std::move(attempt.profile);
-        slot.index = std::move(attempt.index);
-        slot.ledger.reset();
-        slot.ledger.merge_from(attempt.ledger);
-        slot.prefilter = attempt.prefilter;
-        (*ctx.executed_device)[job.index] = dev;
-        (*ctx.final_mode)[job.index] = job.mode;
+        // Shard mode: first-commit-wins arbitration across nodes.  The
+        // winning hook copies the result into the coordinator's global
+        // arrays; a lost race drops the local result (the tile is done,
+        // just not by us).
+        bool won = true;
+        if (ctx.hooks != nullptr && ctx.hooks->on_commit) {
+          won = ctx.hooks->on_commit(job.index, attempt,
+                                     ctx.device_base + dev, job.mode);
+        }
+        if (won) {
+          TileResult& slot = (*ctx.results)[job.index];
+          slot.profile = std::move(attempt.profile);
+          slot.index = std::move(attempt.index);
+          slot.ledger.reset();
+          slot.ledger.merge_from(attempt.ledger);
+          slot.prefilter = attempt.prefilter;
+          (*ctx.executed_device)[job.index] = ctx.device_base + dev;
+          (*ctx.final_mode)[job.index] = job.mode;
+          st.result_valid[job.index] = 1;
+          st.partials[job.index] = CheckpointSlice{};  // superseded
+          st.health.devices[std::size_t(dev)].tiles_completed += 1;
+          SchedulerMetrics::get().tiles_completed.add();
+        }
         st.consecutive_failed_tiles[std::size_t(dev)] = 0;
         st.watchdog_strikes[std::size_t(dev)] = 0;
-        st.health.devices[std::size_t(dev)].tiles_completed += 1;
-        SchedulerMetrics::get().tiles_completed.add();
-        if (job.speculative) {
+        if (job.speculative && won) {
           st.health.speculative_wins += 1;
           SchedulerMetrics::get().speculative_wins.add();
           log_event(st, {RunEvent::Kind::kSpeculationWon, tile.id, dev, ""});
@@ -669,15 +944,18 @@ void device_worker(const RunContext& ctx, SchedulerState& st, int dev) {
                                     : 0.7 * st.wall_per_modeled + 0.3 * rate;
         }
         st.outstanding -= 1;
-        st.total_commits += 1;
-        st.commits_since_checkpoint += 1;
-        checkpoint_due =
-            ctx.config->checkpoint.enabled() &&
-            st.commits_since_checkpoint >=
-                std::size_t(ctx.config->checkpoint.interval_tiles);
-        kill_due = ctx.config->checkpoint.kill_after_tiles > 0 &&
-                   st.total_commits ==
-                       std::size_t(ctx.config->checkpoint.kill_after_tiles);
+        if (won) {
+          st.total_commits += 1;
+          st.commits_since_checkpoint += 1;
+          checkpoint_due =
+              ctx.config->checkpoint.enabled() &&
+              st.commits_since_checkpoint >=
+                  std::size_t(ctx.config->checkpoint.interval_tiles);
+          kill_due =
+              ctx.config->checkpoint.kill_after_tiles > 0 &&
+              st.total_commits ==
+                  std::size_t(ctx.config->checkpoint.kill_after_tiles);
+        }
         st.cv.notify_all();
       }
       if (checkpoint_due) write_checkpoint_now(ctx, st);
@@ -686,6 +964,10 @@ void device_worker(const RunContext& ctx, SchedulerState& st, int dev) {
     }
   }
 }
+
+/// Side journals a multi-node run may have left next to the base journal
+/// (one per node id); restore probes this many of them.
+constexpr int kMaxNodeJournals = 64;
 
 /// Computes one orphaned tile on the CPU reference path.  In FP64 this is
 /// bit-identical to the GPU engine (same precalculation, recurrence and
@@ -755,6 +1037,22 @@ std::string RunEvent::to_string() const {
       return "checkpoint written (" + detail + ")";
     case Kind::kInterrupted:
       return "shutdown requested, stopping (" + detail + ")";
+    case Kind::kResumeFallback:
+      return "resume fallback: " + detail;
+    case Kind::kSliceRestored:
+      return tile + ": " + detail;
+    case Kind::kSliceDiscarded:
+      return tile + ": journalled slice discarded (" + detail + ")";
+    case Kind::kNodeJoined:
+      return "node " + std::to_string(device) + " joined (" + detail + ")";
+    case Kind::kNodeCrashed:
+      return "node " + std::to_string(device) + " crashed: " + detail;
+    case Kind::kNodeStolen:
+      return tile + ": stolen by node " + std::to_string(device) +
+             (detail.empty() ? "" : " (" + detail + ")");
+    case Kind::kNodeDuplicated:
+      return tile + ": straggler duplicated to node " +
+             std::to_string(device) + " (" + detail + ")";
   }
   return detail;
 }
@@ -767,12 +1065,22 @@ std::string RunHealth::summary() const {
      << " blacklist(s), " << cpu_fallback_tiles << " CPU-fallback tile(s), "
      << escalations.size() << " escalation(s)\n";
   if (resumed_tiles > 0 || checkpoint_writes > 0 || watchdog_fires > 0 ||
-      speculative_wins > 0 || speculative_losses > 0 || tile_splits > 0) {
+      speculative_wins > 0 || speculative_losses > 0 || tile_splits > 0 ||
+      slice_commits > 0 || partial_slices > 0 || resume_fallbacks > 0 ||
+      slices_discarded > 0) {
     os << "  durability: " << resumed_tiles << " tile(s) resumed, "
        << checkpoint_writes << " checkpoint write(s), " << watchdog_fires
        << " watchdog fire(s), " << speculative_wins << " speculative win(s)/"
        << speculative_losses << " loss(es), " << tile_splits
-       << " tile split(s)\n";
+       << " tile split(s), " << slice_commits << " slice commit(s), "
+       << partial_slices << " partial restore(s), " << slices_discarded
+       << " slice(s) discarded, " << resume_fallbacks
+       << " resume fallback(s)\n";
+  }
+  if (node_crashes > 0 || node_steals > 0 || node_duplicates > 0) {
+    os << "  cluster: " << node_crashes << " node crash(es), " << node_steals
+       << " cross-node steal(s), " << node_duplicates
+       << " straggler duplicate(s)\n";
   }
   for (const auto& dev : devices) {
     os << "  device " << dev.device << ": " << dev.tiles_completed
@@ -789,6 +1097,147 @@ std::string RunHealth::summary() const {
     os << "  | " << event.to_string() << "\n";
   }
   return os.str();
+}
+
+RestoredState restore_from_journals(const std::string& resume_path,
+                                    std::uint64_t fingerprint,
+                                    const std::vector<Tile>& tiles,
+                                    std::size_t dims,
+                                    const MatrixProfileConfig& config) {
+  RestoredState out;
+  out.committed.assign(tiles.size(), 0);
+  out.results = std::vector<TileResult>(tiles.size());
+  out.executed_device.assign(tiles.size(), -1);
+  out.final_mode.assign(tiles.size(), config.mode);
+  out.prefixes.assign(tiles.size(), CheckpointSlice{});
+  if (resume_path.empty()) return out;
+
+  auto note_fallback = [&out](const std::string& why) {
+    out.fallbacks += 1;
+    out.log.push_back({RunEvent::Kind::kResumeFallback, -1, -1, why});
+  };
+
+  // The base journal (the single-node / coordinator one) carries the
+  // prior run's event history; per-node side journals only add slices.
+  std::vector<CheckpointData> journals;
+  std::string base_missing;
+  try {
+    CheckpointData data = read_checkpoint(resume_path);
+    if (data.fingerprint != fingerprint) {
+      note_fallback("journal '" + resume_path +
+                    "' was written for different inputs or configuration "
+                    "(fingerprint mismatch), starting fresh");
+    } else {
+      out.events = data.events;
+      journals.push_back(std::move(data));
+    }
+  } catch (const CheckpointError& e) {
+    if (e.reason() == CheckpointError::Reason::kMissing) {
+      base_missing = e.what();
+    } else {
+      note_fallback("journal '" + resume_path + "' is unreadable (" +
+                    e.what() + "), starting fresh");
+    }
+  }
+  for (int node = 0; node < kMaxNodeJournals; ++node) {
+    const std::string path = resume_path + ".node" + std::to_string(node);
+    try {
+      CheckpointData data = read_checkpoint(path);
+      if (data.fingerprint != fingerprint) {
+        note_fallback("journal '" + path +
+                      "' was written for different inputs or configuration "
+                      "(fingerprint mismatch), ignoring it");
+        continue;
+      }
+      journals.push_back(std::move(data));
+    } catch (const CheckpointError& e) {
+      // Absent node journals are the norm: a run with fewer nodes simply
+      // wrote fewer of them (and a crashed node never flushed one).
+      if (e.reason() == CheckpointError::Reason::kMissing) continue;
+      note_fallback("journal '" + path + "' is unreadable (" + e.what() +
+                    "), ignoring it");
+    }
+  }
+  if (!base_missing.empty() && journals.empty()) {
+    note_fallback("journal '" + resume_path + "' is missing (" +
+                  base_missing + "), starting fresh");
+  }
+
+  // Re-key every journalled slice by its absolute row/column ranges
+  // against the *current* grid — the journal may have been written under
+  // a different tile count or node count.
+  for (const CheckpointData& data : journals) {
+    for (const CheckpointSlice& slice : data.slices) {
+      std::size_t target = tiles.size();
+      SliceFit fit = SliceFit::kNone;
+      for (std::size_t t = 0; t < tiles.size(); ++t) {
+        fit = classify_slice(std::size_t(slice.r_begin),
+                             std::size_t(slice.r_count),
+                             std::size_t(slice.q_begin),
+                             std::size_t(slice.q_count),
+                             std::size_t(slice.dims), tiles[t], dims);
+        if (fit != SliceFit::kNone) {
+          target = t;
+          break;
+        }
+      }
+      if (target == tiles.size()) {
+        out.discarded += 1;
+        out.log.push_back(
+            {RunEvent::Kind::kSliceDiscarded, int(slice.tile_id),
+             int(slice.device),
+             "rows [" + std::to_string(slice.r_begin) + ", +" +
+                 std::to_string(slice.r_count) + ") x cols [" +
+                 std::to_string(slice.q_begin) + ", +" +
+                 std::to_string(slice.q_count) +
+                 ") does not fit the current tile grid"});
+        continue;
+      }
+      if (fit == SliceFit::kComplete) {
+        if (out.committed[target]) continue;  // duplicate across journals
+        out.committed[target] = 1;
+        out.results[target].profile = slice.profile;
+        out.results[target].index = slice.index;
+        out.results[target].prefilter = slice.prefilter;
+        out.executed_device[target] = int(slice.device);
+        out.final_mode[target] = slice.mode;
+        out.resumed += 1;
+        continue;
+      }
+      // Row prefix: only usable at the run's base precision and without
+      // the prefilter — the tail attempt's QT-only replay must reproduce
+      // the exact recurrence state the journalled rows were computed in.
+      if (slice.mode != config.mode || config.prefilter.enabled()) {
+        out.discarded += 1;
+        out.log.push_back(
+            {RunEvent::Kind::kSliceDiscarded, int(slice.tile_id),
+             int(slice.device),
+             "row prefix at " + to_string(slice.mode) +
+                 " is not restorable under this configuration"});
+        continue;
+      }
+      CheckpointSlice& best = out.prefixes[target];
+      if (std::size_t(slice.r_count) > std::size_t(best.r_count)) {
+        best = slice;  // keep the furthest prefix
+      }
+    }
+  }
+
+  for (std::size_t t = 0; t < tiles.size(); ++t) {
+    if (out.committed[t]) {
+      out.prefixes[t] = CheckpointSlice{};  // complete restore supersedes
+      continue;
+    }
+    if (out.prefixes[t].r_count == 0) continue;
+    out.partial += 1;
+    out.log.push_back(
+        {RunEvent::Kind::kSliceRestored, tiles[t].id,
+         int(out.prefixes[t].device),
+         "rows [0, +" + std::to_string(out.prefixes[t].r_count) + ") of " +
+             std::to_string(tiles[t].r_count) +
+             " restored; tail resumes after a QT-only replay"});
+  }
+  return out;
 }
 
 MatrixProfileResult run_resilient(gpusim::System& system,
@@ -831,6 +1280,8 @@ MatrixProfileResult run_resilient(gpusim::System& system,
   st.watchdog_strikes.assign(std::size_t(system.device_count()), 0);
   st.committed.assign(tiles.size(), 0);
   st.backups_inflight.assign(tiles.size(), 0);
+  st.partials.assign(tiles.size(), CheckpointSlice{});
+  st.result_valid.assign(tiles.size(), 0);
   for (int dev = 0; dev < system.device_count(); ++dev) {
     RunHealth::DeviceStatus status;
     status.device = dev;
@@ -857,52 +1308,50 @@ MatrixProfileResult run_resilient(gpusim::System& system,
   ctx.final_mode = &final_mode;
   ctx.clock = &wall;
   ctx.fingerprint = checkpoint_fingerprint(reference, query, config);
+  ctx.dims = d;
+  std::vector<CheckpointSlice> prefixes(tiles.size());
+  ctx.prefixes = &prefixes;
 
-  // ---- Resume: restore committed tiles from the journal. ----
+  // ---- Resume: re-key journalled slices onto this run's grid. ----
+  // A bad journal must never take the run down (every rejection is a
+  // structured kResumeFallback event), and a journal written under a
+  // different tile grid restores whatever still fits: exact-cover slices
+  // whole, row prefixes partially (the tail replays QT-only), the rest
+  // is discarded and recomputed.
   std::size_t resumed = 0;
   if (!config.checkpoint.resume_path.empty()) {
-    try {
-      CheckpointData data = read_checkpoint(config.checkpoint.resume_path);
-      if (data.fingerprint != ctx.fingerprint) {
-        throw CheckpointError(
-            "checkpoint '" + config.checkpoint.resume_path +
-            "' was written for different inputs or configuration");
-      }
-      if (data.tile_count != tiles.size()) {
-        throw CheckpointError("checkpoint '" + config.checkpoint.resume_path +
-                              "' journals " + std::to_string(data.tile_count) +
-                              " tiles but this run has " +
-                              std::to_string(tiles.size()));
-      }
-      for (CheckpointTile& entry : data.tiles) {
-        const std::size_t t = std::size_t(entry.tile_index);
-        const std::size_t expect = tiles[t].q_count * d;
-        if (entry.profile.size() != expect || st.committed[t]) {
-          throw CheckpointError(
-              "checkpoint '" + config.checkpoint.resume_path +
-              "' has a malformed entry for tile index " + std::to_string(t));
-        }
-        st.committed[t] = 1;
-        results[t].profile = std::move(entry.profile);
-        results[t].index = std::move(entry.index);
-        results[t].prefilter = entry.prefilter;
-        executed_device[t] = entry.device;
-        final_mode[t] = entry.mode;
-        resumed += 1;
-      }
-      st.health.events = std::move(data.events);
-      st.health.resumed_tiles = int(resumed);
-      st.total_commits = resumed;
-      SchedulerMetrics::get().tiles_resumed.add(resumed);
+    RestoredState restored = restore_from_journals(
+        config.checkpoint.resume_path, ctx.fingerprint, tiles, d, config);
+    st.health.events = std::move(restored.events);
+    for (std::size_t t = 0; t < tiles.size(); ++t) {
+      if (!restored.committed[t]) continue;
+      st.committed[t] = 1;
+      st.result_valid[t] = 1;
+      results[t].profile = std::move(restored.results[t].profile);
+      results[t].index = std::move(restored.results[t].index);
+      results[t].prefilter = restored.results[t].prefilter;
+      executed_device[t] = restored.executed_device[t];
+      final_mode[t] = restored.final_mode[t];
+    }
+    prefixes = std::move(restored.prefixes);
+    resumed = restored.resumed;
+    st.health.resumed_tiles = int(resumed);
+    st.health.partial_slices = int(restored.partial);
+    st.health.resume_fallbacks = int(restored.fallbacks);
+    st.health.slices_discarded = int(restored.discarded);
+    st.total_commits = resumed;
+    SchedulerMetrics::get().tiles_resumed.add(resumed);
+    SchedulerMetrics::get().slices_partial.add(restored.partial);
+    SchedulerMetrics::get().resume_fallback.add(restored.fallbacks);
+    SchedulerMetrics::get().slices_discarded.add(restored.discarded);
+    for (RunEvent& event : restored.log) log_event(st, std::move(event));
+    if (resumed > 0 || restored.partial > 0) {
       log_event(st, {RunEvent::Kind::kResumed, -1, -1,
                      std::to_string(resumed) + "/" +
-                         std::to_string(tiles.size()) + " tiles from " +
+                         std::to_string(tiles.size()) + " tiles (+" +
+                         std::to_string(restored.partial) +
+                         " partial) from " +
                          config.checkpoint.resume_path});
-    } catch (const CheckpointError& e) {
-      // A bad journal must not take the run down: report and start fresh.
-      log_event(st, {RunEvent::Kind::kResumed, -1, -1,
-                     std::string("resume rejected, starting fresh: ") +
-                         e.what()});
     }
   }
 
@@ -967,6 +1416,7 @@ MatrixProfileResult run_resilient(gpusim::System& system,
                         results[job.index]);
     }
     st.committed[job.index] = 1;
+    st.result_valid[job.index] = 1;
     st.total_commits += 1;
     executed_device[job.index] = -1;
     final_mode[job.index] = PrecisionMode::FP64;
@@ -978,6 +1428,30 @@ MatrixProfileResult run_resilient(gpusim::System& system,
   // ---- Final journal: a complete run leaves a complete checkpoint. ----
   if (config.checkpoint.enabled()) write_checkpoint_now(ctx, st);
 
+  MatrixProfileResult out = assemble_tile_results(
+      tiles, results, executed_device, n_q, d, config.streams_per_device);
+
+  // ---- Health report. ----
+  out.health = std::move(st.health);
+  if (gpusim::FaultInjector* injector =
+          system.device(0).fault_injector()) {
+    out.health.faults_injected = int(injector->fault_count());
+  }
+  out.health.degraded = out.health.blacklist_events > 0 ||
+                        out.health.cpu_fallback_tiles > 0 ||
+                        out.health.retries > 0 ||
+                        out.health.reassigned_tiles > 0 ||
+                        out.health.watchdog_fires > 0 ||
+                        out.health.tile_splits > 0;
+
+  out.wall_seconds = wall.seconds();
+  return out;
+}
+
+MatrixProfileResult assemble_tile_results(
+    const std::vector<Tile>& tiles, std::vector<TileResult>& results,
+    const std::vector<int>& executed_device, std::size_t n_q, std::size_t d,
+    int streams_per_device) {
   // ---- CPU merge (Pseudocode 2, lines 6-8). ----
   // Parallel over output columns; bit-identical to the serial merge (each
   // column sees the tiles in the same ascending order).
@@ -989,9 +1463,15 @@ MatrixProfileResult run_resilient(gpusim::System& system,
     merge_tile_results(tiles, results, n_q, d, out, &merge_pool);
   }
 
-  // ---- Modelled makespan (grouped by the device that ran each tile). ----
-  std::vector<TileTimes> device_time(std::size_t(system.device_count()));
-  std::vector<int> device_tiles(std::size_t(system.device_count()), 0);
+  // ---- Modelled makespan (grouped by the device that ran each tile;
+  // device indices are global, so a multi-node run's makespan spans the
+  // whole cluster's fleet). ----
+  int device_count = 0;
+  for (const int dev : executed_device) {
+    device_count = std::max(device_count, dev + 1);
+  }
+  std::vector<TileTimes> device_time(static_cast<std::size_t>(device_count));
+  std::vector<int> device_tiles(static_cast<std::size_t>(device_count), 0);
   for (std::size_t t = 0; t < tiles.size(); ++t) {
     if (executed_device[t] < 0) continue;  // CPU fallback: no device time
     const auto tt = tile_times(results[t].ledger);
@@ -1002,8 +1482,7 @@ MatrixProfileResult run_resilient(gpusim::System& system,
   }
   double makespan = 0.0;
   for (std::size_t dev = 0; dev < device_time.size(); ++dev) {
-    const bool overlapped =
-        config.streams_per_device > 1 && device_tiles[dev] > 1;
+    const bool overlapped = streams_per_device > 1 && device_tiles[dev] > 1;
     const double t = overlapped
                          ? std::max(device_time[dev].kernels,
                                     device_time[dev].copies)
@@ -1059,22 +1538,126 @@ MatrixProfileResult run_resilient(gpusim::System& system,
                  : double(out.prefilter.cols_missed) /
                        double(out.prefilter.cols_verified));
   }
-
-  // ---- Health report. ----
-  out.health = std::move(st.health);
-  if (gpusim::FaultInjector* injector =
-          system.device(0).fault_injector()) {
-    out.health.faults_injected = int(injector->fault_count());
-  }
-  out.health.degraded = out.health.blacklist_events > 0 ||
-                        out.health.cpu_fallback_tiles > 0 ||
-                        out.health.retries > 0 ||
-                        out.health.reassigned_tiles > 0 ||
-                        out.health.watchdog_fires > 0 ||
-                        out.health.tile_splits > 0;
-
-  out.wall_seconds = wall.seconds();
   return out;
+}
+
+void compute_tile_on_cpu(const TimeSeries& reference, const TimeSeries& query,
+                         std::size_t window, const Tile& tile,
+                         std::int64_t exclusion, TileResult& result) {
+  cpu_fallback_tile(reference, query, window, tile, exclusion, result);
+}
+
+ShardOutcome run_resilient_shard(gpusim::System& system,
+                                 const TimeSeries& reference,
+                                 const TimeSeries& query,
+                                 const MatrixProfileConfig& config,
+                                 const std::vector<Tile>& tiles,
+                                 const std::vector<std::size_t>& initial,
+                                 int node_id, int device_base,
+                                 const ShardHooks& hooks,
+                                 const std::vector<CheckpointSlice>* prefixes,
+                                 std::uint64_t fingerprint) {
+  Stopwatch wall;
+
+  std::vector<std::unique_ptr<gpusim::StreamPool>> pools;
+  for (int dev = 0; dev < system.device_count(); ++dev) {
+    pools.push_back(std::make_unique<gpusim::StreamPool>(
+        system.device(dev), config.streams_per_device));
+  }
+
+  // Node-local result slots: the coordinator's on_commit hook copies the
+  // winning results into its global arrays; the local copies back this
+  // shard's journal (write_path is the coordinator-assigned per-node
+  // side journal).
+  std::vector<TileResult> results(tiles.size());
+  std::vector<int> executed_device(tiles.size(), -1);
+  std::vector<PrecisionMode> final_mode(tiles.size(), config.mode);
+
+  SchedulerState st;
+  st.queues.resize(std::size_t(system.device_count()));
+  st.blacklisted.assign(std::size_t(system.device_count()), 0);
+  st.consecutive_failed_tiles.assign(std::size_t(system.device_count()), 0);
+  st.watchdog_strikes.assign(std::size_t(system.device_count()), 0);
+  st.committed.assign(tiles.size(), 0);
+  st.backups_inflight.assign(tiles.size(), 0);
+  st.partials.assign(tiles.size(), CheckpointSlice{});
+  st.result_valid.assign(tiles.size(), 0);
+  for (int dev = 0; dev < system.device_count(); ++dev) {
+    RunHealth::DeviceStatus status;
+    status.device = device_base + dev;
+    st.health.devices.push_back(status);
+  }
+
+  StagingCache local_staging(reference, query);
+
+  RunContext ctx;
+  ctx.system = &system;
+  ctx.reference = &reference;
+  ctx.query = &query;
+  ctx.config = &config;
+  ctx.staging = config.staging_cache != nullptr ? config.staging_cache
+                                                : &local_staging;
+  for (auto& pool : pools) ctx.pools.push_back(pool.get());
+  ctx.tiles = &tiles;
+  ctx.results = &results;
+  ctx.executed_device = &executed_device;
+  ctx.final_mode = &final_mode;
+  ctx.clock = &wall;
+  ctx.fingerprint = fingerprint;
+  ctx.dims = reference.dims();
+  ctx.hooks = &hooks;
+  ctx.node_id = node_id;
+  ctx.device_base = device_base;
+  ctx.prefixes = prefixes;
+
+  st.outstanding = initial.size();
+  for (std::size_t k = 0; k < initial.size(); ++k) {
+    TileJob job;
+    job.index = initial[k];
+    job.mode = config.mode;
+    st.queues[k % st.queues.size()].push_back(std::move(job));
+  }
+
+  // Workers always start, even with an empty initial backlog: an elastic
+  // shard may receive all of its work via acquire_more (steals, released
+  // tiles of crashed peers) and only retires at global completion.
+  std::vector<std::thread> workers;
+  workers.reserve(std::size_t(system.device_count()));
+  for (int dev = 0; dev < system.device_count(); ++dev) {
+    workers.emplace_back([&ctx, &st, dev] { device_worker(ctx, st, dev); });
+  }
+  std::thread monitor([&ctx, &st] { monitor_thread(ctx, st); });
+  for (auto& w : workers) w.join();
+  {
+    std::lock_guard lock(st.mutex);
+    st.stop_monitor = true;
+  }
+  st.cv.notify_all();
+  monitor.join();
+
+  ShardOutcome outcome;
+  outcome.crashed = st.shard_failed;
+  outcome.crash_reason = st.shard_fail_reason;
+  outcome.interrupted = st.interrupted && !st.shard_failed;
+
+  // A crashed node does not get a last orderly journal write (its
+  // in-memory slices die with it — exactly what elastic resume has to
+  // survive).  An interrupted or completed shard flushes everything,
+  // partial row-slices included.
+  if (!st.shard_failed && config.checkpoint.enabled()) {
+    write_checkpoint_now(ctx, st);
+  }
+
+  for (const TileJob& job : st.cpu_jobs) {
+    if (!st.committed[job.index]) outcome.incomplete.push_back(job.index);
+  }
+  for (const auto& queue : st.queues) {
+    for (const TileJob& job : queue) {
+      if (!st.committed[job.index]) outcome.incomplete.push_back(job.index);
+    }
+  }
+  outcome.health = std::move(st.health);
+  return outcome;
 }
 
 }  // namespace mpsim::mp

@@ -18,6 +18,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <cstring>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -40,6 +41,33 @@ struct TileResult {
   std::vector<std::int64_t> index;   // global reference segment indices
   gpusim::KernelLedger ledger;       // this tile's modelled launches
   PrefilterStats prefilter;          // sketch-prefilter decision tallies
+};
+
+/// Mid-tile durability hooks (opt-in, scheduler-provided).
+///
+/// `start_row > 0` resumes the tile from a journalled row-slice prefix:
+/// rows [0, start_row) are *replayed QT-only* — the diagonal recurrence
+/// is advanced through them op-for-op (`qt_only_row_body`) without
+/// touching the profile — so row start_row sees exactly the QT state the
+/// uninterrupted run would have handed it, and the freshly computed tail
+/// is bit-identical.  The engine's result then covers only rows
+/// [start_row, nr); the caller min-merges its stored prefix back in (the
+/// merge rule is associative, so prefix ⊕ tail ≡ the uninterrupted run).
+///
+/// `on_slice` (with `slice_rows > 0`) is invoked at row-batch boundaries
+/// whenever at least slice_rows new rows completed since the last
+/// snapshot, with a widened copy of the tile's current profile/index —
+/// the contribution of rows [start_row, rows_done).  Snapshots are
+/// pure reads: they cannot move output bits.  The engine suppresses
+/// snapshots when the staged inputs were fault-corrupted (a poisoned
+/// prefix must never become durable) and under the sketch prefilter
+/// (whose skipped columns make mid-tile state non-restorable).
+struct SliceProgress {
+  std::size_t start_row = 0;
+  std::size_t slice_rows = 0;
+  std::function<void(std::size_t rows_done, std::vector<double> profile,
+                     std::vector<std::int64_t> index)>
+      on_slice;
 };
 
 template <typename Traits>
@@ -66,11 +94,12 @@ class SingleTileEngine {
                       TileResult& result, StagingCache* staging = nullptr,
                       RowPath row_path = RowPath::kAuto,
                       PrefilterConfig prefilter = {},
-                      const gpusim::CancellationToken* cancel = nullptr) {
+                      const gpusim::CancellationToken* cancel = nullptr,
+                      const SliceProgress* slice = nullptr) {
     auto run = [&device, &reference, &query, m, tile, exclusion, &result,
-                staging, row_path, prefilter, cancel] {
+                staging, row_path, prefilter, cancel, slice] {
       run_tile(device, reference, query, m, tile, exclusion, result, staging,
-               row_path, prefilter, cancel);
+               row_path, prefilter, cancel, slice);
     };
     if (stream != nullptr) {
       stream->enqueue(std::move(run));
@@ -85,7 +114,8 @@ class SingleTileEngine {
                        const Tile& tile, std::int64_t exclusion,
                        TileResult& result, StagingCache* staging,
                        RowPath row_path, const PrefilterConfig& prefilter,
-                       const gpusim::CancellationToken* cancel) {
+                       const gpusim::CancellationToken* cancel,
+                       const SliceProgress* slice = nullptr) {
     const std::size_t d = reference.dims();
     const std::size_t nr = tile.r_count;
     const std::size_t nq = tile.q_count;
@@ -127,9 +157,12 @@ class SingleTileEngine {
     // Fault injection: value corruption (NaN poisoning / bit flips) hits
     // the staged reduced-precision buffers, exactly where a real GPU port
     // is exposed to conversion overflow and memory corruption.
+    std::size_t corrupted = 0;
     if (gpusim::FaultInjector* injector = device.fault_injector()) {
-      injector->corrupt_span(device.index(), host_r.data(), host_r.size());
-      injector->corrupt_span(device.index(), host_q.data(), host_q.size());
+      corrupted +=
+          injector->corrupt_span(device.index(), host_r.data(), host_r.size());
+      corrupted +=
+          injector->corrupt_span(device.index(), host_q.data(), host_q.size());
     }
     gpusim::DeviceBuffer<ST> dev_r(device, host_r.size());
     gpusim::DeviceBuffer<ST> dev_q(device, host_q.size());
@@ -225,6 +258,47 @@ class SingleTileEngine {
     const auto dist_cost = dist_calc_cost<Traits>(nq, d);
     const auto sort_cost = sort_scan_cost<Traits>(nq, d);
     const auto upd_cost = update_cost<Traits>(nq, d);
+
+    // ---- Mid-tile durability (SliceProgress, opt-in). ----
+    // Prefix replay: advance the QT recurrence through the already
+    // journalled rows without touching the profile, so the tail rows see
+    // bit-identical recurrence state (see SliceProgress).
+    const std::size_t start_row =
+        slice != nullptr ? std::min(slice->start_row, nr) : 0;
+    for (std::size_t i = 0; i < start_row; ++i) {
+      const ST* qp = qt_prev;
+      ST* qn = qt_next;
+      gpusim::launch_grid_stride(
+          device, nullptr, "qt_replay", config, std::int64_t(nq), dist_cost,
+          [&, i, qp, qn](std::int64_t begin, std::int64_t end) {
+            qt_only_row_body<Traits>(begin, end, i, nq, d, qt_row.data(),
+                                     qt_col.data(), nr, df_r.data(),
+                                     dg_r.data(), df_q.data(), dg_q.data(),
+                                     qp, qn);
+          },
+          tl, cancel);
+      std::swap(qt_prev, qt_next);
+    }
+    // Snapshot emission: disabled when the staged inputs were corrupted
+    // by fault injection (a poisoned prefix must never become durable).
+    bool emit_slices = slice != nullptr && slice->on_slice &&
+                       slice->slice_rows > 0 && corrupted == 0;
+    std::size_t last_emitted = start_row;
+    const auto maybe_slice = [&](std::size_t rows_done) {
+      if (!emit_slices || rows_done >= nr) return;
+      if (rows_done - last_emitted < slice->slice_rows) return;
+      last_emitted = rows_done;
+      // Direct widened reads of simulated device state: durability
+      // bookkeeping, deliberately not modelled as D2H traffic.
+      std::vector<double> snap_profile(nq * d);
+      std::vector<std::int64_t> snap_index(nq * d);
+      for (std::size_t e = 0; e < nq * d; ++e) {
+        snap_profile[e] = double(profile[e]);
+        snap_index[e] = index[e];
+      }
+      slice->on_slice(rows_done, std::move(snap_profile),
+                      std::move(snap_index));
+    };
     // Single-dimensional fast path: sorting/scanning one value per column
     // is the identity, so the kernel is skipped entirely (the paper's
     // turbine case study is exactly this d = 1 setting; SCAMP has no such
@@ -319,6 +393,7 @@ class SingleTileEngine {
       // record_fused_launch triple — is identical to the exact loop.
       TilePrefilter pf(prefilter, m, d, nr, nq);
       const bool prefiltered = pf.enabled();
+      if (prefiltered) emit_slices = false;
       if (prefiltered) {
         pf.template build<Traits>(host_r.data(), len_r, mu_r.data(),
                                   inv_r.data(), host_q.data(), len_q,
@@ -370,7 +445,7 @@ class SingleTileEngine {
       std::vector<ST> batch_scan;
       if (bt_cfg >= 2) batch_scan.resize(bt_cfg * lanes * nq);
 
-      for (std::size_t i0 = 0; i0 < nr;) {
+      for (std::size_t i0 = start_row; i0 < nr;) {
         if (prefiltered) {
           // The prefilter scores and dispatches per column group within
           // each row, so it supplies its own batching (row batches share
@@ -385,6 +460,7 @@ class SingleTileEngine {
           run_single_row(i0, qt_prev, qt_next);
           std::swap(qt_prev, qt_next);
           ++i0;
+          maybe_slice(i0);
           continue;
         }
         // The whole batch's per-row fault points fire first, in the exact
@@ -413,6 +489,7 @@ class SingleTileEngine {
         for (std::size_t r = 0; r < bt; ++r) row_records(per_row);
         std::swap(qt_prev, qt_next);
         i0 += bt;
+        maybe_slice(i0);
       }
 
       result.prefilter = pf.stats();
@@ -420,7 +497,7 @@ class SingleTileEngine {
       return;
     }
 
-    for (std::size_t i = 0; i < nr; ++i) {
+    for (std::size_t i = start_row; i < nr; ++i) {
       if (cancel != nullptr) cancel->poll("row loop");
       gpusim::launch_grid_stride(
           device, nullptr, "dist_calc", config, std::int64_t(nq * d),
@@ -462,6 +539,7 @@ class SingleTileEngine {
           tl, cancel);
 
       std::swap(qt_prev, qt_next);
+      maybe_slice(i + 1);
     }
 
     finish_tile(device, nq, d, profile, index, result, tl, cancel);

@@ -88,6 +88,31 @@ void assign_tiles_lpt(std::vector<Tile>& tiles, int n_devices) {
   }
 }
 
+SliceFit classify_slice(std::size_t slice_r_begin, std::size_t slice_r_count,
+                        std::size_t slice_q_begin, std::size_t slice_q_count,
+                        std::size_t slice_dims, const Tile& tile,
+                        std::size_t dims) {
+  // Dimensional or column mismatch: the slice's profile entries cover a
+  // different column set (or a different number of values per column)
+  // than the tile merges — there is no bit-safe sub-range to extract,
+  // because trimming columns would not reproduce the tile's own merge.
+  if (slice_dims != dims) return SliceFit::kNone;
+  if (slice_q_begin != tile.q_begin || slice_q_count != tile.q_count) {
+    return SliceFit::kNone;
+  }
+  // Row-origin mismatch: the journalled rows were produced by a QT
+  // recurrence seeded at slice_r_begin; a tile seeded elsewhere computes
+  // different (both valid) bits for the same absolute rows.
+  if (slice_r_begin != tile.r_begin) return SliceFit::kNone;
+  if (slice_r_count == 0) return SliceFit::kNone;
+  if (slice_r_count == tile.r_count) return SliceFit::kComplete;
+  // More rows than the tile: the slice's profile is already min-merged
+  // over rows past the tile's end — row contributions cannot be
+  // un-merged, so a longer slice is unusable for a shorter tile.
+  if (slice_r_count > tile.r_count) return SliceFit::kNone;
+  return SliceFit::kPrefix;
+}
+
 std::size_t assignment_makespan(const std::vector<Tile>& tiles,
                                 int n_devices) {
   MPSIM_CHECK(n_devices >= 1, "need at least one device");

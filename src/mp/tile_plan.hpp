@@ -9,6 +9,7 @@
 // splits: t_r >= t_q, with t_r * t_q = n_tiles.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -53,5 +54,35 @@ void assign_tiles_lpt(std::vector<Tile>& tiles, int n_devices);
 /// minimises; exposed for the scheduling ablation and tests.
 std::size_t assignment_makespan(const std::vector<Tile>& tiles,
                                 int n_devices);
+
+/// How a journalled result slice (absolute [r_begin, r_begin+r_count) x
+/// [q_begin, q_begin+q_count) ranges, see mp/checkpoint.hpp) relates to a
+/// tile of the *current* grid.  Used by elastic resume to re-key slices
+/// written under a different tile grid or node count.
+enum class SliceFit {
+  /// Ranges disjoint from, column-mismatched with, or dimensionally
+  /// incompatible with the tile — the slice cannot seed it.
+  kNone,
+  /// Covers the whole tile: restore it outright and skip execution.
+  kComplete,
+  /// Same seed origin (r_begin, q_begin, exact column range) but fewer
+  /// rows than the tile: a bit-exact prefix — execution may replay the
+  /// QT recurrence through the covered rows and compute only the
+  /// remainder.
+  kPrefix,
+};
+
+/// Classifies a slice against a tile.  Bit-identity of the diagonal QT
+/// recurrence depends only on the seed origin (r_begin, q_begin) and the
+/// column extent — NOT on how many rows the tile runs — so:
+///   - exact q range + same r_begin + r_count == tile rows  → kComplete
+///   - exact q range + same r_begin + 0 < r_count < tile rows → kPrefix
+///   - anything else (different origin, trimmed/shifted columns,
+///     dims mismatch) → kNone (restarting the recurrence elsewhere
+///     yields different rounding, docs/DESIGN.md).
+SliceFit classify_slice(std::size_t slice_r_begin, std::size_t slice_r_count,
+                        std::size_t slice_q_begin, std::size_t slice_q_count,
+                        std::size_t slice_dims, const Tile& tile,
+                        std::size_t dims);
 
 }  // namespace mpsim::mp

@@ -11,6 +11,7 @@
 #include <cstring>
 #include <sstream>
 
+#include "cluster/coordinator.hpp"
 #include "common/error.hpp"
 #include "common/metrics.hpp"
 #include "common/shutdown.hpp"
@@ -283,21 +284,29 @@ Response Server::execute_query(const Request& request) {
                             request.self_join ? "" : request.query_path);
 
   mp::MatrixProfileConfig config = request.config;
-  const std::uint64_t fingerprint =
-      mp::checkpoint_fingerprint(*input->reference, *input->query, config);
+  // Complete profiles are keyed by profile_cache_key, not the checkpoint
+  // fingerprint: the fingerprint deliberately ignores the tile grid (so
+  // elastic resume can re-key slices across grids), but the grid DOES
+  // change reduced-precision output bits — two grids must not collide.
+  const std::uint64_t cache_key =
+      mp::profile_cache_key(*input->reference, *input->query, config);
 
-  auto result = cache_.find_profile(fingerprint);
+  auto result = cache_.find_profile(cache_key);
   const bool cached = result != nullptr;
   if (!cached) {
     // Serve policy on top of the one-shot defaults: reuse the input's
     // staging conversions, and never let a drain truncate an admitted
-    // query — neither affects the output bits (the fingerprint ignores
+    // query — neither affects the output bits (the cache key ignores
     // both knobs).
     config.staging_cache = &input->staging;
     config.resilience.honor_shutdown = false;
+    cluster::ElasticClusterConfig elastic;
+    elastic.nodes = options_.nodes;
     auto computed = std::make_shared<const mp::MatrixProfileResult>(
-        mp::compute_matrix_profile(*input->reference, *input->query, config));
-    cache_.store_profile(fingerprint, computed);
+        cluster::compute_matrix_profile_elastic(*input->reference,
+                                                *input->query, config,
+                                                elastic));
+    cache_.store_profile(cache_key, computed);
     result = std::move(computed);
   }
 

@@ -85,4 +85,29 @@ fi
     --output="$WORK/storm_resumed.csv" > "$WORK/storm_resumed.log"
 cmp "$WORK/clean.csv" "$WORK/storm_resumed.csv"
 
+# --- Leg 4: node chaos.  A node crash mid-tile (the dying node never
+# flushes its side journal) followed by a resume on *fewer* nodes, and a
+# steal storm where every tile start on node 0 stutters — the elastic
+# coordinator must converge to the clean bytes in both shapes.
+status=0
+"$CLI" "${COMMON[@]}" --nodes=3 --node-faults="seed=8,node_crash@2:at=1" \
+    --checkpoint="$WORK/node.ckpt" --checkpoint-interval=1 \
+    --slice-rows=16 --kill-after-slices=3 \
+    > "$WORK/node_killed.log" || status=$?
+if [ "$status" -ne 0 ] && [ "$status" -ne 130 ]; then
+  echo "node kill leg: expected exit 0 or 130, got $status" >&2
+  exit 1
+fi
+[ -f "$WORK/node.ckpt" ]
+"$CLI" "${COMMON[@]}" --nodes=2 --resume="$WORK/node.ckpt" \
+    --output="$WORK/node_resumed.csv" > "$WORK/node_resumed.log"
+cmp "$WORK/clean.csv" "$WORK/node_resumed.csv"
+
+for seed in 6 12; do
+  "$CLI" "${COMMON[@]}" --nodes=2 --watchdog \
+      --node-faults="seed=$seed,node_slow@0:every=1:ms=15" \
+      --output="$WORK/steal$seed.csv" > "$WORK/steal$seed.log"
+  cmp "$WORK/clean.csv" "$WORK/steal$seed.csv"
+done
+
 echo "chaos soak OK"

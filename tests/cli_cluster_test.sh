@@ -1,0 +1,106 @@
+#!/usr/bin/env bash
+# Multi-node identity leg: the elastic coordinator must be invisible in
+# the output bytes.  Three hard requirements, each byte-diffed against
+# the single-node run:
+#   1. an N-node run, across all 5 precision modes x both row paths;
+#   2. a run killed mid-tile on N nodes and resumed on M != N nodes;
+#   3. a resume whose journal was written under a *different tile grid*.
+# Also checks the coordinator.* / node.* metrics counters and the node
+# lifecycle spans in --trace-out.  Driven by CTest; $1 = build dir.
+set -euo pipefail
+BUILD=$1
+WORK=$(mktemp -d)
+CLI="$BUILD/tools/mpsim_cli"
+
+cleanup() {
+  status=$?
+  if [ "$status" -ne 0 ]; then
+    echo "cli_cluster_test FAILED (exit $status) at line ${FAILED_LINE:-?}" >&2
+    for f in "$WORK"/*.log; do
+      [ -f "$f" ] || continue
+      echo "--- $f:" >&2
+      cat "$f" >&2
+    done
+  fi
+  rm -rf "$WORK"
+  exit "$status"
+}
+trap 'FAILED_LINE=$LINENO' ERR
+trap cleanup EXIT
+
+awk 'BEGIN {
+  srand(19); print "a,b";
+  for (t = 0; t < 600; ++t) {
+    a = sin(t / 9.0) + (rand() - 0.5) * 0.4;
+    b = cos(t / 13.0) + (rand() - 0.5) * 0.4;
+    printf "%.6f,%.6f\n", a, b;
+  }
+}' > "$WORK/ref.csv"
+
+COMMON=(--reference="$WORK/ref.csv" --self-join --window=32 --devices=2
+        --motifs=0)
+
+# --- Requirement 1: N-node == single-node, all modes x both row paths.
+for mode in FP64 FP32 FP16 Mixed FP16C; do
+  for path in fused cooperative; do
+    "$CLI" "${COMMON[@]}" --tiles=6 --mode="$mode" --row-path="$path" \
+        --output="$WORK/one_${mode}_${path}.csv" \
+        > "$WORK/one_${mode}_${path}.log"
+    "$CLI" "${COMMON[@]}" --tiles=6 --mode="$mode" --row-path="$path" \
+        --nodes=3 --output="$WORK/three_${mode}_${path}.csv" \
+        > "$WORK/three_${mode}_${path}.log"
+    cmp "$WORK/one_${mode}_${path}.csv" "$WORK/three_${mode}_${path}.csv"
+  done
+done
+
+# --- Requirement 2: kill mid-tile on 3 nodes (sub-tile row slices in the
+# journal), resume on 2 nodes.  The kill exits 130 unless the run won the
+# race and completed (0); either way the resumed bytes must match.
+status=0
+"$CLI" "${COMMON[@]}" --tiles=6 --mode=Mixed --nodes=3 \
+    --checkpoint="$WORK/elastic.ckpt" --checkpoint-interval=1 \
+    --slice-rows=16 --kill-after-slices=2 \
+    > "$WORK/killed.log" || status=$?
+if [ "$status" -ne 0 ] && [ "$status" -ne 130 ]; then
+  echo "elastic kill: expected exit 0 or 130, got $status" >&2
+  exit 1
+fi
+[ -f "$WORK/elastic.ckpt" ]
+"$CLI" "${COMMON[@]}" --tiles=6 --mode=Mixed --nodes=2 \
+    --resume="$WORK/elastic.ckpt" --output="$WORK/elastic_resumed.csv" \
+    > "$WORK/elastic_resumed.log"
+cmp "$WORK/one_Mixed_fused.csv" "$WORK/elastic_resumed.csv"
+
+# --- Requirement 3: the same journal re-keyed onto a *different grid*
+# (tiles=6 -> tiles=4) and yet another node count.  The bytes must match
+# the clean single-node run under the new grid.
+"$CLI" "${COMMON[@]}" --tiles=4 --mode=Mixed \
+    --output="$WORK/clean4.csv" > "$WORK/clean4.log"
+"$CLI" "${COMMON[@]}" --tiles=4 --mode=Mixed --nodes=4 \
+    --resume="$WORK/elastic.ckpt" --output="$WORK/regrid_resumed.csv" \
+    > "$WORK/regrid_resumed.log"
+cmp "$WORK/clean4.csv" "$WORK/regrid_resumed.csv"
+
+# --- Observability: additive coordinator/node counters in the v2 metrics
+# document and node lifecycle spans in the Chrome trace.
+"$CLI" "${COMMON[@]}" --tiles=6 --mode=Mixed --nodes=2 --steal=off \
+    --metrics-out="$WORK/metrics.json" --trace-out="$WORK/trace.json" \
+    --output="$WORK/observed.csv" > "$WORK/observed.log"
+cmp "$WORK/one_Mixed_fused.csv" "$WORK/observed.csv"
+grep -q 'mpsim-metrics-v2' "$WORK/metrics.json"
+for counter in coordinator.tiles_dispatched coordinator.steals \
+               coordinator.node_crashes node.commits node.commit_conflicts; do
+  grep -q "\"$counter\"" "$WORK/metrics.json"
+done
+grep -q '"coordinator"' "$WORK/trace.json"
+grep -q '"node 0"' "$WORK/trace.json"
+grep -q '"node 1"' "$WORK/trace.json"
+
+# --- A node crash mid-run is recovered and reported, bytes unchanged.
+"$CLI" "${COMMON[@]}" --tiles=6 --mode=Mixed --nodes=3 \
+    --node-faults="seed=6,node_crash@1:at=1" \
+    --output="$WORK/crash.csv" > "$WORK/crash.log"
+cmp "$WORK/one_Mixed_fused.csv" "$WORK/crash.csv"
+grep -q "node 1 crashed" "$WORK/crash.log"
+
+echo "cli cluster OK"

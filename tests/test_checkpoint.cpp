@@ -1,16 +1,21 @@
-// Durable checkpoint/resume: journal round-trips bit-exactly, damaged or
-// foreign journals are rejected with a clear error (and a resume against
-// one proceeds as a fresh run), and a killed-then-resumed computation
-// produces the same profile/index bits as the uninterrupted run in every
-// precision mode and on both row paths.
+// Durable checkpoint/resume: the v3 slice journal round-trips bit-exactly,
+// damaged or foreign journals fall back to a fresh run through a structured
+// RunEvent (distinguishing missing vs corrupt vs fingerprint-mismatch), a
+// killed-then-resumed computation produces the same profile/index bits as
+// the uninterrupted run in every precision mode and on both row paths, and
+// slices written under one tile grid re-key onto a different grid (whole
+// tiles restore outright, row prefixes replay only their tail, everything
+// else is discarded and recomputed).
 #include <gtest/gtest.h>
 
 #include <cstdio>
 #include <fstream>
 
+#include "common/metrics.hpp"
 #include "common/shutdown.hpp"
 #include "mp/checkpoint.hpp"
 #include "mp/matrix_profile.hpp"
+#include "mp/tile_plan.hpp"
 #include "tsdata/synthetic.hpp"
 
 namespace mpsim::mp {
@@ -48,14 +53,24 @@ CheckpointData sample_data() {
   CheckpointData data;
   data.fingerprint = 0xfeedbeefcafe1234ULL;
   data.tile_count = 4;
-  CheckpointTile tile;
-  tile.tile_index = 2;
-  tile.tile_id = 2;
-  tile.device = 1;
-  tile.mode = PrecisionMode::Mixed;
-  tile.profile = {0.5, 1.25, std::numeric_limits<double>::infinity()};
-  tile.index = {7, -1, 3};
-  data.tiles.push_back(tile);
+  CheckpointSlice slice;
+  slice.tile_index = 2;
+  slice.tile_id = 2;
+  slice.device = 1;
+  slice.node = 3;
+  slice.complete = 0;  // a mid-tile row-slice snapshot
+  slice.mode = PrecisionMode::Mixed;
+  slice.r_begin = 40;
+  slice.r_count = 17;
+  slice.q_begin = 80;
+  slice.q_count = 3;
+  slice.dims = 1;
+  slice.profile = {0.5, 1.25, std::numeric_limits<double>::infinity()};
+  slice.index = {7, -1, 3};
+  slice.prefilter.blocks_total = 9;
+  slice.prefilter.blocks_skipped = 4;
+  slice.prefilter.cols_skipped = 12;
+  data.slices.push_back(slice);
   data.events.push_back(
       {RunEvent::Kind::kRetry, 2, 1, "injected kernel fault — retry 1/3"});
   return data;
@@ -73,13 +88,24 @@ TEST(CheckpointJournal, RoundTripsBitExactly) {
   const CheckpointData back = read_checkpoint(path);
   EXPECT_EQ(back.fingerprint, data.fingerprint);
   EXPECT_EQ(back.tile_count, data.tile_count);
-  ASSERT_EQ(back.tiles.size(), 1u);
-  EXPECT_EQ(back.tiles[0].tile_index, 2u);
-  EXPECT_EQ(back.tiles[0].tile_id, 2);
-  EXPECT_EQ(back.tiles[0].device, 1);
-  EXPECT_EQ(back.tiles[0].mode, PrecisionMode::Mixed);
-  EXPECT_EQ(back.tiles[0].profile, data.tiles[0].profile);
-  EXPECT_EQ(back.tiles[0].index, data.tiles[0].index);
+  ASSERT_EQ(back.slices.size(), 1u);
+  const CheckpointSlice& s = back.slices[0];
+  EXPECT_EQ(s.tile_index, 2u);
+  EXPECT_EQ(s.tile_id, 2);
+  EXPECT_EQ(s.device, 1);
+  EXPECT_EQ(s.node, 3);
+  EXPECT_EQ(s.complete, 0);
+  EXPECT_EQ(s.mode, PrecisionMode::Mixed);
+  EXPECT_EQ(s.r_begin, 40u);
+  EXPECT_EQ(s.r_count, 17u);
+  EXPECT_EQ(s.q_begin, 80u);
+  EXPECT_EQ(s.q_count, 3u);
+  EXPECT_EQ(s.dims, 1u);
+  EXPECT_EQ(s.profile, data.slices[0].profile);
+  EXPECT_EQ(s.index, data.slices[0].index);
+  EXPECT_EQ(s.prefilter.blocks_total, 9u);
+  EXPECT_EQ(s.prefilter.blocks_skipped, 4u);
+  EXPECT_EQ(s.prefilter.cols_skipped, 12u);
   ASSERT_EQ(back.events.size(), 1u);
   EXPECT_EQ(back.events[0].kind, RunEvent::Kind::kRetry);
   EXPECT_EQ(back.events[0].detail, data.events[0].detail);
@@ -91,9 +117,9 @@ TEST(CheckpointJournal, WriteIsAtomicReplace) {
   CheckpointData data = sample_data();
   write_checkpoint(path, data);
   // A second write replaces the journal; no .tmp file survives.
-  data.tiles[0].profile[0] = 0.75;
+  data.slices[0].profile[0] = 0.75;
   write_checkpoint(path, data);
-  EXPECT_EQ(read_checkpoint(path).tiles[0].profile[0], 0.75);
+  EXPECT_EQ(read_checkpoint(path).slices[0].profile[0], 0.75);
   std::ifstream tmp(path + ".tmp");
   EXPECT_FALSE(tmp.good());
   std::remove(path.c_str());
@@ -120,12 +146,24 @@ TEST(CheckpointJournal, ZeroLengthFileIsRejectedNotParsed) {
   // journal.  Resume must treat it exactly like a corrupt file.
   const std::string path = temp_path("zerolen");
   write_file(path, "");
-  EXPECT_THROW(read_checkpoint(path), CheckpointError);
+  try {
+    read_checkpoint(path);
+    FAIL() << "empty journal parsed";
+  } catch (const CheckpointError& e) {
+    EXPECT_EQ(e.reason(), CheckpointError::Reason::kCorrupt);
+  }
   std::remove(path.c_str());
 }
 
 TEST(CheckpointJournal, RejectsMissingTruncatedAndCorruptFiles) {
-  EXPECT_THROW(read_checkpoint(temp_path("nonexistent")), CheckpointError);
+  // Missing and damaged files raise distinct reasons: the resume fallback
+  // reports them as different structured events (see ResumeFallback*).
+  try {
+    read_checkpoint(temp_path("nonexistent"));
+    FAIL() << "missing journal parsed";
+  } catch (const CheckpointError& e) {
+    EXPECT_EQ(e.reason(), CheckpointError::Reason::kMissing);
+  }
 
   const std::string path = temp_path("damaged");
   write_checkpoint(path, sample_data());
@@ -135,7 +173,12 @@ TEST(CheckpointJournal, RejectsMissingTruncatedAndCorruptFiles) {
   for (const std::size_t keep :
        {std::size_t(4), good.size() / 2, good.size() - 1}) {
     write_file(path, good.substr(0, keep));
-    EXPECT_THROW(read_checkpoint(path), CheckpointError) << keep;
+    try {
+      read_checkpoint(path);
+      FAIL() << "truncated journal parsed at " << keep;
+    } catch (const CheckpointError& e) {
+      EXPECT_EQ(e.reason(), CheckpointError::Reason::kCorrupt) << keep;
+    }
   }
   // A flipped payload byte fails the checksum.
   std::string corrupt = good;
@@ -143,7 +186,8 @@ TEST(CheckpointJournal, RejectsMissingTruncatedAndCorruptFiles) {
       char(corrupt[corrupt.size() / 2] ^ 0x20);
   write_file(path, corrupt);
   EXPECT_THROW(read_checkpoint(path), CheckpointError);
-  // A different magic is not an mpsim checkpoint at all.
+  // A different magic is not an mpsim checkpoint at all (this also covers
+  // v2 journals: the old "mpsim-ckpt-v2" magic no longer matches).
   std::string foreign = good;
   foreign[0] = 'X';
   write_file(path, foreign);
@@ -158,7 +202,7 @@ TEST(CheckpointJournal, RejectsMissingTruncatedAndCorruptFiles) {
   std::remove(path.c_str());
 }
 
-TEST(CheckpointJournal, FingerprintTracksInputsAndShape) {
+TEST(CheckpointJournal, FingerprintTracksInputsNotShape) {
   const auto a = small_dataset(120, 2, 16, 1);
   const auto b = small_dataset(120, 2, 16, 2);  // different samples
   MatrixProfileConfig config;
@@ -167,17 +211,65 @@ TEST(CheckpointJournal, FingerprintTracksInputsAndShape) {
   EXPECT_EQ(fp_a, checkpoint_fingerprint(a.reference, a.query, config));
   EXPECT_NE(fp_a, checkpoint_fingerprint(b.reference, b.query, config));
   MatrixProfileConfig other = config;
-  other.tiles = 4;
-  EXPECT_NE(fp_a, checkpoint_fingerprint(a.reference, a.query, other));
-  other = config;
   other.mode = PrecisionMode::FP16;
   EXPECT_NE(fp_a, checkpoint_fingerprint(a.reference, a.query, other));
-  // Non-output-affecting knobs do not change the identity.
+  // The tile grid is deliberately NOT part of the fingerprint: v3 slices
+  // carry absolute ranges, so a journal re-keys onto a different grid.
+  other = config;
+  other.tiles = 4;
+  EXPECT_EQ(fp_a, checkpoint_fingerprint(a.reference, a.query, other));
+  // ... but the grid DOES change reduced-precision output bits, so the
+  // serve daemon's profile cache key must still separate the two.
+  EXPECT_NE(profile_cache_key(a.reference, a.query, config),
+            profile_cache_key(a.reference, a.query, other));
+  // Non-output-affecting knobs change neither identity.
   other = config;
   other.devices = 3;
   other.row_path = RowPath::kCooperative;
   other.resilience.watchdog = true;
   EXPECT_EQ(fp_a, checkpoint_fingerprint(a.reference, a.query, other));
+  EXPECT_EQ(profile_cache_key(a.reference, a.query, config),
+            profile_cache_key(a.reference, a.query, other));
+}
+
+// ---------------------------------------------------------------------
+// Slice re-keying: how journalled ranges map onto a changed tile grid.
+// ---------------------------------------------------------------------
+
+TEST(CheckpointSliceFit, RekeyingEdgeCases) {
+  Tile tile;  // the *current* grid's tile: rows [100, 150) x cols [0, 40)
+  tile.r_begin = 100;
+  tile.r_count = 50;
+  tile.q_begin = 0;
+  tile.q_count = 40;
+  const std::size_t dims = 2;
+
+  // Exact cover — zero-width remainder — restores the tile outright.
+  EXPECT_EQ(classify_slice(100, 50, 0, 40, dims, tile, dims),
+            SliceFit::kComplete);
+  // Proper row prefix: the tail [130, 150) replays from the prefix.
+  EXPECT_EQ(classify_slice(100, 30, 0, 40, dims, tile, dims),
+            SliceFit::kPrefix);
+  // A slice spanning exactly past the tile's row boundary is unusable:
+  // its profile is already min-merged over rows the tile does not own,
+  // and row contributions cannot be un-merged.
+  EXPECT_EQ(classify_slice(100, 100, 0, 40, dims, tile, dims),
+            SliceFit::kNone);
+  // Row origin inside the tile but not at its start: the journalled QT
+  // recurrence was seeded elsewhere, so its bits are not this tile's.
+  EXPECT_EQ(classify_slice(125, 25, 0, 40, dims, tile, dims),
+            SliceFit::kNone);
+  // Zero journalled rows carry nothing to restore.
+  EXPECT_EQ(classify_slice(100, 0, 0, 40, dims, tile, dims),
+            SliceFit::kNone);
+  // Column subset or shift: no bit-safe sub-range can be extracted.
+  EXPECT_EQ(classify_slice(100, 50, 0, 20, dims, tile, dims),
+            SliceFit::kNone);
+  EXPECT_EQ(classify_slice(100, 50, 8, 40, dims, tile, dims),
+            SliceFit::kNone);
+  // d-dimension mismatch is rejected outright.
+  EXPECT_EQ(classify_slice(100, 50, 0, 40, dims + 1, tile, dims),
+            SliceFit::kNone);
 }
 
 // ---------------------------------------------------------------------
@@ -236,6 +328,40 @@ TEST(CheckpointResume, KilledRunResumesBitIdenticallyAllModesBothPaths) {
   }
 }
 
+TEST(CheckpointResume, MidTileSliceKillResumesBitIdentically) {
+  // Sub-tile durability: kill after a handful of journalled row slices —
+  // mid-tile, before every tile committed — then resume.  The journalled
+  // prefix seeds its tile (the tail replays QT-only) and the final bits
+  // match the uninterrupted run.
+  const auto data = small_dataset(160, 2, 16, 9);
+  MatrixProfileConfig config;
+  config.window = 16;
+  config.tiles = 2;
+  const auto clean =
+      compute_matrix_profile(data.reference, data.query, config);
+
+  const std::string ckpt = temp_path("slicekill");
+  config.checkpoint.write_path = ckpt;
+  config.checkpoint.slice_rows = 8;
+  config.checkpoint.kill_after_slices = 2;
+  clear_shutdown();
+  try {
+    compute_matrix_profile(data.reference, data.query, config);
+  } catch (const InterruptedError&) {
+  }
+  clear_shutdown();
+
+  config.checkpoint.kill_after_slices = 0;
+  config.checkpoint.slice_rows = 0;
+  config.checkpoint.resume_path = ckpt;
+  const auto resumed =
+      compute_matrix_profile(data.reference, data.query, config);
+  EXPECT_EQ(resumed.profile, clean.profile);
+  EXPECT_EQ(resumed.index, clean.index);
+  EXPECT_GT(resumed.health.partial_slices + resumed.health.resumed_tiles, 0);
+  std::remove(ckpt.c_str());
+}
+
 TEST(CheckpointResume, CompletedJournalSkipsAllWork) {
   const auto data = small_dataset(120, 2, 16, 4);
   MatrixProfileConfig config;
@@ -257,13 +383,80 @@ TEST(CheckpointResume, CompletedJournalSkipsAllWork) {
   std::remove(ckpt.c_str());
 }
 
-TEST(CheckpointResume, ForeignOrDamagedJournalStartsFresh) {
+// ---------------------------------------------------------------------
+// Resume fallback: every unusable-journal class is a structured event,
+// not a silent fresh start (and never an abort).
+// ---------------------------------------------------------------------
+
+int count_fallbacks(const RunHealth& health, const std::string& needle) {
+  int n = 0;
+  for (const auto& event : health.events) {
+    if (event.kind == RunEvent::Kind::kResumeFallback &&
+        event.detail.find(needle) != std::string::npos) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+TEST(CheckpointResume, MissingJournalFallsBackWithStructuredEvent) {
+  const auto data = small_dataset(120, 2, 16, 5);
+  MatrixProfileConfig config;
+  config.window = 16;
+  config.tiles = 2;
+  const auto clean = compute_matrix_profile(data.reference, data.query,
+                                            config);
+
+  auto& registry = MetricsRegistry::global();
+  registry.reset();
+  registry.set_enabled(true);
+  auto& fallbacks = registry.counter("resilient.resume_fallback");
+  const std::uint64_t before = fallbacks.value();
+
+  config.checkpoint.resume_path = temp_path("never_written");
+  const auto resumed = compute_matrix_profile(data.reference, data.query,
+                                              config);
+  EXPECT_EQ(resumed.health.resumed_tiles, 0);
+  EXPECT_EQ(resumed.health.resume_fallbacks, 1);
+  EXPECT_EQ(count_fallbacks(resumed.health, "is missing"), 1);
+  EXPECT_EQ(fallbacks.value() - before, 1u);
+  EXPECT_EQ(resumed.profile, clean.profile);
+  registry.set_enabled(false);
+  registry.reset();
+}
+
+TEST(CheckpointResume, CorruptJournalFallsBackWithStructuredEvent) {
+  const auto data = small_dataset(120, 2, 16, 5);
+  MatrixProfileConfig config;
+  config.window = 16;
+  config.tiles = 2;
+  const auto clean = compute_matrix_profile(data.reference, data.query,
+                                            config);
+
+  const std::string ckpt = temp_path("corrupt_resume");
+  MatrixProfileConfig writer = config;
+  writer.checkpoint.write_path = ckpt;
+  compute_matrix_profile(data.reference, data.query, writer);
+  std::string bytes = read_file(ckpt);
+  bytes[bytes.size() / 2] = char(bytes[bytes.size() / 2] ^ 0x01);
+  write_file(ckpt, bytes);
+
+  config.checkpoint.resume_path = ckpt;
+  const auto resumed = compute_matrix_profile(data.reference, data.query,
+                                              config);
+  EXPECT_EQ(resumed.health.resumed_tiles, 0);
+  EXPECT_EQ(resumed.health.resume_fallbacks, 1);
+  EXPECT_EQ(count_fallbacks(resumed.health, "is unreadable"), 1);
+  EXPECT_EQ(resumed.profile, clean.profile);
+  std::remove(ckpt.c_str());
+}
+
+TEST(CheckpointResume, ForeignJournalFallsBackWithStructuredEvent) {
   const auto data = small_dataset(120, 2, 16, 5);
   const auto other = small_dataset(120, 2, 16, 6);
   MatrixProfileConfig config;
   config.window = 16;
   config.tiles = 2;
-
   const auto clean = compute_matrix_profile(data.reference, data.query,
                                             config);
 
@@ -277,32 +470,86 @@ TEST(CheckpointResume, ForeignOrDamagedJournalStartsFresh) {
   const auto resumed = compute_matrix_profile(data.reference, data.query,
                                               config);
   EXPECT_EQ(resumed.health.resumed_tiles, 0);
+  EXPECT_EQ(resumed.health.resume_fallbacks, 1);
+  EXPECT_EQ(count_fallbacks(resumed.health, "fingerprint mismatch"), 1);
   EXPECT_EQ(resumed.profile, clean.profile);
-  bool saw_rejection = false;
-  for (const auto& event : resumed.health.events) {
-    if (event.kind == RunEvent::Kind::kResumed &&
-        event.detail.find("rejected") != std::string::npos) {
-      saw_rejection = true;
-      EXPECT_NE(event.detail.find("different inputs"), std::string::npos);
-    }
-  }
-  EXPECT_TRUE(saw_rejection);
-
-  // Corrupt journal: same fresh-run path, different rejection reason.
-  std::string bytes = read_file(ckpt);
-  bytes[bytes.size() / 2] = char(bytes[bytes.size() / 2] ^ 0x01);
-  write_file(ckpt, bytes);
-  const auto after_corrupt =
-      compute_matrix_profile(data.reference, data.query, config);
-  EXPECT_EQ(after_corrupt.health.resumed_tiles, 0);
-  EXPECT_EQ(after_corrupt.profile, clean.profile);
-
-  // Missing journal: also a fresh run, not an abort.
   std::remove(ckpt.c_str());
-  const auto after_missing =
-      compute_matrix_profile(data.reference, data.query, config);
-  EXPECT_EQ(after_missing.health.resumed_tiles, 0);
-  EXPECT_EQ(after_missing.profile, clean.profile);
+}
+
+// ---------------------------------------------------------------------
+// Elastic resume: a journal written under one tile grid re-keys onto a
+// different grid — and the run's bits still match the clean run's.
+// ---------------------------------------------------------------------
+
+TEST(CheckpointResume, GridChangeReusesPrefixesAndDiscardsTheRest) {
+  // tiles=8 → a 4x2 grid, tiles=4 → 2x2: the column split is identical,
+  // each coarse tile's rows are two fine tiles' rows.  Of each pair of
+  // fine complete slices, the first is an exact row *prefix* of the
+  // coarse tile (same seed origin — restorable, tail replays QT-only)
+  // and the second is seeded mid-tile (unusable, discarded).
+  const auto data = small_dataset(160, 2, 16, 8);
+  MatrixProfileConfig fine;
+  fine.window = 16;
+  fine.tiles = 8;
+  const std::string ckpt = temp_path("gridchange");
+  fine.checkpoint.write_path = ckpt;
+  compute_matrix_profile(data.reference, data.query, fine);
+
+  MatrixProfileConfig coarse;
+  coarse.window = 16;
+  coarse.tiles = 4;
+  const auto clean = compute_matrix_profile(data.reference, data.query,
+                                            coarse);
+
+  coarse.checkpoint.resume_path = ckpt;
+  const auto resumed = compute_matrix_profile(data.reference, data.query,
+                                              coarse);
+  EXPECT_EQ(resumed.health.resumed_tiles, 0);
+  EXPECT_EQ(resumed.health.partial_slices, 4);
+  EXPECT_EQ(resumed.health.slices_discarded, 4);
+  EXPECT_EQ(resumed.profile, clean.profile);
+  EXPECT_EQ(resumed.index, clean.index);
+  bool saw_restored = false;
+  bool saw_discarded = false;
+  for (const auto& event : resumed.health.events) {
+    if (event.kind == RunEvent::Kind::kSliceRestored) saw_restored = true;
+    if (event.kind == RunEvent::Kind::kSliceDiscarded) saw_discarded = true;
+  }
+  EXPECT_TRUE(saw_restored);
+  EXPECT_TRUE(saw_discarded);
+  std::remove(ckpt.c_str());
+}
+
+TEST(CheckpointResume, DimsMismatchedSliceIsDiscardedNotRestored) {
+  const auto data = small_dataset(120, 2, 16, 4);
+  MatrixProfileConfig config;
+  config.window = 16;
+  config.tiles = 2;
+  const std::string ckpt = temp_path("dimsmismatch");
+  config.checkpoint.write_path = ckpt;
+  const auto clean = compute_matrix_profile(data.reference, data.query,
+                                            config);
+
+  // Rewrite the journal with one slice carrying a different per-column
+  // value count (internally consistent, so the reader accepts it):
+  // re-keying must reject it rather than mis-merge.
+  CheckpointData journal = read_checkpoint(ckpt);
+  ASSERT_EQ(journal.slices.size(), 2u);
+  CheckpointSlice& widened = journal.slices[0];
+  widened.dims += 1;
+  widened.profile.resize(widened.q_count * widened.dims, 0.0);
+  widened.index.resize(widened.q_count * widened.dims, -1);
+  write_checkpoint(ckpt, journal);
+
+  config.checkpoint.write_path.clear();
+  config.checkpoint.resume_path = ckpt;
+  const auto resumed = compute_matrix_profile(data.reference, data.query,
+                                              config);
+  EXPECT_EQ(resumed.health.resumed_tiles, 1);
+  EXPECT_EQ(resumed.health.slices_discarded, 1);
+  EXPECT_EQ(resumed.profile, clean.profile);
+  EXPECT_EQ(resumed.index, clean.index);
+  std::remove(ckpt.c_str());
 }
 
 TEST(CheckpointResume, IntervalControlsJournalCadence) {
@@ -320,7 +567,10 @@ TEST(CheckpointResume, IntervalControlsJournalCadence) {
   EXPECT_EQ(result.health.checkpoint_writes, 4);
   const CheckpointData journal = read_checkpoint(ckpt);
   EXPECT_EQ(journal.tile_count, 6u);
-  EXPECT_EQ(journal.tiles.size(), 6u);
+  EXPECT_EQ(journal.slices.size(), 6u);
+  for (const CheckpointSlice& slice : journal.slices) {
+    EXPECT_EQ(slice.complete, 1);
+  }
   std::remove(ckpt.c_str());
 }
 

@@ -187,6 +187,56 @@ TEST(ServeJobQueue, DrainWakesBlockedExecutor) {
   executor.join();
 }
 
+TEST(ServeJobQueue, ConcurrentDrainLosesNoAdmittedJobAdmitsNoneAfter) {
+  // The SIGTERM drain race: clients submitting full-tilt while another
+  // thread drains.  Two invariants, whatever the interleaving: every
+  // job submit() admitted is handed to an executor exactly once, and no
+  // submit() succeeds after drain() returned.  Run many rounds — the
+  // race window is a handful of instructions (this is also the soak
+  // body scripts/run_sanitizers.sh leans on under TSan).
+  constexpr int kRounds = 40;
+  constexpr int kProducers = 4;
+  constexpr int kJobsPerProducer = 32;
+  for (int round = 0; round < kRounds; ++round) {
+    JobQueue queue(std::size_t(kProducers * kJobsPerProducer));
+    std::atomic<bool> go{false};
+    std::atomic<int> admitted{0};
+    std::atomic<int> executed{0};
+
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&, p] {
+        while (!go.load()) std::this_thread::yield();
+        const std::string client = "c" + std::to_string(p);
+        for (int j = 0; j < kJobsPerProducer; ++j) {
+          if (queue.submit(make_job(client, std::to_string(j)))) {
+            admitted.fetch_add(1);
+          }
+        }
+      });
+    }
+    std::vector<std::thread> executors;
+    for (int e = 0; e < 2; ++e) {
+      executors.emplace_back([&] {
+        while (queue.next() != nullptr) executed.fetch_add(1);
+      });
+    }
+
+    go.store(true);
+    if (round % 2 == 1) std::this_thread::yield();
+    queue.drain();  // races both the producers and the executors
+    for (auto& t : producers) t.join();
+
+    // Post-drain admission is refused even while executors still run.
+    EXPECT_FALSE(queue.submit(make_job("late", "late")));
+
+    for (auto& t : executors) t.join();
+    EXPECT_EQ(executed.load(), admitted.load()) << "round " << round;
+    EXPECT_EQ(queue.depth(), 0u);
+    EXPECT_EQ(queue.next(), nullptr);  // drained queues stay drained
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Caches
 
@@ -399,6 +449,44 @@ TEST(ServeServer, EndToEndQueriesCachingAndGracefulShutdown) {
   clear_shutdown();
   reg.reset();
   reg.set_enabled(false);
+  std::filesystem::remove(ref_path);
+}
+
+TEST(ServeServer, MultiNodeQueriesAreByteIdenticalToSingleNode) {
+  // --nodes=2 routes query execution through the elastic coordinator;
+  // the serving contract (bytes identical to the one-shot run) holds.
+  clear_shutdown();
+  const auto ref_path = temp_file("mpsim_serve_nodes_ref.csv");
+  write_csv(ref_path, make_noise_series(256, 2, 0.5, 17));
+
+  ServerOptions options;
+  options.unix_socket = temp_file("mpsim_serve_nodes.sock");
+  options.executors = 1;
+  options.nodes = 2;
+  Server server(options);
+  server.start();
+
+  {
+    RawClient client(options.unix_socket);
+    client.send_line("query --reference=" + ref_path +
+                     " --self-join --window=16 --mode=Mixed --tiles=4 "
+                     "--devices=2 --id=q1");
+    const auto header = client.read_header();
+    ASSERT_NE(header.find("\"status\": \"ok\""), std::string::npos)
+        << header;
+    const auto body = client.read_payload(payload_bytes(header));
+
+    const auto request = parse_request(
+        "query --reference=" + ref_path +
+        " --self-join --window=16 --mode=Mixed --tiles=4 --devices=2");
+    const auto reference = read_csv(ref_path);
+    const auto expected = serve::profile_to_csv(
+        mp::compute_matrix_profile(reference, reference, request.config));
+    EXPECT_EQ(body, expected);
+    client.send_line("shutdown");
+  }
+  server.wait();
+  clear_shutdown();
   std::filesystem::remove(ref_path);
 }
 

@@ -17,6 +17,7 @@
 #include "common/metrics.hpp"
 #include "common/shutdown.hpp"
 #include "common/table.hpp"
+#include "cluster/coordinator.hpp"
 #include "gpusim/faults.hpp"
 #include "mp/analysis.hpp"
 #include "mp/chains.hpp"
@@ -41,6 +42,8 @@ int run(int argc, char** argv) {
                     "prefilter", "prefilter-budget",
                     "checkpoint",
                     "resume", "checkpoint-interval", "kill-after-tiles",
+                    "slice-rows", "kill-after-slices",
+                    "nodes", "node-faults", "steal",
                     "watchdog", "watchdog-slack", "device-memory-mb",
                     "help"});
   if (args.get_bool("help", false) || !args.has("reference")) {
@@ -59,8 +62,10 @@ int run(int argc, char** argv) {
         "                 [--simd=auto|scalar|f16c|avx2]\n"
         "                 [--prefilter=off|sketch] [--prefilter-budget=B]\n"
         "                 [--checkpoint=FILE.ckpt] [--resume=FILE.ckpt]\n"
-        "                 [--checkpoint-interval=K] [--watchdog]\n"
+        "                 [--checkpoint-interval=K] [--slice-rows=R]\n"
+        "                 [--kill-after-slices=N] [--watchdog]\n"
         "                 [--watchdog-slack=S] [--device-memory-mb=M]\n"
+        "                 [--nodes=N] [--node-faults=SPEC] [--steal=on|off]\n"
         "fault spec: comma-separated kind[@device][:key=value]... with kind\n"
         "  kernel|copy|offline|nan|bitflip|hang|slow and keys at=N, every=N,\n"
         "  p=P, frac=F, ms=D, plus an optional seed=S clause, e.g.\n"
@@ -77,7 +82,13 @@ int run(int argc, char** argv) {
         "  FP16 random-projection sketches (fused row path only; default\n"
         "  off = bit-exact); --prefilter-budget bounds the acceptable miss\n"
         "  rate, measured by a verify sample and reported as prefilter.*\n"
-        "  counters + the prefilter.miss_rate gauge in --metrics-out\n");
+        "  counters + the prefilter.miss_rate gauge in --metrics-out\n"
+        "multi-node: --nodes=N shards the tile grid across N simulated\n"
+        "  nodes (bit-identical to --nodes=1); --steal=off disables\n"
+        "  cross-node work stealing; --node-faults injects node-level\n"
+        "  chaos (node_crash|node_stall|node_slow, \"@k\" selects a node);\n"
+        "  --slice-rows=R journals mid-tile row slices every R rows so a\n"
+        "  kill mid-tile resumes without recomputing the covered rows\n");
     return args.has("reference") ? 0 : 2;
   }
 
@@ -130,6 +141,16 @@ int run(int argc, char** argv) {
       "checkpoint-interval", config.checkpoint.interval_tiles));
   config.checkpoint.kill_after_tiles =
       int(args.get_int("kill-after-tiles", 0));
+  config.checkpoint.slice_rows = int(args.get_int("slice-rows", 0));
+  config.checkpoint.kill_after_slices =
+      int(args.get_int("kill-after-slices", 0));
+  cluster::ElasticClusterConfig elastic;
+  elastic.nodes = int(args.get_int("nodes", 1));
+  elastic.node_faults = args.get_string("node-faults", "");
+  const std::string steal = args.get_string("steal", "on");
+  MPSIM_CHECK(steal == "on" || steal == "off",
+              "--steal must be on or off, got '" << steal << "'");
+  elastic.steal = steal == "on";
   config.resilience.watchdog = args.get_bool("watchdog", false);
   config.resilience.watchdog_slack = args.get_double(
       "watchdog-slack", config.resilience.watchdog_slack);
@@ -207,7 +228,10 @@ int run(int argc, char** argv) {
   install_signal_handlers();
   mp::MatrixProfileResult result;
   try {
-    result = mp::compute_matrix_profile(reference, query, config);
+    // --nodes=1 without node faults routes straight to the single-node
+    // scheduler inside compute_matrix_profile_elastic.
+    result = cluster::compute_matrix_profile_elastic(reference, query,
+                                                     config, elastic);
   } catch (const InterruptedError& e) {
     std::printf("%s\n", e.what());
     flush_observability();
@@ -218,7 +242,9 @@ int run(int argc, char** argv) {
               result.segments, result.dims, result.wall_seconds,
               config.machine.c_str(), result.modeled_total_seconds());
   if (config.fault_injector != nullptr || result.health.degraded ||
-      result.health.resumed_tiles > 0 ||
+      result.health.resumed_tiles > 0 || result.health.partial_slices > 0 ||
+      result.health.slices_discarded > 0 ||
+      result.health.resume_fallbacks > 0 ||
       !result.health.escalations.empty()) {
     std::printf("%s", result.health.summary().c_str());
   }

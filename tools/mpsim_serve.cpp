@@ -30,13 +30,13 @@ using namespace mpsim;
 
 int run(int argc, char** argv) {
   CliArgs args(argc, argv);
-  args.check_known({"socket", "port", "executors", "max-queue",
+  args.check_known({"socket", "port", "executors", "max-queue", "nodes",
                     "metrics-out", "trace-out", "simd", "help"});
   if (args.get_bool("help", false) ||
       (!args.has("socket") && !args.has("port"))) {
     std::printf(
         "usage: mpsim_serve --socket=PATH and/or --port=N\n"
-        "                   [--executors=2] [--max-queue=64]\n"
+        "                   [--executors=2] [--max-queue=64] [--nodes=N]\n"
         "                   [--metrics-out=FILE.json] "
         "[--trace-out=FILE.json]\n"
         "                   [--simd=auto|scalar|f16c|avx2]\n"
@@ -66,6 +66,9 @@ int run(int argc, char** argv) {
   options.tcp_port = args.has("port") ? int(args.get_int("port", 0)) : -1;
   options.executors = std::size_t(args.get_int("executors", 2));
   options.max_queue = std::size_t(args.get_int("max-queue", 64));
+  // >1 routes every query through the elastic multi-node coordinator —
+  // byte-identical responses, a wider simulated fleet.
+  options.nodes = int(args.get_int("nodes", 1));
 
   install_signal_handlers();
   serve::Server server(std::move(options));
